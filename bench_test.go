@@ -1,0 +1,425 @@
+// Benchmarks regenerating every figure and derived result of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Model-only figures
+// are cheap; "measured" benches run the corresponding experiment on the
+// simulated substrate and report its headline quantities via
+// b.ReportMetric, so `go test -bench .` prints the paper-vs-measured
+// numbers EXPERIMENTS.md records.
+package costperf
+
+import (
+	"testing"
+
+	"costperf/internal/core"
+	"costperf/internal/experiments"
+	"costperf/internal/llama"
+	"costperf/internal/ssd"
+)
+
+// --- Figures (cost model) --------------------------------------------------
+
+func BenchmarkFigure1Model(b *testing.B) {
+	var fig core.Figure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure1(5.8, 101)
+	}
+	last := fig.Series[1].Points[len(fig.Series[1].Points)-1]
+	b.ReportMetric(last.Y, "relperf@F=1")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	costs := core.PaperCosts()
+	var fig core.Figure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure2(costs, 201)
+	}
+	if x, ok := core.Crossover(fig.Series[0], fig.Series[1]); ok {
+		b.ReportMetric(1/x, "T_i_secs")
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	cmp := core.PaperComparison()
+	var fig core.Figure
+	for i := 0; i < b.N; i++ {
+		fig = core.Figure3(cmp, 6.1e9, 201)
+	}
+	if x, ok := core.Crossover(fig.Series[0], fig.Series[1]); ok {
+		b.ReportMetric(x, "breakeven_ops_per_sec")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	costs := core.PaperCosts()
+	for i := 0; i < b.N; i++ {
+		core.Figure7(costs, []float64{9, 5.8}, 201)
+	}
+	b.ReportMetric(costs.WithR(9).BreakevenInterval(), "T_i_kernel_secs")
+	b.ReportMetric(costs.BreakevenInterval(), "T_i_spdk_secs")
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	costs := core.PaperCosts()
+	css := core.DefaultCSS()
+	for i := 0; i < b.N; i++ {
+		core.Figure8(costs, css, 201)
+	}
+	b.ReportMetric(costs.CSSSSBreakevenRate(css), "css_ss_crossover_ops")
+	b.ReportMetric(costs.BreakevenRate(), "ss_mm_crossover_ops")
+}
+
+// --- Figure 1 measured points / D1 ------------------------------------------
+
+func BenchmarkDeriveR(b *testing.B) {
+	var res *experiments.RResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.DeriveR(20000, []float64{0.05, 0.2, 0.4}, ssd.UserLevelPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanR, "R_measured")
+}
+
+func BenchmarkDeriveRKernelPath(b *testing.B) {
+	var res *experiments.RResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.DeriveR(20000, []float64{0.2}, ssd.KernelPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanR, "R_kernel")
+}
+
+// --- D2: the updated five-minute rule ---------------------------------------
+
+func BenchmarkFiveMinuteRule(b *testing.B) {
+	costs := core.PaperCosts()
+	var ti float64
+	for i := 0; i < b.N; i++ {
+		ti = costs.BreakevenInterval()
+	}
+	b.ReportMetric(ti, "T_i_secs")
+	b.ReportMetric(costs.BreakevenIntervalForSize(costs.PageSize/10), "record_T_i_secs")
+}
+
+// --- D3: MassTree vs Bw-tree ------------------------------------------------
+
+func BenchmarkMxPx(b *testing.B) {
+	var res *experiments.MxPxResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureMxPx(20000, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Mx, "Mx")
+	b.ReportMetric(res.Px, "Px")
+}
+
+// --- D4: page-size model ------------------------------------------------------
+
+func BenchmarkPageUtilization(b *testing.B) {
+	var res *experiments.PageModelResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasurePageModel(15000, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.BTreeUtilization, "btree_util")
+	b.ReportMetric(res.BwStorageUtilization, "bwtree_storage_util")
+	b.ReportMetric(res.BTreeAvgPageBytes, "Ps_bytes")
+}
+
+// --- D5: write reduction ------------------------------------------------------
+
+func BenchmarkWriteReduction(b *testing.B) {
+	var res *experiments.WriteReductionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureWriteReduction(4000, 4000, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WriteIOReduction, "write_io_reduction_x")
+	b.ReportMetric(res.WriteByteReduction, "write_byte_reduction_x")
+}
+
+// --- D6: blind updates --------------------------------------------------------
+
+func BenchmarkBlindUpdates(b *testing.B) {
+	var res *experiments.BlindUpdateResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureBlindUpdates(3000, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.ReadIOsBlind), "blind_read_ios")
+	b.ReportMetric(float64(res.ReadIOsReadModify), "rmw_read_ios")
+}
+
+// --- D7: TC record caching -----------------------------------------------------
+
+func BenchmarkRecordCache(b *testing.B) {
+	var res *experiments.RecordCacheResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureRecordCache(4000, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.TCHitRatio, "tc_hit_ratio")
+	b.ReportMetric(float64(res.DeviceReads), "device_reads")
+}
+
+// --- D8: log GC trade-off -------------------------------------------------------
+
+func BenchmarkLogGC(b *testing.B) {
+	var res *experiments.GCTradeoffResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureGCTradeoff(2500, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.EagerPerRun, "eager_bytes_per_run")
+	b.ReportMetric(res.DelayedPerRun, "delayed_bytes_per_run")
+}
+
+// --- A1: eviction policy ---------------------------------------------------------
+
+func BenchmarkEvictionPolicy(b *testing.B) {
+	var res *experiments.EvictionAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureEvictionPolicies(15000, 2500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, o := range res.Outcomes {
+		switch o.Policy {
+		case llama.PolicyBreakeven:
+			b.ReportMetric(o.MissFraction, "breakeven_missF")
+			b.ReportMetric(o.FootprintMB, "breakeven_footprint_MB")
+		case llama.PolicyNone:
+			b.ReportMetric(o.FootprintMB, "none_footprint_MB")
+		}
+	}
+}
+
+// --- A2: consolidation threshold ---------------------------------------------------
+
+func BenchmarkConsolidationThreshold(b *testing.B) {
+	var res *experiments.ConsolidationAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureConsolidationThreshold(4000, 8000, []int{2, 8, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Points[0].MeanReadCost, "read_cost_th2")
+	b.ReportMetric(res.Points[2].MeanReadCost, "read_cost_th32")
+}
+
+// --- A3: device sweep ------------------------------------------------------------
+
+func BenchmarkDeviceSweep(b *testing.B) {
+	var res *experiments.DeviceSweep
+	for i := 0; i < b.N; i++ {
+		res = experiments.MeasureDeviceSweep()
+	}
+	for _, p := range res.Points {
+		if p.Name == "samsung-ssd" {
+			b.ReportMetric(p.BreakevenSecs, "ssd_T_i_secs")
+		}
+		if p.Name == "commodity-hdd" {
+			b.ReportMetric(p.BreakevenSecs, "hdd_T_i_secs")
+		}
+	}
+}
+
+// --- Wall-clock engine benchmarks (cross-check; absolute numbers are Go-
+// runtime specific and NOT the paper's quantities — see DESIGN.md on GC
+// noise) -----------------------------------------------------------------
+
+func BenchmarkWallClockDeuteronomyGetWarm(b *testing.B) {
+	d, err := NewDeuteronomy(DeuteronomyOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const keys = 100000
+	for i := uint64(0); i < keys; i++ {
+		if err := d.Put(Key(i), ValueFor(i, 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Get(Key(uint64(i) % keys)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWallClockDeuteronomyPut(b *testing.B) {
+	d, err := NewDeuteronomy(DeuteronomyOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := ValueFor(1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Put(Key(uint64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWallClockMassTreeGet(b *testing.B) {
+	mt := NewMassTree(nil)
+	const keys = 100000
+	for i := uint64(0); i < keys; i++ {
+		mt.Put(Key(i), ValueFor(i, 100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Get(Key(uint64(i) % keys))
+	}
+}
+
+func BenchmarkWallClockMassTreePut(b *testing.B) {
+	mt := NewMassTree(nil)
+	val := ValueFor(1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Put(Key(uint64(i)), val)
+	}
+}
+
+func BenchmarkWallClockLSMPut(b *testing.B) {
+	l, err := NewLSM(nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := ValueFor(1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Put(Key(uint64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWallClockSSOperation(b *testing.B) {
+	// One cold read per iteration: evict the page again after reading.
+	d, err := NewDeuteronomy(DeuteronomyOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const keys = 20000
+	for i := uint64(0); i < keys; i++ {
+		if err := d.Put(Key(i), ValueFor(i, 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	pids := d.Tree.Pages()
+	for _, pid := range pids {
+		if err := d.Tree.EvictPage(pid, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := Key(uint64(i*61) % keys)
+		if _, _, err := d.Get(k); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		pid := pids[i%len(pids)]
+		if d.Tree.PageResident(pid) {
+			if err := d.Tree.EvictPage(pid, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+	}
+}
+
+// --- D9: latency distribution ----------------------------------------------
+
+func BenchmarkLatencyDistribution(b *testing.B) {
+	var res *experiments.LatencyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureLatency(15000, 3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.P50US, "p50_us")
+	b.ReportMetric(res.P99US, "p99_us")
+}
+
+// --- LSM amplification (Section 6.1 / RocksDB space-amp reference) ----------
+
+func BenchmarkLSMAmplification(b *testing.B) {
+	var res *experiments.LSMAmplificationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureLSMAmplification(3000, 6000, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WriteAmplification, "write_amp_x")
+	b.ReportMetric(res.SpaceAmplification, "space_amp_x")
+}
+
+// --- Sensitivity of the five-minute rule -------------------------------------
+
+func BenchmarkBreakevenSensitivities(b *testing.B) {
+	costs := core.PaperCosts()
+	var s map[string]float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = costs.BreakevenSensitivities()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s[core.ParamIOPSCost], "elasticity_iops_cost")
+	b.ReportMetric(s[core.ParamR], "elasticity_R")
+}
+
+// --- Cross-store table --------------------------------------------------------
+
+func BenchmarkCrossStore(b *testing.B) {
+	var res *experiments.CrossStoreResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasureCrossStore(3000, 3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range res.Results {
+		if s.Mix == "readonly" && (s.Store == "masstree" || s.Store == "bwtree") {
+			b.ReportMetric(s.CostPerOp, s.Store+"_cost_per_op")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command experiments runs the measured experiments of the reproduction
+// (DESIGN.md D1–D8, A1–A3) on the simulated substrate and prints their
+// results — the data EXPERIMENTS.md records against the paper.
+//
+// Usage:
+//
+//	experiments               # run everything (a few seconds)
+//	experiments -exp R        # one experiment
+//	experiments -keys 50000   # scale the keyspace
+//
+// Experiment names: R, mxpx, pages, writes, blind, recordcache, gc,
+// eviction, consolidation, devices, fiveminute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"costperf/internal/core"
+	"costperf/internal/experiments"
+	"costperf/internal/ssd"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all)")
+	keys := flag.Int("keys", 20000, "keyspace size")
+	flag.Parse()
+
+	runs := []struct {
+		name string
+		fn   func(keys int) (fmt.Stringer, error)
+	}{
+		{"R", func(k int) (fmt.Stringer, error) {
+			return experiments.DeriveR(uint64(k), []float64{0.01, 0.05, 0.1, 0.2, 0.4, 0.6}, ssd.UserLevelPath)
+		}},
+		{"fiveminute", func(int) (fmt.Stringer, error) { return fiveMinute{}, nil }},
+		{"mxpx", func(k int) (fmt.Stringer, error) { return experiments.MeasureMxPx(uint64(k), 64) }},
+		{"pages", func(k int) (fmt.Stringer, error) { return experiments.MeasurePageModel(k, 80) }},
+		{"writes", func(k int) (fmt.Stringer, error) { return experiments.MeasureWriteReduction(k/2, k/2, 64) }},
+		{"blind", func(k int) (fmt.Stringer, error) { return experiments.MeasureBlindUpdates(k/2, k/4) }},
+		{"recordcache", func(k int) (fmt.Stringer, error) { return experiments.MeasureRecordCache(k/2, k/4) }},
+		{"gc", func(k int) (fmt.Stringer, error) { return experiments.MeasureGCTradeoff(k/5, 4) }},
+		{"eviction", func(k int) (fmt.Stringer, error) { return experiments.MeasureEvictionPolicies(k, k/4) }},
+		{"consolidation", func(k int) (fmt.Stringer, error) {
+			return experiments.MeasureConsolidationThreshold(k/2, k, []int{2, 4, 8, 16, 32})
+		}},
+		{"devices", func(int) (fmt.Stringer, error) { return experiments.MeasureDeviceSweep(), nil }},
+		{"crossstore", func(k int) (fmt.Stringer, error) { return experiments.MeasureCrossStore(k/4, k/4) }},
+		{"latency", func(k int) (fmt.Stringer, error) { return experiments.MeasureLatency(k, k/4) }},
+		{"lsmamp", func(k int) (fmt.Stringer, error) { return experiments.MeasureLSMAmplification(k/4, k/2, 100) }},
+		{"sensitivity", func(int) (fmt.Stringer, error) { return experiments.MeasureSensitivity() }},
+	}
+
+	ran := false
+	for _, r := range runs {
+		if *exp != "" && r.name != *exp {
+			continue
+		}
+		res, err := r.fn(*keys)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// fiveMinute prints the D2 derived quantities straight from the model.
+type fiveMinute struct{}
+
+func (fiveMinute) String() string {
+	c := core.PaperCosts()
+	recTi := c.BreakevenIntervalForSize(c.PageSize / 10)
+	return fmt.Sprintf(`D2: the updated five-minute rule (Equation 6)
+  page breakeven T_i      = %.1f s   (paper ≈ 45 s)
+  breakeven access rate   = %.4f ops/s
+  record (P_s/10) T_i     = %.0f s   (Section 6.3: 10 records/page -> 10x the interval)
+  storage cost ratio MM/SS = %.1fx  (paper ≈ 11x)
+  exec cost ratio SS/MM    = %.1fx  (paper ≈ 12x)
+`, c.BreakevenInterval(), c.BreakevenRate(), recTi, c.StorageCostRatio(), c.ExecCostRatio())
+}

@@ -1,0 +1,102 @@
+// Command figures regenerates the data behind every figure in the paper's
+// evaluation (Figures 1, 2, 3, 7, 8) from the cost model, printing either
+// a readable table or CSV.
+//
+// Usage:
+//
+//	figures            # all figures, tables
+//	figures -fig 2     # one figure
+//	figures -csv       # CSV output
+//	figures -points 9  # samples per series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"costperf/internal/core"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (1,2,3,7,8, 9=NVRAM extension); 0 = all")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	points := flag.Int("points", 9, "samples per series")
+	size := flag.Float64("dbsize", 6.1e9, "database size in bytes for Figure 3")
+	flag.Parse()
+
+	if *points < 2 {
+		fmt.Fprintln(os.Stderr, "figures: -points must be >= 2")
+		os.Exit(2)
+	}
+	costs := core.PaperCosts()
+	cmp := core.PaperComparison()
+	css := core.DefaultCSS()
+
+	all := map[int]func() core.Figure{
+		1: func() core.Figure { return core.Figure1(costs.R, *points) },
+		2: func() core.Figure { return core.Figure2(costs, *points) },
+		3: func() core.Figure { return core.Figure3(cmp, *size, *points) },
+		7: func() core.Figure { return core.Figure7(costs, []float64{9, costs.R}, *points) },
+		8: func() core.Figure { return core.Figure8(costs, css, *points) },
+		// 9 is not a paper figure: the Section 8.2 NVRAM extension chart.
+		9: func() core.Figure { return core.FigureNVRAM(costs, core.DefaultNVRAM(), *points) },
+	}
+	order := []int{1, 2, 3, 7, 8, 9}
+	if *fig != 0 {
+		gen, ok := all[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: no figure %d (have 1,2,3,7,8,9)\n", *fig)
+			os.Exit(2)
+		}
+		emit(gen(), *csv)
+		return
+	}
+	for _, n := range order {
+		emit(all[n](), *csv)
+		fmt.Println()
+	}
+}
+
+func emit(f core.Figure, csv bool) {
+	if csv {
+		fmt.Printf("# %s\n", f.Title)
+		header := []string{f.XLabel}
+		for _, s := range f.Series {
+			header = append(header, s.Name)
+		}
+		fmt.Println(strings.Join(header, ","))
+		for i := range f.Series[0].Points {
+			row := []string{fmt.Sprintf("%g", f.Series[0].Points[i].X)}
+			for _, s := range f.Series {
+				row = append(row, fmt.Sprintf("%g", s.Points[i].Y))
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+		return
+	}
+	fmt.Println(f.Title)
+	fmt.Printf("%14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Printf(" %18s", s.Name)
+	}
+	fmt.Println()
+	for i := range f.Series[0].Points {
+		fmt.Printf("%14.4g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			fmt.Printf(" %18.6g", s.Points[i].Y)
+		}
+		fmt.Println()
+	}
+	// Annotate crossovers where the figure has exactly two cost lines.
+	if len(f.Series) >= 2 {
+		for i := 0; i < len(f.Series); i++ {
+			for j := i + 1; j < len(f.Series); j++ {
+				if x, ok := core.Crossover(f.Series[i], f.Series[j]); ok {
+					fmt.Printf("  crossover %s / %s at x = %.6g\n", f.Series[i].Name, f.Series[j].Name, x)
+				}
+			}
+		}
+	}
+}

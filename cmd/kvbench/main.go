@@ -1,0 +1,232 @@
+// Command kvbench drives a configurable workload against any of the
+// reproduction's stores and reports throughput (in deterministic cost
+// units), miss ratios, measured R, and I/O counts — an ad-hoc version of
+// the experiments the paper's analysis is built on.
+//
+// Usage:
+//
+//	kvbench -store bwtree -keys 100000 -ops 200000 -mix readmostly -dist zipfian
+//	kvbench -store masstree -mix readonly
+//	kvbench -store lsm -mix updateheavy -dist hotcold
+//	kvbench -store btree -pool 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"costperf/internal/btree"
+	"costperf/internal/bwtree"
+	"costperf/internal/llama/logstore"
+	"costperf/internal/lsm"
+	"costperf/internal/masstree"
+	"costperf/internal/sim"
+	"costperf/internal/ssd"
+	"costperf/internal/workload"
+)
+
+// store is the uniform adapter kvbench drives.
+type store interface {
+	get(key []byte) error
+	put(key, val []byte) error
+	del(key []byte) error
+	blind(key, val []byte) error
+	scan(start []byte, limit int) error
+}
+
+func main() {
+	storeName := flag.String("store", "bwtree", "bwtree | masstree | lsm | btree")
+	keys := flag.Uint64("keys", 100000, "initial keyspace size")
+	ops := flag.Int("ops", 200000, "operations to run")
+	mixName := flag.String("mix", "readmostly", "readonly | readmostly | updateheavy | blindheavy | scanmix")
+	distName := flag.String("dist", "zipfian", "uniform | zipfian | hotcold | sequential")
+	valueSize := flag.Int("value", 100, "value size in bytes")
+	pool := flag.Int("pool", 1024, "btree buffer-pool pages")
+	evictEvery := flag.Int("evict", 0, "evict all bwtree pages every N ops (0 = never)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	recordTo := flag.String("record", "", "record the generated operations to this trace file")
+	replayFrom := flag.String("replay", "", "replay operations from this trace file instead of generating")
+	flag.Parse()
+
+	sess := sim.NewSession(sim.DefaultCosts())
+	dev := ssd.New(ssd.SamsungSSD)
+
+	var s store
+	var bw *bwtree.Tree
+	switch *storeName {
+	case "bwtree":
+		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20})
+		check(err)
+		tree, err := bwtree.New(bwtree.Config{Store: st, Session: sess})
+		check(err)
+		bw = tree
+		s = bwAdapter{tree}
+	case "masstree":
+		s = mtAdapter{masstree.New(sess)}
+	case "lsm":
+		tree, err := lsm.New(lsm.Config{Device: dev, Session: sess})
+		check(err)
+		s = lsmAdapter{tree}
+	case "btree":
+		tree, err := btree.New(btree.Config{Device: dev, PoolPages: *pool, Session: sess})
+		check(err)
+		s = btAdapter{tree}
+	default:
+		fmt.Fprintf(os.Stderr, "kvbench: unknown store %q\n", *storeName)
+		os.Exit(2)
+	}
+
+	var chooser workload.KeyChooser
+	switch *distName {
+	case "uniform":
+		chooser = workload.NewUniform(*seed)
+	case "zipfian":
+		chooser = workload.NewZipfian(*seed, 0.99)
+	case "hotcold":
+		chooser = workload.NewHotCold(*seed, 0.1, 0.9)
+	case "sequential":
+		chooser = workload.NewSequential()
+	default:
+		fmt.Fprintf(os.Stderr, "kvbench: unknown distribution %q\n", *distName)
+		os.Exit(2)
+	}
+
+	mixes := map[string]workload.Mix{
+		"readonly":    workload.ReadOnly,
+		"readmostly":  workload.ReadMostly,
+		"updateheavy": workload.UpdateHeavy,
+		"blindheavy":  workload.BlindWriteHeavy,
+		"scanmix":     workload.ScanMix,
+	}
+	mix, ok := mixes[*mixName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "kvbench: unknown mix %q\n", *mixName)
+		os.Exit(2)
+	}
+
+	// Load.
+	fmt.Printf("loading %d keys into %s...\n", *keys, *storeName)
+	for i := uint64(0); i < *keys; i++ {
+		check(s.put(workload.Key(i), workload.ValueFor(i, *valueSize)))
+	}
+	sess.Tracker().Reset()
+	dev.Stats().Reset()
+
+	apply := func(i int, op workload.Op) {
+		switch op.Kind {
+		case workload.OpRead:
+			check(s.get(op.Key))
+		case workload.OpUpdate, workload.OpInsert:
+			check(s.put(op.Key, op.Value))
+		case workload.OpBlindWrite:
+			check(s.blind(op.Key, op.Value))
+		case workload.OpScan:
+			check(s.scan(op.Key, op.ScanLen))
+		case workload.OpDelete:
+			check(s.del(op.Key))
+		}
+		if bw != nil && *evictEvery > 0 && i%*evictEvery == *evictEvery-1 {
+			for _, pid := range bw.Pages() {
+				check(bw.EvictPage(pid, true))
+			}
+		}
+	}
+
+	if *replayFrom != "" {
+		f, err := os.Open(*replayFrom)
+		check(err)
+		defer f.Close()
+		fmt.Printf("replaying trace %s...\n", *replayFrom)
+		i := 0
+		n, err := workload.Replay(f, func(op workload.Op) error {
+			apply(i, op)
+			i++
+			return nil
+		})
+		check(err)
+		fmt.Printf("replayed %d ops\n", n)
+	} else {
+		gen, err := workload.NewGenerator(workload.GeneratorConfig{
+			Keys: *keys, ValueSize: *valueSize, Mix: mix, Chooser: chooser, Seed: *seed,
+		})
+		check(err)
+		var tw *workload.TraceWriter
+		if *recordTo != "" {
+			f, err := os.Create(*recordTo)
+			check(err)
+			defer f.Close()
+			tw, err = workload.NewTraceWriter(f)
+			check(err)
+		}
+		fmt.Printf("running %d ops (%s / %s)...\n", *ops, *mixName, *distName)
+		for i := 0; i < *ops; i++ {
+			op := gen.Next()
+			if tw != nil {
+				check(tw.Append(op))
+			}
+			apply(i, op)
+		}
+		if tw != nil {
+			check(tw.Flush())
+			fmt.Printf("recorded %d ops to %s\n", tw.Count(), *recordTo)
+		}
+	}
+
+	tk := sess.Tracker()
+	fmt.Println("\nresults (deterministic cost units):")
+	fmt.Printf("  %s\n", tk.String())
+	fmt.Printf("  throughput: %.6f ops/cost-unit (P0 analogue: %.6f)\n", tk.Throughput(), tk.MMThroughput())
+	if tk.R() > 0 {
+		fmt.Printf("  measured R = %.2f (paper: 5.8 user-level, ~9 kernel)\n", tk.R())
+	}
+	fmt.Printf("  device: %s\n", dev.Stats().String())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvbench:", err)
+		os.Exit(1)
+	}
+}
+
+type bwAdapter struct{ t *bwtree.Tree }
+
+func (a bwAdapter) get(k []byte) error      { _, _, err := a.t.Get(k); return err }
+func (a bwAdapter) put(k, v []byte) error   { return a.t.Insert(k, v) }
+func (a bwAdapter) del(k []byte) error      { return a.t.Delete(k) }
+func (a bwAdapter) blind(k, v []byte) error { return a.t.BlindWrite(k, v) }
+func (a bwAdapter) scan(start []byte, limit int) error {
+	return a.t.Scan(start, limit, func(_, _ []byte) bool { return true })
+}
+
+type mtAdapter struct{ t *masstree.Tree }
+
+func (a mtAdapter) get(k []byte) error      { a.t.Get(k); return nil }
+func (a mtAdapter) put(k, v []byte) error   { a.t.Put(k, v); return nil }
+func (a mtAdapter) del(k []byte) error      { a.t.Delete(k); return nil }
+func (a mtAdapter) blind(k, v []byte) error { a.t.Put(k, v); return nil }
+func (a mtAdapter) scan(start []byte, limit int) error {
+	a.t.Scan(start, limit, func(_, _ []byte) bool { return true })
+	return nil
+}
+
+type lsmAdapter struct{ t *lsm.Tree }
+
+func (a lsmAdapter) get(k []byte) error      { _, _, err := a.t.Get(k); return err }
+func (a lsmAdapter) put(k, v []byte) error   { return a.t.Put(k, v) }
+func (a lsmAdapter) del(k []byte) error      { return a.t.Delete(k) }
+func (a lsmAdapter) blind(k, v []byte) error { return a.t.Put(k, v) }
+func (a lsmAdapter) scan(start []byte, limit int) error {
+	return a.t.Scan(start, limit, func(_, _ []byte) bool { return true })
+}
+
+type btAdapter struct{ t *btree.Tree }
+
+func (a btAdapter) get(k []byte) error      { _, _, err := a.t.Get(k); return err }
+func (a btAdapter) put(k, v []byte) error   { return a.t.Insert(k, v) }
+func (a btAdapter) del(k []byte) error      { return a.t.Delete(k) }
+func (a btAdapter) blind(k, v []byte) error { return a.t.Insert(k, v) }
+func (a btAdapter) scan(start []byte, limit int) error {
+	return a.t.Scan(start, limit, func(_, _ []byte) bool { return true })
+}

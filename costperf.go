@@ -1,0 +1,381 @@
+package costperf
+
+import (
+	"costperf/internal/bwtree"
+	"costperf/internal/core"
+	"costperf/internal/llama"
+	"costperf/internal/llama/logstore"
+	"costperf/internal/lsm"
+	"costperf/internal/masstree"
+	"costperf/internal/sim"
+	"costperf/internal/ssd"
+	"costperf/internal/tc"
+	"costperf/internal/workload"
+)
+
+// Cost model (paper Equations 1–8). These aliases re-export the model so
+// downstream users work with the public package only.
+type (
+	// Costs holds the Section 4.1 infrastructure parameters.
+	Costs = core.Costs
+	// MainMemoryComparison parameterizes the Section 5 Bw-tree vs
+	// MassTree analysis.
+	MainMemoryComparison = core.MainMemoryComparison
+	// CSSParams extends the model with compressed storage (Section 7.2).
+	CSSParams = core.CSSParams
+	// Figure is a regenerated paper figure (named series over an x axis).
+	Figure = core.Figure
+	// Series is one named data series of a Figure.
+	Series = core.Series
+	// Point is one sample of a Series.
+	Point = core.Point
+)
+
+// PaperCosts returns the paper's Section 4.1 cost parameters.
+func PaperCosts() Costs { return core.PaperCosts() }
+
+// PaperComparison returns the paper's Section 5 point-experiment
+// parameters (Mx ≈ 2.1, Px ≈ 2.6).
+func PaperComparison() MainMemoryComparison { return core.PaperComparison() }
+
+// DefaultCSS returns illustrative Figure 8 compression parameters.
+func DefaultCSS() CSSParams { return core.DefaultCSS() }
+
+// MixedThroughput is Equation 2; DeriveR is Equation 3.
+func MixedThroughput(p0, f, r float64) float64 { return core.MixedThroughput(p0, f, r) }
+
+// DeriveR recovers R from a measured (P0, PF) pair at miss fraction f
+// (Equation 3).
+func DeriveR(p0, pf, f float64) (float64, error) { return core.DeriveR(p0, pf, f) }
+
+// Figure generators (paper Figures 1, 2, 3, 7, 8).
+var (
+	Figure1 = core.Figure1
+	Figure2 = core.Figure2
+	Figure3 = core.Figure3
+	Figure7 = core.Figure7
+	Figure8 = core.Figure8
+	// Crossover locates where two sampled series intersect.
+	Crossover = core.Crossover
+)
+
+// Simulation and device substrate.
+type (
+	// Session provides deterministic execution-cost accounting.
+	Session = sim.Session
+	// Tracker accumulates per-class operation costs (R, F, P0/PF).
+	Tracker = sim.Tracker
+	// CostProfile holds per-primitive execution charges.
+	CostProfile = sim.CostProfile
+	// Device is a simulated secondary-storage device.
+	Device = ssd.Device
+	// DeviceConfig describes a simulated device.
+	DeviceConfig = ssd.Config
+)
+
+// NewSession creates a cost-accounting session.
+func NewSession(p CostProfile) *Session { return sim.NewSession(p) }
+
+// DefaultCostProfile returns the calibrated execution-cost profile.
+func DefaultCostProfile() CostProfile { return sim.DefaultCosts() }
+
+// NewDevice creates a simulated device.
+func NewDevice(cfg DeviceConfig) *Device { return ssd.New(cfg) }
+
+// Device presets (paper Sections 4.1, 7.1.2, 8.2, 8.3).
+var (
+	SamsungSSD    = ssd.SamsungSSD
+	NextGenSSD    = ssd.NextGenSSD
+	EnterpriseHDD = ssd.EnterpriseHDD
+	CommodityHDD  = ssd.CommodityHDD
+	NVRAM         = ssd.NVRAM
+)
+
+// Engine aliases.
+type (
+	// BwTree is the latch-free Bw-tree (Deuteronomy data component).
+	BwTree = bwtree.Tree
+	// MassTree is the main-memory comparator store.
+	MassTree = masstree.Tree
+	// LSMTree is the RocksDB-style log-structured merge tree.
+	LSMTree = lsm.Tree
+	// LogStore is LLAMA's log-structured storage layer.
+	LogStore = logstore.Store
+	// CacheManager applies eviction policy (LRU / five-minute rule).
+	CacheManager = llama.Manager
+	// TransactionComponent is the Deuteronomy TC.
+	TransactionComponent = tc.TC
+	// Tx is a transaction handle (snapshot isolation).
+	Tx = tc.Tx
+)
+
+// Eviction policies for CacheManager.
+const (
+	PolicyNone      = llama.PolicyNone
+	PolicyLRU       = llama.PolicyLRU
+	PolicyBreakeven = llama.PolicyBreakeven
+)
+
+// NewMassTree creates a MassTree; session may be nil.
+func NewMassTree(session *Session) *MassTree { return masstree.New(session) }
+
+// DeuteronomyOptions configures NewDeuteronomy. The zero value gives a
+// paper-like setup: a Samsung-class simulated SSD, 1 MiB write buffers,
+// 4 MiB GC segments, 4 KiB max pages, and the breakeven eviction policy
+// at the paper's T_i.
+type DeuteronomyOptions struct {
+	// Device overrides the simulated device (default SamsungSSD).
+	Device *Device
+	// Session enables cost accounting (default: a fresh session).
+	Session *Session
+	// MaxPageBytes is the Bw-tree split threshold (default 4096).
+	MaxPageBytes int
+	// ConsolidateAfter is the delta-chain consolidation threshold
+	// (default 8).
+	ConsolidateAfter int
+	// WriteBufferBytes sizes the log store's flush buffer (default 1 MiB).
+	WriteBufferBytes int
+	// SegmentBytes is the log store's GC granularity (default 4 MiB).
+	SegmentBytes int64
+	// Policy selects the eviction policy (default PolicyBreakeven).
+	Policy llama.Policy
+	// BreakevenSeconds is T_i for PolicyBreakeven (default: the paper's
+	// ≈45 s from PaperCosts).
+	BreakevenSeconds float64
+	// MemoryBudgetBytes caps the cache footprint (0 = unlimited).
+	MemoryBudgetBytes int64
+	// RetainDeltas keeps delta chains as a record cache on eviction
+	// (Section 6.3). Default true.
+	RetainDeltas *bool
+}
+
+// Deuteronomy bundles the full data-caching stack: Bw-tree over LLAMA
+// (cache manager + log-structured store) on a simulated SSD.
+type Deuteronomy struct {
+	Tree    *BwTree
+	Log     *LogStore
+	Device  *Device
+	Cache   *CacheManager
+	Session *Session
+}
+
+// NewDeuteronomy assembles the data-caching stack.
+func NewDeuteronomy(opts DeuteronomyOptions) (*Deuteronomy, error) {
+	if opts.Device == nil {
+		opts.Device = ssd.New(ssd.SamsungSSD)
+	}
+	if opts.Session == nil {
+		opts.Session = sim.NewSession(sim.DefaultCosts())
+	}
+	if opts.WriteBufferBytes == 0 {
+		opts.WriteBufferBytes = 1 << 20
+	}
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	// PolicyNone is the zero value, so it doubles as "default": the stack
+	// always gets the breakeven policy (a caller that wants no eviction
+	// simply never calls Sweep).
+	if opts.Policy == llama.PolicyNone {
+		opts.Policy = llama.PolicyBreakeven
+	}
+	if opts.BreakevenSeconds == 0 {
+		opts.BreakevenSeconds = core.PaperCosts().BreakevenInterval()
+	}
+	retain := true
+	if opts.RetainDeltas != nil {
+		retain = *opts.RetainDeltas
+	}
+	st, err := logstore.Open(logstore.Config{
+		Device:       opts.Device,
+		BufferBytes:  opts.WriteBufferBytes,
+		SegmentBytes: opts.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tree, err := bwtree.New(bwtree.Config{
+		Store:            st,
+		Session:          opts.Session,
+		MaxPageBytes:     opts.MaxPageBytes,
+		ConsolidateAfter: opts.ConsolidateAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgrCfg := llama.Config{
+		Owner:            tree,
+		Clock:            opts.Session.Clock(),
+		Policy:           opts.Policy,
+		BreakevenSeconds: opts.BreakevenSeconds,
+		BudgetBytes:      opts.MemoryBudgetBytes,
+		RetainDeltas:     retain,
+	}
+	if opts.MemoryBudgetBytes > 0 {
+		mgrCfg.FootprintFn = tree.FootprintBytes
+	}
+	mgr, err := llama.NewManager(mgrCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Deuteronomy{Tree: tree, Log: st, Device: opts.Device, Cache: mgr, Session: opts.Session}, nil
+}
+
+// Put upserts a key (a latch-free delta update).
+func (d *Deuteronomy) Put(key, val []byte) error { return d.Tree.Insert(key, val) }
+
+// Get looks up a key.
+func (d *Deuteronomy) Get(key []byte) ([]byte, bool, error) { return d.Tree.Get(key) }
+
+// Delete removes a key.
+func (d *Deuteronomy) Delete(key []byte) error { return d.Tree.Delete(key) }
+
+// BlindPut upserts without requiring the target page in memory
+// (Section 6.2).
+func (d *Deuteronomy) BlindPut(key, val []byte) error { return d.Tree.BlindWrite(key, val) }
+
+// Scan visits keys in order from start.
+func (d *Deuteronomy) Scan(start []byte, limit int, fn func(k, v []byte) bool) error {
+	return d.Tree.Scan(start, limit, fn)
+}
+
+// Sweep runs one eviction pass under the configured policy.
+func (d *Deuteronomy) Sweep() (int, error) { return d.Cache.Sweep() }
+
+// Checkpoint makes the tree durable; OpenDeuteronomy can rebuild from the
+// device afterwards.
+func (d *Deuteronomy) Checkpoint() error { return d.Tree.FlushAll() }
+
+// CollectGarbage runs one log-store GC pass.
+func (d *Deuteronomy) CollectGarbage() (int64, error) {
+	return d.Log.CollectSegment(d.Tree.RelocateForGC, nil)
+}
+
+// OpenDeuteronomy recovers a checkpointed stack from an existing device.
+func OpenDeuteronomy(device *Device, opts DeuteronomyOptions) (*Deuteronomy, error) {
+	opts.Device = device
+	if opts.Session == nil {
+		opts.Session = sim.NewSession(sim.DefaultCosts())
+	}
+	if opts.WriteBufferBytes == 0 {
+		opts.WriteBufferBytes = 1 << 20
+	}
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	st, err := logstore.Open(logstore.Config{
+		Device:       device,
+		BufferBytes:  opts.WriteBufferBytes,
+		SegmentBytes: opts.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tree, err := bwtree.Open(bwtree.Config{
+		Store:            st,
+		Session:          opts.Session,
+		MaxPageBytes:     opts.MaxPageBytes,
+		ConsolidateAfter: opts.ConsolidateAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.BreakevenSeconds == 0 {
+		opts.BreakevenSeconds = core.PaperCosts().BreakevenInterval()
+	}
+	if opts.Policy == llama.PolicyNone {
+		opts.Policy = llama.PolicyBreakeven
+	}
+	mgr, err := llama.NewManager(llama.Config{
+		Owner:            tree,
+		Clock:            opts.Session.Clock(),
+		Policy:           opts.Policy,
+		BreakevenSeconds: opts.BreakevenSeconds,
+		RetainDeltas:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Deuteronomy{Tree: tree, Log: st, Device: device, Cache: mgr, Session: opts.Session}, nil
+}
+
+// NewLSM creates an LSM tree on a fresh Samsung-class device (or the one
+// provided). session may be nil.
+func NewLSM(device *Device, session *Session) (*LSMTree, error) {
+	if device == nil {
+		device = ssd.New(ssd.SamsungSSD)
+	}
+	return lsm.New(lsm.Config{Device: device, Session: session})
+}
+
+// NewTransactional stacks a Deuteronomy-style transaction component on a
+// data component (use a Deuteronomy's Tree, or any DataComponent).
+func NewTransactional(dc tc.DataComponent, logDevice *Device, session *Session) (*TransactionComponent, error) {
+	if logDevice == nil {
+		logDevice = ssd.New(ssd.SamsungSSD)
+	}
+	return tc.New(tc.Config{DC: dc, LogDevice: logDevice, Session: session})
+}
+
+// Workload generation.
+type (
+	// WorkloadMix is an operation mix (read/update/insert/blind/scan).
+	WorkloadMix = workload.Mix
+	// Generator produces operation streams.
+	Generator = workload.Generator
+	// GeneratorConfig configures a Generator.
+	GeneratorConfig = workload.GeneratorConfig
+	// Op is one generated operation.
+	Op = workload.Op
+)
+
+// Standard mixes.
+var (
+	ReadOnly        = workload.ReadOnly
+	ReadMostly      = workload.ReadMostly
+	UpdateHeavy     = workload.UpdateHeavy
+	BlindWriteHeavy = workload.BlindWriteHeavy
+	ScanMix         = workload.ScanMix
+)
+
+// NewGenerator builds an operation generator.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) { return workload.NewGenerator(cfg) }
+
+// Key chooser constructors.
+var (
+	NewUniformChooser    = workload.NewUniform
+	NewZipfianChooser    = workload.NewZipfian
+	NewHotColdChooser    = workload.NewHotCold
+	NewSequentialChooser = workload.NewSequential
+)
+
+// Key renders record id i as an order-preserving 8-byte key.
+func Key(i uint64) []byte { return workload.Key(i) }
+
+// ValueFor deterministically generates a payload for key id i.
+func ValueFor(i uint64, size int) []byte { return workload.ValueFor(i, size) }
+
+// Extension model pieces (paper Sections 7.2 and 8.2, discussion items).
+type (
+	// NVRAMParams extends the model with a non-volatile memory tier.
+	NVRAMParams = core.NVRAMParams
+	// CMMParams models compressed main memory.
+	CMMParams = core.CMMParams
+)
+
+// DefaultNVRAM returns illustrative Section 8.2 NVRAM parameters.
+func DefaultNVRAM() NVRAMParams { return core.DefaultNVRAM() }
+
+// DefaultCMM returns illustrative compressed-main-memory parameters.
+func DefaultCMM() CMMParams { return core.DefaultCMM() }
+
+// FigureNVRAM generates the three-tier residence cost chart.
+var FigureNVRAM = core.FigureNVRAM
+
+// LatencyModel estimates operation latencies (Section 8.1's microsecond
+// discussion): MM operations complete in CPU time, SS operations add a
+// device access.
+type LatencyModel = core.LatencyModel
+
+// PaperLatency returns the latency model with paper parameters.
+func PaperLatency() LatencyModel { return core.PaperLatency() }

@@ -1,0 +1,81 @@
+package costperf_test
+
+import (
+	"fmt"
+
+	"costperf"
+)
+
+// The five-minute rule: compute the breakeven interval for the paper's
+// Section 4.1 hardware parameters.
+func ExampleCosts_breakevenInterval() {
+	c := costperf.PaperCosts()
+	fmt.Printf("T_i = %.1f s\n", c.BreakevenInterval())
+	fmt.Printf("storage ratio = %.1fx\n", c.StorageCostRatio())
+	// Output:
+	// T_i = 45.2 s
+	// storage ratio = 11.0x
+}
+
+// Equation 2: throughput of a mixed MM/SS workload.
+func ExampleMixedThroughput() {
+	p0 := 4e6 // all-in-memory ops/sec
+	pf := costperf.MixedThroughput(p0, 0.10, 5.8)
+	fmt.Printf("at 10%% misses: %.2fM ops/s\n", pf/1e6)
+	// And Equation 3 inverts it.
+	r, _ := costperf.DeriveR(p0, pf, 0.10)
+	fmt.Printf("derived R = %.1f\n", r)
+	// Output:
+	// at 10% misses: 2.70M ops/s
+	// derived R = 5.8
+}
+
+// The Section 5 comparison: when does a main-memory store become cheaper?
+func ExampleMainMemoryComparison() {
+	cmp := costperf.PaperComparison()
+	fmt.Printf("6.1 GB: %.2g ops/s\n", cmp.BreakevenRate(6.1e9))
+	fmt.Printf("100 GB: %.2g ops/s\n", cmp.BreakevenRate(100e9))
+	// Output:
+	// 6.1 GB: 7.3e+05 ops/s
+	// 100 GB: 1.2e+07 ops/s
+}
+
+// Basic use of the data caching stack.
+func ExampleNewDeuteronomy() {
+	d, err := costperf.NewDeuteronomy(costperf.DeuteronomyOptions{})
+	if err != nil {
+		panic(err)
+	}
+	if err := d.Put([]byte("hello"), []byte("world")); err != nil {
+		panic(err)
+	}
+	v, ok, err := d.Get([]byte("hello"))
+	if err != nil || !ok {
+		panic("lost the key")
+	}
+	fmt.Println(string(v))
+	// Output:
+	// world
+}
+
+// Transactions with snapshot isolation over the full stack.
+func ExampleNewTransactional() {
+	d, err := costperf.NewDeuteronomy(costperf.DeuteronomyOptions{})
+	if err != nil {
+		panic(err)
+	}
+	txc, err := costperf.NewTransactional(d.Tree, nil, d.Session)
+	if err != nil {
+		panic(err)
+	}
+	tx, _ := txc.Begin()
+	tx.Write([]byte("account"), []byte("100"))
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+	r, _ := txc.Begin()
+	v, _, _ := r.Read([]byte("account"))
+	fmt.Println(string(v))
+	// Output:
+	// 100
+}

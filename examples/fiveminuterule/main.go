@@ -1,0 +1,72 @@
+// fiveminuterule: explore the paper's updated five-minute rule (Section 4)
+// for your own hardware parameters, and see how the breakeven moves with
+// SSD generation, I/O path, and record-level caching.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"costperf"
+)
+
+func main() {
+	dramGB := flag.Float64("dram", 5, "DRAM price $/GB")
+	flashGB := flag.Float64("flash", 0.5, "flash price $/GB")
+	cpu := flag.Float64("cpu", 300, "processor price $")
+	iopsCost := flag.Float64("iopscost", 50, "price of the SSD's IOPS capability $")
+	iops := flag.Float64("iops", 2e5, "SSD IOPS")
+	rops := flag.Float64("rops", 4e6, "main-memory ops/sec")
+	pageKB := flag.Float64("page", 2.7, "average page size KB")
+	r := flag.Float64("r", 5.8, "relative SS/MM execution cost R")
+	flag.Parse()
+
+	c := costperf.Costs{
+		DRAMPerByte:  *dramGB / 1e9,
+		FlashPerByte: *flashGB / 1e9,
+		Processor:    *cpu,
+		IOPSCost:     *iopsCost,
+		IOPS:         *iops,
+		ROPS:         *rops,
+		PageSize:     *pageKB * 1e3,
+		R:            *r,
+	}
+	if err := c.Validate(); err != nil {
+		fmt.Println("invalid parameters:", err)
+		return
+	}
+
+	ti := c.BreakevenInterval()
+	fmt.Printf("your five-minute rule:\n")
+	fmt.Printf("  breakeven interval T_i = %.1f s\n", ti)
+	fmt.Printf("  => evict a page if it has not been touched for %.1f s; below\n", ti)
+	fmt.Printf("     %.4f accesses/s, flash + SS operations are cheaper than DRAM\n\n", c.BreakevenRate())
+
+	fmt.Println("sensitivity:")
+	fmt.Printf("  %-38s T_i = %7.1f s\n", "as configured", ti)
+	fmt.Printf("  %-38s T_i = %7.1f s\n", "kernel I/O path (R=9, Section 7.1.1)", c.WithR(9).BreakevenInterval())
+	next := c.WithIOPS(c.IOPS*2.5, c.IOPSCost)
+	fmt.Printf("  %-38s T_i = %7.1f s\n", "next-gen SSD (2.5x IOPS, Section 7.1.2)", next.BreakevenInterval())
+	fmt.Printf("  %-38s T_i = %7.1f s\n", "record cache, 10 records/page (S 6.3)",
+		c.BreakevenIntervalForSize(c.PageSize/10))
+
+	fmt.Println("\ncost per second at selected access rates (relative units):")
+	fmt.Printf("  %14s %14s %14s %10s\n", "accesses/sec", "$MM", "$SS", "cheaper")
+	be := c.BreakevenRate()
+	for _, mult := range []float64{0.01, 0.1, 0.5, 1, 2, 10, 100} {
+		n := be * mult
+		mm, ss := c.MMCostPerSec(n), c.SSCostPerSec(n)
+		who := "MM"
+		if ss < mm {
+			who = "SS"
+		} else if ss == mm {
+			who = "equal"
+		}
+		fmt.Printf("  %14.5g %14.5g %14.5g %10s\n", n, mm, ss, who)
+	}
+
+	fmt.Println("\ncompressed storage (Figure 8, illustrative parameters):")
+	css := costperf.DefaultCSS()
+	fmt.Printf("  CSS cheaper below %.5g accesses/s; MM cheaper above %.5g accesses/s\n",
+		c.CSSSSBreakevenRate(css), be)
+}

@@ -1,0 +1,72 @@
+// hotcold: run a skewed workload against the data caching stack and watch
+// the five-minute-rule eviction policy track the hot set — hot pages stay
+// in DRAM, cold pages migrate to flash, exactly the adaptivity the paper
+// credits data caching systems with (Sections 3–4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"costperf"
+)
+
+func main() {
+	d, err := costperf.NewDeuteronomy(costperf.DeuteronomyOptions{
+		BreakevenSeconds: 45, // the paper's T_i
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const keys = 50000
+	fmt.Printf("loading %d keys...\n", keys)
+	for i := uint64(0); i < keys; i++ {
+		if err := d.Put(costperf.Key(i), costperf.ValueFor(i, 100)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resident footprint after load: %.1f MB\n\n",
+		float64(d.Tree.FootprintBytes())/1e6)
+
+	// 90% of accesses hit 10% of keys; virtual time advances so cold pages
+	// age past T_i between touches.
+	hot := costperf.NewHotColdChooser(1, 0.10, 0.90)
+	clock := d.Session.Clock()
+	const phases = 6
+	const opsPerPhase = 5000
+	for phase := 1; phase <= phases; phase++ {
+		for i := 0; i < opsPerPhase; i++ {
+			id := hot.Next(keys)
+			if _, _, err := d.Get(costperf.Key(id)); err != nil {
+				log.Fatal(err)
+			}
+			clock.Advance(60.0 / opsPerPhase) // one virtual minute per phase
+		}
+		evicted, err := d.Sweep()
+		if err != nil {
+			log.Fatal(err)
+		}
+		resident := 0
+		for _, pid := range d.Tree.Pages() {
+			if d.Tree.PageResident(pid) {
+				resident++
+			}
+		}
+		tk := d.Session.Tracker()
+		fmt.Printf("phase %d: evicted %4d pages, %4d/%d resident, footprint %6.1f MB, miss ratio %.4f\n",
+			phase, evicted, resident, len(d.Tree.Pages()),
+			float64(d.Tree.FootprintBytes())/1e6, tk.MissFraction())
+	}
+
+	tk := d.Session.Tracker()
+	fmt.Printf("\nfinal accounting: %s\n", tk.String())
+	fmt.Printf("The hot 10%% stayed cached; the cold 90%% pays an SS operation only\n")
+	fmt.Printf("on its rare touches — the cost-optimal point of Figure 2.\n")
+	if r := tk.R(); r > 0 {
+		fmt.Printf("measured R on this run: %.2f (paper: 5.8 +/- 30%%)\n", r)
+	}
+}

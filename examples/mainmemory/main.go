@@ -1,0 +1,74 @@
+// mainmemory: the Section 5 comparison on your machine — load identical
+// data into the fully cached Bw-tree and a MassTree, measure M_x (memory
+// expansion) and P_x (performance gain), and evaluate Equation 7's
+// breakeven between the two systems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"costperf"
+	"costperf/internal/experiments"
+)
+
+func main() {
+	keys := flag.Uint64("keys", 100000, "keys to load")
+	value := flag.Int("value", 64, "value size bytes")
+	flag.Parse()
+
+	fmt.Printf("loading %d keys into Bw-tree (main-memory mode) and MassTree...\n", *keys)
+	res, err := experiments.MeasureMxPx(*keys, *value)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+
+	// Evaluate the comparison at several database sizes (Section 5.2).
+	cmp := costperf.MainMemoryComparison{Costs: costperf.PaperCosts(), Mx: res.Mx, Px: res.Px}
+	if err := cmp.Validate(); err != nil {
+		fmt.Println("\nmeasured point outside the paper's regime:", err)
+		return
+	}
+	fmt.Println("\nEquation 7 with the measured M_x/P_x:")
+	fmt.Printf("  %10s %22s\n", "DB size", "MassTree wins above")
+	for _, size := range []float64{1e9, 6.1e9, 100e9, 1e12} {
+		fmt.Printf("  %10.3g %18.4g ops/s\n", size, cmp.BreakevenRate(size))
+	}
+	fmt.Println("\nThe breakeven rate scales linearly with database size: big databases")
+	fmt.Println("need enormous aggregate access rates before an all-in-memory system")
+	fmt.Println("is the cheaper choice — the paper's core market argument.")
+
+	// Sanity: identical query answers from both stores.
+	sess := costperf.NewSession(costperf.DefaultCostProfile())
+	mt := costperf.NewMassTree(sess)
+	d, err := costperf.NewDeuteronomy(costperf.DeuteronomyOptions{Session: sess})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		id := uint64(rng.Int63n(int64(*keys)))
+		k, v := costperf.Key(id), costperf.ValueFor(id, *value)
+		mt.Put(k, v)
+		if err := d.Put(k, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mismatches := 0
+	for i := 0; i < 500; i++ {
+		id := uint64(rng.Int63n(int64(*keys)))
+		k := costperf.Key(id)
+		v1, ok1 := mt.Get(k)
+		v2, ok2, err := d.Get(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok1 != ok2 || (ok1 && string(v1) != string(v2)) {
+			mismatches++
+		}
+	}
+	fmt.Printf("\ncross-check: %d mismatches across 500 random lookups\n", mismatches)
+}

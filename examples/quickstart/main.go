@@ -1,0 +1,81 @@
+// Quickstart: assemble the Deuteronomy-style data caching stack (Bw-tree
+// over LLAMA over a simulated flash SSD), store and read data, and print
+// the cost-model quantities the paper derives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"costperf"
+)
+
+func main() {
+	// The zero options give a paper-like setup: Samsung-class simulated
+	// SSD, 4K max pages, breakeven (five-minute rule) eviction at T_i≈45s.
+	d, err := costperf.NewDeuteronomy(costperf.DeuteronomyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Write and read some records.
+	for i := uint64(0); i < 10000; i++ {
+		if err := d.Put(costperf.Key(i), costperf.ValueFor(i, 100)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v, ok, err := d.Get(costperf.Key(42))
+	if err != nil || !ok {
+		log.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("key 42 -> %d bytes\n", len(v))
+
+	// Range scan.
+	fmt.Print("first five keys: ")
+	_ = d.Scan(nil, 5, func(k, _ []byte) bool {
+		fmt.Printf("%d ", binaryKey(k))
+		return true
+	})
+	fmt.Println()
+
+	// A blind update needs no page read even when the page is evicted
+	// (paper Section 6.2).
+	if err := d.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	for _, pid := range d.Tree.Pages() {
+		if err := d.Tree.EvictPage(pid, false); err != nil {
+			log.Fatal(err)
+		}
+	}
+	readsBefore := d.Device.Stats().Reads.Value()
+	if err := d.BlindPut(costperf.Key(42), []byte("updated blindly")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blind update read I/Os: %d (always 0)\n",
+		d.Device.Stats().Reads.Value()-readsBefore)
+
+	// The paper's headline numbers from the cost model.
+	costs := costperf.PaperCosts()
+	fmt.Printf("\ncost model (paper Section 4):\n")
+	fmt.Printf("  five-minute rule T_i:        %.1f s (paper: ~45 s)\n", costs.BreakevenInterval())
+	fmt.Printf("  MM/SS storage cost ratio:    %.1fx (paper: ~11x)\n", costs.StorageCostRatio())
+	fmt.Printf("  SS/MM execution cost ratio:  %.1fx (paper: ~12x)\n", costs.ExecCostRatio())
+
+	cmp := costperf.PaperComparison()
+	fmt.Printf("  MassTree breakeven @6.1GB:   %.3g ops/s (paper: ~0.73e6)\n",
+		cmp.BreakevenRate(6.1e9))
+
+	// What this run actually measured.
+	tk := d.Session.Tracker()
+	fmt.Printf("\nthis run: %s\n", tk.String())
+	fmt.Printf("device:   %s\n", d.Device.Stats().String())
+}
+
+func binaryKey(k []byte) uint64 {
+	var v uint64
+	for _, b := range k {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module costperf
+
+go 1.22

@@ -1,0 +1,78 @@
+package btree
+
+import (
+	"testing"
+
+	"costperf/internal/ssd"
+	"costperf/internal/workload"
+)
+
+func benchBT(b *testing.B, pool int) *Tree {
+	b.Helper()
+	tr, err := New(Config{Device: ssd.New(ssd.SamsungSSD), PoolPages: pool})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkGetPoolHit(b *testing.B) {
+	tr := benchBT(b, 1<<16) // everything fits
+	const keys = 50000
+	for i := uint64(0); i < keys; i++ {
+		if err := tr.Insert(workload.Key(i), workload.ValueFor(i, 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Get(workload.Key(uint64(i) % keys)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetPoolMiss(b *testing.B) {
+	tr := benchBT(b, 8) // tiny pool: nearly every access pages in
+	const keys = 50000
+	for i := uint64(0); i < keys; i++ {
+		if err := tr.Insert(workload.Key(i), workload.ValueFor(i, 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Get(workload.Key(uint64(i*977) % keys)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := benchBT(b, 1<<16)
+	val := workload.ValueFor(1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageSerialize(b *testing.B) {
+	p := &page{id: 1, leaf: true}
+	for i := uint64(0); i < 30; i++ {
+		p.keys = append(p.keys, workload.Key(i))
+		p.vals = append(p.vals, workload.ValueFor(i, 80))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := serialize(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := deserialize(1, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

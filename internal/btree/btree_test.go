@@ -1,0 +1,311 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"costperf/internal/sim"
+	"costperf/internal/ssd"
+	"costperf/internal/workload"
+)
+
+func newTree(t *testing.T, pool int) (*Tree, *ssd.Device) {
+	t.Helper()
+	dev := ssd.New(ssd.SamsungSSD)
+	tr, err := New(Config{Device: dev, PoolPages: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dev
+}
+
+func TestBasicCRUD(t *testing.T) {
+	tr, _ := newTree(t, 64)
+	if _, ok, err := tr.Get([]byte("a")); err != nil || ok {
+		t.Fatalf("empty get = %v,%v", ok, err)
+	}
+	if err := tr.Insert([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]byte("a"), []byte("1v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get([]byte("a"))
+	if err != nil || !ok || string(v) != "1v2" {
+		t.Fatalf("get = %q,%v,%v", v, ok, err)
+	}
+	if err := tr.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tr.Get([]byte("a")); ok {
+		t.Fatal("deleted key found")
+	}
+	if err := tr.Delete([]byte("missing")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooLargeRecord(t *testing.T) {
+	tr, _ := newTree(t, 64)
+	if err := tr.Insert([]byte("k"), make([]byte, PageSize)); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestManyKeysWithTinyPool(t *testing.T) {
+	// Pool far smaller than the tree: every op exercises the buffer pool.
+	tr, dev := newTree(t, 8)
+	const n = 3000
+	perm := rand.New(rand.NewSource(2)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Stats().Splits.Value() == 0 {
+		t.Fatal("no splits")
+	}
+	if tr.Stats().PoolMisses.Value() == 0 {
+		t.Fatal("no pool misses with an 8-page pool")
+	}
+	if dev.Stats().Writes.Value() == 0 {
+		t.Fatal("no write-backs to the device")
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.Get(workload.Key(uint64(i)))
+		if err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(v, workload.ValueFor(uint64(i), 64)) {
+			t.Fatalf("key %d corrupt", i)
+		}
+	}
+}
+
+func TestScanOrderAcrossSiblings(t *testing.T) {
+	tr, _ := newTree(t, 64)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev []byte
+	count := 0
+	if err := tr.Scan(nil, 0, func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan visited %d, want %d", count, n)
+	}
+	// Bounded scan.
+	var got []uint64
+	if err := tr.Scan(workload.Key(100), 5, func(k, _ []byte) bool {
+		got = append(got, workload.KeyID(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != 100 || got[4] != 104 {
+		t.Fatalf("bounded scan = %v", got)
+	}
+}
+
+func TestUtilizationApproachesLn2(t *testing.T) {
+	// Paper Section 4.1: B-tree pages average just under 70% utilization
+	// under random insertion.
+	tr, _ := newTree(t, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30000; i++ {
+		id := uint64(rng.Int63())
+		if err := tr.Insert(workload.Key(id), workload.ValueFor(id, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, err := tr.Utilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0.60 || u > 0.80 {
+		t.Fatalf("utilization = %.3f, want ≈ ln2 (0.69)", u)
+	}
+	ps, err := tr.AveragePageBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Content ≈ 2.4-3.0 KB for 4K pages at ~69% utilization.
+	if ps < 2000 || ps > 3300 {
+		t.Fatalf("average page bytes = %.0f, want ≈ 2700 (paper P_s)", ps)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dev := ssd.New(ssd.SamsungSSD)
+	tr, err := New(Config{Device: dev, PoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(Config{Device: dev, PoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tr2.Get(workload.Key(uint64(i)))
+		if err != nil || !ok || !bytes.Equal(v, workload.ValueFor(uint64(i), 32)) {
+			t.Fatalf("recovered key %d wrong (ok=%v err=%v)", i, ok, err)
+		}
+	}
+}
+
+func TestOpenWithoutMetaFails(t *testing.T) {
+	dev := ssd.New(ssd.SamsungSSD)
+	if err := dev.WriteAt(0, make([]byte, PageSize), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Device: dev}); err == nil {
+		t.Fatal("open without meta succeeded")
+	}
+}
+
+func TestClosedOps(t *testing.T) {
+	tr, _ := newTree(t, 16)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Get([]byte("x")); err != ErrClosed {
+		t.Fatalf("get err = %v", err)
+	}
+	if err := tr.Insert([]byte("x"), []byte("y")); err != ErrClosed {
+		t.Fatalf("insert err = %v", err)
+	}
+}
+
+func TestFixedBlockWritesFullPages(t *testing.T) {
+	// Every write-back is a full 4K block regardless of content: the
+	// contrast with variable-size log-structured pages (Section 6.1).
+	tr, dev := newTree(t, 4)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), []byte("tiny")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	w := dev.Stats().Writes.Value()
+	bw := dev.Stats().BytesWritten.Value()
+	if w == 0 {
+		t.Fatal("no writes")
+	}
+	if bw != w*PageSize {
+		t.Fatalf("bytes/write = %d, want %d (full fixed blocks)", bw/w, PageSize)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	sess := sim.NewSession(sim.DefaultCosts())
+	dev := ssd.New(ssd.SamsungSSD)
+	tr, err := New(Config{Device: dev, PoolPages: 8, Session: sess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Tracker().Reset()
+	for i := 0; i < 300; i++ {
+		if _, _, err := tr.Get(workload.Key(uint64(i * 6))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tk := sess.Tracker()
+	if tk.Ops(sim.OpSS) == 0 {
+		t.Fatal("tiny pool produced no SS operations")
+	}
+	if tk.R() <= 1 {
+		t.Fatalf("R = %v, want > 1", tk.R())
+	}
+}
+
+func TestOrderedMapEquivalence(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint16
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		dev := ssd.New(ssd.SamsungSSD)
+		tr, err := New(Config{Device: dev, PoolPages: 6})
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		for _, o := range ops {
+			k := fmt.Sprintf("key-%05d", o.Key%400)
+			v := fmt.Sprintf("val-%d", o.Val)
+			switch o.Kind % 3 {
+			case 0:
+				if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+					return false
+				}
+				model[k] = v
+			case 1:
+				if err := tr.Delete([]byte(k)); err != nil {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				got, ok, err := tr.Get([]byte(k))
+				if err != nil {
+					return false
+				}
+				want, wok := model[k]
+				if ok != wok || (ok && string(got) != want) {
+					return false
+				}
+			}
+		}
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okAll := true
+		err = tr.Scan(nil, 0, func(k, v []byte) bool {
+			if i >= len(keys) || string(k) != keys[i] || string(v) != model[keys[i]] {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return err == nil && okAll && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package bwtree
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"costperf/internal/llama/logstore"
+	"costperf/internal/ssd"
+	"costperf/internal/workload"
+)
+
+func benchTree(b *testing.B, stored bool) *Tree {
+	b.Helper()
+	cfg := Config{}
+	if stored {
+		dev := ssd.New(ssd.SamsungSSD)
+		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	tr, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func loadTree(b *testing.B, tr *Tree, n uint64) {
+	b.Helper()
+	for i := uint64(0); i < n; i++ {
+		if err := tr.Insert(workload.Key(i), workload.ValueFor(i, 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetWarm(b *testing.B) {
+	tr := benchTree(b, false)
+	const keys = 100000
+	loadTree(b, tr, keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Get(workload.Key(uint64(i) % keys)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := benchTree(b, false)
+	val := workload.ValueFor(1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlindWrite(b *testing.B) {
+	tr := benchTree(b, false)
+	const keys = 100000
+	loadTree(b, tr, keys)
+	val := []byte("blind-value")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.BlindWrite(workload.Key(uint64(i)%keys), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	tr := benchTree(b, false)
+	const keys = 100000
+	loadTree(b, tr, keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := tr.Scan(workload.Key(uint64(i)%(keys-200)), 100, func(_, _ []byte) bool {
+			n++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlushEvictLoadCycle(b *testing.B) {
+	tr := benchTree(b, true)
+	const keys = 10000
+	loadTree(b, tr, keys)
+	pids := tr.Pages()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pid := pids[i%len(pids)]
+		if err := tr.EvictPage(pid, false); err != nil {
+			b.Fatal(err)
+		}
+		// A read through the page forces the reload.
+		if _, _, err := tr.Get(workload.Key(uint64(i*37) % keys)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetParallel(b *testing.B) {
+	tr := benchTree(b, false)
+	const keys = 100000
+	loadTree(b, tr, keys)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			if _, _, err := tr.Get(workload.Key(i % keys)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkInsertParallel(b *testing.B) {
+	tr := benchTree(b, false)
+	val := workload.ValueFor(1, 100)
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			if err := tr.Insert(workload.Key(uint64(i)*7919), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

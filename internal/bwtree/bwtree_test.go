@@ -1,0 +1,754 @@
+package bwtree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"costperf/internal/llama/logstore"
+	"costperf/internal/sim"
+	"costperf/internal/ssd"
+	"costperf/internal/workload"
+)
+
+func newMemTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func newStoredTree(t *testing.T) (*Tree, *logstore.Store, *ssd.Device) {
+	t.Helper()
+	dev := ssd.New(ssd.SamsungSSD)
+	st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 14, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, st, dev
+}
+
+func mustInsert(t *testing.T, tr *Tree, k, v string) {
+	t.Helper()
+	if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+		t.Fatalf("insert %q: %v", k, err)
+	}
+}
+
+func mustGet(t *testing.T, tr *Tree, k, want string) {
+	t.Helper()
+	v, ok, err := tr.Get([]byte(k))
+	if err != nil {
+		t.Fatalf("get %q: %v", k, err)
+	}
+	if !ok {
+		t.Fatalf("get %q: not found, want %q", k, want)
+	}
+	if string(v) != want {
+		t.Fatalf("get %q = %q, want %q", k, v, want)
+	}
+}
+
+func mustAbsent(t *testing.T, tr *Tree, k string) {
+	t.Helper()
+	_, ok, err := tr.Get([]byte(k))
+	if err != nil {
+		t.Fatalf("get %q: %v", k, err)
+	}
+	if ok {
+		t.Fatalf("get %q: found, want absent", k)
+	}
+}
+
+func TestBasicCRUD(t *testing.T) {
+	tr := newMemTree(t)
+	mustAbsent(t, tr, "a")
+	mustInsert(t, tr, "a", "1")
+	mustInsert(t, tr, "b", "2")
+	mustGet(t, tr, "a", "1")
+	mustGet(t, tr, "b", "2")
+	mustInsert(t, tr, "a", "1v2") // overwrite
+	mustGet(t, tr, "a", "1v2")
+	if err := tr.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	mustAbsent(t, tr, "a")
+	mustGet(t, tr, "b", "2")
+	if err := tr.Delete([]byte("never")); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}
+
+func TestClosedTree(t *testing.T) {
+	tr := newMemTree(t)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Get([]byte("x")); err != ErrClosed {
+		t.Fatalf("get err = %v", err)
+	}
+	if err := tr.Insert([]byte("x"), []byte("y")); err != ErrClosed {
+		t.Fatalf("insert err = %v", err)
+	}
+	if err := tr.Scan(nil, 0, func(_, _ []byte) bool { return true }); err != ErrClosed {
+		t.Fatalf("scan err = %v", err)
+	}
+}
+
+func TestManyKeysSplitsAndOrder(t *testing.T) {
+	tr := newMemTree(t)
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		k := workload.Key(uint64(i))
+		if err := tr.Insert(k, workload.ValueFor(uint64(i), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Stats().Splits.Value() == 0 {
+		t.Fatal("no splits after 5000 inserts")
+	}
+	if tr.Stats().Consolidations.Value() == 0 {
+		t.Fatal("no consolidations")
+	}
+	// All present.
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.Get(workload.Key(uint64(i)))
+		if err != nil || !ok {
+			t.Fatalf("key %d missing: %v", i, err)
+		}
+		if !bytes.Equal(v, workload.ValueFor(uint64(i), 32)) {
+			t.Fatalf("key %d value mismatch", i)
+		}
+	}
+	// Scan order is total and complete.
+	var prev []byte
+	count := 0
+	if err := tr.Scan(nil, 0, func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %x then %x", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan visited %d, want %d", count, n)
+	}
+}
+
+func TestScanStartAndLimit(t *testing.T) {
+	tr := newMemTree(t)
+	for i := 0; i < 100; i++ {
+		mustInsert(t, tr, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+	var got []string
+	if err := tr.Scan([]byte("k050"), 5, func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"k050", "k051", "k052", "k053", "k054"}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Early stop by fn.
+	n := 0
+	if err := tr.Scan(nil, 0, func(_, _ []byte) bool { n++; return n < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// Model-based property test: the tree behaves as an ordered map.
+func TestOrderedMapEquivalence(t *testing.T) {
+	type op struct {
+		Kind byte // 0 insert, 1 delete, 2 get
+		Key  uint16
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		tr, err := New(Config{MaxPageBytes: 512, ConsolidateAfter: 4})
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		for _, o := range ops {
+			k := fmt.Sprintf("key-%05d", o.Key%500)
+			v := fmt.Sprintf("val-%d", o.Val)
+			switch o.Kind % 3 {
+			case 0:
+				if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+					return false
+				}
+				model[k] = v
+			case 1:
+				if err := tr.Delete([]byte(k)); err != nil {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				got, ok, err := tr.Get([]byte(k))
+				if err != nil {
+					return false
+				}
+				want, wok := model[k]
+				if ok != wok || (ok && string(got) != want) {
+					return false
+				}
+			}
+		}
+		// Final full comparison via scan.
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okAll := true
+		err = tr.Scan(nil, 0, func(k, v []byte) bool {
+			if i >= len(keys) || string(k) != keys[i] || string(v) != model[keys[i]] {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return err == nil && okAll && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushEvictLoadRoundTrip(t *testing.T) {
+	tr, _, dev := newStoredTree(t)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush and evict every leaf.
+	for _, pid := range tr.Pages() {
+		if err := tr.EvictPage(pid, false); err != nil {
+			t.Fatalf("evict %d: %v", pid, err)
+		}
+		if tr.PageResident(pid) {
+			t.Fatalf("page %d still resident after evict", pid)
+		}
+	}
+	if tr.Stats().PageEvictions.Value() == 0 {
+		t.Fatal("no evictions counted")
+	}
+	readsBefore := dev.Stats().Reads.Value()
+	// Every key must read back via load (with I/O).
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.Get(workload.Key(uint64(i)))
+		if err != nil || !ok {
+			t.Fatalf("key %d after evict: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(v, workload.ValueFor(uint64(i), 64)) {
+			t.Fatalf("key %d corrupt after reload", i)
+		}
+	}
+	if dev.Stats().Reads.Value() == readsBefore {
+		t.Fatal("no device reads during reloads")
+	}
+	if tr.Stats().PageLoads.Value() == 0 {
+		t.Fatal("no page loads counted")
+	}
+}
+
+func TestEvictionShrinksFootprint(t *testing.T) {
+	tr, _, _ := newStoredTree(t)
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tr.FootprintBytes()
+	for _, pid := range tr.Pages() {
+		if err := tr.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := tr.FootprintBytes()
+	if after >= before/2 {
+		t.Fatalf("footprint %d -> %d; eviction should reclaim most memory", before, after)
+	}
+}
+
+func TestBlindWriteAvoidsReadIO(t *testing.T) {
+	// Paper Section 6.2: a blind update does not need to read the data page
+	// being updated.
+	tr, _, dev := newStoredTree(t)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pid := range tr.Pages() {
+		if err := tr.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readsBefore := dev.Stats().Reads.Value()
+	for i := 0; i < 500; i++ {
+		if err := tr.BlindWrite(workload.Key(uint64(i)), []byte("blind-v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dev.Stats().Reads.Value(); got != readsBefore {
+		t.Fatalf("blind writes issued %d read I/Os, want 0", got-readsBefore)
+	}
+	// The blind values win on subsequent reads (which may now load pages).
+	for i := 0; i < 500; i++ {
+		v, ok, err := tr.Get(workload.Key(uint64(i)))
+		if err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+		if string(v) != "blind-v2" {
+			t.Fatalf("key %d = %q, want blind value", i, v)
+		}
+	}
+}
+
+func TestDeltaRetentionServesReadsWithoutIO(t *testing.T) {
+	// Paper Section 6.3: retained deltas act as a record cache — a read of
+	// a delta-cached record needs no I/O even though the base is evicted.
+	tr, st, dev := newStoredTree(t)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Consolidate everything so delta chains are empty, then update key 7:
+	// its delta is the only in-memory record after eviction.
+	for i := 0; i < 200; i += 10 {
+		if err := tr.Consolidate(workload.Key(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pid := range tr.Pages() {
+		if err := tr.FlushPage(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Insert(workload.Key(7), []byte("hot-record")); err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range tr.Pages() {
+		if err := tr.EvictPage(pid, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain the log's write buffer so cold reads must hit the device.
+	if err := st.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	readsBefore := dev.Stats().Reads.Value()
+	v, ok, err := tr.Get(workload.Key(7))
+	if err != nil || !ok {
+		t.Fatalf("hot record: ok=%v err=%v", ok, err)
+	}
+	if string(v) != "hot-record" {
+		t.Fatalf("hot record = %q", v)
+	}
+	if got := dev.Stats().Reads.Value(); got != readsBefore {
+		t.Fatalf("record-cached read issued %d I/Os, want 0", got-readsBefore)
+	}
+	// A cold record on the same pages does need I/O.
+	if _, ok, err := tr.Get(workload.Key(150)); err != nil || !ok {
+		t.Fatalf("cold record: ok=%v err=%v", ok, err)
+	}
+	if dev.Stats().Reads.Value() == readsBefore {
+		t.Fatal("cold read should have issued I/O")
+	}
+}
+
+func TestCheckpointRecovery(t *testing.T) {
+	dev := ssd.New(ssd.SamsungSSD)
+	st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 14, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Delete(workload.Key(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: new store over the same device, recover the tree.
+	st2, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 14, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(Config{Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tr2.Get(workload.Key(uint64(i)))
+		if err != nil {
+			t.Fatalf("recovered get %d: %v", i, err)
+		}
+		if i == 10 {
+			if ok {
+				t.Fatal("deleted key 10 resurrected")
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(v, workload.ValueFor(uint64(i), 48)) {
+			t.Fatalf("recovered key %d wrong (ok=%v)", i, ok)
+		}
+	}
+	// Recovered tree accepts new writes.
+	if err := tr2.Insert([]byte("post"), []byte("recovery")); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, tr2, "post", "recovery")
+}
+
+func TestOpenWithoutCheckpoint(t *testing.T) {
+	dev := ssd.New(ssd.SamsungSSD)
+	st, _ := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 14, SegmentBytes: 1 << 16})
+	if _, err := Open(Config{Store: st}); err != ErrNoCheckpoint {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestDeltaFlushesHappen(t *testing.T) {
+	tr, _, _ := newStoredTree(t)
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Base flush first.
+	for _, pid := range tr.Pages() {
+		if err := tr.FlushPage(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := tr.Stats().PageFlushes.Value()
+	if base == 0 {
+		t.Fatal("no base flushes")
+	}
+	// A few more updates (below consolidation threshold) then flush again:
+	// must be incremental delta flushes.
+	for i := 0; i < 3; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pid := range tr.Pages() {
+		if err := tr.FlushPage(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Stats().DeltaFlushes.Value() == 0 {
+		t.Fatal("no incremental delta flushes")
+	}
+}
+
+func TestGCPreservesData(t *testing.T) {
+	tr, st, _ := newStoredTree(t)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Create log garbage: repeated flush cycles with updates between.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < n; i += 7 {
+			if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i+round), 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, pid := range tr.Pages() {
+			if err := tr.FlushPage(pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Run several GC passes.
+	for pass := 0; pass < 10; pass++ {
+		if _, err := st.CollectSegment(tr.RelocateForGC, nil); err != nil {
+			t.Fatalf("GC pass %d: %v", pass, err)
+		}
+	}
+	// Evict everything and verify all data survives GC relocation.
+	for _, pid := range tr.Pages() {
+		if err := tr.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, ok, err := tr.Get(workload.Key(uint64(i)))
+		if err != nil {
+			t.Fatalf("key %d after GC: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("key %d lost after GC", i)
+		}
+	}
+}
+
+func TestConcurrentInsertGet(t *testing.T) {
+	tr := newMemTree(t)
+	const workers = 8
+	const each = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id := uint64(w*each + i)
+				if err := tr.Insert(workload.Key(id), workload.ValueFor(id, 24)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					if _, _, err := tr.Get(workload.Key(id)); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < each; i++ {
+			id := uint64(w*each + i)
+			v, ok, err := tr.Get(workload.Key(id))
+			if err != nil || !ok {
+				t.Fatalf("key %d: ok=%v err=%v", id, ok, err)
+			}
+			if !bytes.Equal(v, workload.ValueFor(id, 24)) {
+				t.Fatalf("key %d corrupt", id)
+			}
+		}
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	tr := newMemTree(t)
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), []byte("init")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				id := uint64(rng.Intn(1000))
+				switch rng.Intn(4) {
+				case 0:
+					_ = tr.Insert(workload.Key(id), []byte(fmt.Sprintf("w%d", w)))
+				case 1:
+					_ = tr.Delete(workload.Key(id))
+				case 2:
+					_, _, _ = tr.Get(workload.Key(id))
+				case 3:
+					_ = tr.Scan(workload.Key(id), 10, func(_, _ []byte) bool { return true })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Structural sanity: full scan is ordered.
+	var prev []byte
+	if err := tr.Scan(nil, 0, func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order after concurrency")
+		}
+		prev = append(prev[:0], k...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostAccountingMMvsSS(t *testing.T) {
+	sess := sim.NewSession(sim.DefaultCosts())
+	dev := ssd.New(ssd.SamsungSSD)
+	st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 14, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Config{Store: st, Session: sess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Tracker().Reset()
+	// Warm reads: MM class.
+	for i := 0; i < 500; i++ {
+		if _, _, err := tr.Get(workload.Key(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sess.Tracker().Ops(sim.OpSS); got != 0 {
+		t.Fatalf("warm reads recorded %d SS ops", got)
+	}
+	// Evict all, cold reads: SS class.
+	for _, pid := range tr.Pages() {
+		if err := tr.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Tracker().Reset()
+	for i := 0; i < 200; i++ {
+		// Use distinct pages: stride through the keyspace.
+		if _, _, err := tr.Get(workload.Key(uint64(i * (n / 200)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tk := sess.Tracker()
+	if tk.Ops(sim.OpSS) == 0 {
+		t.Fatal("cold reads recorded no SS ops")
+	}
+	r := tk.R()
+	if r < 2 || r > 40 {
+		t.Fatalf("measured R = %v, implausible", r)
+	}
+}
+
+func TestUtilizationAndPageSize(t *testing.T) {
+	tr := newMemTree(t)
+	for i := 0; i < 20000; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Consolidate everything so pages reflect steady state.
+	for _, pid := range tr.Pages() {
+		hdr := tr.header(pid, nil)
+		_ = hdr
+	}
+	u := tr.Utilization()
+	if u <= 0.2 || u > 1.2 {
+		t.Fatalf("utilization = %v, implausible", u)
+	}
+	ps := tr.AveragePageBytes()
+	if ps <= 0 || ps > 4096 {
+		t.Fatalf("average page bytes = %v", ps)
+	}
+}
+
+func TestFootprintNonNegativeAndTracksInserts(t *testing.T) {
+	tr := newMemTree(t)
+	base := tr.FootprintBytes()
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := tr.FootprintBytes()
+	if grown <= base {
+		t.Fatalf("footprint did not grow: %d -> %d", base, grown)
+	}
+	// At least the raw data must be accounted.
+	if grown < 1000*(8+64) {
+		t.Fatalf("footprint %d below raw data volume", grown)
+	}
+}
+
+func TestEvictIndexPageRefused(t *testing.T) {
+	tr, _, _ := newStoredTree(t)
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.RootPID()
+	if tr.header(root, nil).isLeaf {
+		t.Skip("tree did not grow an index root")
+	}
+	if err := tr.EvictPage(root, false); err == nil {
+		t.Fatal("evicting index page should fail")
+	}
+}
+
+func TestEvictWithoutStoreFails(t *testing.T) {
+	tr := newMemTree(t)
+	mustInsert(t, tr, "a", "1")
+	if err := tr.EvictPage(tr.RootPID(), false); err != ErrNoStore {
+		t.Fatalf("err = %v, want ErrNoStore", err)
+	}
+	if err := tr.FlushPage(tr.RootPID()); err != ErrNoStore {
+		t.Fatalf("flush err = %v, want ErrNoStore", err)
+	}
+	if err := tr.FlushAll(); err != ErrNoStore {
+		t.Fatalf("flushall err = %v, want ErrNoStore", err)
+	}
+}
+
+func TestLenMatchesInserts(t *testing.T) {
+	tr := newMemTree(t)
+	for i := 0; i < 777; i++ {
+		mustInsert(t, tr, fmt.Sprintf("%06d", i), "v")
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Delete([]byte(fmt.Sprintf("%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := tr.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 677 {
+		t.Fatalf("Len = %d, want 677", n)
+	}
+}

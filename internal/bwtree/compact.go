@@ -1,0 +1,271 @@
+package bwtree
+
+import (
+	"errors"
+	"fmt"
+
+	"costperf/internal/llama/logstore"
+	"costperf/internal/llama/mapping"
+)
+
+// CompactEmptyLeaves removes leaves emptied by deletions, merging each
+// into its left sibling under the same parent (the Bw-tree merge SMO,
+// restricted to the same-parent case that keeps index routing sound), and
+// collapses single-child roots. It returns the number of pages removed.
+//
+// This is a maintenance operation: the caller must guarantee no
+// concurrent readers or writers (quiesced tree), the same contract as an
+// offline compaction in production stores. State changes still go through
+// the usual immutable-header installs, so a violated contract fails CAS
+// rather than corrupting the tree.
+//
+// Durable state: a removed page's log records are invalidated so GC can
+// reclaim them; the absorbing sibling and the parent are marked dirty and
+// re-flush on the next FlushPage/FlushAll.
+func (t *Tree) CompactEmptyLeaves() (int, error) {
+	removed := 0
+	for {
+		n, err := t.compactPass()
+		if err != nil {
+			return removed, err
+		}
+		removed += n
+		if n == 0 {
+			break
+		}
+	}
+	if err := t.collapseRoot(); err != nil {
+		return removed, err
+	}
+	return removed, nil
+}
+
+// compactPass performs one sweep over all index pages, merging at most
+// one empty child per parent per pass (parent headers change under us
+// otherwise).
+func (t *Tree) compactPass() (int, error) {
+	removed := 0
+	var firstErr error
+	t.table.Range(func(pid mapping.PID, hdr *pageHeader) bool {
+		if hdr == nil || hdr.isLeaf {
+			return true
+		}
+		n, err := t.mergeEmptyChild(pid)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		removed += n
+		return true
+	})
+	return removed, firstErr
+}
+
+// mergeEmptyChild finds the first removable child of parent (index
+// i >= 1, same-parent left sibling) and merges it away: empty leaves
+// vanish into their left sibling's key range; underfull index siblings
+// merge their entries (levels stay uniform, so the split machinery's
+// level-based routing is preserved).
+func (t *Tree) mergeEmptyChild(parent mapping.PID) (int, error) {
+	phdr := t.header(parent, nil)
+	idx, ok := phdr.head.(*indexBase)
+	if !ok || len(idx.keys) == 0 {
+		return 0, nil
+	}
+	for i := 1; i < len(idx.children); i++ {
+		child := idx.children[i]
+		chdr := t.header(child, nil)
+		left := idx.children[i-1]
+		lhdr := t.header(left, nil)
+		if lhdr.right != child || lhdr.isLeaf != chdr.isLeaf || lhdr.level != chdr.level {
+			// The side chain disagrees with the parent (e.g. an
+			// uncompleted split in between); skip this candidate.
+			continue
+		}
+		var nl pageHeader
+		if chdr.isLeaf {
+			if !t.leafEmpty(chdr) {
+				continue
+			}
+			// The left sibling absorbs the empty page's key range.
+			nl = *lhdr
+			nl.highKey = chdr.highKey
+			nl.right = chdr.right
+			nl.dirtyBase = true
+			if base, isBase := chainBottom(lhdr.head).(*leafBase); isBase {
+				nb := &leafBase{keys: base.keys, vals: base.vals, highKey: chdr.highKey, right: chdr.right}
+				nl.head = spliceBottom(lhdr.head, nb)
+			}
+		} else {
+			// Index sibling merge: combine when the result stays within a
+			// page. The separator between them is the left's high key.
+			ci, okC := chdr.head.(*indexBase)
+			li, okL := lhdr.head.(*indexBase)
+			if !okC || !okL {
+				continue
+			}
+			if li.memSize()+ci.memSize() > t.cfg.MaxPageBytes && len(li.keys)+len(ci.keys) > 1 {
+				continue
+			}
+			nk := make([][]byte, 0, len(li.keys)+1+len(ci.keys))
+			nk = append(nk, li.keys...)
+			nk = append(nk, lhdr.highKey)
+			nk = append(nk, ci.keys...)
+			nc := make([]mapping.PID, 0, len(li.children)+len(ci.children))
+			nc = append(nc, li.children...)
+			nc = append(nc, ci.children...)
+			merged := &indexBase{keys: nk, children: nc, highKey: chdr.highKey, right: chdr.right}
+			nl = *lhdr
+			nl.head = merged
+			nl.highKey = chdr.highKey
+			nl.right = chdr.right
+			nl.memBytes = merged.memSize()
+			nl.dirtyBase = true
+		}
+		if !t.install(left, lhdr, &nl) {
+			return 0, errors.New("bwtree: concurrent access during CompactEmptyLeaves")
+		}
+		// The parent drops the separator and the child pointer.
+		nk := make([][]byte, 0, len(idx.keys)-1)
+		nk = append(nk, idx.keys[:i-1]...)
+		nk = append(nk, idx.keys[i:]...)
+		nc := make([]mapping.PID, 0, len(idx.children)-1)
+		nc = append(nc, idx.children[:i]...)
+		nc = append(nc, idx.children[i+1:]...)
+		ni := &indexBase{keys: nk, children: nc, highKey: idx.highKey, right: idx.right}
+		np := *phdr
+		np.head = ni
+		np.memBytes = ni.memSize()
+		np.dirtyBase = true
+		if !t.install(parent, phdr, &np) {
+			return 0, errors.New("bwtree: concurrent access during CompactEmptyLeaves")
+		}
+		// Retire the merged-away page: invalidate its durable records,
+		// free its PID.
+		t.retirePage(child, chdr)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// leafEmpty reports whether a leaf's consolidated view holds no keys and
+// its chain carries no pending deltas. Evicted pages are not inspected
+// (their durable state may be non-empty); they are simply skipped.
+func (t *Tree) leafEmpty(hdr *pageHeader) bool {
+	if hdr.chainLen != 0 {
+		return false
+	}
+	base, ok := hdr.head.(*leafBase)
+	return ok && len(base.keys) == 0
+}
+
+// retirePage invalidates a removed page's durable records and recycles
+// its PID.
+func (t *Tree) retirePage(pid mapping.PID, hdr *pageHeader) {
+	if t.cfg.Store != nil {
+		for _, a := range hdr.diskChain {
+			t.cfg.Store.Invalidate(a)
+		}
+	}
+	t.mem.Add(-int64(hdr.memBytes))
+	t.table.Free(pid)
+}
+
+// collapseRoot shrinks the tree when the root is an index page with a
+// single child: the child's content moves up into the root PID.
+func (t *Tree) collapseRoot() error {
+	for {
+		rhdr := t.header(t.root, nil)
+		idx, ok := rhdr.head.(*indexBase)
+		if !ok || len(idx.children) != 1 {
+			return nil
+		}
+		childPID := idx.children[0]
+		chdr := t.header(childPID, nil)
+		// An evicted child must come back: its durable records carry the
+		// child PID, which is about to be retired.
+		if ref, isRef := chainBottom(chdr.head).(*diskRef); isRef {
+			if err := t.loadPage(childPID, ref, nil); err != nil {
+				return err
+			}
+			continue
+		}
+		nr := *chdr
+		// The moved content re-flushes under the root PID.
+		nr.addr = logstore.Address{}
+		nr.diskChain = nil
+		nr.dirtyBase = true
+		if !t.install(t.root, rhdr, &nr) {
+			return errors.New("bwtree: concurrent access during CompactEmptyLeaves")
+		}
+		// Net memory effect: install charged (child - old root); retiring
+		// the child PID below releases the child's bytes, leaving exactly
+		// the old root index reclaimed.
+		t.retirePage(childPID, chdr)
+	}
+}
+
+// Depth returns the tree height (1 = root is a leaf) — for tests and
+// experiments.
+func (t *Tree) Depth() int {
+	d := 1
+	pid := t.root
+	for {
+		hdr := t.header(pid, nil)
+		if hdr.isLeaf {
+			return d
+		}
+		idx, ok := hdr.head.(*indexBase)
+		if !ok || len(idx.children) == 0 {
+			return d
+		}
+		pid = idx.children[0]
+		d++
+	}
+}
+
+// CheckInvariants walks the whole tree verifying structural invariants:
+// key ordering within and across pages, child ranges consistent with
+// parent separators, side-chain completeness at the leaf level, and level
+// consistency. It is an O(n) diagnostic for tests.
+func (t *Tree) CheckInvariants() error {
+	// Leaf side chain: strictly ascending high keys, full coverage.
+	pid, _, _, err := t.descend(nil, nil)
+	if err != nil {
+		return err
+	}
+	var prevHigh []byte
+	seen := map[mapping.PID]bool{}
+	for {
+		if seen[pid] {
+			return fmt.Errorf("bwtree: leaf side-chain cycle at %d", pid)
+		}
+		seen[pid] = true
+		hdr := t.header(pid, nil)
+		if !hdr.isLeaf {
+			return fmt.Errorf("bwtree: non-leaf %d in leaf chain", pid)
+		}
+		if hdr.level != 0 {
+			return fmt.Errorf("bwtree: leaf %d has level %d", pid, hdr.level)
+		}
+		if base, ok := chainBottom(hdr.head).(*leafBase); ok {
+			for i := 1; i < len(base.keys); i++ {
+				if string(base.keys[i-1]) >= string(base.keys[i]) {
+					return fmt.Errorf("bwtree: leaf %d keys out of order", pid)
+				}
+			}
+			if len(base.keys) > 0 && hdr.highKey != nil &&
+				string(base.keys[len(base.keys)-1]) >= string(hdr.highKey) {
+				return fmt.Errorf("bwtree: leaf %d key beyond high key", pid)
+			}
+		}
+		if prevHigh != nil && hdr.highKey != nil && string(hdr.highKey) <= string(prevHigh) {
+			return fmt.Errorf("bwtree: leaf chain high keys not ascending at %d", pid)
+		}
+		if hdr.highKey == nil {
+			return nil // rightmost leaf
+		}
+		prevHigh = hdr.highKey
+		pid = hdr.right
+	}
+}

@@ -1,0 +1,246 @@
+package bwtree
+
+import (
+	"bytes"
+	"testing"
+
+	"costperf/internal/workload"
+)
+
+// fill builds a multi-level tree and returns it.
+func fillTree(t *testing.T, n int) *Tree {
+	t.Helper()
+	tr, err := New(Config{MaxPageBytes: 1024, ConsolidateAfter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func consolidateAll(t *testing.T, tr *Tree) {
+	t.Helper()
+	for _, pid := range tr.Pages() {
+		hdr := tr.header(pid, nil)
+		if hdr.chainLen > 0 {
+			if base, ok := chainBottom(hdr.head).(*leafBase); ok && len(base.keys) > 0 {
+				if err := tr.Consolidate(base.keys[0]); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := tr.Consolidate(hdr.highKey); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCheckInvariantsOnHealthyTree(t *testing.T) {
+	tr := fillTree(t, 5000)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactNoEmptyLeavesIsNoop(t *testing.T) {
+	tr := fillTree(t, 2000)
+	before := len(tr.Pages())
+	removed, err := tr.CompactEmptyLeaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("removed %d pages from a full tree", removed)
+	}
+	if got := len(tr.Pages()); got != before {
+		t.Fatalf("page count changed %d -> %d", before, got)
+	}
+}
+
+func TestCompactRemovesEmptiedLeaves(t *testing.T) {
+	const n = 5000
+	tr := fillTree(t, n)
+	// Empty a large middle range.
+	for i := 1000; i < 4000; i++ {
+		if err := tr.Delete(workload.Key(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	consolidateAll(t, tr)
+	before := len(tr.Pages())
+	memBefore := tr.FootprintBytes()
+	removed, err := tr.CompactEmptyLeaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("no pages removed after mass deletion")
+	}
+	// removed counts leaves plus merged index pages; Pages() counts leaves.
+	if got := len(tr.Pages()); got >= before || before-got > removed {
+		t.Fatalf("pages %d -> %d, removed %d", before, got, removed)
+	}
+	if tr.FootprintBytes() >= memBefore {
+		t.Fatal("footprint did not shrink")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All surviving data reads back; deleted keys stay gone.
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.Get(workload.Key(uint64(i)))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if i >= 1000 && i < 4000 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected", i)
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(v, workload.ValueFor(uint64(i), 32)) {
+			t.Fatalf("key %d wrong after compaction (ok=%v)", i, ok)
+		}
+	}
+	// Scans traverse the spliced side chain correctly.
+	count := 0
+	var prev []byte
+	if err := tr.Scan(nil, 0, func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan out of order after compaction")
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n-3000 {
+		t.Fatalf("scan count %d, want %d", count, n-3000)
+	}
+	// New inserts into the absorbed range land correctly.
+	if err := tr.Insert(workload.Key(2000), []byte("reborn")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := tr.Get(workload.Key(2000)); !ok || string(v) != "reborn" {
+		t.Fatalf("reinserted key = %q,%v", v, ok)
+	}
+}
+
+func TestCompactCollapsesRoot(t *testing.T) {
+	const n = 5000
+	tr := fillTree(t, n)
+	depthBefore := tr.Depth()
+	if depthBefore < 2 {
+		t.Skip("tree did not grow multi-level")
+	}
+	// Delete everything except a handful of keys.
+	for i := 10; i < n; i++ {
+		if err := tr.Delete(workload.Key(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	consolidateAll(t, tr)
+	if _, err := tr.CompactEmptyLeaves(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Depth(); got >= depthBefore {
+		t.Fatalf("depth %d -> %d, want shrink", depthBefore, got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok, _ := tr.Get(workload.Key(uint64(i))); !ok {
+			t.Fatalf("survivor key %d lost", i)
+		}
+	}
+	// Tree remains fully usable: grow it again.
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactWithStoreInvalidatesRecords(t *testing.T) {
+	tr, st, _ := newStoredTree(t)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pid := range tr.Pages() {
+		if err := tr.FlushPage(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 500; i < 2500; i++ {
+		if err := tr.Delete(workload.Key(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	consolidateAll(t, tr)
+	utilBefore := st.Utilization()
+	removed, err := tr.CompactEmptyLeaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("nothing compacted")
+	}
+	if st.Utilization() >= utilBefore {
+		t.Fatalf("log utilization %v -> %v; retired pages should invalidate records",
+			utilBefore, st.Utilization())
+	}
+	// The tree survives flush + GC + eviction round trips afterwards.
+	for _, pid := range tr.Pages() {
+		if err := tr.FlushPage(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CollectSegment(tr.RelocateForGC, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range tr.Pages() {
+		if err := tr.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if _, ok, err := tr.Get(workload.Key(uint64(i))); err != nil || !ok {
+			t.Fatalf("key %d after compact+GC+evict: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 1 {
+		t.Fatalf("empty tree depth = %d", tr.Depth())
+	}
+	for i := 0; i < 10000; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("depth = %d after 10k inserts", tr.Depth())
+	}
+}

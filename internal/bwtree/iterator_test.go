@@ -1,0 +1,147 @@
+package bwtree
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"costperf/internal/workload"
+)
+
+func TestIteratorFullWalk(t *testing.T) {
+	tr := newMemTree(t)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := tr.NewIterator(nil)
+	count := 0
+	var prev []byte
+	for it.Next() {
+		k := it.Key()
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("iterator out of order")
+		}
+		if !bytes.Equal(it.Value(), workload.ValueFor(workload.KeyID(k), 24)) {
+			t.Fatalf("value mismatch at key %d", workload.KeyID(k))
+		}
+		prev = append(prev[:0], k...)
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("visited %d, want %d", count, n)
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	tr := newMemTree(t)
+	for i := 0; i < 100; i++ {
+		mustInsert(t, tr, fmt.Sprintf("k%03d", i), "v")
+	}
+	it := tr.NewIterator([]byte("k050"))
+	var got []string
+	for i := 0; i < 3 && it.Next(); i++ {
+		got = append(got, string(it.Key()))
+	}
+	want := "[k050 k051 k052]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Seek between keys lands on the next one.
+	it2 := tr.NewIterator([]byte("k050x"))
+	if !it2.Next() || string(it2.Key()) != "k051" {
+		t.Fatalf("between-keys seek = %q", it2.Key())
+	}
+	// Seek past the end yields nothing.
+	it3 := tr.NewIterator([]byte("zzz"))
+	if it3.Next() {
+		t.Fatal("iterator past end returned an entry")
+	}
+	if it3.Err() != nil {
+		t.Fatal(it3.Err())
+	}
+}
+
+func TestIteratorEmptyTree(t *testing.T) {
+	tr := newMemTree(t)
+	it := tr.NewIterator(nil)
+	if it.Next() {
+		t.Fatal("empty tree iterator returned an entry")
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+func TestIteratorAcrossEvictedPages(t *testing.T) {
+	tr, st, _ := newStoredTree(t)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pid := range tr.Pages() {
+		if err := tr.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	it := tr.NewIterator(nil)
+	count := 0
+	for it.Next() {
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("visited %d across evicted pages, want %d", count, n)
+	}
+}
+
+func TestIteratorClosedTree(t *testing.T) {
+	tr := newMemTree(t)
+	tr.Close()
+	it := tr.NewIterator(nil)
+	if it.Next() {
+		t.Fatal("closed-tree iterator advanced")
+	}
+	if it.Err() != ErrClosed {
+		t.Fatalf("err = %v", it.Err())
+	}
+}
+
+func TestIteratorMatchesScan(t *testing.T) {
+	tr := newMemTree(t)
+	for i := 0; i < 1000; i += 3 {
+		if err := tr.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scanKeys []uint64
+	if err := tr.Scan(nil, 0, func(k, _ []byte) bool {
+		scanKeys = append(scanKeys, workload.KeyID(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	it := tr.NewIterator(nil)
+	i := 0
+	for it.Next() {
+		if i >= len(scanKeys) || workload.KeyID(it.Key()) != scanKeys[i] {
+			t.Fatalf("iterator diverges from Scan at %d", i)
+		}
+		i++
+	}
+	if i != len(scanKeys) {
+		t.Fatalf("iterator visited %d, Scan visited %d", i, len(scanKeys))
+	}
+}

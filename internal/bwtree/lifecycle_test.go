@@ -1,0 +1,222 @@
+package bwtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"costperf/internal/llama/logstore"
+	"costperf/internal/ssd"
+)
+
+// TestLifecycleModelProperty is the heavyweight correctness test: a long
+// random interleaving of CRUD operations with every lifecycle event the
+// storage stack supports — page flushes, base eviction (with and without
+// delta retention), blind writes to evicted pages, log-store GC,
+// checkpoint + crash recovery, and quiesced compaction — continuously
+// checked against a plain map model and the structural invariant walker.
+func TestLifecycleModelProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runLifecycle(t, seed)
+		})
+	}
+}
+
+func runLifecycle(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	dev := ssd.New(ssd.SamsungSSD)
+	newStore := func() *logstore.Store {
+		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 14, SegmentBytes: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := newStore()
+	tr, err := New(Config{Store: st, MaxPageBytes: 1024, ConsolidateAfter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]string{}
+
+	key := func() []byte { return []byte(fmt.Sprintf("key-%05d", rng.Intn(800))) }
+	val := func() string { return fmt.Sprintf("val-%d", rng.Int63()) }
+
+	verifySample := func(tag string) {
+		t.Helper()
+		// Check 30 random model keys plus 10 random absent keys.
+		for i := 0; i < 30; i++ {
+			k := key()
+			got, ok, err := tr.Get(k)
+			if err != nil {
+				t.Fatalf("%s: get %q: %v", tag, k, err)
+			}
+			want, wok := model[string(k)]
+			if ok != wok || (ok && string(got) != want) {
+				t.Fatalf("%s: get %q = %q,%v want %q,%v", tag, k, got, ok, want, wok)
+			}
+		}
+	}
+	verifyFull := func(tag string) {
+		t.Helper()
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		if err := tr.Scan(nil, 0, func(k, v []byte) bool {
+			if i >= len(keys) {
+				t.Fatalf("%s: scan surplus key %q", tag, k)
+			}
+			if string(k) != keys[i] || string(v) != model[keys[i]] {
+				t.Fatalf("%s: scan[%d] = %q,%q want %q,%q", tag, i, k, v, keys[i], model[keys[i]])
+			}
+			i++
+			return true
+		}); err != nil {
+			t.Fatalf("%s: scan: %v", tag, err)
+		}
+		if i != len(keys) {
+			t.Fatalf("%s: scan visited %d of %d keys", tag, i, len(keys))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("%s: invariants: %v", tag, err)
+		}
+	}
+
+	const steps = 4000
+	for step := 0; step < steps; step++ {
+		switch r := rng.Intn(100); {
+		case r < 45: // insert/update
+			k, v := key(), val()
+			if err := tr.Insert(k, []byte(v)); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			model[string(k)] = v
+		case r < 55: // blind write
+			k, v := key(), val()
+			if err := tr.BlindWrite(k, []byte(v)); err != nil {
+				t.Fatalf("step %d blind: %v", step, err)
+			}
+			model[string(k)] = v
+		case r < 65: // delete
+			k := key()
+			if err := tr.Delete(k); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			delete(model, string(k))
+		case r < 85: // read
+			verifySample(fmt.Sprintf("step %d", step))
+		case r < 90: // flush + maybe evict some pages
+			pids := tr.Pages()
+			for _, pid := range pids {
+				if rng.Intn(3) == 0 {
+					if err := tr.EvictPage(pid, rng.Intn(2) == 0); err != nil {
+						t.Fatalf("step %d evict: %v", step, err)
+					}
+				}
+			}
+		case r < 93: // log GC
+			if err := st.Flush(nil); err != nil {
+				t.Fatalf("step %d flush: %v", step, err)
+			}
+			if _, err := st.CollectSegment(tr.RelocateForGC, nil); err != nil {
+				t.Fatalf("step %d gc: %v", step, err)
+			}
+		case r < 96: // quiesced compaction
+			if _, err := tr.CompactEmptyLeaves(); err != nil {
+				t.Fatalf("step %d compact: %v", step, err)
+			}
+		default: // checkpoint + crash + recover
+			if err := tr.FlushAll(); err != nil {
+				t.Fatalf("step %d checkpoint: %v", step, err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatalf("step %d close: %v", step, err)
+			}
+			st = newStore()
+			tr, err = Open(Config{Store: st, MaxPageBytes: 1024, ConsolidateAfter: 4})
+			if err != nil {
+				t.Fatalf("step %d recover: %v", step, err)
+			}
+		}
+		if step%1000 == 999 {
+			verifyFull(fmt.Sprintf("step %d", step))
+		}
+	}
+	verifyFull("final")
+}
+
+// TestEvictLoadStressConcurrent hammers eviction and loading from multiple
+// goroutines against concurrent readers and writers — the race pattern
+// the read-miss splice (loadPage) must survive.
+func TestEvictLoadStressConcurrent(t *testing.T) {
+	dev := ssd.New(ssd.SamsungSSD)
+	st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 16, SegmentBytes: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 3; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				k := []byte(fmt.Sprintf("k%05d", rng.Intn(keys)))
+				if rng.Intn(2) == 0 {
+					if _, _, err := tr.Get(k); err != nil {
+						done <- err
+						return
+					}
+				} else {
+					if err := tr.Insert(k, []byte(fmt.Sprintf("w%d", w))); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 100; i++ {
+				pids := tr.Pages()
+				pid := pids[rng.Intn(len(pids))]
+				if err := tr.EvictPage(pid, rng.Intn(2) == 0); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < 5; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything still present.
+	for i := 0; i < keys; i++ {
+		if _, ok, err := tr.Get([]byte(fmt.Sprintf("k%05d", i))); err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

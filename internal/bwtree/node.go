@@ -1,0 +1,154 @@
+// Package bwtree implements a latch-free Bw-tree (Levandoski, Lomet,
+// Sengupta, ICDE 2013) — the Deuteronomy data component the paper's cost
+// analysis is built around.
+//
+// Structure updates never modify a page in place. Each logical page is
+// reached through the LLAMA mapping table; an update prepends an immutable
+// delta record to the page's delta chain with a single compare-and-swap on
+// the page's mapping entry. Chains are periodically consolidated into new
+// base pages. Pages are variable size and ~100% utilized when flushed
+// (paper Section 4.1), and splits follow the B-link pattern with side
+// pointers so readers never block.
+//
+// The tree integrates with the log-structured store for page flushes,
+// evictions, and read-misses, and supports the paper's blind updates
+// (Section 6.2): a delta can be prepended to a page whose base is only on
+// secondary storage without reading it back.
+package bwtree
+
+import (
+	"costperf/internal/llama/logstore"
+	"costperf/internal/llama/mapping"
+)
+
+// node is one link of a page's delta chain. Node values are immutable
+// once published through the mapping table.
+type node interface{ isNode() }
+
+// insertDelta records an upsert of key -> val.
+type insertDelta struct {
+	key, val []byte
+	next     node
+}
+
+// deleteDelta records the removal of key.
+type deleteDelta struct {
+	key  []byte
+	next node
+}
+
+// leafBase is a consolidated leaf page: parallel sorted key/value slices.
+// B-link fields: highKey is the exclusive upper bound of this page's key
+// range (nil = +inf) and right is the side pointer to the next leaf.
+type leafBase struct {
+	keys [][]byte
+	vals [][]byte
+
+	highKey []byte
+	right   mapping.PID
+}
+
+// indexBase is a consolidated index page. children[i] covers keys in
+// [keys[i-1], keys[i]); children[len(keys)] covers the rest up to highKey.
+// Index pages also carry B-link side pointers.
+type indexBase struct {
+	keys     [][]byte
+	children []mapping.PID
+
+	highKey []byte
+	right   mapping.PID
+}
+
+// diskRef terminates an in-memory chain whose base page has been evicted:
+// the remainder of the page's state lives at addr in the log store. Deltas
+// prepended above a diskRef are exactly the paper's blind-update record
+// cache (Sections 6.2–6.3).
+type diskRef struct {
+	addr logstore.Address
+}
+
+func (*insertDelta) isNode() {}
+func (*deleteDelta) isNode() {}
+func (*leafBase) isNode()    {}
+func (*indexBase) isNode()   {}
+func (*diskRef) isNode()     {}
+
+// pageHeader is the mapping-table entry for a page. Headers are immutable;
+// every update installs a fresh header via CAS.
+type pageHeader struct {
+	// head is the top of the delta chain (never nil: at minimum a base
+	// page or a diskRef).
+	head node
+	// highKey is the exclusive upper bound of the page's key range (nil =
+	// +inf) and right the B-link side pointer — kept in the header so an
+	// evicted page can still be bounds-checked without I/O.
+	highKey []byte
+	right   mapping.PID
+	// addr is the durable address of the most recently flushed state for
+	// this page (nil Address if never flushed).
+	addr logstore.Address
+	// diskChain lists every log record composing the page's durable state,
+	// newest first (addr == diskChain[0]); used to invalidate superseded
+	// records and to answer GC liveness queries.
+	diskChain []logstore.Address
+	// dirtyBase is set when the in-memory base diverges from the durable
+	// state in a way an incremental delta flush cannot express (e.g. after
+	// consolidation); the next flush must write a full base.
+	dirtyBase bool
+	// chainLen counts in-memory deltas above the base/diskRef; it triggers
+	// consolidation.
+	chainLen int
+	// unflushed counts deltas prepended since the last flush; an
+	// incremental flush writes only these (paper Figure 5).
+	unflushed int
+	// memBytes approximates the page's main-memory footprint.
+	memBytes int
+	// lastAccess is the virtual-time (seconds) of the last access, for
+	// T_i-based eviction.
+	lastAccess float64
+	// isLeaf records whether the page is a leaf.
+	isLeaf bool
+	// level is the page's height above the leaves (leaf = 0). SMO
+	// completion uses it to install index entries at the correct level.
+	level int
+}
+
+// Memory accounting approximations. sliceOverhead covers the Go slice
+// header plus allocator rounding; nodeOverhead covers a delta node.
+const (
+	sliceOverhead = 24
+	nodeOverhead  = 48
+	headerBytes   = 96
+)
+
+func bytesKV(key, val []byte) int {
+	return len(key) + len(val) + 2*sliceOverhead
+}
+
+func (b *leafBase) memSize() int {
+	n := headerBytes + len(b.highKey)
+	for i := range b.keys {
+		n += bytesKV(b.keys[i], b.vals[i])
+	}
+	return n
+}
+
+func (b *indexBase) memSize() int {
+	n := headerBytes + len(b.highKey)
+	for i := range b.keys {
+		n += len(b.keys[i]) + sliceOverhead + 8
+	}
+	n += 8 // rightmost child
+	return n
+}
+
+// contentBytes is the logical payload size of a consolidated leaf — the
+// quantity the paper's page-size model (Section 4.1) is about: variable
+// size pages store only the bytes the data needs.
+func (b *leafBase) contentBytes() int {
+	n := 0
+	for i := range b.keys {
+		n += len(b.keys[i]) + len(b.vals[i])
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"costperf/internal/sim"
+	"costperf/internal/ssd"
+	"costperf/internal/workload"
+)
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("database pages compress well "), 100)
+	comp, err := Compress(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(data) {
+		t.Fatalf("repetitive data did not compress: %d >= %d", len(comp), len(data))
+	}
+	out, err := Decompress(comp, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDecompressSizeLimit(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 1000)
+	comp, _ := Compress(data, 0)
+	if _, err := Decompress(comp, 999); err == nil {
+		t.Fatal("oversize decompress accepted")
+	}
+	if _, err := Decompress(comp, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, err := Decompress([]byte{0xff, 0x00, 0x13}, 100); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		comp, err := Compress(data, 0)
+		if err != nil {
+			return false
+		}
+		out, err := Decompress(comp, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newStore(t *testing.T) (*PageStore, *sim.Session, *ssd.Device) {
+	t.Helper()
+	sess := sim.NewSession(sim.DefaultCosts())
+	dev := ssd.New(ssd.SamsungSSD)
+	ps, err := NewPageStore(dev, sess, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps, sess, dev
+}
+
+func TestPageStoreRoundTrip(t *testing.T) {
+	ps, _, _ := newStore(t)
+	page := bytes.Repeat([]byte("row data "), 300)
+	if err := ps.WritePage(1, page); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ps.ReadPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("page round trip mismatch")
+	}
+	if _, err := ps.ReadPage(99); !errors.Is(err, ErrNoPage) {
+		t.Fatalf("missing page err = %v", err)
+	}
+}
+
+func TestPageStoreRatioAndFootprint(t *testing.T) {
+	ps, _, _ := newStore(t)
+	for i := 0; i < 20; i++ {
+		page := bytes.Repeat([]byte("compressible database page content "), 100)
+		if err := ps.WritePage(uint64(i), page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := ps.Stats().Ratio(); r >= 0.5 {
+		t.Fatalf("ratio = %v, want strong compression of repetitive pages", r)
+	}
+	if fp := ps.FootprintBytes(); fp == 0 || fp >= 20*3600 {
+		t.Fatalf("footprint = %d", fp)
+	}
+}
+
+func TestCSSChargedAsCSSOps(t *testing.T) {
+	ps, sess, _ := newStore(t)
+	page := bytes.Repeat([]byte("page "), 500)
+	if err := ps.WritePage(1, page); err != nil {
+		t.Fatal(err)
+	}
+	sess.Tracker().Reset()
+	if _, err := ps.ReadPage(1); err != nil {
+		t.Fatal(err)
+	}
+	tk := sess.Tracker()
+	if tk.Ops(sim.OpCSS) != 1 {
+		t.Fatalf("CSS ops = %d, want 1", tk.Ops(sim.OpCSS))
+	}
+	// A CSS op must cost more than the same read without decompression
+	// (the Figure 8 execution-cost ordering).
+	cssCost := tk.MeanCost(sim.OpCSS)
+	p := sess.Profile()
+	plainIO := p.IOIssueUser + p.ContextSwitch
+	if cssCost <= plainIO {
+		t.Fatalf("CSS cost %v not above plain I/O cost %v", cssCost, plainIO)
+	}
+}
+
+func TestPageStoreOverwrite(t *testing.T) {
+	ps, _, _ := newStore(t)
+	if err := ps.WritePage(1, []byte("version-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.WritePage(1, []byte("version-2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ps.ReadPage(1)
+	if err != nil || string(got) != "version-2" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestPageStoreConcurrent(t *testing.T) {
+	ps, _, _ := newStore(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := uint64(w*1000 + i)
+				page := workload.ValueFor(id, 800)
+				if err := ps.WritePage(id, page); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				got, err := ps.ReadPage(id)
+				if err != nil || !bytes.Equal(got, page) {
+					t.Errorf("read mismatch: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestNilDevice(t *testing.T) {
+	if _, err := NewPageStore(nil, nil, 0); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestPageStoreDeviceFailures(t *testing.T) {
+	ps, _, dev := newStore(t)
+	if err := ps.WritePage(1, []byte("page-one")); err != nil {
+		t.Fatal(err)
+	}
+	// Injected read failure surfaces.
+	dev.FailNextReads(1)
+	if _, err := ps.ReadPage(1); err == nil {
+		t.Fatal("injected read failure swallowed")
+	}
+	// And the page is still readable afterwards.
+	if v, err := ps.ReadPage(1); err != nil || string(v) != "page-one" {
+		t.Fatalf("post-failure read = %q, %v", v, err)
+	}
+	// Injected write failure surfaces and does not corrupt the index.
+	dev.SetWriteFailureRate(1.0)
+	if err := ps.WritePage(2, []byte("page-two")); err == nil {
+		t.Fatal("injected write failure swallowed")
+	}
+	dev.SetWriteFailureRate(0)
+	if _, err := ps.ReadPage(2); err == nil {
+		t.Fatal("failed write left a readable page")
+	}
+	if v, err := ps.ReadPage(1); err != nil || string(v) != "page-one" {
+		t.Fatalf("page 1 corrupted by failed write: %q, %v", v, err)
+	}
+}
+
+func TestPageStoreCorruptOnDevice(t *testing.T) {
+	ps, _, dev := newStore(t)
+	page := bytes.Repeat([]byte("data "), 200)
+	if err := ps.WritePage(1, page); err != nil {
+		t.Fatal(err)
+	}
+	// Clobber the stored bytes: decompression must fail loudly.
+	if err := dev.WriteAt(0, bytes.Repeat([]byte{0xAB}, 32), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.ReadPage(1); err == nil {
+		t.Fatal("corrupted page decompressed successfully")
+	}
+}

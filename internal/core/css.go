@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// CSSParams extends the cost model with compressed secondary storage
+// operations (paper Section 7.2, Figure 8). Facebook-style deployments
+// compress cold data: storage rent shrinks by the compression ratio while
+// execution cost grows by the decompression work.
+type CSSParams struct {
+	// CompressionRatio is compressed size / uncompressed size, in (0, 1].
+	CompressionRatio float64
+	// DecompressOverhead is the extra CPU cost of a CSS operation,
+	// expressed as a multiple of the MM execution cost $P/ROPS (added on
+	// top of the SS operation's R).
+	DecompressOverhead float64
+}
+
+// DefaultCSS returns illustrative parameters in the spirit of Figure 8
+// (the paper labels its numbers hypothetical): 2.5x compression with
+// decompression costing 3x the MM operation's CPU.
+func DefaultCSS() CSSParams {
+	return CSSParams{CompressionRatio: 0.4, DecompressOverhead: 3}
+}
+
+// Validate checks the parameters are in range.
+func (p CSSParams) Validate() error {
+	if p.CompressionRatio <= 0 || p.CompressionRatio > 1 {
+		return fmt.Errorf("core: compression ratio %v out of (0,1]", p.CompressionRatio)
+	}
+	if p.DecompressOverhead < 0 {
+		return fmt.Errorf("core: negative decompress overhead %v", p.DecompressOverhead)
+	}
+	return nil
+}
+
+// CSSCostPerSec returns the relative cost per second of supporting n
+// operations/sec on a page stored compressed on flash: the lowest storage
+// rent of the three operation forms, the highest execution cost.
+//
+//	$CSS = Ps*ratio*$Fl + N * ($I/IOPS + (R + D)*$P/ROPS)
+func (c Costs) CSSCostPerSec(n float64, p CSSParams) float64 {
+	storage := c.PageSize * p.CompressionRatio * c.FlashPerByte
+	exec := c.IOPSCost/c.IOPS + (c.R+p.DecompressOverhead)*c.Processor/c.ROPS
+	return storage + n*exec
+}
+
+// CSSExecCostPerOp returns the execution-only cost of one CSS operation.
+func (c Costs) CSSExecCostPerOp(p CSSParams) float64 {
+	return c.IOPSCost/c.IOPS + (c.R+p.DecompressOverhead)*c.Processor/c.ROPS
+}
+
+// CSSSSBreakevenRate returns the access rate below which a compressed page
+// is cheaper than an uncompressed flash-resident page (the left crossover
+// of Figure 8). It returns +Inf-free 0 if CSS is never cheaper (no storage
+// saving).
+func (c Costs) CSSSSBreakevenRate(p CSSParams) float64 {
+	storageSaving := c.PageSize * c.FlashPerByte * (1 - p.CompressionRatio)
+	execPenalty := p.DecompressOverhead * c.Processor / c.ROPS
+	if execPenalty <= 0 || storageSaving <= 0 {
+		return 0
+	}
+	return storageSaving / execPenalty
+}
+
+// OperationChoice names the cheapest operation form at a given access rate.
+type OperationChoice int
+
+const (
+	// ChooseCSS: store compressed on flash, decompress on access.
+	ChooseCSS OperationChoice = iota
+	// ChooseSS: store uncompressed on flash.
+	ChooseSS
+	// ChooseMM: cache in DRAM.
+	ChooseMM
+)
+
+// String names the choice.
+func (o OperationChoice) String() string {
+	switch o {
+	case ChooseCSS:
+		return "CSS"
+	case ChooseSS:
+		return "SS"
+	default:
+		return "MM"
+	}
+}
+
+// CheapestOperation returns which of MM, SS, CSS minimizes cost/sec at
+// access rate n — the three-regime policy of Figure 8.
+func (c Costs) CheapestOperation(n float64, p CSSParams) OperationChoice {
+	mm, ss, css := c.MMCostPerSec(n), c.SSCostPerSec(n), c.CSSCostPerSec(n, p)
+	switch {
+	case css <= ss && css <= mm:
+		return ChooseCSS
+	case ss <= mm:
+		return ChooseSS
+	default:
+		return ChooseMM
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+func TestDefaultCSSValidate(t *testing.T) {
+	if err := DefaultCSS().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []CSSParams{
+		{CompressionRatio: 0, DecompressOverhead: 1},
+		{CompressionRatio: 1.5, DecompressOverhead: 1},
+		{CompressionRatio: 0.5, DecompressOverhead: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", bad)
+		}
+	}
+}
+
+func TestCSSStorageCheapestExecDearest(t *testing.T) {
+	c := PaperCosts()
+	p := DefaultCSS()
+	// Storage (intercept at N=0): CSS < SS < MM.
+	if !(c.CSSCostPerSec(0, p) < c.SSCostPerSec(0) && c.SSCostPerSec(0) < c.MMCostPerSec(0)) {
+		t.Fatal("storage intercepts must order CSS < SS < MM")
+	}
+	// Execution per op: MM < SS < CSS.
+	if !(c.MMExecCostPerOp() < c.SSExecCostPerOp() && c.SSExecCostPerOp() < c.CSSExecCostPerOp(p)) {
+		t.Fatal("execution costs must order MM < SS < CSS")
+	}
+}
+
+func TestThreeRegimes(t *testing.T) {
+	// Figure 8: at very low rates CSS wins, in the middle SS wins, when hot
+	// MM wins.
+	c := PaperCosts()
+	p := DefaultCSS()
+	cssSS := c.CSSSSBreakevenRate(p)
+	ssMM := c.BreakevenRate()
+	if cssSS <= 0 || cssSS >= ssMM {
+		t.Fatalf("regime boundaries out of order: CSS/SS=%v SS/MM=%v", cssSS, ssMM)
+	}
+	if got := c.CheapestOperation(cssSS/10, p); got != ChooseCSS {
+		t.Fatalf("cold regime: %v, want CSS", got)
+	}
+	mid := (cssSS + ssMM) / 2
+	if got := c.CheapestOperation(mid, p); got != ChooseSS {
+		t.Fatalf("middle regime: %v, want SS", got)
+	}
+	if got := c.CheapestOperation(ssMM*10, p); got != ChooseMM {
+		t.Fatalf("hot regime: %v, want MM", got)
+	}
+}
+
+func TestCSSSSBreakevenEqualizes(t *testing.T) {
+	c := PaperCosts()
+	p := DefaultCSS()
+	n := c.CSSSSBreakevenRate(p)
+	if css, ss := c.CSSCostPerSec(n, p), c.SSCostPerSec(n); !almost(css, ss, 1e-9) {
+		t.Fatalf("at CSS/SS breakeven: CSS=%v SS=%v", css, ss)
+	}
+}
+
+func TestCSSNoSavingNoBreakeven(t *testing.T) {
+	c := PaperCosts()
+	p := CSSParams{CompressionRatio: 1, DecompressOverhead: 3}
+	if got := c.CSSSSBreakevenRate(p); got != 0 {
+		t.Fatalf("ratio=1 breakeven = %v, want 0", got)
+	}
+}
+
+func TestOperationChoiceString(t *testing.T) {
+	if ChooseCSS.String() != "CSS" || ChooseSS.String() != "SS" || ChooseMM.String() != "MM" {
+		t.Fatal("choice strings wrong")
+	}
+}

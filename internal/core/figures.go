@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named data series of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure: named series over a common x axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// logspace returns n points geometrically spaced over [lo, hi].
+func logspace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic(fmt.Sprintf("core: bad logspace(%v, %v, %d)", lo, hi, n))
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out
+}
+
+// linspace returns n points evenly spaced over [lo, hi].
+func linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("core: linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Figure1 regenerates the paper's Figure 1: relative performance PF/P0 of a
+// mixed MM/SS workload versus the percentage of SS operations, for
+// R = r ± 30% (the paper's dotted band around R = 5.8). Measured points
+// (e.g. from the Bw-tree experiments) can be overlaid via extra series.
+func Figure1(r float64, n int) Figure {
+	fig := Figure{
+		Title:  "Figure 1: relative performance of mixed MM/SS workload",
+		XLabel: "SS operations (%)",
+		YLabel: "PF/P0",
+	}
+	for _, rc := range []struct {
+		name string
+		r    float64
+	}{
+		{fmt.Sprintf("R=%.2f (-30%%)", r*0.7), r * 0.7},
+		{fmt.Sprintf("R=%.2f", r), r},
+		{fmt.Sprintf("R=%.2f (+30%%)", r*1.3), r * 1.3},
+	} {
+		s := Series{Name: rc.name}
+		for _, pct := range linspace(0, 100, n) {
+			s.Points = append(s.Points, Point{pct, RelativeThroughput(pct/100, rc.r)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Figure2 regenerates Figure 2: cost/sec of MM and SS operations versus
+// access rate, whose crossover is the updated five-minute rule. The rate
+// axis spans the breakeven point symmetrically (log-spaced).
+func Figure2(c Costs, n int) Figure {
+	be := c.BreakevenRate()
+	rates := logspace(be/100, be*100, n)
+	fig := Figure{
+		Title:  fmt.Sprintf("Figure 2: MM vs SS operation cost (breakeven T_i = %.1f s)", c.BreakevenInterval()),
+		XLabel: "accesses/sec",
+		YLabel: "relative cost/sec",
+	}
+	mm := Series{Name: "MM"}
+	ss := Series{Name: "SS"}
+	for _, r := range rates {
+		mm.Points = append(mm.Points, Point{r, c.MMCostPerSec(r)})
+		ss.Points = append(ss.Points, Point{r, c.SSCostPerSec(r)})
+	}
+	fig.Series = []Series{mm, ss}
+	return fig
+}
+
+// Figure3 regenerates Figure 3: Bw-tree versus MassTree cost per operation
+// as the access rate over a database of sizeBytes varies. The breakeven
+// rate depends on database size (Section 5.2).
+func Figure3(m MainMemoryComparison, sizeBytes float64, n int) Figure {
+	be := m.BreakevenRate(sizeBytes)
+	rates := logspace(be/100, be*100, n)
+	fig := Figure{
+		Title: fmt.Sprintf("Figure 3: Bw-tree vs MassTree cost (S = %.3g B, breakeven %.3g ops/s)",
+			sizeBytes, be),
+		XLabel: "accesses/sec",
+		YLabel: "relative cost/op",
+	}
+	bw := Series{Name: "Bw-tree"}
+	mt := Series{Name: "MassTree"}
+	for _, r := range rates {
+		ti := 1 / r
+		bw.Points = append(bw.Points, Point{r, m.BwTreeCostPerOp(ti, sizeBytes)})
+		mt.Points = append(mt.Points, Point{r, m.MassTreeCostPerOp(ti, sizeBytes)})
+	}
+	fig.Series = []Series{bw, mt}
+	return fig
+}
+
+// Figure7 regenerates Figure 7: the impact of reducing SS execution cost on
+// cost/performance. It plots the SS cost line for each R in rs (e.g. 9 for
+// the kernel I/O path, 5.8 for the SPDK path) alongside the MM line.
+func Figure7(c Costs, rs []float64, n int) Figure {
+	base := c.WithR(rs[0])
+	be := base.BreakevenRate()
+	rates := logspace(be/100, be*100, n)
+	fig := Figure{
+		Title:  "Figure 7: effect of SS execution cost on cost/performance",
+		XLabel: "accesses/sec",
+		YLabel: "relative cost/sec",
+	}
+	mm := Series{Name: "MM"}
+	for _, r := range rates {
+		mm.Points = append(mm.Points, Point{r, c.MMCostPerSec(r)})
+	}
+	fig.Series = append(fig.Series, mm)
+	for _, rv := range rs {
+		cv := c.WithR(rv)
+		s := Series{Name: fmt.Sprintf("SS (R=%.1f, T_i=%.0f s)", rv, cv.BreakevenInterval())}
+		for _, r := range rates {
+			s.Points = append(s.Points, Point{r, cv.SSCostPerSec(r)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Figure8 regenerates Figure 8: compressed (CSS), uncompressed (SS) and
+// main-memory (MM) operation costs across access rates, showing the three
+// cost regimes.
+func Figure8(c Costs, p CSSParams, n int) Figure {
+	be := c.BreakevenRate()
+	lo := c.CSSSSBreakevenRate(p) / 100
+	if lo <= 0 {
+		lo = be / 1e4
+	}
+	rates := logspace(lo, be*100, n)
+	fig := Figure{
+		Title:  "Figure 8: compressed data extends the low-cost regime",
+		XLabel: "accesses/sec",
+		YLabel: "relative cost/sec",
+	}
+	css := Series{Name: "CSS"}
+	ss := Series{Name: "SS"}
+	mm := Series{Name: "MM"}
+	for _, r := range rates {
+		css.Points = append(css.Points, Point{r, c.CSSCostPerSec(r, p)})
+		ss.Points = append(ss.Points, Point{r, c.SSCostPerSec(r)})
+		mm.Points = append(mm.Points, Point{r, c.MMCostPerSec(r)})
+	}
+	fig.Series = []Series{css, ss, mm}
+	return fig
+}
+
+// Crossover returns the x at which two series' linear interpolants cross,
+// and whether a crossing exists within the common domain. Series must be
+// sampled on the same x grid.
+func Crossover(a, b Series) (float64, bool) {
+	n := len(a.Points)
+	if n != len(b.Points) || n == 0 {
+		return 0, false
+	}
+	prev := a.Points[0].Y - b.Points[0].Y
+	for i := 1; i < n; i++ {
+		cur := a.Points[i].Y - b.Points[i].Y
+		if prev == 0 {
+			return a.Points[i-1].X, true
+		}
+		if (prev < 0) != (cur < 0) {
+			// Linear interpolation between samples i-1 and i.
+			x0, x1 := a.Points[i-1].X, a.Points[i].X
+			t := prev / (prev - cur)
+			return x0 + t*(x1-x0), true
+		}
+		prev = cur
+	}
+	return 0, false
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLogspaceAndLinspace(t *testing.T) {
+	ls := logspace(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if !almost(ls[i], want[i], 1e-9) {
+			t.Fatalf("logspace[%d] = %v, want %v", i, ls[i], want[i])
+		}
+	}
+	lin := linspace(0, 10, 11)
+	if lin[0] != 0 || lin[10] != 10 || lin[5] != 5 {
+		t.Fatalf("linspace wrong: %v", lin)
+	}
+}
+
+func TestLogspacePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"lo<=0":  func() { logspace(0, 10, 5) },
+		"hi<=lo": func() { logspace(10, 10, 5) },
+		"n<2":    func() { logspace(1, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	fig := Figure1(5.8, 101)
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3 (R band)", len(fig.Series))
+	}
+	mid := fig.Series[1]
+	// Starts at 1.0 (all MM), ends at 1/R.
+	if !almost(mid.Points[0].Y, 1, 1e-12) {
+		t.Fatalf("F=0%% relative perf = %v, want 1", mid.Points[0].Y)
+	}
+	if !almost(mid.Points[len(mid.Points)-1].Y, 1/5.8, 1e-9) {
+		t.Fatalf("F=100%% relative perf = %v, want 1/5.8", mid.Points[len(mid.Points)-1].Y)
+	}
+	// Band ordering: at any interior point, higher R means lower perf.
+	lo, hi := fig.Series[0], fig.Series[2]
+	for i := 1; i < len(mid.Points); i++ {
+		if !(hi.Points[i].Y <= mid.Points[i].Y && mid.Points[i].Y <= lo.Points[i].Y) {
+			t.Fatalf("band ordering violated at %v%%", mid.Points[i].X)
+		}
+	}
+}
+
+func TestFigure2Crossover(t *testing.T) {
+	c := PaperCosts()
+	fig := Figure2(c, 200)
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	x, ok := Crossover(fig.Series[0], fig.Series[1])
+	if !ok {
+		t.Fatal("no MM/SS crossover found")
+	}
+	if want := c.BreakevenRate(); math.Abs(x-want)/want > 0.05 {
+		t.Fatalf("crossover at %v, analytic breakeven %v", x, want)
+	}
+	if !strings.Contains(fig.Title, "T_i") {
+		t.Fatal("title should state T_i")
+	}
+}
+
+func TestFigure3Crossover(t *testing.T) {
+	m := PaperComparison()
+	const size = 6.1e9
+	fig := Figure3(m, size, 200)
+	x, ok := Crossover(fig.Series[0], fig.Series[1])
+	if !ok {
+		t.Fatal("no Bw-tree/MassTree crossover")
+	}
+	if want := m.BreakevenRate(size); math.Abs(x-want)/want > 0.05 {
+		t.Fatalf("crossover %v, analytic %v", x, want)
+	}
+}
+
+func TestFigure7LowerRLowersCostAndBreakeven(t *testing.T) {
+	c := PaperCosts()
+	fig := Figure7(c, []float64{9, 5.8}, 150)
+	if len(fig.Series) != 3 { // MM + two SS lines
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	ssKernel, ssUser := fig.Series[1], fig.Series[2]
+	// The optimized path must cost no more at every rate and strictly less
+	// at high rates.
+	last := len(ssKernel.Points) - 1
+	for i := range ssKernel.Points {
+		if ssUser.Points[i].Y > ssKernel.Points[i].Y+1e-15 {
+			t.Fatalf("user-level path costlier at rate %v", ssUser.Points[i].X)
+		}
+	}
+	if ssUser.Points[last].Y >= ssKernel.Points[last].Y {
+		t.Fatal("user-level path should be strictly cheaper when execution dominates")
+	}
+	// Crossover with MM moves to a higher rate (T_i shrinks) when R drops.
+	xKernel, ok1 := Crossover(fig.Series[0], ssKernel)
+	xUser, ok2 := Crossover(fig.Series[0], ssUser)
+	if !ok1 || !ok2 {
+		t.Fatal("missing crossover")
+	}
+	if xUser <= xKernel {
+		t.Fatalf("breakeven rate should increase when R drops: kernel=%v user=%v", xKernel, xUser)
+	}
+}
+
+func TestFigure8Regimes(t *testing.T) {
+	c := PaperCosts()
+	fig := Figure8(c, DefaultCSS(), 300)
+	css, ss, mm := fig.Series[0], fig.Series[1], fig.Series[2]
+	// At the lowest sampled rate CSS is cheapest; at the highest MM is.
+	if !(css.Points[0].Y < ss.Points[0].Y && css.Points[0].Y < mm.Points[0].Y) {
+		t.Fatal("CSS should be cheapest at the cold end")
+	}
+	last := len(css.Points) - 1
+	if !(mm.Points[last].Y < ss.Points[last].Y && mm.Points[last].Y < css.Points[last].Y) {
+		t.Fatal("MM should be cheapest at the hot end")
+	}
+}
+
+func TestCrossoverEdgeCases(t *testing.T) {
+	a := Series{Points: []Point{{1, 1}, {2, 2}}}
+	b := Series{Points: []Point{{1, 2}, {2, 3}}}
+	if _, ok := Crossover(a, b); ok {
+		t.Fatal("parallel non-crossing series reported a crossover")
+	}
+	if _, ok := Crossover(a, Series{}); ok {
+		t.Fatal("mismatched series reported a crossover")
+	}
+	// Exact touch at a sample point.
+	c := Series{Points: []Point{{1, 1}, {2, 5}}}
+	d := Series{Points: []Point{{1, 1}, {2, 0}}}
+	x, ok := Crossover(c, d)
+	if !ok || x != 1 {
+		t.Fatalf("touch crossover = %v,%v", x, ok)
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+// The paper's mixed-workload analysis (Section 2.2) explicitly assumes the
+// system is not I/O bound: R is a CPU-execution ratio, and once the device
+// saturates, throughput is capped by IOPS rather than by Equation 2. These
+// helpers locate that boundary so experiments can stay (or deliberately
+// step) out of the excluded regime.
+
+// IOBoundMissFraction returns the miss fraction F* at which a workload
+// running at Equation 2's throughput saturates the device: the F solving
+// F * PF(F) = IOPS for the given all-in-memory rate p0 (ops/sec).
+//
+// Solving F * P0/((1-F) + F*R) = IOPS gives
+//
+//	F* = IOPS / (P0 - IOPS*(R-1))
+//
+// It returns 1 (never I/O bound below F=1) when the denominator is not
+// positive or F* exceeds 1.
+func (c Costs) IOBoundMissFraction(p0 float64) float64 {
+	denom := p0 - c.IOPS*(c.R-1)
+	if denom <= 0 {
+		return 1
+	}
+	f := c.IOPS / denom
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// IORateAt returns the device I/O rate implied by running Equation 2's
+// throughput at miss fraction f: one read I/O per SS operation.
+func (c Costs) IORateAt(p0, f float64) float64 {
+	return f * MixedThroughput(p0, f, c.R)
+}
+
+// IOBound reports whether the mixed workload at miss fraction f would
+// saturate the device.
+func (c Costs) IOBound(p0, f float64) bool {
+	return c.IORateAt(p0, f) >= c.IOPS
+}

@@ -1,0 +1,46 @@
+package core
+
+import "testing"
+
+func TestIOBoundMissFraction(t *testing.T) {
+	c := PaperCosts()
+	const p0 = 4e6
+	f := c.IOBoundMissFraction(p0)
+	if f <= 0 || f >= 1 {
+		t.Fatalf("F* = %v, want interior point for paper parameters", f)
+	}
+	// At F*, the implied I/O rate equals the device's IOPS.
+	if got := c.IORateAt(p0, f); !almost(got, c.IOPS, 1e-9) {
+		t.Fatalf("I/O rate at F* = %v, want IOPS %v", got, c.IOPS)
+	}
+	// Below F*: not bound. Above: bound.
+	if c.IOBound(p0, f*0.9) {
+		t.Fatal("bound below F*")
+	}
+	if !c.IOBound(p0, f*1.1) {
+		t.Fatal("not bound above F*")
+	}
+}
+
+func TestIOBoundParaCheck(t *testing.T) {
+	// With the paper's numbers a single SSD saturates at a fairly small
+	// miss ratio (~6-7%) — the regime Section 2.2 excludes starts early.
+	c := PaperCosts()
+	f := c.IOBoundMissFraction(4e6)
+	if f < 0.03 || f > 0.15 {
+		t.Fatalf("F* = %v, expected a few percent", f)
+	}
+}
+
+func TestIOBoundDegenerate(t *testing.T) {
+	c := PaperCosts()
+	// A very slow processor relative to the device never saturates it.
+	if got := c.IOBoundMissFraction(c.IOPS / 2); got != 1 {
+		t.Fatalf("F* = %v, want 1 (never bound)", got)
+	}
+	// Huge R: SS ops so slow the denominator goes negative.
+	slow := c.WithR(1000)
+	if got := slow.IOBoundMissFraction(4e6); got != 1 {
+		t.Fatalf("F* = %v, want 1", got)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import "fmt"
+
+// Latency estimation (paper Section 8.1): the analysis elsewhere is about
+// throughput — the CPU time an operation consumes — but the paper's
+// discussion of "value" turns on latency: an MM operation completes in
+// processor time alone, while an SS operation also waits out a device
+// access. "Latencies in the 10's vs 100's of microseconds is of no
+// consequence to value" for most applications — these helpers produce
+// exactly those numbers.
+
+// LatencyModel converts execution costs to wall-clock operation latencies.
+type LatencyModel struct {
+	// Costs supplies ROPS (the MM execution rate) and R.
+	Costs Costs
+	// DeviceLatency is the per-I/O device time in seconds (e.g. 100 µs for
+	// the paper-era flash SSD).
+	DeviceLatency float64
+}
+
+// PaperLatency returns the model with the paper's parameters: ROPS = 4e6
+// (so an MM operation's CPU time is 0.25 µs) over a 100 µs flash device.
+func PaperLatency() LatencyModel {
+	return LatencyModel{Costs: PaperCosts(), DeviceLatency: 100e-6}
+}
+
+// Validate checks the model's parameters.
+func (m LatencyModel) Validate() error {
+	if err := m.Costs.Validate(); err != nil {
+		return err
+	}
+	if m.DeviceLatency <= 0 {
+		return fmt.Errorf("core: non-positive device latency %v", m.DeviceLatency)
+	}
+	return nil
+}
+
+// MMLatency returns the latency of a main-memory operation: its CPU time.
+func (m LatencyModel) MMLatency() float64 {
+	return 1 / m.Costs.ROPS
+}
+
+// SSLatency returns the latency of a secondary-storage operation: its CPU
+// time (R times the MM work) plus the device access it waits out.
+func (m LatencyModel) SSLatency() float64 {
+	return m.Costs.R/m.Costs.ROPS + m.DeviceLatency
+}
+
+// LatencyRatio returns SS/MM latency — the "10's vs 100's of microseconds"
+// gap of Section 8.1 (≈ 400x with paper parameters: 0.25 µs vs 101.5 µs).
+func (m LatencyModel) LatencyRatio() float64 {
+	return m.SSLatency() / m.MMLatency()
+}
+
+// MeanLatency returns the average operation latency of a mix with miss
+// fraction f.
+func (m LatencyModel) MeanLatency(f float64) float64 {
+	if f < 0 || f > 1 {
+		panic(fmt.Sprintf("core: miss fraction %v out of [0,1]", f))
+	}
+	return (1-f)*m.MMLatency() + f*m.SSLatency()
+}
+
+// TailLatency returns the q-quantile (0 <= q <= 1) of per-operation
+// latency for a mix with miss fraction f, under the two-point model where
+// each operation is MM with probability 1-f and SS otherwise. The hits
+// form the fast mass; the tail jumps to SS latency at quantiles above
+// 1-f — the classic caching-system latency profile (fast P50, device-bound
+// P99 once f > 1%).
+func (m LatencyModel) TailLatency(f, q float64) float64 {
+	if f < 0 || f > 1 || q < 0 || q > 1 {
+		panic(fmt.Sprintf("core: f=%v q=%v out of [0,1]", f, q))
+	}
+	if q <= 1-f {
+		return m.MMLatency()
+	}
+	return m.SSLatency()
+}

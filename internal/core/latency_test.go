@@ -1,0 +1,88 @@
+package core
+
+import "testing"
+
+func TestPaperLatencyNumbers(t *testing.T) {
+	m := PaperLatency()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Section 8.1: MM latencies in the sub-microsecond/CPU range; SS
+	// latencies in the 100-microsecond range.
+	mm := m.MMLatency()
+	if mm <= 0 || mm > 1e-6 {
+		t.Fatalf("MM latency = %v, want sub-microsecond", mm)
+	}
+	ss := m.SSLatency()
+	if ss < 100e-6 || ss > 200e-6 {
+		t.Fatalf("SS latency = %v, want ~100 µs", ss)
+	}
+	if r := m.LatencyRatio(); r < 100 {
+		t.Fatalf("latency ratio = %v, want orders of magnitude", r)
+	}
+}
+
+func TestMeanLatencyMonotone(t *testing.T) {
+	m := PaperLatency()
+	prev := 0.0
+	for f := 0.0; f <= 1.0; f += 0.1 {
+		cur := m.MeanLatency(f)
+		if cur <= prev && f > 0 {
+			t.Fatalf("mean latency not increasing at f=%v", f)
+		}
+		prev = cur
+	}
+	if got := m.MeanLatency(0); got != m.MMLatency() {
+		t.Fatal("f=0 should equal MM latency")
+	}
+	if got := m.MeanLatency(1); got != m.SSLatency() {
+		t.Fatal("f=1 should equal SS latency")
+	}
+}
+
+func TestTailLatencyProfile(t *testing.T) {
+	m := PaperLatency()
+	const f = 0.02 // 2% misses
+	// P50 fast, P99 device-bound — the caching-system latency signature.
+	if got := m.TailLatency(f, 0.50); got != m.MMLatency() {
+		t.Fatalf("P50 = %v, want MM latency", got)
+	}
+	if got := m.TailLatency(f, 0.99); got != m.SSLatency() {
+		t.Fatalf("P99 = %v, want SS latency", got)
+	}
+	// Below 1% misses even P99 is fast.
+	if got := m.TailLatency(0.005, 0.99); got != m.MMLatency() {
+		t.Fatalf("P99 at 0.5%% misses = %v, want MM latency", got)
+	}
+}
+
+func TestLatencyPanics(t *testing.T) {
+	m := PaperLatency()
+	for name, fn := range map[string]func(){
+		"mean f": func() { m.MeanLatency(1.5) },
+		"tail f": func() { m.TailLatency(-0.1, 0.5) },
+		"tail q": func() { m.TailLatency(0.5, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLatencyValidate(t *testing.T) {
+	m := PaperLatency()
+	m.DeviceLatency = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero device latency accepted")
+	}
+	m = PaperLatency()
+	m.Costs.R = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("bad costs accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// MainMemoryComparison parameterizes the Section 5 comparison of a fully
+// cached Bw-tree against MassTree. MassTree trades space for time: it uses
+// Mx times the memory of the Bw-tree footprint and delivers Px times the
+// throughput, both observed to be > 1.
+type MainMemoryComparison struct {
+	// Costs supplies $M, $P and ROPS (the Bw-tree's main-memory rate).
+	Costs Costs
+	// Mx is MassTree's memory expansion relative to the Bw-tree
+	// (paper: ≈ 2.1 in the 4-core read-only experiment).
+	Mx float64
+	// Px is MassTree's performance gain relative to the Bw-tree
+	// (paper: ≈ 2.6).
+	Px float64
+}
+
+// PaperComparison returns the paper's point-experiment parameters:
+// Mx ≈ 2.1, Px ≈ 2.6 over PaperCosts.
+func PaperComparison() MainMemoryComparison {
+	return MainMemoryComparison{Costs: PaperCosts(), Mx: 2.1, Px: 2.6}
+}
+
+// Validate checks Mx > 1 and Px > 1, the regime the paper analyzes
+// (MassTree uses more memory and is faster).
+func (m MainMemoryComparison) Validate() error {
+	if err := m.Costs.Validate(); err != nil {
+		return err
+	}
+	if m.Mx <= 1 {
+		return fmt.Errorf("core: Mx = %v, must be > 1", m.Mx)
+	}
+	if m.Px <= 1 {
+		return fmt.Errorf("core: Px = %v, must be > 1", m.Px)
+	}
+	return nil
+}
+
+// BwTreeCostPerOp is $DM of Section 5.1: the cost of one main-memory
+// Bw-tree operation when operations on a database of sizeBytes arrive every
+// ti seconds. Storage rent is amortized over the operations it supports.
+//
+//	$DM = T_i * S * $M + $P/ROPS
+func (m MainMemoryComparison) BwTreeCostPerOp(ti, sizeBytes float64) float64 {
+	return ti*sizeBytes*m.Costs.DRAMPerByte + m.Costs.Processor/m.Costs.ROPS
+}
+
+// MassTreeCostPerOp is $MTM of Section 5.1: MassTree pays Mx times the
+// memory rent but executes Px times faster.
+//
+//	$MTM = T_i * Mx * S * $M + $P/(Px*ROPS)
+func (m MainMemoryComparison) MassTreeCostPerOp(ti, sizeBytes float64) float64 {
+	return ti*m.Mx*sizeBytes*m.Costs.DRAMPerByte + m.Costs.Processor/(m.Px*m.Costs.ROPS)
+}
+
+// BreakevenInterval is Equation 7: the access interval T_i at which the two
+// systems' per-operation costs are equal for a database of sizeBytes.
+// MassTree is cheaper for intervals shorter than this (hotter data).
+//
+//	T_i = (1/S) * [$P/ROPS * 1/$M] * (Px-1)/(Px*(Mx-1))
+func (m MainMemoryComparison) BreakevenInterval(sizeBytes float64) float64 {
+	if sizeBytes <= 0 {
+		panic(fmt.Sprintf("core: non-positive database size %v", sizeBytes))
+	}
+	return (m.Costs.Processor / m.Costs.ROPS / m.Costs.DRAMPerByte) *
+		(m.Px - 1) / (m.Px * (m.Mx - 1)) / sizeBytes
+}
+
+// BreakevenRate returns the access rate (ops/sec over the whole database)
+// above which MassTree has lower cost per operation. With paper parameters
+// this is ≈ 0.73e6 ops/sec for a 6.1 GB database and scales linearly with
+// size (≈ 12e6 ops/sec at 100 GB), Section 5.2.
+func (m MainMemoryComparison) BreakevenRate(sizeBytes float64) float64 {
+	return 1 / m.BreakevenInterval(sizeBytes)
+}
+
+// SizeTimeConstant returns the constant K in T_i = K / S (Equation 8).
+// For paper parameters K ≈ 8.3e3.
+func (m MainMemoryComparison) SizeTimeConstant() float64 {
+	return (m.Costs.Processor / m.Costs.ROPS / m.Costs.DRAMPerByte) *
+		(m.Px - 1) / (m.Px * (m.Mx - 1))
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperComparisonValidate(t *testing.T) {
+	if err := PaperComparison().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PaperComparison()
+	bad.Mx = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Mx=1 should be invalid")
+	}
+	bad = PaperComparison()
+	bad.Px = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Px=0.5 should be invalid")
+	}
+	bad = PaperComparison()
+	bad.Costs.ROPS = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad costs should be invalid")
+	}
+}
+
+func TestEquation8Constant(t *testing.T) {
+	// Section 5.1: T_i = (1/Size) * 8.3e3 with paper parameters.
+	k := PaperComparison().SizeTimeConstant()
+	if k < 8.0e3 || k > 8.6e3 {
+		t.Fatalf("K = %v, paper says ≈ 8.3e3", k)
+	}
+}
+
+func TestSection52PaperNumbers(t *testing.T) {
+	m := PaperComparison()
+
+	// 6.1 GB database: T_i = 1.37e-6 s, rate ≈ 0.73e6 ops/sec.
+	ti := m.BreakevenInterval(6.1e9)
+	if ti < 1.2e-6 || ti > 1.5e-6 {
+		t.Fatalf("T_i(6.1GB) = %v, paper says ≈ 1.37e-6", ti)
+	}
+	rate := m.BreakevenRate(6.1e9)
+	if rate < 0.65e6 || rate > 0.80e6 {
+		t.Fatalf("rate(6.1GB) = %v, paper says ≈ 0.73e6", rate)
+	}
+
+	// 100 GB database: rate ≈ 12e6 ops/sec.
+	rate100 := m.BreakevenRate(100e9)
+	if rate100 < 11e6 || rate100 > 13e6 {
+		t.Fatalf("rate(100GB) = %v, paper says ≈ 12e6", rate100)
+	}
+
+	// Per-page view (2.7 KB): T_i ≈ 3.1 s.
+	tiPage := m.BreakevenInterval(2.7e3)
+	if tiPage < 2.9 || tiPage > 3.3 {
+		t.Fatalf("T_i(page) = %v, paper says ≈ 3.1 s", tiPage)
+	}
+}
+
+func TestBreakevenRateScalesWithSize(t *testing.T) {
+	m := PaperComparison()
+	r1 := m.BreakevenRate(10e9)
+	r2 := m.BreakevenRate(20e9)
+	if !almost(r2, 2*r1, 1e-9) {
+		t.Fatalf("rate should scale linearly with size: %v vs %v", r1, r2)
+	}
+}
+
+func TestCostsEqualAtBreakevenProperty(t *testing.T) {
+	f := func(mxRaw, pxRaw, sizeRaw uint16) bool {
+		m := MainMemoryComparison{
+			Costs: PaperCosts(),
+			Mx:    1.01 + float64(mxRaw)/1e4,
+			Px:    1.01 + float64(pxRaw)/1e4,
+		}
+		size := 1e9 * (1 + float64(sizeRaw))
+		ti := m.BreakevenInterval(size)
+		bw := m.BwTreeCostPerOp(ti, size)
+		mt := m.MassTreeCostPerOp(ti, size)
+		if !almost(bw, mt, 1e-9) {
+			return false
+		}
+		// Hotter than breakeven (smaller T_i): MassTree cheaper.
+		// Colder: Bw-tree cheaper.
+		return m.MassTreeCostPerOp(ti/10, size) < m.BwTreeCostPerOp(ti/10, size) &&
+			m.BwTreeCostPerOp(ti*10, size) < m.MassTreeCostPerOp(ti*10, size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakevenIntervalPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size=0 did not panic")
+		}
+	}()
+	PaperComparison().BreakevenInterval(0)
+}

@@ -1,0 +1,221 @@
+// Package core implements the paper's primary contribution: the
+// cost/performance model for data caching versus main-memory data stores
+// (Lomet, "Cost/Performance in Modern Data Stores: How Data Caching Systems
+// Succeed").
+//
+// The model has three parts, mirroring the paper:
+//
+//   - Mixed-workload performance (Section 2.2, Equations 1–3): how
+//     throughput degrades as the fraction F of operations that must touch
+//     secondary storage grows, governed by the relative execution cost R of
+//     an SS operation versus an MM operation.
+//
+//   - Operation costs and the updated five-minute rule (Sections 3–4,
+//     Equations 4–6): per-second dollar cost of keeping a page in DRAM and
+//     executing MM operations versus keeping it only on flash and executing
+//     SS operations, and the breakeven access interval T_i between them.
+//
+//   - Main-memory versus caching system comparison (Section 5, Equations
+//     7–8): the Bw-tree (fully cached) versus MassTree, parameterized by
+//     MassTree's memory expansion M_x and performance gain P_x.
+//
+// All costs drop the common lifetime factor 1/L exactly as the paper does
+// (Section 3.2): every dollar figure returned by this package is a *relative*
+// cost with an implicit 1/L, which cancels in every comparison.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Costs holds the infrastructure cost and performance parameters of paper
+// Section 4.1. All prices are in dollars; rates are per second.
+type Costs struct {
+	// DRAMPerByte is $M, the cost per byte of main memory.
+	DRAMPerByte float64
+	// FlashPerByte is $Fl, the cost per byte of flash storage.
+	FlashPerByte float64
+	// Processor is $P, the cost of the processor (core complex) executing
+	// the workload.
+	Processor float64
+	// IOPSCost is $I, the cost of the SSD's I/O capability (SSD price minus
+	// its flash storage price for the paper's 0.5 TB drive).
+	IOPSCost float64
+	// ROPS is the measured main-memory read operation rate (ops/sec) of the
+	// data system on this processor.
+	ROPS float64
+	// IOPS is the measured maximum I/O rate of the SSD.
+	IOPS float64
+	// PageSize is P_s, the average page size in bytes moved between cache
+	// and secondary storage.
+	PageSize float64
+	// R is the relative execution cost of an SS operation versus an MM
+	// operation (Section 2.2; ~5.8 with a user-level I/O path, ~9 with a
+	// kernel path).
+	R float64
+}
+
+// PaperCosts returns the paper's Section 4.1 parameters:
+// $M = $5e-9/byte, $Fl = $0.5e-9/byte, $P = $300, $I = $50,
+// ROPS = 4e6, IOPS = 2e5, P_s = 2.7 KB, R = 5.8.
+func PaperCosts() Costs {
+	return Costs{
+		DRAMPerByte:  5e-9,
+		FlashPerByte: 0.5e-9,
+		Processor:    300,
+		IOPSCost:     50,
+		ROPS:         4e6,
+		IOPS:         2e5,
+		PageSize:     2.7e3,
+		R:            5.8,
+	}
+}
+
+// Validate reports whether every parameter is positive (R must be >= 1:
+// an SS operation executes at least the MM work).
+func (c Costs) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"DRAMPerByte", c.DRAMPerByte},
+		{"FlashPerByte", c.FlashPerByte},
+		{"Processor", c.Processor},
+		{"IOPSCost", c.IOPSCost},
+		{"ROPS", c.ROPS},
+		{"IOPS", c.IOPS},
+		{"PageSize", c.PageSize},
+	}
+	for _, ch := range checks {
+		if ch.v <= 0 {
+			return fmt.Errorf("core: %s = %v, must be positive", ch.name, ch.v)
+		}
+	}
+	if c.R < 1 {
+		return fmt.Errorf("core: R = %v, must be >= 1", c.R)
+	}
+	return nil
+}
+
+// ErrNoMisses is returned by DeriveR when F is zero: R cannot be inferred
+// from a workload with no SS operations.
+var ErrNoMisses = errors.New("core: cannot derive R with F = 0")
+
+// MixedThroughput is Equation 2: the operations/sec PF achieved by a mix
+// with SS fraction f, given all-in-memory throughput p0 and relative SS
+// execution cost r.
+//
+//	PF = P0 / ((1-F) + F*R)
+func MixedThroughput(p0, f, r float64) float64 {
+	if f < 0 || f > 1 {
+		panic(fmt.Sprintf("core: miss fraction %v out of [0,1]", f))
+	}
+	if r < 1 {
+		panic(fmt.Sprintf("core: R = %v < 1", r))
+	}
+	return p0 / ((1 - f) + f*r)
+}
+
+// RelativeThroughput returns PF/P0 for the given mix — the y-axis of the
+// paper's Figure 1.
+func RelativeThroughput(f, r float64) float64 {
+	return MixedThroughput(1, f, r)
+}
+
+// DeriveR is Equation 3: recover R from a measured pair (P0, PF) at miss
+// fraction f.
+//
+//	R = 1 + (1/F) * (P0/PF - 1)
+func DeriveR(p0, pf, f float64) (float64, error) {
+	if f <= 0 || f > 1 {
+		return 0, ErrNoMisses
+	}
+	if p0 <= 0 || pf <= 0 {
+		return 0, fmt.Errorf("core: non-positive throughput (P0=%v, PF=%v)", p0, pf)
+	}
+	return 1 + (p0/pf-1)/f, nil
+}
+
+// MMCostPerSec is Equation 4 (with the implicit 1/L dropped): the relative
+// cost per second of supporting n operations/sec on a page cached in main
+// memory. Storage rent covers both DRAM and the flash copy needed for
+// durability.
+//
+//	$MM = Ps*($M + $Fl) + N * $P/ROPS
+func (c Costs) MMCostPerSec(n float64) float64 {
+	return c.PageSize*(c.DRAMPerByte+c.FlashPerByte) + n*c.Processor/c.ROPS
+}
+
+// SSCostPerSec is Equation 5: the relative cost per second of supporting n
+// operations/sec on a page resident only on flash. Each operation pays an
+// I/O plus R times the MM processor cost.
+//
+//	$SS = Ps*$Fl + N * ($I/IOPS + R*$P/ROPS)
+func (c Costs) SSCostPerSec(n float64) float64 {
+	return c.PageSize*c.FlashPerByte + n*(c.IOPSCost/c.IOPS+c.R*c.Processor/c.ROPS)
+}
+
+// MMExecCostPerOp returns the execution-only cost of one MM operation,
+// $P/ROPS.
+func (c Costs) MMExecCostPerOp() float64 { return c.Processor / c.ROPS }
+
+// SSExecCostPerOp returns the execution-only cost of one SS operation:
+// the I/O rental plus R times the MM processor cost.
+func (c Costs) SSExecCostPerOp() float64 {
+	return c.IOPSCost/c.IOPS + c.R*c.Processor/c.ROPS
+}
+
+// BreakevenInterval is Equation 6: the access interval T_i = 1/N at which
+// MM and SS operation costs are equal — the paper's updated five-minute
+// rule. For the paper's parameters this is ≈ 45 seconds. Pages accessed
+// less often than every T_i seconds are cheaper on flash; more often,
+// cheaper in DRAM.
+//
+//	T_i = 1/($M*Ps) * [ $I/IOPS + (R-1) * $P/ROPS ]
+func (c Costs) BreakevenInterval() float64 {
+	return (c.IOPSCost/c.IOPS + (c.R-1)*c.Processor/c.ROPS) / (c.DRAMPerByte * c.PageSize)
+}
+
+// BreakevenRate is N = 1/T_i, the operations/sec at which MM and SS costs
+// cross (the crossover of Figure 2).
+func (c Costs) BreakevenRate() float64 { return 1 / c.BreakevenInterval() }
+
+// BreakevenIntervalForSize evaluates Equation 6 with the storage unit set
+// to the given size in bytes instead of the page size. Record caching
+// (paper Section 6.3) uses this: a record 1/10th the page size has 10x the
+// breakeven interval, expanding the frequency range where main-memory
+// operations win.
+func (c Costs) BreakevenIntervalForSize(sizeBytes float64) float64 {
+	if sizeBytes <= 0 {
+		panic(fmt.Sprintf("core: non-positive size %v", sizeBytes))
+	}
+	return (c.IOPSCost/c.IOPS + (c.R-1)*c.Processor/c.ROPS) / (c.DRAMPerByte * sizeBytes)
+}
+
+// WithR returns a copy of c with R replaced — used to contrast the kernel
+// I/O path (R≈9) with the user-level path (R≈5.8), paper Section 7.1.
+func (c Costs) WithR(r float64) Costs {
+	c.R = r
+	return c
+}
+
+// WithIOPS returns a copy of c with the device IOPS (and optionally its
+// $I) replaced — used for the falling-price-of-IOPS analysis, Section 7.1.2.
+func (c Costs) WithIOPS(iops, iopsCost float64) Costs {
+	c.IOPS = iops
+	c.IOPSCost = iopsCost
+	return c
+}
+
+// StorageCostRatio returns the MM-vs-SS storage rent ratio,
+// (M+Fl)/Fl — about 11x with paper parameters (Section 4.2).
+func (c Costs) StorageCostRatio() float64 {
+	return (c.DRAMPerByte + c.FlashPerByte) / c.FlashPerByte
+}
+
+// ExecCostRatio returns the SS-vs-MM execution cost ratio — about 12x with
+// paper parameters (Section 4.2).
+func (c Costs) ExecCostRatio() float64 {
+	return c.SSExecCostPerOp() / c.MMExecCostPerOp()
+}

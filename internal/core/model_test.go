@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestPaperCostsValidate(t *testing.T) {
+	if err := PaperCosts().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadCosts(t *testing.T) {
+	good := PaperCosts()
+	mutations := []func(*Costs){
+		func(c *Costs) { c.DRAMPerByte = 0 },
+		func(c *Costs) { c.FlashPerByte = -1 },
+		func(c *Costs) { c.Processor = 0 },
+		func(c *Costs) { c.IOPSCost = 0 },
+		func(c *Costs) { c.ROPS = 0 },
+		func(c *Costs) { c.IOPS = 0 },
+		func(c *Costs) { c.PageSize = 0 },
+		func(c *Costs) { c.R = 0.5 },
+	}
+	for i, m := range mutations {
+		c := good
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMixedThroughputEndpoints(t *testing.T) {
+	// F=0: full MM performance. F=1: 1/R of MM performance (Section 2.2).
+	const p0, r = 4e6, 5.8
+	if got := MixedThroughput(p0, 0, r); got != p0 {
+		t.Fatalf("F=0: %v, want %v", got, p0)
+	}
+	if got := MixedThroughput(p0, 1, r); !almost(got, p0/r, 1e-12) {
+		t.Fatalf("F=1: %v, want %v", got, p0/r)
+	}
+}
+
+func TestMixedThroughputMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for f := 0.0; f <= 1.0; f += 0.05 {
+		cur := MixedThroughput(4e6, f, 5.8)
+		if cur > prev {
+			t.Fatalf("throughput increased at F=%v", f)
+		}
+		prev = cur
+	}
+}
+
+func TestMixedThroughputPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"F<0": func() { MixedThroughput(1, -0.1, 5.8) },
+		"F>1": func() { MixedThroughput(1, 1.1, 5.8) },
+		"R<1": func() { MixedThroughput(1, 0.5, 0.9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeriveRInvertsEquation2(t *testing.T) {
+	// Property: DeriveR(P0, MixedThroughput(P0,F,R), F) == R.
+	f := func(rRaw, fRaw uint16) bool {
+		r := 1 + float64(rRaw)/1000           // R in [1, ~66]
+		fr := 0.01 + 0.98*float64(fRaw)/65535 // F in (0,1)
+		p0 := 4e6
+		pf := MixedThroughput(p0, fr, r)
+		got, err := DeriveR(p0, pf, fr)
+		return err == nil && almost(got, r, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveRErrors(t *testing.T) {
+	if _, err := DeriveR(1, 1, 0); err != ErrNoMisses {
+		t.Fatalf("F=0 err = %v, want ErrNoMisses", err)
+	}
+	if _, err := DeriveR(0, 1, 0.5); err == nil {
+		t.Fatal("P0=0 should error")
+	}
+	if _, err := DeriveR(1, 0, 0.5); err == nil {
+		t.Fatal("PF=0 should error")
+	}
+}
+
+func TestFiveMinuteRulePaperNumber(t *testing.T) {
+	// Section 4.2: T_i ≈ 45 seconds with Section 4.1 parameters.
+	c := PaperCosts()
+	ti := c.BreakevenInterval()
+	if ti < 40 || ti < 0 || ti > 50 {
+		t.Fatalf("T_i = %v s, paper says ≈ 45 s", ti)
+	}
+	if got := c.BreakevenRate(); !almost(got, 1/ti, 1e-12) {
+		t.Fatalf("BreakevenRate = %v, want 1/T_i", got)
+	}
+}
+
+func TestBreakevenEqualizesCosts(t *testing.T) {
+	// At N = BreakevenRate, Equations 4 and 5 must be equal.
+	c := PaperCosts()
+	n := c.BreakevenRate()
+	if mm, ss := c.MMCostPerSec(n), c.SSCostPerSec(n); !almost(mm, ss, 1e-9) {
+		t.Fatalf("at breakeven: MM=%v SS=%v", mm, ss)
+	}
+}
+
+func TestBreakevenEqualizesCostsProperty(t *testing.T) {
+	// Property: for any sane cost vector, costs are equal at breakeven and
+	// correctly ordered away from it.
+	f := func(mRaw, flRaw, pRaw, iRaw uint16) bool {
+		c := Costs{
+			DRAMPerByte:  1e-9 * (1 + float64(mRaw)),
+			FlashPerByte: 1e-10 * (1 + float64(flRaw)),
+			Processor:    100 + float64(pRaw),
+			IOPSCost:     10 + float64(iRaw),
+			ROPS:         4e6,
+			IOPS:         2e5,
+			PageSize:     2700,
+			R:            5.8,
+		}
+		n := c.BreakevenRate()
+		if !almost(c.MMCostPerSec(n), c.SSCostPerSec(n), 1e-9) {
+			return false
+		}
+		// Below breakeven SS is cheaper; above, MM is cheaper.
+		lo, hi := n/10, n*10
+		return c.SSCostPerSec(lo) < c.MMCostPerSec(lo) &&
+			c.MMCostPerSec(hi) < c.SSCostPerSec(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorageAndExecRatiosPaperNumbers(t *testing.T) {
+	// Section 4.2: storage MM/SS ≈ 11x, execution SS/MM ≈ 12x.
+	c := PaperCosts()
+	if got := c.StorageCostRatio(); got < 10 || got > 12 {
+		t.Fatalf("storage ratio = %v, paper says ≈ 11", got)
+	}
+	if got := c.ExecCostRatio(); got < 8 || got > 14 {
+		t.Fatalf("exec ratio = %v, paper says ≈ 12", got)
+	}
+}
+
+func TestRecordCachingExpandsBreakeven(t *testing.T) {
+	// Section 6.3: with 10 records per page, the record breakeven interval
+	// is 10x the page's.
+	c := PaperCosts()
+	page := c.BreakevenInterval()
+	record := c.BreakevenIntervalForSize(c.PageSize / 10)
+	if !almost(record, 10*page, 1e-9) {
+		t.Fatalf("record T_i = %v, want 10x page T_i %v", record, page)
+	}
+}
+
+func TestBreakevenIntervalForSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size=0 did not panic")
+		}
+	}()
+	PaperCosts().BreakevenIntervalForSize(0)
+}
+
+func TestWithRAndWithIOPS(t *testing.T) {
+	c := PaperCosts()
+	k := c.WithR(9)
+	if k.R != 9 || c.R != 5.8 {
+		t.Fatal("WithR must not mutate receiver")
+	}
+	// Section 7.1.1: a longer I/O path (bigger R) shrinks the breakeven
+	// interval? No — it *raises* SS execution cost, so pages must be colder
+	// before eviction pays: T_i grows with R.
+	if k.BreakevenInterval() <= c.BreakevenInterval() {
+		t.Fatal("higher R must increase T_i")
+	}
+	n := c.WithIOPS(5e5, 50)
+	if n.IOPS != 5e5 {
+		t.Fatal("WithIOPS did not apply")
+	}
+	// Section 7.1.2: more IOPS per dollar cuts the I/O cost term, shrinking T_i.
+	if n.BreakevenInterval() >= c.BreakevenInterval() {
+		t.Fatal("cheaper IOPS must decrease T_i")
+	}
+}
+
+func TestExecCostsComposition(t *testing.T) {
+	c := PaperCosts()
+	wantSS := c.IOPSCost/c.IOPS + c.R*c.Processor/c.ROPS
+	if got := c.SSExecCostPerOp(); !almost(got, wantSS, 1e-12) {
+		t.Fatalf("SSExecCostPerOp = %v, want %v", got, wantSS)
+	}
+	if got := c.MMExecCostPerOp(); !almost(got, c.Processor/c.ROPS, 1e-12) {
+		t.Fatalf("MMExecCostPerOp = %v", got)
+	}
+}

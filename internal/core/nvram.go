@@ -1,0 +1,207 @@
+package core
+
+import "fmt"
+
+// NVRAMParams extends the cost model with a non-volatile memory tier
+// (paper Section 8.2): priced between DRAM and flash, performing between
+// them, and accessed by load/store — an "NV operation" pays no I/O and no
+// context switch, only slower memory accesses.
+type NVRAMParams struct {
+	// CostPerByte is the NVRAM $/byte (between $M and $Fl).
+	CostPerByte float64
+	// SlowdownFactor is the execution multiplier of an NV operation
+	// relative to an MM operation (>= 1; fetching from NVRAM costs more
+	// than DRAM but "has much lower cost and performance impact than an SS
+	// operation which needs I/O").
+	SlowdownFactor float64
+}
+
+// DefaultNVRAM returns illustrative Section 8.2 parameters: 2.5x cheaper
+// than DRAM, 2x slower to operate on.
+func DefaultNVRAM() NVRAMParams {
+	return NVRAMParams{CostPerByte: 2e-9, SlowdownFactor: 2}
+}
+
+// Validate checks the parameters lie in the regime the paper discusses.
+func (p NVRAMParams) Validate(c Costs) error {
+	if p.CostPerByte <= 0 {
+		return fmt.Errorf("core: NVRAM cost %v must be positive", p.CostPerByte)
+	}
+	if p.CostPerByte >= c.DRAMPerByte {
+		return fmt.Errorf("core: NVRAM at %v not cheaper than DRAM %v", p.CostPerByte, c.DRAMPerByte)
+	}
+	if p.CostPerByte <= c.FlashPerByte {
+		return fmt.Errorf("core: NVRAM at %v not dearer than flash %v (then it would displace flash)",
+			p.CostPerByte, c.FlashPerByte)
+	}
+	if p.SlowdownFactor < 1 {
+		return fmt.Errorf("core: NVRAM slowdown %v must be >= 1", p.SlowdownFactor)
+	}
+	return nil
+}
+
+// NVCostPerSec returns the relative cost/sec of supporting n ops/sec on a
+// page resident in NVRAM. NVRAM is persistent, so — unlike the DRAM case
+// of Equation 4 — no separate flash copy is rented.
+//
+//	$NV = Ps*$NV + N * slowdown * $P/ROPS
+func (c Costs) NVCostPerSec(n float64, p NVRAMParams) float64 {
+	return c.PageSize*p.CostPerByte + n*p.SlowdownFactor*c.Processor/c.ROPS
+}
+
+// NVExecCostPerOp returns the execution-only cost of one NV operation.
+func (c Costs) NVExecCostPerOp(p NVRAMParams) float64 {
+	return p.SlowdownFactor * c.Processor / c.ROPS
+}
+
+// NVSSBreakevenRate returns the access rate above which NVRAM residency
+// beats flash + SS operations — the analogue of Equation 6 for the
+// DRAM/NVRAM boundary moved down one tier.
+//
+//	N* = ($NV - $Fl) * Ps / [ $I/IOPS + (R - slowdown) * $P/ROPS ]
+func (c Costs) NVSSBreakevenRate(p NVRAMParams) float64 {
+	storage := (p.CostPerByte - c.FlashPerByte) * c.PageSize
+	exec := c.IOPSCost/c.IOPS + (c.R-p.SlowdownFactor)*c.Processor/c.ROPS
+	if exec <= 0 {
+		return 0 // NV ops cost at least as much as SS ops: never worth it
+	}
+	return storage / exec
+}
+
+// MMNVBreakevenRate returns the access rate above which DRAM (plus its
+// durable flash copy) beats NVRAM residency.
+//
+//	N* = ($M + $Fl - $NV) * Ps / [ (slowdown - 1) * $P/ROPS ]
+func (c Costs) MMNVBreakevenRate(p NVRAMParams) float64 {
+	storage := (c.DRAMPerByte + c.FlashPerByte - p.CostPerByte) * c.PageSize
+	exec := (p.SlowdownFactor - 1) * c.Processor / c.ROPS
+	if exec <= 0 {
+		return 0 // NVRAM as fast as DRAM: it wins at every rate
+	}
+	return storage / exec
+}
+
+// TierChoice names the cheapest residence tier at a given access rate.
+type TierChoice int
+
+const (
+	// TierFlash: page on flash, SS operations.
+	TierFlash TierChoice = iota
+	// TierNVRAM: page in NVRAM, NV operations.
+	TierNVRAM
+	// TierDRAM: page in DRAM (durable copy on flash), MM operations.
+	TierDRAM
+)
+
+// String names the tier.
+func (t TierChoice) String() string {
+	switch t {
+	case TierFlash:
+		return "flash"
+	case TierNVRAM:
+		return "nvram"
+	default:
+		return "dram"
+	}
+}
+
+// CheapestTier returns which of flash/NVRAM/DRAM minimizes cost/sec at
+// access rate n — the three-tier storage hierarchy of Section 8.2.
+func (c Costs) CheapestTier(n float64, p NVRAMParams) TierChoice {
+	ss, nv, mm := c.SSCostPerSec(n), c.NVCostPerSec(n, p), c.MMCostPerSec(n)
+	switch {
+	case ss <= nv && ss <= mm:
+		return TierFlash
+	case nv <= mm:
+		return TierNVRAM
+	default:
+		return TierDRAM
+	}
+}
+
+// FigureNVRAM generates a Figure 8-style chart for the three-tier
+// hierarchy: flash (SS), NVRAM (NV), and DRAM (MM) cost lines across
+// access rates.
+func FigureNVRAM(c Costs, p NVRAMParams, n int) Figure {
+	be := c.BreakevenRate()
+	lo := c.NVSSBreakevenRate(p) / 100
+	if lo <= 0 {
+		lo = be / 1e4
+	}
+	rates := logspace(lo, be*100, n)
+	fig := Figure{
+		Title:  "NVRAM extension: three-tier residence costs (Section 8.2)",
+		XLabel: "accesses/sec",
+		YLabel: "relative cost/sec",
+	}
+	ss := Series{Name: "flash (SS)"}
+	nv := Series{Name: "nvram (NV)"}
+	mm := Series{Name: "dram (MM)"}
+	for _, r := range rates {
+		ss.Points = append(ss.Points, Point{r, c.SSCostPerSec(r)})
+		nv.Points = append(nv.Points, Point{r, c.NVCostPerSec(r, p)})
+		mm.Points = append(mm.Points, Point{r, c.MMCostPerSec(r)})
+	}
+	fig.Series = []Series{ss, nv, mm}
+	return fig
+}
+
+// CMMParams models compressed main memory — the closing idea of Section
+// 7.2: keep pages compressed in DRAM, paying decompression CPU on access
+// but renting compressed-size DRAM, as a fourth operation form between MM
+// and SS.
+type CMMParams struct {
+	// CompressionRatio is compressed/uncompressed size in (0, 1].
+	CompressionRatio float64
+	// DecompressOverhead is the extra CPU per operation as a multiple of
+	// the MM execution cost.
+	DecompressOverhead float64
+}
+
+// DefaultCMM returns illustrative parameters matching DefaultCSS.
+func DefaultCMM() CMMParams {
+	return CMMParams{CompressionRatio: 0.4, DecompressOverhead: 3}
+}
+
+// Validate checks the parameters are in range.
+func (p CMMParams) Validate() error {
+	if p.CompressionRatio <= 0 || p.CompressionRatio > 1 {
+		return fmt.Errorf("core: CMM ratio %v out of (0,1]", p.CompressionRatio)
+	}
+	if p.DecompressOverhead < 0 {
+		return fmt.Errorf("core: CMM overhead %v negative", p.DecompressOverhead)
+	}
+	return nil
+}
+
+// CMMCostPerSec returns the relative cost/sec of a page held compressed
+// in DRAM (durable copy compressed on flash too):
+//
+//	$CMM = Ps*ratio*($M + $Fl) + N * (1 + D) * $P/ROPS
+//
+// The paper conjectures "its total cost might well be lower than either"
+// pure-MM or SS in an intermediate band; CheapestOperationWithCMM finds
+// that band.
+func (c Costs) CMMCostPerSec(n float64, p CMMParams) float64 {
+	storage := c.PageSize * p.CompressionRatio * (c.DRAMPerByte + c.FlashPerByte)
+	exec := (1 + p.DecompressOverhead) * c.Processor / c.ROPS
+	return storage + n*exec
+}
+
+// CheapestOperationWithCMM compares all four forms (CSS, SS, CMM, MM) and
+// returns the per-second costs alongside the winner's name.
+func (c Costs) CheapestOperationWithCMM(n float64, css CSSParams, cmm CMMParams) (string, map[string]float64) {
+	costs := map[string]float64{
+		"CSS": c.CSSCostPerSec(n, css),
+		"SS":  c.SSCostPerSec(n),
+		"CMM": c.CMMCostPerSec(n, cmm),
+		"MM":  c.MMCostPerSec(n),
+	}
+	best, bestCost := "MM", costs["MM"]
+	for _, name := range []string{"CSS", "SS", "CMM"} {
+		if costs[name] < bestCost {
+			best, bestCost = name, costs[name]
+		}
+	}
+	return best, costs
+}

@@ -1,0 +1,143 @@
+package core
+
+import "testing"
+
+func TestDefaultNVRAMValidates(t *testing.T) {
+	c := PaperCosts()
+	if err := DefaultNVRAM().Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	bads := []NVRAMParams{
+		{CostPerByte: 0, SlowdownFactor: 2},
+		{CostPerByte: 6e-9, SlowdownFactor: 2},   // dearer than DRAM
+		{CostPerByte: 0.4e-9, SlowdownFactor: 2}, // cheaper than flash
+		{CostPerByte: 2e-9, SlowdownFactor: 0.5}, // faster than DRAM
+	}
+	for i, p := range bads {
+		if err := p.Validate(c); err == nil {
+			t.Errorf("case %d: %+v should be invalid", i, p)
+		}
+	}
+}
+
+func TestNVRAMThreeTierOrdering(t *testing.T) {
+	// Section 8.2: NVRAM sits between DRAM and flash on both storage cost
+	// and performance, giving three residence regimes.
+	c := PaperCosts()
+	p := DefaultNVRAM()
+	// Storage intercepts: flash < nvram < dram(+flash copy).
+	if !(c.SSCostPerSec(0) < c.NVCostPerSec(0, p) && c.NVCostPerSec(0, p) < c.MMCostPerSec(0)) {
+		t.Fatal("storage intercepts must order flash < nvram < dram")
+	}
+	// Execution: MM < NV < SS.
+	if !(c.MMExecCostPerOp() < c.NVExecCostPerOp(p) && c.NVExecCostPerOp(p) < c.SSExecCostPerOp()) {
+		t.Fatal("execution costs must order MM < NV < SS")
+	}
+	nvSS := c.NVSSBreakevenRate(p)
+	mmNV := c.MMNVBreakevenRate(p)
+	if nvSS <= 0 || mmNV <= 0 || nvSS >= mmNV {
+		t.Fatalf("tier boundaries out of order: NV/SS=%v MM/NV=%v", nvSS, mmNV)
+	}
+	if got := c.CheapestTier(nvSS/10, p); got != TierFlash {
+		t.Fatalf("cold: %v, want flash", got)
+	}
+	if got := c.CheapestTier((nvSS+mmNV)/2, p); got != TierNVRAM {
+		t.Fatalf("middle: %v, want nvram", got)
+	}
+	if got := c.CheapestTier(mmNV*10, p); got != TierDRAM {
+		t.Fatalf("hot: %v, want dram", got)
+	}
+}
+
+func TestNVRAMBreakevensEqualize(t *testing.T) {
+	c := PaperCosts()
+	p := DefaultNVRAM()
+	n1 := c.NVSSBreakevenRate(p)
+	if a, b := c.NVCostPerSec(n1, p), c.SSCostPerSec(n1); !almost(a, b, 1e-9) {
+		t.Fatalf("NV/SS breakeven: %v vs %v", a, b)
+	}
+	n2 := c.MMNVBreakevenRate(p)
+	if a, b := c.MMCostPerSec(n2), c.NVCostPerSec(n2, p); !almost(a, b, 1e-9) {
+		t.Fatalf("MM/NV breakeven: %v vs %v", a, b)
+	}
+}
+
+func TestNVRAMDegenerateCases(t *testing.T) {
+	c := PaperCosts()
+	// Slowdown 1: NVRAM as fast as DRAM -> DRAM never wins.
+	fast := NVRAMParams{CostPerByte: 2e-9, SlowdownFactor: 1}
+	if got := c.MMNVBreakevenRate(fast); got != 0 {
+		t.Fatalf("MM/NV breakeven = %v, want 0 (NVRAM dominates)", got)
+	}
+	// NV execution at least as dear as the whole SS operation (CPU share
+	// exceeding R plus the I/O rental): flash always wins.
+	slowEnough := c.R + (c.IOPSCost/c.IOPS)/(c.Processor/c.ROPS) + 1
+	slow := NVRAMParams{CostPerByte: 2e-9, SlowdownFactor: slowEnough}
+	if got := c.NVSSBreakevenRate(slow); got != 0 {
+		t.Fatalf("NV/SS breakeven = %v, want 0", got)
+	}
+}
+
+func TestFigureNVRAMRegimes(t *testing.T) {
+	c := PaperCosts()
+	p := DefaultNVRAM()
+	fig := FigureNVRAM(c, p, 301)
+	ss, nv, mm := fig.Series[0], fig.Series[1], fig.Series[2]
+	if !(ss.Points[0].Y < nv.Points[0].Y && nv.Points[0].Y < mm.Points[0].Y) {
+		t.Fatal("cold end should order flash < nvram < dram")
+	}
+	last := len(ss.Points) - 1
+	if !(mm.Points[last].Y < nv.Points[last].Y && nv.Points[last].Y < ss.Points[last].Y) {
+		t.Fatal("hot end should order dram < nvram < flash")
+	}
+}
+
+func TestCMMValidate(t *testing.T) {
+	if err := DefaultCMM().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []CMMParams{
+		{CompressionRatio: 0, DecompressOverhead: 1},
+		{CompressionRatio: 2, DecompressOverhead: 1},
+		{CompressionRatio: 0.5, DecompressOverhead: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", bad)
+		}
+	}
+}
+
+func TestCMMIntermediateBand(t *testing.T) {
+	// The paper's conjecture: compressed main memory can beat both pure MM
+	// (less DRAM rent) and SS (no I/O) in an intermediate band.
+	c := PaperCosts()
+	css := DefaultCSS()
+	cmm := DefaultCMM()
+	foundCMM := false
+	be := c.BreakevenRate()
+	for mult := 1e-3; mult < 1e3; mult *= 1.3 {
+		best, costs := c.CheapestOperationWithCMM(be*mult, css, cmm)
+		if best == "CMM" {
+			foundCMM = true
+			if costs["CMM"] >= costs["MM"] || costs["CMM"] >= costs["SS"] {
+				t.Fatal("winner not actually cheapest")
+			}
+		}
+	}
+	if !foundCMM {
+		t.Fatal("no access rate where compressed main memory wins; Section 7.2's band missing")
+	}
+	// At the extremes the usual winners hold.
+	if best, _ := c.CheapestOperationWithCMM(be*1e-4, css, cmm); best != "CSS" {
+		t.Fatalf("coldest regime winner = %s, want CSS", best)
+	}
+	if best, _ := c.CheapestOperationWithCMM(be*1e4, css, cmm); best != "MM" {
+		t.Fatalf("hottest regime winner = %s, want MM", best)
+	}
+}
+
+func TestTierChoiceString(t *testing.T) {
+	if TierFlash.String() != "flash" || TierNVRAM.String() != "nvram" || TierDRAM.String() != "dram" {
+		t.Fatal("tier strings")
+	}
+}

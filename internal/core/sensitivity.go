@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sensitivity analysis: how strongly the five-minute-rule breakeven T_i
+// (Equation 6) responds to each infrastructure parameter. The paper's
+// narrative is exactly such a sensitivity argument — falling IOPS prices
+// shrink T_i (Section 7.1.2), longer I/O paths grow it (Section 7.1.1),
+// cheaper DRAM grows it — made quantitative here as elasticities.
+
+// Parameter names accepted by BreakevenElasticity.
+const (
+	ParamDRAM      = "dram"      // $M
+	ParamFlash     = "flash"     // $Fl
+	ParamProcessor = "processor" // $P
+	ParamIOPSCost  = "iopscost"  // $I
+	ParamROPS      = "rops"
+	ParamIOPS      = "iops"
+	ParamPageSize  = "pagesize"
+	ParamR         = "r"
+)
+
+// AllParams lists every parameter the sensitivity analysis covers.
+func AllParams() []string {
+	return []string{ParamDRAM, ParamFlash, ParamProcessor, ParamIOPSCost,
+		ParamROPS, ParamIOPS, ParamPageSize, ParamR}
+}
+
+// withParam returns a copy of c with the named parameter scaled by factor.
+func (c Costs) withParam(name string, factor float64) (Costs, error) {
+	switch name {
+	case ParamDRAM:
+		c.DRAMPerByte *= factor
+	case ParamFlash:
+		c.FlashPerByte *= factor
+	case ParamProcessor:
+		c.Processor *= factor
+	case ParamIOPSCost:
+		c.IOPSCost *= factor
+	case ParamROPS:
+		c.ROPS *= factor
+	case ParamIOPS:
+		c.IOPS *= factor
+	case ParamPageSize:
+		c.PageSize *= factor
+	case ParamR:
+		c.R = 1 + (c.R-1)*factor // scale the excess over 1 to stay valid
+	default:
+		return c, fmt.Errorf("core: unknown parameter %q", name)
+	}
+	return c, nil
+}
+
+// BreakevenElasticity returns d(ln T_i)/d(ln param): the percentage change
+// in the breakeven interval per percent change in the parameter, estimated
+// by a central finite difference. Negative means increasing the parameter
+// shrinks T_i.
+func (c Costs) BreakevenElasticity(param string) (float64, error) {
+	const h = 1e-4
+	up, err := c.withParam(param, 1+h)
+	if err != nil {
+		return 0, err
+	}
+	down, err := c.withParam(param, 1-h)
+	if err != nil {
+		return 0, err
+	}
+	tiUp, tiDown := up.BreakevenInterval(), down.BreakevenInterval()
+	if tiUp <= 0 || tiDown <= 0 {
+		return 0, fmt.Errorf("core: breakeven degenerate under %q perturbation", param)
+	}
+	// d ln(Ti) / d ln(p) ≈ (ln tiUp - ln tiDown) / (ln(1+h) - ln(1-h))
+	return (math.Log(tiUp) - math.Log(tiDown)) / (math.Log(1+h) - math.Log(1-h)), nil
+}
+
+// BreakevenSensitivities returns the elasticity of T_i for every
+// parameter, keyed by parameter name.
+func (c Costs) BreakevenSensitivities() (map[string]float64, error) {
+	out := make(map[string]float64, 8)
+	for _, p := range AllParams() {
+		e, err := c.BreakevenElasticity(p)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = e
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakevenElasticitySigns(t *testing.T) {
+	// The paper's qualitative claims as signs of d(ln T_i)/d(ln p):
+	//   cheaper DRAM (dram up)     -> T_i shrinks  (negative)
+	//   bigger pages               -> T_i shrinks  (negative)
+	//   dearer I/O capability ($I) -> T_i grows    (positive)
+	//   more IOPS                  -> T_i shrinks  (negative, Section 7.1.2)
+	//   dearer processor           -> T_i grows
+	//   faster processor (ROPS up) -> T_i shrinks
+	//   longer I/O path (R up)     -> T_i grows    (Section 7.1.1)
+	c := PaperCosts()
+	wantSign := map[string]float64{
+		ParamDRAM:      -1,
+		ParamPageSize:  -1,
+		ParamIOPSCost:  +1,
+		ParamIOPS:      -1,
+		ParamProcessor: +1,
+		ParamROPS:      -1,
+		ParamR:         +1,
+	}
+	for p, sign := range wantSign {
+		e, err := c.BreakevenElasticity(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if e*sign <= 0 {
+			t.Errorf("elasticity(%s) = %v, want sign %v", p, e, sign)
+		}
+	}
+	// Flash price does not appear in Equation 6 at all.
+	e, err := c.BreakevenElasticity(ParamFlash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e) > 1e-6 {
+		t.Errorf("elasticity(flash) = %v, want ~0", e)
+	}
+}
+
+func TestBreakevenElasticityExactUnits(t *testing.T) {
+	// T_i = [I/IOPS + (R-1)P/ROPS] / (M*Ps): exactly inverse-linear in $M
+	// and Ps — elasticity -1.
+	c := PaperCosts()
+	for _, p := range []string{ParamDRAM, ParamPageSize} {
+		e, err := c.BreakevenElasticity(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e+1) > 1e-6 {
+			t.Errorf("elasticity(%s) = %v, want -1 exactly", p, e)
+		}
+	}
+}
+
+func TestBreakevenSensitivitiesComplete(t *testing.T) {
+	s, err := PaperCosts().BreakevenSensitivities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != len(AllParams()) {
+		t.Fatalf("got %d sensitivities, want %d", len(s), len(AllParams()))
+	}
+	// The I/O-side elasticities must sum against the memory side: the two
+	// additive terms' elasticities w.r.t. their own prices sum to +1.
+	if got := s[ParamIOPSCost] + s[ParamProcessor]; math.Abs(got-1) > 1e-6 {
+		t.Fatalf("cost-term elasticities sum to %v, want 1", got)
+	}
+}
+
+func TestBreakevenElasticityUnknownParam(t *testing.T) {
+	if _, err := PaperCosts().BreakevenElasticity("warpdrive"); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+}

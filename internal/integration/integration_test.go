@@ -1,0 +1,434 @@
+// Package integration_test exercises the full Deuteronomy stack — TC over
+// Bw-tree over LLAMA (cache manager + log store) over the simulated SSD —
+// through lifecycles no single package test covers: failure injection,
+// repeated checkpoint/crash/recover cycles, GC racing with eviction, and
+// eviction policies under live concurrent load.
+package integration_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"costperf/internal/bwtree"
+	"costperf/internal/core"
+	"costperf/internal/llama"
+	"costperf/internal/llama/logstore"
+	"costperf/internal/sim"
+	"costperf/internal/ssd"
+	"costperf/internal/tc"
+	"costperf/internal/workload"
+)
+
+type fullStack struct {
+	sess *sim.Session
+	dev  *ssd.Device
+	st   *logstore.Store
+	tree *bwtree.Tree
+	mgr  *llama.Manager
+}
+
+func buildStack(t testing.TB) *fullStack {
+	t.Helper()
+	sess := sim.NewSession(sim.DefaultCosts())
+	dev := ssd.New(ssd.SamsungSSD)
+	st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 16, SegmentBytes: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := bwtree.New(bwtree.Config{Store: st, Session: sess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := llama.NewManager(llama.Config{
+		Owner:            tree,
+		Clock:            sess.Clock(),
+		Policy:           llama.PolicyBreakeven,
+		BreakevenSeconds: core.PaperCosts().BreakevenInterval(),
+		RetainDeltas:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fullStack{sess: sess, dev: dev, st: st, tree: tree, mgr: mgr}
+}
+
+func TestDeviceReadFailureSurfacesAndRecovers(t *testing.T) {
+	s := buildStack(t)
+	for i := 0; i < 1000; i++ {
+		if err := s.tree.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pid := range s.tree.Pages() {
+		if err := s.tree.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.st.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	s.dev.FailNextReads(1)
+	if _, _, err := s.tree.Get(workload.Key(0)); !errors.Is(err, ssd.ErrInjectedRead) {
+		t.Fatalf("injected failure not surfaced: %v", err)
+	}
+	// The failure must not corrupt anything: the next read succeeds and
+	// all data remains reachable.
+	for i := 0; i < 1000; i++ {
+		v, ok, err := s.tree.Get(workload.Key(uint64(i)))
+		if err != nil || !ok || !bytes.Equal(v, workload.ValueFor(uint64(i), 64)) {
+			t.Fatalf("key %d after failure: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestDeviceWriteFailureSurfacesAndRecovers(t *testing.T) {
+	s := buildStack(t)
+	for i := 0; i < 500; i++ {
+		if err := s.tree.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.dev.SetWriteFailureRate(1.0)
+	// A flush that needs device writes must fail...
+	err := error(nil)
+	for _, pid := range s.tree.Pages() {
+		if e := s.tree.FlushPage(pid); e != nil {
+			err = e
+		}
+	}
+	if e := s.st.Flush(nil); e != nil {
+		err = e
+	}
+	if !errors.Is(err, ssd.ErrInjectedWrite) {
+		t.Fatalf("write failure not surfaced: %v", err)
+	}
+	// ...and succeed after the fault clears.
+	s.dev.SetWriteFailureRate(0)
+	for _, pid := range s.tree.Pages() {
+		if err := s.tree.FlushPage(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.st.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range s.tree.Pages() {
+		if err := s.tree.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if _, ok, err := s.tree.Get(workload.Key(uint64(i))); err != nil || !ok {
+			t.Fatalf("key %d after fault recovery: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestRepeatedCheckpointCrashRecover(t *testing.T) {
+	// Crash-point sweep: after each checkpointed batch, "crash" (drop all
+	// in-memory state) and recover from the device; everything up to the
+	// checkpoint must be present.
+	dev := ssd.New(ssd.SamsungSSD)
+	openStack := func() (*logstore.Store, *bwtree.Tree) {
+		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 16, SegmentBytes: 1 << 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := bwtree.Open(bwtree.Config{Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, tree
+	}
+
+	st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 16, SegmentBytes: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := bwtree.New(bwtree.Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches, perBatch = 6, 400
+	for b := 0; b < batches; b++ {
+		for i := 0; i < perBatch; i++ {
+			id := uint64(b*perBatch + i)
+			if err := tree.Insert(workload.Key(id), workload.ValueFor(id, 48)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Also mutate old data so delta flushing and supersession happen.
+		if b > 0 {
+			for i := 0; i < 50; i++ {
+				id := uint64(i * b)
+				if err := tree.Insert(workload.Key(id), workload.ValueFor(id+7, 48)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := tree.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		// Crash: reopen from the device only.
+		st.Close()
+		st, tree = openStack()
+		count, err := tree.Len()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := (b + 1) * perBatch; count != want {
+			t.Fatalf("after crash %d: %d keys, want %d", b, count, want)
+		}
+		// Spot-check content including the superseded keys.
+		if b > 0 {
+			for i := 1; i < 50; i++ {
+				id := uint64(i * b)
+				v, ok, err := tree.Get(workload.Key(id))
+				if err != nil || !ok {
+					t.Fatalf("crash %d key %d: ok=%v err=%v", b, id, ok, err)
+				}
+				if !bytes.Equal(v, workload.ValueFor(id+7, 48)) {
+					t.Fatalf("crash %d key %d stale value", b, id)
+				}
+			}
+		}
+	}
+}
+
+func TestGCAndEvictionCycles(t *testing.T) {
+	s := buildStack(t)
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		if err := s.tree.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for cycle := 0; cycle < 6; cycle++ {
+		// Update a random third of the keys.
+		for i := 0; i < keys/3; i++ {
+			id := uint64(rng.Intn(keys))
+			if err := s.tree.Insert(workload.Key(id), workload.ValueFor(id+uint64(cycle), 128)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, pid := range s.tree.Pages() {
+			if err := s.tree.FlushPage(pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.st.Flush(nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.st.CollectSegment(s.tree.RelocateForGC, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Age and evict.
+		s.sess.Clock().Advance(100)
+		if _, err := s.mgr.Sweep(); err != nil {
+			t.Fatal(err)
+		}
+		// Everything still reachable.
+		for i := 0; i < keys; i += 97 {
+			if _, ok, err := s.tree.Get(workload.Key(uint64(i))); err != nil || !ok {
+				t.Fatalf("cycle %d key %d: ok=%v err=%v", cycle, i, ok, err)
+			}
+		}
+	}
+	if s.st.Stats().GCRuns.Value() == 0 {
+		t.Fatal("GC never ran")
+	}
+	if s.tree.Stats().PageEvictions.Value() == 0 {
+		t.Fatal("no evictions")
+	}
+}
+
+func TestConcurrentWorkloadWithEvictionSweeps(t *testing.T) {
+	s := buildStack(t)
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		if err := s.tree.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var sweeper sync.WaitGroup
+	// Background sweeper aging pages and evicting.
+	sweeper.Add(1)
+	go func() {
+		defer sweeper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.sess.Clock().Advance(50)
+			if _, err := s.mgr.Sweep(); err != nil {
+				t.Errorf("sweep: %v", err)
+				return
+			}
+		}
+	}()
+	// Foreground workers reading and writing.
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				id := uint64(rng.Intn(keys))
+				if rng.Intn(3) == 0 {
+					if err := s.tree.Insert(workload.Key(id), workload.ValueFor(id, 64)); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				} else {
+					if _, _, err := s.tree.Get(workload.Key(id)); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	workers.Wait()
+	close(stop)
+	sweeper.Wait()
+	// Structural sanity after the storm.
+	if err := s.tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransactionalStackSurvivesEvictionAndGC(t *testing.T) {
+	s := buildStack(t)
+	logDev := ssd.New(ssd.SamsungSSD)
+	c, err := tc.New(tc.Config{DC: s.tree, LogDevice: logDev, Session: s.sess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const accounts = 500
+	setup, _ := c.Begin()
+	for i := uint64(0); i < accounts; i++ {
+		setup.Write(workload.Key(i), []byte(fmt.Sprintf("v0-%d", i)))
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 5; round++ {
+		for i := 0; i < 200; i++ {
+			tx, _ := c.Begin()
+			id := uint64((round * i) % accounts)
+			if _, _, err := tx.Read(workload.Key(id)); err != nil {
+				t.Fatal(err)
+			}
+			tx.Write(workload.Key(id), []byte(fmt.Sprintf("v%d-%d", round, id)))
+			if err := tx.Commit(); err != nil && !errors.Is(err, tc.ErrConflict) {
+				t.Fatal(err)
+			}
+		}
+		c.GC()
+		s.sess.Clock().Advance(100)
+		if _, err := s.mgr.Sweep(); err != nil {
+			t.Fatal(err)
+		}
+		for _, pid := range s.tree.Pages() {
+			if err := s.tree.FlushPage(pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.st.Flush(nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.st.CollectSegment(s.tree.RelocateForGC, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every account readable through a fresh snapshot.
+	tx, _ := c.Begin()
+	for i := uint64(0); i < accounts; i++ {
+		if _, ok, err := tx.Read(workload.Key(i)); err != nil || !ok {
+			t.Fatalf("account %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// And the recovery log replays into a fresh stack.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildStack(t)
+	if _, applied, err := tc.Recover(logDev, fresh.tree); err != nil || applied == 0 {
+		t.Fatalf("recover: applied=%d err=%v", applied, err)
+	}
+	for i := uint64(0); i < accounts; i++ {
+		if _, ok, err := fresh.tree.Get(workload.Key(i)); err != nil || !ok {
+			t.Fatalf("recovered account %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestMeasuredQuantitiesFeedModelConsistently(t *testing.T) {
+	// End-to-end: measure R on the stack, plug it into the model, and
+	// check the derived breakeven behaves (the full loop the paper runs).
+	s := buildStack(t)
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		if err := s.tree.Insert(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm reads for P0.
+	for i := 0; i < keys; i++ {
+		if _, _, err := s.tree.Get(workload.Key(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.sess.Tracker().Reset()
+	for i := 0; i < 2000; i++ {
+		if _, _, err := s.tree.Get(workload.Key(uint64(i * 3 % keys))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p0 := s.sess.Tracker().Throughput()
+	// Cold reads for PF.
+	for _, pid := range s.tree.Pages() {
+		if err := s.tree.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.st.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	s.sess.Tracker().Reset()
+	for i := 0; i < 300; i++ {
+		if _, _, err := s.tree.Get(workload.Key(uint64(i * 64 % keys))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tk := s.sess.Tracker()
+	f := tk.MissFraction()
+	pf := tk.Throughput()
+	r, err := core.DeriveR(p0, pf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 2 || r > 30 {
+		t.Fatalf("measured R = %v, implausible", r)
+	}
+	costs := core.PaperCosts().WithR(r)
+	if err := costs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ti := costs.BreakevenInterval()
+	base := core.PaperCosts().BreakevenInterval()
+	// Larger measured R (longer SS path than the paper's 5.8) must push
+	// T_i up, and vice versa.
+	if (r > 5.8) != (ti > base) {
+		t.Fatalf("R=%v, T_i=%v vs base %v: direction inconsistent", r, ti, base)
+	}
+}

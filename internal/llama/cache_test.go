@@ -1,0 +1,246 @@
+package llama
+
+import (
+	"errors"
+	"testing"
+
+	"costperf/internal/llama/mapping"
+)
+
+// fakeOwner is a PageOwner backed by plain maps.
+type fakeOwner struct {
+	pages    []mapping.PID
+	resident map[mapping.PID]bool
+	last     map[mapping.PID]float64
+	size     map[mapping.PID]int64
+	evictErr error
+	evicts   []mapping.PID
+	retained []bool
+}
+
+func newFakeOwner() *fakeOwner {
+	return &fakeOwner{
+		resident: map[mapping.PID]bool{},
+		last:     map[mapping.PID]float64{},
+		size:     map[mapping.PID]int64{},
+	}
+}
+
+func (f *fakeOwner) add(pid mapping.PID, last float64, size int64) {
+	f.pages = append(f.pages, pid)
+	f.resident[pid] = true
+	f.last[pid] = last
+	f.size[pid] = size
+}
+
+func (f *fakeOwner) EvictPage(pid mapping.PID, retain bool) error {
+	if f.evictErr != nil {
+		return f.evictErr
+	}
+	f.resident[pid] = false
+	f.evicts = append(f.evicts, pid)
+	f.retained = append(f.retained, retain)
+	return nil
+}
+func (f *fakeOwner) PageResident(pid mapping.PID) bool  { return f.resident[pid] }
+func (f *fakeOwner) LastAccess(pid mapping.PID) float64 { return f.last[pid] }
+func (f *fakeOwner) Pages() []mapping.PID               { return f.pages }
+func (f *fakeOwner) footprint() int64 {
+	var n int64
+	for pid, r := range f.resident {
+		if r {
+			n += f.size[pid]
+		}
+	}
+	return n
+}
+
+type fixedClock float64
+
+func (c fixedClock) Now() float64 { return float64(c) }
+
+func TestPolicyString(t *testing.T) {
+	if PolicyNone.String() != "none" || PolicyLRU.String() != "lru" || PolicyBreakeven.String() != "breakeven" {
+		t.Fatal("policy strings")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	owner := newFakeOwner()
+	cases := []Config{
+		{Clock: fixedClock(0)}, // nil owner
+		{Owner: owner},         // nil clock
+		{Owner: owner, Clock: fixedClock(0), Policy: PolicyBreakeven},            // no T_i
+		{Owner: owner, Clock: fixedClock(0), Policy: PolicyLRU, BudgetBytes: 10}, // no footprint fn
+	}
+	for i, cfg := range cases {
+		if _, err := NewManager(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPolicyNoneNeverEvicts(t *testing.T) {
+	owner := newFakeOwner()
+	owner.add(1, 0, 100)
+	m, err := NewManager(Config{Owner: owner, Clock: fixedClock(1000), Policy: PolicyNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Sweep()
+	if err != nil || n != 0 {
+		t.Fatalf("sweep = %d, %v", n, err)
+	}
+}
+
+func TestBreakevenEvictsOnlyColdPages(t *testing.T) {
+	owner := newFakeOwner()
+	owner.add(1, 100, 10) // idle 50s at now=150
+	owner.add(2, 140, 10) // idle 10s
+	owner.add(3, 10, 10)  // idle 140s
+	m, err := NewManager(Config{
+		Owner: owner, Clock: fixedClock(150),
+		Policy: PolicyBreakeven, BreakevenSeconds: 45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("evicted %d, want 2 (pages idle > 45 s)", n)
+	}
+	if owner.resident[1] || owner.resident[3] {
+		t.Fatal("cold pages should be evicted")
+	}
+	if !owner.resident[2] {
+		t.Fatal("hot page should stay")
+	}
+	if m.Stats().BreakevenEvicts.Value() != 2 {
+		t.Fatal("breakeven evicts not counted")
+	}
+}
+
+func TestLRUBudgetEvictsColdestFirst(t *testing.T) {
+	owner := newFakeOwner()
+	owner.add(1, 10, 100)
+	owner.add(2, 20, 100)
+	owner.add(3, 30, 100)
+	m, err := NewManager(Config{
+		Owner: owner, Clock: fixedClock(100), Policy: PolicyLRU,
+		BudgetBytes: 150, FootprintFn: owner.footprint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("evicted %d, want 2 to get under 150 bytes", n)
+	}
+	if owner.evicts[0] != 1 || owner.evicts[1] != 2 {
+		t.Fatalf("eviction order = %v, want coldest first [1 2]", owner.evicts)
+	}
+	if !owner.resident[3] {
+		t.Fatal("hottest page evicted")
+	}
+}
+
+func TestLRUUnderBudgetNoEvicts(t *testing.T) {
+	owner := newFakeOwner()
+	owner.add(1, 10, 50)
+	m, err := NewManager(Config{
+		Owner: owner, Clock: fixedClock(100), Policy: PolicyLRU,
+		BudgetBytes: 100, FootprintFn: owner.footprint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := m.Sweep(); n != 0 {
+		t.Fatalf("evicted %d under budget", n)
+	}
+}
+
+func TestBreakevenPlusBudget(t *testing.T) {
+	// Breakeven pass evicts the very cold page; budget pass evicts more.
+	owner := newFakeOwner()
+	owner.add(1, 0, 100)  // idle 100s -> breakeven evict
+	owner.add(2, 90, 100) // idle 10s
+	owner.add(3, 95, 100) // idle 5s
+	m, err := NewManager(Config{
+		Owner: owner, Clock: fixedClock(100), Policy: PolicyBreakeven,
+		BreakevenSeconds: 45, BudgetBytes: 100, FootprintFn: owner.footprint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("evicted %d, want 2 (1 breakeven + 1 budget)", n)
+	}
+	if m.Stats().BreakevenEvicts.Value() != 1 || m.Stats().BudgetEvicts.Value() != 1 {
+		t.Fatalf("evict breakdown wrong: %d breakeven, %d budget",
+			m.Stats().BreakevenEvicts.Value(), m.Stats().BudgetEvicts.Value())
+	}
+	if !owner.resident[3] {
+		t.Fatal("hottest page evicted")
+	}
+}
+
+func TestRetainDeltasPropagated(t *testing.T) {
+	owner := newFakeOwner()
+	owner.add(1, 0, 10)
+	m, err := NewManager(Config{
+		Owner: owner, Clock: fixedClock(100), Policy: PolicyBreakeven,
+		BreakevenSeconds: 45, RetainDeltas: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	if len(owner.retained) != 1 || !owner.retained[0] {
+		t.Fatal("retainDeltas not propagated to owner")
+	}
+}
+
+func TestSweepPropagatesOwnerError(t *testing.T) {
+	owner := newFakeOwner()
+	owner.add(1, 0, 10)
+	owner.evictErr = errors.New("boom")
+	m, err := NewManager(Config{
+		Owner: owner, Clock: fixedClock(100), Policy: PolicyBreakeven, BreakevenSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Sweep(); err == nil {
+		t.Fatal("owner error swallowed")
+	}
+}
+
+func TestNonResidentSkipped(t *testing.T) {
+	owner := newFakeOwner()
+	owner.add(1, 0, 10)
+	owner.resident[1] = false
+	m, err := NewManager(Config{
+		Owner: owner, Clock: fixedClock(100), Policy: PolicyBreakeven, BreakevenSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := m.Sweep(); n != 0 {
+		t.Fatalf("evicted non-resident page")
+	}
+	if m.Stats().CandidatesSkipped.Value() != 1 {
+		t.Fatal("skip not counted")
+	}
+}

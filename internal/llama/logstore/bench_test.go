@@ -1,0 +1,87 @@
+package logstore
+
+import (
+	"testing"
+
+	"costperf/internal/ssd"
+)
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	s, err := Open(Config{Device: ssd.New(ssd.SamsungSSD), BufferBytes: 1 << 20, SegmentBytes: 4 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkAppend(b *testing.B) {
+	s := benchStore(b)
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Append(uint64(i), KindBase, payload, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBuffered(b *testing.B) {
+	s := benchStore(b)
+	payload := make([]byte, 256)
+	addr, err := s.Append(1, KindBase, payload, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(addr, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadDurable(b *testing.B) {
+	s := benchStore(b)
+	payload := make([]byte, 256)
+	addr, err := s.Append(1, KindBase, payload, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Flush(nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(addr, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGCPass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchStore(b)
+		payload := make([]byte, 2048)
+		var addrs []Address
+		for j := 0; j < 4096; j++ {
+			a, err := s.Append(uint64(j), KindBase, payload, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs = append(addrs, a)
+		}
+		if err := s.Flush(nil); err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range addrs[:len(addrs)/2] {
+			s.Invalidate(a)
+		}
+		b.StartTimer()
+		if _, err := s.CollectSegment(func(Record, Address) bool { return false }, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package mapping implements LLAMA's latch-free mapping table (paper
+// Figure 4): an indirection from logical page identifiers (PIDs) to the
+// current state of the page. The mapping table is the central enabler of
+// the Bw-tree's latch-free delta updating — installing a new page state is
+// a single compare-and-swap on the PID's entry — and of blind updates,
+// since a delta can be prepended to an entry whose base page lives only on
+// secondary storage.
+//
+// Entries are generic over the page-state type S; states must be treated
+// as immutable once published.
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PID is a logical page identifier. PID 0 is reserved as "nil".
+type PID uint64
+
+// NilPID is the reserved invalid PID.
+const NilPID PID = 0
+
+// ErrFull is returned by Allocate when the table reached its configured
+// maximum size.
+var ErrFull = errors.New("mapping: table full")
+
+const (
+	segmentBits = 16
+	segmentSize = 1 << segmentBits // entries per segment
+	segmentMask = segmentSize - 1
+)
+
+// Table is a latch-free mapping table from PID to *S. Reads and CAS
+// installs are lock-free; only segment growth takes a lock.
+type Table[S any] struct {
+	mu       sync.Mutex // guards segment growth and the free list
+	segments atomic.Pointer[[]*segment[S]]
+	next     atomic.Uint64 // next never-used PID
+	free     []PID         // recycled PIDs
+	maxPIDs  uint64
+}
+
+type segment[S any] struct {
+	slots [segmentSize]atomic.Pointer[S]
+}
+
+// New returns a table that can hold up to maxPIDs live pages (0 means
+// practically unbounded).
+func New[S any](maxPIDs uint64) *Table[S] {
+	t := &Table[S]{maxPIDs: maxPIDs}
+	t.next.Store(1) // PID 0 reserved
+	segs := make([]*segment[S], 0, 4)
+	t.segments.Store(&segs)
+	return t
+}
+
+// Allocate reserves a fresh PID with a nil state.
+func (t *Table[S]) Allocate() (PID, error) {
+	t.mu.Lock()
+	if n := len(t.free); n > 0 {
+		pid := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.mu.Unlock()
+		return pid, nil
+	}
+	pid := PID(t.next.Load())
+	if t.maxPIDs != 0 && uint64(pid) > t.maxPIDs {
+		t.mu.Unlock()
+		return NilPID, ErrFull
+	}
+	t.next.Add(1)
+	t.ensureSegmentLocked(pid)
+	t.mu.Unlock()
+	return pid, nil
+}
+
+// ensureSegmentLocked grows the segment directory to cover pid.
+// Caller holds t.mu.
+func (t *Table[S]) ensureSegmentLocked(pid PID) {
+	idx := int(uint64(pid) >> segmentBits)
+	cur := *t.segments.Load()
+	if idx < len(cur) && cur[idx] != nil {
+		return
+	}
+	grown := make([]*segment[S], idx+1)
+	copy(grown, cur)
+	for i := range grown {
+		if grown[i] == nil {
+			grown[i] = &segment[S]{}
+		}
+	}
+	t.segments.Store(&grown)
+}
+
+// Free recycles a PID. The caller must guarantee no concurrent users of
+// the PID remain (in the Bw-tree this follows a remove-node protocol).
+func (t *Table[S]) Free(pid PID) {
+	if pid == NilPID {
+		panic("mapping: freeing nil PID")
+	}
+	t.slot(pid).Store(nil)
+	t.mu.Lock()
+	t.free = append(t.free, pid)
+	t.mu.Unlock()
+}
+
+func (t *Table[S]) slot(pid PID) *atomic.Pointer[S] {
+	segs := *t.segments.Load()
+	idx := int(uint64(pid) >> segmentBits)
+	if pid == NilPID || idx >= len(segs) || segs[idx] == nil {
+		panic(fmt.Sprintf("mapping: PID %d out of range", pid))
+	}
+	return &segs[idx].slots[uint64(pid)&segmentMask]
+}
+
+// Get returns the current state for pid (nil if unset).
+func (t *Table[S]) Get(pid PID) *S {
+	return t.slot(pid).Load()
+}
+
+// CompareAndSwap atomically installs next if the entry still holds old.
+// This is the latch-free update primitive of the Bw-tree: prepend a delta
+// or install a consolidated page in one CAS.
+func (t *Table[S]) CompareAndSwap(pid PID, old, next *S) bool {
+	return t.slot(pid).CompareAndSwap(old, next)
+}
+
+// Store unconditionally installs a state (used during recovery and bulk
+// load when no concurrent access exists).
+func (t *Table[S]) Store(pid PID, s *S) {
+	t.mu.Lock()
+	t.ensureSegmentLocked(pid)
+	if uint64(pid) >= t.next.Load() {
+		t.next.Store(uint64(pid) + 1)
+	}
+	t.mu.Unlock()
+	t.slot(pid).Store(s)
+}
+
+// MaxPID returns the highest PID ever allocated (0 when none).
+func (t *Table[S]) MaxPID() PID {
+	return PID(t.next.Load() - 1)
+}
+
+// Range calls fn for every PID with a non-nil state, stopping early if fn
+// returns false. It observes a weakly consistent snapshot.
+func (t *Table[S]) Range(fn func(PID, *S) bool) {
+	segs := *t.segments.Load()
+	for si, seg := range segs {
+		if seg == nil {
+			continue
+		}
+		for i := 0; i < segmentSize; i++ {
+			pid := PID(uint64(si)<<segmentBits | uint64(i))
+			if pid == NilPID {
+				continue
+			}
+			if s := seg.slots[i].Load(); s != nil {
+				if !fn(pid, s) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package mapping
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type state struct{ v int }
+
+func TestAllocateDistinctPIDs(t *testing.T) {
+	tb := New[state](0)
+	seen := map[PID]bool{}
+	for i := 0; i < 1000; i++ {
+		pid, err := tb.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pid == NilPID {
+			t.Fatal("allocated nil PID")
+		}
+		if seen[pid] {
+			t.Fatalf("duplicate PID %d", pid)
+		}
+		seen[pid] = true
+	}
+}
+
+func TestGetStoreCAS(t *testing.T) {
+	tb := New[state](0)
+	pid, _ := tb.Allocate()
+	if got := tb.Get(pid); got != nil {
+		t.Fatalf("fresh entry = %v, want nil", got)
+	}
+	a := &state{1}
+	if !tb.CompareAndSwap(pid, nil, a) {
+		t.Fatal("CAS from nil failed")
+	}
+	if got := tb.Get(pid); got != a {
+		t.Fatal("Get did not return installed state")
+	}
+	b := &state{2}
+	if tb.CompareAndSwap(pid, nil, b) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if !tb.CompareAndSwap(pid, a, b) {
+		t.Fatal("valid CAS failed")
+	}
+	if got := tb.Get(pid); got != b {
+		t.Fatal("state not updated")
+	}
+}
+
+func TestMaxPIDsEnforced(t *testing.T) {
+	tb := New[state](3)
+	for i := 0; i < 3; i++ {
+		if _, err := tb.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tb.Allocate(); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestFreeRecycles(t *testing.T) {
+	tb := New[state](0)
+	pid, _ := tb.Allocate()
+	tb.Store(pid, &state{7})
+	tb.Free(pid)
+	if got := tb.Get(pid); got != nil {
+		t.Fatal("freed entry not cleared")
+	}
+	pid2, _ := tb.Allocate()
+	if pid2 != pid {
+		t.Fatalf("recycled PID = %d, want %d", pid2, pid)
+	}
+}
+
+func TestFreeNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free(NilPID) did not panic")
+		}
+	}()
+	New[state](0).Free(NilPID)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tb := New[state](0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get of unallocated far PID did not panic")
+		}
+	}()
+	tb.Get(PID(1 << 40))
+}
+
+func TestStoreBeyondAllocated(t *testing.T) {
+	// Recovery installs states at arbitrary PIDs.
+	tb := New[state](0)
+	tb.Store(PID(100), &state{5})
+	if got := tb.Get(PID(100)); got == nil || got.v != 5 {
+		t.Fatalf("Get(100) = %v", got)
+	}
+	if tb.MaxPID() < 100 {
+		t.Fatalf("MaxPID = %d, want >= 100", tb.MaxPID())
+	}
+	// Subsequent allocation must not collide.
+	pid, _ := tb.Allocate()
+	if pid <= 100 {
+		t.Fatalf("Allocate after Store(100) = %d, must be > 100", pid)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tb := New[state](0)
+	want := map[PID]int{}
+	for i := 1; i <= 5; i++ {
+		pid, _ := tb.Allocate()
+		tb.Store(pid, &state{i})
+		want[pid] = i
+	}
+	got := map[PID]int{}
+	tb.Range(func(pid PID, s *state) bool {
+		got[pid] = s.v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for pid, v := range want {
+		if got[pid] != v {
+			t.Fatalf("pid %d = %d, want %d", pid, got[pid], v)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tb := New[state](0)
+	for i := 0; i < 10; i++ {
+		pid, _ := tb.Allocate()
+		tb.Store(pid, &state{i})
+	}
+	n := 0
+	tb.Range(func(PID, *state) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestConcurrentCASExactlyOneWinner(t *testing.T) {
+	tb := New[state](0)
+	pid, _ := tb.Allocate()
+	base := &state{0}
+	tb.Store(pid, base)
+	const workers = 16
+	var mu sync.Mutex
+	winners := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if tb.CompareAndSwap(pid, base, &state{w + 1}) {
+				mu.Lock()
+				winners++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if winners != 1 {
+		t.Fatalf("winners = %d, want exactly 1", winners)
+	}
+}
+
+func TestConcurrentAllocate(t *testing.T) {
+	tb := New[state](0)
+	const workers, each = 8, 200
+	pids := make(chan PID, workers*each)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				pid, err := tb.Allocate()
+				if err != nil {
+					t.Errorf("allocate: %v", err)
+					return
+				}
+				pids <- pid
+			}
+		}()
+	}
+	wg.Wait()
+	close(pids)
+	seen := map[PID]bool{}
+	for pid := range pids {
+		if seen[pid] {
+			t.Fatalf("duplicate PID %d under concurrency", pid)
+		}
+		seen[pid] = true
+	}
+}
+
+func TestSegmentGrowth(t *testing.T) {
+	tb := New[state](0)
+	// Force allocation across multiple segments.
+	var last PID
+	for i := 0; i < segmentSize+10; i++ {
+		pid, err := tb.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = pid
+	}
+	tb.Store(last, &state{42})
+	if got := tb.Get(last); got == nil || got.v != 42 {
+		t.Fatalf("cross-segment Get = %v", got)
+	}
+}
+
+// Property: Store then Get returns the same pointer for arbitrary PIDs.
+func TestStoreGetProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tb := New[state](0)
+		m := map[PID]*state{}
+		for _, r := range raw {
+			pid := PID(r) + 1
+			s := &state{int(r)}
+			tb.Store(pid, s)
+			m[pid] = s
+		}
+		for pid, want := range m {
+			if tb.Get(pid) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package llama
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Sweeper runs a Manager's eviction pass periodically on a background
+// goroutine — the always-on form of cache maintenance a production
+// deployment would use, versus the explicit Sweep calls the experiment
+// harness prefers for determinism.
+type Sweeper struct {
+	mgr      *Manager
+	interval time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	lastErr error
+}
+
+// NewSweeper creates a sweeper driving mgr every interval.
+func NewSweeper(mgr *Manager, interval time.Duration) (*Sweeper, error) {
+	if mgr == nil {
+		return nil, errors.New("llama: nil manager")
+	}
+	if interval <= 0 {
+		return nil, errors.New("llama: non-positive sweep interval")
+	}
+	return &Sweeper{mgr: mgr, interval: interval}, nil
+}
+
+// Start launches the background loop. Starting an already-running sweeper
+// is a no-op.
+func (s *Sweeper) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+func (s *Sweeper) loop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if _, err := s.mgr.Sweep(); err != nil {
+				s.mu.Lock()
+				s.lastErr = err
+				s.mu.Unlock()
+				return // a failing owner is not something to retry blindly
+			}
+		}
+	}
+}
+
+// Stop halts the loop and waits for it to exit. Stopping a stopped
+// sweeper is a no-op. It returns the error that terminated the loop
+// early, if any.
+func (s *Sweeper) Stop() error {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return s.Err()
+	}
+	close(stop)
+	<-done
+	return s.Err()
+}
+
+// Err returns the error that terminated the loop, if any.
+func (s *Sweeper) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}

@@ -1,0 +1,91 @@
+package llama
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSweeperValidation(t *testing.T) {
+	if _, err := NewSweeper(nil, time.Millisecond); err == nil {
+		t.Fatal("nil manager accepted")
+	}
+	owner := newFakeOwner()
+	m, _ := NewManager(Config{Owner: owner, Clock: fixedClock(0), Policy: PolicyNone})
+	if _, err := NewSweeper(m, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestSweeperRunsAndStops(t *testing.T) {
+	owner := newFakeOwner()
+	owner.add(1, 0, 10)
+	m, err := NewManager(Config{
+		Owner: owner, Clock: fixedClock(100),
+		Policy: PolicyBreakeven, BreakevenSeconds: 45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSweeper(m, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Start()
+	sw.Start() // double start is a no-op
+	deadline := time.After(2 * time.Second)
+	for m.Stats().Sweeps.Value() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("sweeper never swept")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := sw.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Stop(); err != nil {
+		t.Fatal("double stop errored")
+	}
+	// The cold page was evicted by the background loop.
+	if owner.resident[1] {
+		t.Fatal("cold page still resident")
+	}
+	// No more sweeps after stop.
+	n := m.Stats().Sweeps.Value()
+	time.Sleep(5 * time.Millisecond)
+	if m.Stats().Sweeps.Value() != n {
+		t.Fatal("sweeper kept running after Stop")
+	}
+}
+
+func TestSweeperSurfacesOwnerError(t *testing.T) {
+	owner := newFakeOwner()
+	owner.add(1, 0, 10)
+	owner.evictErr = errors.New("boom")
+	m, err := NewManager(Config{
+		Owner: owner, Clock: fixedClock(100),
+		Policy: PolicyBreakeven, BreakevenSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSweeper(m, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Start()
+	deadline := time.After(2 * time.Second)
+	for sw.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("error never surfaced")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := sw.Stop(); err == nil {
+		t.Fatal("Stop did not report the loop error")
+	}
+}

@@ -1,0 +1,75 @@
+package lsm
+
+import (
+	"testing"
+
+	"costperf/internal/ssd"
+	"costperf/internal/workload"
+)
+
+func benchLSM(b *testing.B) *Tree {
+	b.Helper()
+	tr, err := New(Config{Device: ssd.New(ssd.SamsungSSD)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := benchLSM(b)
+	val := workload.ValueFor(1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(workload.Key(uint64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetAcrossLevels(b *testing.B) {
+	tr := benchLSM(b)
+	const keys = 50000
+	for i := uint64(0); i < keys; i++ {
+		if err := tr.Put(workload.Key(i), workload.ValueFor(i, 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Get(workload.Key(uint64(i) % keys)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetAbsentViaBlooms(b *testing.B) {
+	tr := benchLSM(b)
+	const keys = 50000
+	for i := uint64(0); i < keys; i++ {
+		if err := tr.Put(workload.Key(i), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := tr.Get(workload.Key(uint64(i) + 10*keys)); err != nil || ok {
+			b.Fatal("absent key found")
+		}
+	}
+}
+
+func BenchmarkMemtablePut(b *testing.B) {
+	m := newMemtable()
+	val := []byte("value-payload-100bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.put(workload.Key(uint64(i)), val, false, nil)
+	}
+}

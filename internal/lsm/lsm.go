@@ -1,0 +1,497 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"sync"
+
+	"costperf/internal/metrics"
+	"costperf/internal/sim"
+	"costperf/internal/ssd"
+)
+
+// Config configures a Tree.
+type Config struct {
+	// Device is the backing flash device.
+	Device *ssd.Device
+	// MemtableBytes triggers a flush to level 0 (default 256 KiB).
+	MemtableBytes int
+	// L0Tables triggers an L0 -> L1 compaction (default 4).
+	L0Tables int
+	// LevelBytesBase is the size budget of level 1; each deeper level gets
+	// 10x more (default 1 MiB).
+	LevelBytesBase int64
+	// MaxLevels bounds the tree depth (default 7).
+	MaxLevels int
+	// Session enables execution-cost accounting (may be nil).
+	Session *sim.Session
+}
+
+func (c *Config) setDefaults() error {
+	if c.Device == nil {
+		return errors.New("lsm: nil device")
+	}
+	if c.MemtableBytes == 0 {
+		c.MemtableBytes = 256 << 10
+	}
+	if c.L0Tables == 0 {
+		c.L0Tables = 4
+	}
+	if c.LevelBytesBase == 0 {
+		c.LevelBytesBase = 1 << 20
+	}
+	if c.MaxLevels == 0 {
+		c.MaxLevels = 7
+	}
+	return nil
+}
+
+// Stats counts tree events.
+type Stats struct {
+	Gets        metrics.Counter
+	Puts        metrics.Counter
+	Deletes     metrics.Counter
+	Scans       metrics.Counter
+	Flushes     metrics.Counter
+	Compactions metrics.Counter
+	BloomSkips  metrics.Counter
+	TableReads  metrics.Counter
+}
+
+// Tree is the LSM store. It is safe for concurrent use (writers serialize
+// on an internal mutex; compaction runs inline on the triggering writer,
+// as in a single-threaded RocksDB configuration).
+type Tree struct {
+	cfg    Config
+	mu     sync.RWMutex
+	mem    *memtable
+	levels [][]*sstable // levels[0] newest-first; deeper levels sorted by min key
+	tail   int64        // next free device offset
+	nextID uint64
+	stats  Stats
+}
+
+// New creates an empty tree.
+func New(cfg Config) (*Tree, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Tree{
+		cfg:    cfg,
+		mem:    newMemtable(),
+		levels: make([][]*sstable, cfg.MaxLevels),
+	}, nil
+}
+
+// Stats returns the tree's counters.
+func (t *Tree) Stats() *Stats { return &t.stats }
+
+func (t *Tree) begin() *sim.Charger {
+	if t.cfg.Session == nil {
+		return nil
+	}
+	return t.cfg.Session.Begin()
+}
+
+func settle(ch *sim.Charger) {
+	if ch != nil {
+		ch.Settle()
+	}
+}
+
+// Put inserts or overwrites key -> val. Like all LSM updates it is blind:
+// no secondary storage is read (paper Section 6.2).
+func (t *Tree) Put(key, val []byte) error {
+	return t.write(append([]byte(nil), key...), append([]byte(nil), val...), false)
+}
+
+// Delete removes key by writing a tombstone (also blind).
+func (t *Tree) Delete(key []byte) error {
+	return t.write(append([]byte(nil), key...), nil, true)
+}
+
+func (t *Tree) write(key, val []byte, tombstone bool) error {
+	ch := t.begin()
+	t.mu.Lock()
+	t.mem.put(key, val, tombstone, ch)
+	if ch != nil {
+		ch.Copy(len(key) + len(val))
+	}
+	var err error
+	if t.mem.bytes >= t.cfg.MemtableBytes {
+		err = t.flushLocked(ch)
+	}
+	t.mu.Unlock()
+	if tombstone {
+		t.stats.Deletes.Inc()
+	} else {
+		t.stats.Puts.Inc()
+	}
+	settle(ch)
+	return err
+}
+
+// flushLocked writes the memtable to a new L0 table (one large write) and
+// triggers compaction as needed.
+func (t *Tree) flushLocked(ch *sim.Charger) error {
+	if t.mem.count == 0 {
+		return nil
+	}
+	entries := make([]kv, 0, t.mem.count)
+	for e := t.mem.first(); e != nil; e = e.next[0] {
+		entries = append(entries, kv{key: e.key, val: e.val, tombstone: e.tombstone})
+	}
+	tbl, next, err := writeTable(t.cfg.Device, t.nextID, 0, entries, t.tail)
+	if err != nil {
+		return err
+	}
+	t.nextID++
+	t.tail = next
+	t.levels[0] = append([]*sstable{tbl}, t.levels[0]...) // newest first
+	t.mem = newMemtable()
+	t.stats.Flushes.Inc()
+	return t.maybeCompactLocked(ch)
+}
+
+// Flush forces the memtable out (exposed for tests and checkpoints).
+func (t *Tree) Flush() error {
+	ch := t.begin()
+	t.mu.Lock()
+	err := t.flushLocked(ch)
+	t.mu.Unlock()
+	if ch != nil {
+		if err != nil {
+			ch.Abandon()
+		} else {
+			ch.Settle()
+		}
+	}
+	return err
+}
+
+// Get returns the value for key, searching memtable, then L0 newest-first,
+// then one candidate table per deeper level.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	ch := t.begin()
+	t.mu.RLock()
+	defer func() {
+		t.mu.RUnlock()
+		t.stats.Gets.Inc()
+		settle(ch)
+	}()
+	if v, tomb, found := t.mem.get(key, ch); found {
+		return v, !tomb && true, nil
+	}
+	for _, tbl := range t.levels[0] {
+		e, found, err := t.tableGet(tbl, key, ch)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return e.val, !e.tombstone, nil
+		}
+	}
+	for lvl := 1; lvl < len(t.levels); lvl++ {
+		tables := t.levels[lvl]
+		i := sort.Search(len(tables), func(i int) bool {
+			return bytes.Compare(key, tables[i].max) <= 0
+		})
+		if i >= len(tables) || bytes.Compare(key, tables[i].min) < 0 {
+			continue
+		}
+		e, found, err := t.tableGet(tables[i], key, ch)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return e.val, !e.tombstone, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func (t *Tree) tableGet(tbl *sstable, key []byte, ch *sim.Charger) (kv, bool, error) {
+	if !tbl.filter.mayContain(key) {
+		if ch != nil {
+			ch.Hash()
+		}
+		t.stats.BloomSkips.Inc()
+		return kv{}, false, nil
+	}
+	t.stats.TableReads.Inc()
+	return tbl.get(t.cfg.Device, key, ch)
+}
+
+// levelBytes sums a level's data bytes.
+func levelBytes(tables []*sstable) int64 {
+	var n int64
+	for _, t := range tables {
+		n += t.dataLen
+	}
+	return n
+}
+
+// maybeCompactLocked runs leveled compaction until every level is within
+// budget.
+func (t *Tree) maybeCompactLocked(ch *sim.Charger) error {
+	for {
+		if len(t.levels[0]) > t.cfg.L0Tables {
+			if err := t.compactLocked(0, ch); err != nil {
+				return err
+			}
+			continue
+		}
+		done := true
+		budget := t.cfg.LevelBytesBase
+		for lvl := 1; lvl < len(t.levels)-1; lvl++ {
+			if levelBytes(t.levels[lvl]) > budget {
+				if err := t.compactLocked(lvl, ch); err != nil {
+					return err
+				}
+				done = false
+				break
+			}
+			budget *= 10
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// compactLocked merges level lvl into lvl+1: all tables of L0 (they
+// overlap), or the largest table of deeper levels, plus every overlapping
+// table below.
+func (t *Tree) compactLocked(lvl int, ch *sim.Charger) error {
+	t.stats.Compactions.Inc()
+	var ups []*sstable
+	if lvl == 0 {
+		ups = append(ups, t.levels[0]...)
+		t.levels[0] = nil
+	} else {
+		// Pick the largest table to push down.
+		maxI := 0
+		for i, tb := range t.levels[lvl] {
+			if tb.dataLen > t.levels[lvl][maxI].dataLen {
+				maxI = i
+			}
+		}
+		ups = []*sstable{t.levels[lvl][maxI]}
+		t.levels[lvl] = append(t.levels[lvl][:maxI], t.levels[lvl][maxI+1:]...)
+	}
+	lo, hi := ups[0].min, ups[0].max
+	for _, tb := range ups {
+		if bytes.Compare(tb.min, lo) < 0 {
+			lo = tb.min
+		}
+		if bytes.Compare(tb.max, hi) > 0 {
+			hi = tb.max
+		}
+	}
+	next := lvl + 1
+	var downs, keep []*sstable
+	for _, tb := range t.levels[next] {
+		if tb.overlaps(lo, hi) {
+			downs = append(downs, tb)
+		} else {
+			keep = append(keep, tb)
+		}
+	}
+
+	// K-way merge: newest source wins per key. Sources ordered newest
+	// first: ups are newer than downs; within L0 ups are already
+	// newest-first; a deeper "up" level has a single table.
+	sources := make([][]kv, 0, len(ups)+len(downs))
+	for _, tb := range ups {
+		entries, err := tb.readAll(t.cfg.Device, nil)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, entries)
+	}
+	for _, tb := range downs {
+		entries, err := tb.readAll(t.cfg.Device, nil)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, entries)
+	}
+	merged := mergeSources(sources, next == len(t.levels)-1)
+	if ch != nil {
+		for _, s := range sources {
+			ch.Compare(len(s))
+		}
+	}
+
+	// Write merged runs as tables capped near the memtable size.
+	var newTables []*sstable
+	capBytes := int64(t.cfg.MemtableBytes)
+	for start := 0; start < len(merged); {
+		var sz int64
+		end := start
+		for end < len(merged) && sz < capBytes {
+			sz += int64(len(merged[end].key) + len(merged[end].val) + 8)
+			end++
+		}
+		tbl, nt, err := writeTable(t.cfg.Device, t.nextID, next, merged[start:end], t.tail)
+		if err != nil {
+			return err
+		}
+		t.nextID++
+		t.tail = nt
+		newTables = append(newTables, tbl)
+		start = end
+	}
+	// Reclaim old tables' media.
+	for _, tb := range ups {
+		t.cfg.Device.Trim(tb.dataOff, tb.dataLen)
+		t.cfg.Device.Stats().GCReclaimed.Add(tb.dataLen)
+	}
+	for _, tb := range downs {
+		t.cfg.Device.Trim(tb.dataOff, tb.dataLen)
+		t.cfg.Device.Stats().GCReclaimed.Add(tb.dataLen)
+	}
+	keep = append(keep, newTables...)
+	sort.Slice(keep, func(i, j int) bool { return bytes.Compare(keep[i].min, keep[j].min) < 0 })
+	t.levels[next] = keep
+	return nil
+}
+
+// mergeSources merges newest-first sources; dropTombs elides tombstones
+// (safe only at the bottom level).
+func mergeSources(sources [][]kv, dropTombs bool) []kv {
+	type cursor struct {
+		src []kv
+		pos int
+	}
+	curs := make([]cursor, len(sources))
+	for i, s := range sources {
+		curs[i] = cursor{src: s}
+	}
+	var out []kv
+	for {
+		best := -1
+		for i := range curs {
+			if curs[i].pos >= len(curs[i].src) {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			c := bytes.Compare(curs[i].src[curs[i].pos].key, curs[best].src[curs[best].pos].key)
+			if c < 0 {
+				best = i
+			}
+			// c == 0: earlier source (newer) wins; keep best.
+		}
+		if best == -1 {
+			return out
+		}
+		e := curs[best].src[curs[best].pos]
+		key := e.key
+		for i := range curs {
+			for curs[i].pos < len(curs[i].src) && bytes.Equal(curs[i].src[curs[i].pos].key, key) {
+				curs[i].pos++ // consume duplicates in all sources
+			}
+		}
+		if e.tombstone && dropTombs {
+			continue
+		}
+		out = append(out, e)
+	}
+}
+
+// Scan visits live keys >= start in order, merging the memtable with all
+// tables, until fn returns false or limit pairs are visited (limit <= 0
+// means unlimited). It holds a shared lock for a consistent snapshot.
+func (t *Tree) Scan(start []byte, limit int, fn func(k, v []byte) bool) error {
+	ch := t.begin()
+	t.mu.RLock()
+	defer func() {
+		t.mu.RUnlock()
+		t.stats.Scans.Inc()
+		settle(ch)
+	}()
+
+	// Materialize sources newest-first. Scans over on-device tables read
+	// each table once (large sequential reads, charged to the charger).
+	var sources [][]kv
+	var memRun []kv
+	for e := t.mem.seek(start); e != nil; e = e.next[0] {
+		memRun = append(memRun, kv{key: e.key, val: e.val, tombstone: e.tombstone})
+	}
+	sources = append(sources, memRun)
+	for _, tbl := range t.levels[0] {
+		entries, err := tbl.readAll(t.cfg.Device, ch)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, trimBelow(entries, start))
+	}
+	for lvl := 1; lvl < len(t.levels); lvl++ {
+		var run []kv
+		for _, tbl := range t.levels[lvl] {
+			if bytes.Compare(tbl.max, start) < 0 {
+				continue
+			}
+			entries, err := tbl.readAll(t.cfg.Device, ch)
+			if err != nil {
+				return err
+			}
+			run = append(run, trimBelow(entries, start)...)
+		}
+		sources = append(sources, run)
+	}
+	merged := mergeSources(sources, true)
+	visited := 0
+	for _, e := range merged {
+		if limit > 0 && visited >= limit {
+			return nil
+		}
+		if !fn(e.key, e.val) {
+			return nil
+		}
+		visited++
+	}
+	return nil
+}
+
+func trimBelow(entries []kv, start []byte) []kv {
+	i := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].key, start) >= 0
+	})
+	return entries[i:]
+}
+
+// TableCount returns the number of SSTables per level (for tests and
+// experiment output).
+func (t *Tree) TableCount() []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int, len(t.levels))
+	for i, lvl := range t.levels {
+		out[i] = len(lvl)
+	}
+	return out
+}
+
+// MemtableBytes reports the current memtable size.
+func (t *Tree) MemtableBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mem.bytes
+}
+
+// DiskBytes returns the total data bytes of all live SSTables — the
+// numerator of space amplification (live on-device bytes vs live data).
+func (t *Tree) DiskBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n int64
+	for _, lvl := range t.levels {
+		n += levelBytes(lvl)
+	}
+	return n
+}

@@ -1,0 +1,235 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"costperf/internal/sim"
+	"costperf/internal/ssd"
+)
+
+// kv is one sorted-run entry.
+type kv struct {
+	key       []byte
+	val       []byte
+	tombstone bool
+}
+
+// bloom is a simple double-hashing Bloom filter (10 bits/key, 7 probes —
+// RocksDB's default flavor).
+type bloom struct {
+	bits []uint64
+	k    int
+}
+
+func newBloom(n int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	words := (n*10 + 63) / 64
+	return &bloom{bits: make([]uint64, words), k: 7}
+}
+
+func bloomHashes(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	// Murmur-style finalizer decorrelates the second hash from the first.
+	h2 := h1
+	h2 ^= h2 >> 33
+	h2 *= 0xff51afd7ed558ccd
+	h2 ^= h2 >> 33
+	h2 *= 0xc4ceb9fe1a85ec53
+	h2 ^= h2 >> 33
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+func (b *bloom) add(key []byte) {
+	h1, h2 := bloomHashes(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (b *bloom) mayContain(key []byte) bool {
+	h1, h2 := bloomHashes(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// indexEntry locates one record inside a table's data region.
+type indexEntry struct {
+	key []byte
+	off int64 // absolute device offset of the encoded record
+	len int32
+}
+
+// sstable is an immutable sorted run. The index and bloom filter stay in
+// main memory (as RocksDB keeps them cached); record data lives on the
+// device and is read with one I/O per lookup.
+type sstable struct {
+	id       uint64
+	level    int
+	index    []indexEntry
+	filter   *bloom
+	min, max []byte
+	dataOff  int64
+	dataLen  int64
+	entries  int
+}
+
+// encodeRecord frames one KV for the device.
+func encodeRecord(e kv) []byte {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	flags := byte(0)
+	if e.tombstone {
+		flags = 1
+	}
+	buf.WriteByte(flags)
+	n := binary.PutUvarint(tmp[:], uint64(len(e.key)))
+	buf.Write(tmp[:n])
+	buf.Write(e.key)
+	n = binary.PutUvarint(tmp[:], uint64(len(e.val)))
+	buf.Write(tmp[:n])
+	buf.Write(e.val)
+	return buf.Bytes()
+}
+
+func decodeRecord(raw []byte) (kv, error) {
+	if len(raw) < 3 {
+		return kv{}, fmt.Errorf("lsm: truncated record")
+	}
+	e := kv{tombstone: raw[0] == 1}
+	rest := raw[1:]
+	kl, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)) < uint64(n)+kl {
+		return kv{}, fmt.Errorf("lsm: truncated key")
+	}
+	rest = rest[n:]
+	e.key = append([]byte(nil), rest[:kl]...)
+	rest = rest[kl:]
+	vl, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)) < uint64(n)+vl {
+		return kv{}, fmt.Errorf("lsm: truncated value")
+	}
+	rest = rest[n:]
+	e.val = append([]byte(nil), rest[:vl]...)
+	return e, nil
+}
+
+// writeTable writes a sorted run to the device in a single large write
+// starting at off, returning the table and the next free offset.
+func writeTable(dev *ssd.Device, id uint64, level int, entries []kv, off int64) (*sstable, int64, error) {
+	if len(entries) == 0 {
+		return nil, off, fmt.Errorf("lsm: empty table")
+	}
+	t := &sstable{
+		id: id, level: level,
+		filter:  newBloom(len(entries)),
+		min:     entries[0].key,
+		max:     entries[len(entries)-1].key,
+		dataOff: off,
+		entries: len(entries),
+	}
+	var data bytes.Buffer
+	for _, e := range entries {
+		rec := encodeRecord(e)
+		t.index = append(t.index, indexEntry{
+			key: e.key,
+			off: off + int64(data.Len()),
+			len: int32(len(rec)),
+		})
+		t.filter.add(e.key)
+		data.Write(rec)
+	}
+	t.dataLen = int64(data.Len())
+	if err := dev.WriteAt(off, data.Bytes(), nil); err != nil {
+		return nil, off, err
+	}
+	return t, off + t.dataLen, nil
+}
+
+// get looks up key: bloom check, in-memory binary search, then one device
+// read for the record.
+func (t *sstable) get(dev *ssd.Device, key []byte, ch *sim.Charger) (kv, bool, error) {
+	if ch != nil {
+		ch.Hash()
+	}
+	if !t.filter.mayContain(key) {
+		return kv{}, false, nil
+	}
+	i := search(t.index, key)
+	if ch != nil {
+		ch.Compare(ilog2(len(t.index)))
+	}
+	if i >= len(t.index) || !bytes.Equal(t.index[i].key, key) {
+		return kv{}, false, nil
+	}
+	raw, err := dev.ReadAt(t.index[i].off, int(t.index[i].len), ch)
+	if err != nil {
+		return kv{}, false, err
+	}
+	e, err := decodeRecord(raw)
+	if err != nil {
+		return kv{}, false, err
+	}
+	return e, true, nil
+}
+
+// readAll loads every record of the table (used by compaction and scans).
+func (t *sstable) readAll(dev *ssd.Device, ch *sim.Charger) ([]kv, error) {
+	raw, err := dev.ReadAt(t.dataOff, int(t.dataLen), ch)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kv, 0, t.entries)
+	for i := range t.index {
+		rel := t.index[i].off - t.dataOff
+		e, err := decodeRecord(raw[rel : rel+int64(t.index[i].len)])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// overlaps reports whether the table's key range intersects [lo, hi].
+func (t *sstable) overlaps(lo, hi []byte) bool {
+	return bytes.Compare(t.min, hi) <= 0 && bytes.Compare(lo, t.max) <= 0
+}
+
+func search(index []indexEntry, key []byte) int {
+	lo, hi := 0, len(index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(index[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func ilog2(n int) int {
+	c := 1
+	for v := 1; v < n; v <<= 1 {
+		c++
+	}
+	return c
+}

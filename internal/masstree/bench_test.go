@@ -1,0 +1,73 @@
+package masstree
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"costperf/internal/workload"
+)
+
+func loadMT(b *testing.B, n uint64) *Tree {
+	b.Helper()
+	tr := New(nil)
+	for i := uint64(0); i < n; i++ {
+		tr.Put(workload.Key(i), workload.ValueFor(i, 100))
+	}
+	return tr
+}
+
+func BenchmarkGet(b *testing.B) {
+	const keys = 100000
+	tr := loadMT(b, keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(workload.Key(uint64(i) % keys))
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New(nil)
+	val := workload.ValueFor(1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(workload.Key(uint64(i)), val)
+	}
+}
+
+func BenchmarkPutLongSharedPrefixes(b *testing.B) {
+	// Exercises trie-layer creation: keys share their first 16 bytes.
+	tr := New(nil)
+	val := []byte("v")
+	prefix := []byte("sharedprefixpart")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := append(append([]byte(nil), prefix...), workload.Key(uint64(i))...)
+		tr.Put(key, val)
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	const keys = 100000
+	tr := loadMT(b, keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Scan(workload.Key(uint64(i)%(keys-200)), 100, func(_, _ []byte) bool {
+			n++
+			return true
+		})
+	}
+}
+
+func BenchmarkGetParallel(b *testing.B) {
+	const keys = 100000
+	tr := loadMT(b, keys)
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			tr.Get(workload.Key(uint64(i) % keys))
+		}
+	})
+}

@@ -1,0 +1,345 @@
+package masstree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"costperf/internal/sim"
+	"costperf/internal/workload"
+)
+
+func TestBasicPutGetDelete(t *testing.T) {
+	tr := New(nil)
+	if _, ok := tr.Get([]byte("a")); ok {
+		t.Fatal("empty tree found a key")
+	}
+	tr.Put([]byte("a"), []byte("1"))
+	tr.Put([]byte("b"), []byte("2"))
+	if v, ok := tr.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("a = %q,%v", v, ok)
+	}
+	tr.Put([]byte("a"), []byte("1v2"))
+	if v, _ := tr.Get([]byte("a")); string(v) != "1v2" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if !tr.Delete([]byte("a")) {
+		t.Fatal("delete reported absent")
+	}
+	if _, ok := tr.Get([]byte("a")); ok {
+		t.Fatal("deleted key found")
+	}
+	if tr.Delete([]byte("a")) {
+		t.Fatal("double delete reported present")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestLongKeysCreateLayers(t *testing.T) {
+	tr := New(nil)
+	// Keys sharing the first 8 bytes force a second trie layer.
+	tr.Put([]byte("prefix00-alpha"), []byte("A"))
+	tr.Put([]byte("prefix00-beta"), []byte("B"))
+	tr.Put([]byte("prefix00"), []byte("C")) // exactly one slice
+	if tr.Stats().Layers.Value() == 0 {
+		t.Fatal("no layers created for shared 8-byte prefix")
+	}
+	for k, want := range map[string]string{
+		"prefix00-alpha": "A", "prefix00-beta": "B", "prefix00": "C",
+	} {
+		if v, ok := tr.Get([]byte(k)); !ok || string(v) != want {
+			t.Fatalf("%q = %q,%v want %q", k, v, ok, want)
+		}
+	}
+	if _, ok := tr.Get([]byte("prefix00-gamma")); ok {
+		t.Fatal("absent deep key found")
+	}
+	// Deleting the deep keys unlinks the sub-layer.
+	tr.Delete([]byte("prefix00-alpha"))
+	tr.Delete([]byte("prefix00-beta"))
+	if v, ok := tr.Get([]byte("prefix00")); !ok || string(v) != "C" {
+		t.Fatalf("shallow key lost after sub-layer deletes: %q,%v", v, ok)
+	}
+}
+
+func TestEmptyAndZeroKeys(t *testing.T) {
+	tr := New(nil)
+	tr.Put([]byte{}, []byte("empty"))
+	tr.Put([]byte{0}, []byte("zero"))
+	tr.Put([]byte{0, 0}, []byte("zerozero"))
+	if v, ok := tr.Get([]byte{}); !ok || string(v) != "empty" {
+		t.Fatalf("empty key = %q,%v", v, ok)
+	}
+	if v, ok := tr.Get([]byte{0}); !ok || string(v) != "zero" {
+		t.Fatalf("zero key = %q,%v", v, ok)
+	}
+	if v, ok := tr.Get([]byte{0, 0}); !ok || string(v) != "zerozero" {
+		t.Fatalf("zerozero key = %q,%v", v, ok)
+	}
+}
+
+func TestManyKeysAndScanOrder(t *testing.T) {
+	tr := New(nil)
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Put(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 24))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(workload.Key(uint64(i)))
+		if !ok || !bytes.Equal(v, workload.ValueFor(uint64(i), 24)) {
+			t.Fatalf("key %d wrong (ok=%v)", i, ok)
+		}
+	}
+	var prev []byte
+	count := 0
+	tr.Scan(nil, 0, func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d, want %d", count, n)
+	}
+}
+
+func TestScanStartLimitMixedLengths(t *testing.T) {
+	tr := New(nil)
+	keys := []string{"a", "ab", "abcdefgh", "abcdefghx", "abcdefghy", "b", "prefix00-a", "prefix00-b", "z"}
+	for _, k := range keys {
+		tr.Put([]byte(k), []byte("v:"+k))
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	// Full scan order.
+	var got []string
+	tr.Scan(nil, 0, func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != len(sorted) {
+		t.Fatalf("scan = %v, want %v", got, sorted)
+	}
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("scan[%d] = %q, want %q (full %v)", i, got[i], sorted[i], got)
+		}
+	}
+	// Bounded scan from a key inside a deep layer.
+	got = nil
+	tr.Scan([]byte("abcdefghy"), 3, func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"abcdefghy", "b", "prefix00-a"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("bounded scan = %v, want %v", got, want)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New(nil)
+	for i := 0; i < 100; i++ {
+		tr.Put(workload.Key(uint64(i)), []byte("v"))
+	}
+	n := 0
+	tr.Scan(nil, 0, func(_, _ []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// Model-based equivalence with a Go map.
+func TestOrderedMapEquivalence(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint16
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		tr := New(nil)
+		model := map[string]string{}
+		for _, o := range ops {
+			// Vary key length to exercise layers.
+			k := fmt.Sprintf("key-%05d", o.Key%300)
+			if o.Key%3 == 0 {
+				k = fmt.Sprintf("sharedprefix-%05d-long-suffix-%d", o.Key%50, o.Key%7)
+			}
+			v := fmt.Sprintf("val-%d", o.Val)
+			switch o.Kind % 3 {
+			case 0:
+				tr.Put([]byte(k), []byte(v))
+				model[k] = v
+			case 1:
+				tr.Delete([]byte(k))
+				delete(model, k)
+			case 2:
+				got, ok := tr.Get([]byte(k))
+				want, wok := model[k]
+				if ok != wok || (ok && string(got) != want) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okAll := true
+		tr.Scan(nil, 0, func(k, v []byte) bool {
+			if i >= len(keys) || string(k) != keys[i] || string(v) != model[keys[i]] {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okAll && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	tr := New(nil)
+	for i := 0; i < 1000; i++ {
+		tr.Put(workload.Key(uint64(i)), []byte("init"))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				id := uint64(rng.Intn(1000))
+				if w%2 == 0 {
+					tr.Put(workload.Key(id), []byte(fmt.Sprintf("w%d", w)))
+				} else {
+					tr.Get(workload.Key(id))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d after concurrent ops", tr.Len())
+	}
+}
+
+func TestFootprintGrowsAndShrinks(t *testing.T) {
+	tr := New(nil)
+	base := tr.FootprintBytes()
+	for i := 0; i < 1000; i++ {
+		tr.Put(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 64))
+	}
+	grown := tr.FootprintBytes()
+	if grown <= base {
+		t.Fatal("footprint did not grow")
+	}
+	if grown < 1000*(8+64) {
+		t.Fatalf("footprint %d below raw data", grown)
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Delete(workload.Key(uint64(i)))
+	}
+	if tr.FootprintBytes() >= grown {
+		t.Fatal("footprint did not shrink after deletes")
+	}
+}
+
+func TestMemoryExpansionExceedsBwTreeStyleBase(t *testing.T) {
+	// The trie stores fixed-fanout nodes and per-entry overhead; its
+	// footprint per byte of data should exceed 1 (the M_x > 1 regime of
+	// paper Section 5.1).
+	tr := New(nil)
+	const n = 5000
+	raw := 0
+	for i := 0; i < n; i++ {
+		k := workload.Key(uint64(i))
+		v := workload.ValueFor(uint64(i), 32)
+		tr.Put(k, v)
+		raw += len(k) + len(v)
+	}
+	if got := float64(tr.FootprintBytes()) / float64(raw); got <= 1 {
+		t.Fatalf("expansion = %v, want > 1", got)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	sess := sim.NewSession(sim.DefaultCosts())
+	tr := New(sess)
+	for i := 0; i < 1000; i++ {
+		tr.Put(workload.Key(uint64(i)), workload.ValueFor(uint64(i), 32))
+	}
+	sess.Tracker().Reset()
+	for i := 0; i < 500; i++ {
+		tr.Get(workload.Key(uint64(i)))
+	}
+	tk := sess.Tracker()
+	if tk.Ops(sim.OpMM) != 500 {
+		t.Fatalf("MM ops = %d, want 500", tk.Ops(sim.OpMM))
+	}
+	if tk.Ops(sim.OpSS) != 0 {
+		t.Fatal("main-memory store recorded SS ops")
+	}
+	if tk.MeanCost(sim.OpMM) <= 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		sk, _ := cut(raw)
+		return bytes.Equal(sliceToBytes(sk), raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlicedKeyOrderMatchesByteOrder(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > 8 {
+			a = a[:8]
+		}
+		if len(b) > 8 {
+			b = b[:8]
+		}
+		ska, _ := cut(a)
+		skb, _ := cut(b)
+		cmp := bytes.Compare(a, b)
+		switch {
+		case cmp < 0:
+			return ska.less(skb)
+		case cmp > 0:
+			return skb.less(ska)
+		default:
+			return ska.equal(skb)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import "fmt"
+
+// IOStats aggregates the I/O-level counters every storage engine in this
+// repository reports. The cost model consumes these to attribute secondary
+// storage execution and rental costs (paper Section 3.2).
+type IOStats struct {
+	Reads        Counter // read I/O operations issued to the device
+	Writes       Counter // write I/O operations issued to the device
+	BytesRead    Counter // bytes transferred device -> memory
+	BytesWritten Counter // bytes transferred memory -> device
+	CacheHits    Counter // operations satisfied from the in-memory cache (MM ops)
+	CacheMisses  Counter // operations that required device access (SS ops)
+	Evictions    Counter // pages/records evicted from cache
+	GCReclaimed  Counter // bytes reclaimed by log-structured garbage collection
+	GCWrites     Counter // bytes relocated by garbage collection (write amplification)
+}
+
+// MissRatio returns the cache-miss fraction F used throughout the paper's
+// analysis: misses / (hits + misses). It returns 0 when no operations have
+// been recorded.
+func (s *IOStats) MissRatio() float64 {
+	h, m := s.CacheHits.Value(), s.CacheMisses.Value()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(m) / float64(h+m)
+}
+
+// WriteAmplification returns total device writes (including GC relocation)
+// divided by user bytes written, or 0 when nothing has been written.
+func (s *IOStats) WriteAmplification() float64 {
+	user := s.BytesWritten.Value() - s.GCWrites.Value()
+	if user <= 0 {
+		return 0
+	}
+	return float64(s.BytesWritten.Value()) / float64(user)
+}
+
+// Reset zeroes every counter.
+func (s *IOStats) Reset() {
+	s.Reads.Reset()
+	s.Writes.Reset()
+	s.BytesRead.Reset()
+	s.BytesWritten.Reset()
+	s.CacheHits.Reset()
+	s.CacheMisses.Reset()
+	s.Evictions.Reset()
+	s.GCReclaimed.Reset()
+	s.GCWrites.Reset()
+}
+
+// String renders the stats for experiment logs.
+func (s *IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d bytesR=%d bytesW=%d hits=%d misses=%d (F=%.4f) evict=%d",
+		s.Reads.Value(), s.Writes.Value(), s.BytesRead.Value(), s.BytesWritten.Value(),
+		s.CacheHits.Value(), s.CacheMisses.Value(), s.MissRatio(), s.Evictions.Value())
+}

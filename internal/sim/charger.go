@@ -1,0 +1,135 @@
+package sim
+
+import "sync/atomic"
+
+// Charger accumulates the execution cost of a single in-flight operation
+// and settles it into a Tracker when the operation completes. Engines
+// thread one Charger through each operation's call path; substrates (the
+// mapping table, the cache, the device) add their charges to it.
+//
+// A Charger is used by a single goroutine for a single operation and is
+// therefore not synchronized. The zero value is unusable; obtain one from
+// Session.Begin.
+type Charger struct {
+	profile *CostProfile
+	tracker *Tracker
+	cost    Cost
+	class   OpClass
+}
+
+// Profile returns the cost profile charges should be computed against.
+func (c *Charger) Profile() *CostProfile { return c.profile }
+
+// Add accrues raw cost units to the in-flight operation.
+func (c *Charger) Add(cost Cost) {
+	if cost < 0 {
+		panic("sim: negative cost")
+	}
+	c.cost += cost
+}
+
+// Compare charges n key comparisons.
+func (c *Charger) Compare(n int) { c.cost += Cost(n) * c.profile.Compare }
+
+// Chase charges n cache-missing pointer dereferences.
+func (c *Charger) Chase(n int) { c.cost += Cost(n) * c.profile.PointerChase }
+
+// Copy charges a payload copy of n bytes.
+func (c *Charger) Copy(n int) { c.cost += Cost(n) * c.profile.MemCopyPerByte }
+
+// Hash charges one hash computation.
+func (c *Charger) Hash() { c.cost += c.profile.HashStep }
+
+// Escalate marks the operation as (at least) the given class. Class only
+// ever increases: an operation that touched the device stays an SS
+// operation even if later steps hit cache.
+func (c *Charger) Escalate(class OpClass) {
+	if class > c.class {
+		c.class = class
+	}
+}
+
+// Class returns the operation's current class.
+func (c *Charger) Class() OpClass { return c.class }
+
+// Cost returns the cost accrued so far.
+func (c *Charger) Cost() Cost { return c.cost }
+
+// Settle records the finished operation in the session's tracker and
+// resets the charger for reuse.
+func (c *Charger) Settle() {
+	c.tracker.Charge(c.class, c.cost)
+	c.cost = 0
+	c.class = OpMM
+}
+
+// Abandon discards the in-flight charges without recording an operation
+// (used when an operation fails before doing meaningful work).
+func (c *Charger) Abandon() {
+	c.cost = 0
+	c.class = OpMM
+}
+
+// Session couples a cost profile with a tracker and a virtual clock. One
+// Session typically spans one experiment run.
+type Session struct {
+	profile CostProfile
+	tracker Tracker
+	clock   VirtualClock
+}
+
+// NewSession returns a Session charging against the given profile.
+func NewSession(p CostProfile) *Session {
+	return &Session{profile: p}
+}
+
+// Begin returns a fresh Charger for one operation.
+func (s *Session) Begin() *Charger {
+	return &Charger{profile: &s.profile, tracker: &s.tracker}
+}
+
+// Tracker exposes the session's accumulated statistics.
+func (s *Session) Tracker() *Tracker { return &s.tracker }
+
+// Clock exposes the session's virtual clock.
+func (s *Session) Clock() *VirtualClock { return &s.clock }
+
+// Profile returns a copy of the session's cost profile.
+func (s *Session) Profile() CostProfile { return s.profile }
+
+// VirtualClock is a logical clock advanced explicitly by the experiment
+// harness. Engines use it to timestamp page accesses so that eviction
+// policies based on the paper's breakeven interval T_i (Section 4.2) can be
+// evaluated deterministically, independent of wall time.
+//
+// Time is in virtual seconds, stored as fixed-point microseconds.
+type VirtualClock struct {
+	micros atomic.Int64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *VirtualClock) Now() float64 {
+	return float64(c.micros.Load()) / 1e6
+}
+
+// Advance moves the clock forward by d seconds (d must be non-negative).
+func (c *VirtualClock) Advance(d float64) {
+	if d < 0 {
+		panic("sim: clock moved backwards")
+	}
+	c.micros.Add(int64(d * 1e6))
+}
+
+// Set jumps the clock to t seconds (t must not be in the past).
+func (c *VirtualClock) Set(t float64) {
+	target := int64(t * 1e6)
+	for {
+		cur := c.micros.Load()
+		if target < cur {
+			panic("sim: clock moved backwards")
+		}
+		if c.micros.CompareAndSwap(cur, target) {
+			return
+		}
+	}
+}

@@ -1,0 +1,337 @@
+// Package ssd simulates the secondary-storage devices of the paper: flash
+// SSDs (the Samsung drives of Sections 4.1 and 7.1.2), hard disks
+// (Section 8.3), and NVRAM-style devices (Section 8.2).
+//
+// The simulator is deliberately simple — the paper's analysis needs exactly
+// three things from a device, and the simulator exposes exactly those:
+//
+//  1. a maximum I/O rate (IOPS) and the device-busy accounting to tell when
+//     a workload becomes I/O bound (Section 2.2 excludes that regime);
+//  2. the CPU execution cost of issuing an I/O, which differs between a
+//     kernel I/O path and a user-level SPDK-style path (Section 7.1.1);
+//  3. purchase-cost parameters ($Fl per byte, $I for IOPS capability) that
+//     feed the cost model.
+//
+// Data is held in a sparse chunked address space so multi-gigabyte virtual
+// devices cost only what is actually written.
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"costperf/internal/metrics"
+	"costperf/internal/sim"
+)
+
+// IOPath selects the CPU cost profile for issuing I/O.
+type IOPath int
+
+const (
+	// UserLevelPath models an SPDK-style user-mode I/O path: no
+	// protection-boundary crossing (paper Section 7.1.1).
+	UserLevelPath IOPath = iota
+	// KernelPath models conventional OS-mediated I/O.
+	KernelPath
+)
+
+// String names the path.
+func (p IOPath) String() string {
+	if p == KernelPath {
+		return "kernel"
+	}
+	return "user-level"
+}
+
+// Config describes a simulated device.
+type Config struct {
+	// Name labels the device in experiment output.
+	Name string
+	// MaxIOPS is the device's maximum I/O rate (ops per virtual second).
+	MaxIOPS float64
+	// LatencySec is the per-I/O device latency in virtual seconds (time the
+	// request spends in the device, not CPU time).
+	LatencySec float64
+	// Path selects the CPU cost charged per I/O issue.
+	Path IOPath
+	// CostPerByte is the device's purchase cost per byte ($Fl).
+	CostPerByte float64
+	// IOPSCost is the purchase cost attributed to the device's I/O
+	// capability ($I), e.g. SSD price minus flash storage price.
+	IOPSCost float64
+}
+
+// Paper-grade device presets. Prices follow Section 4.1; IOPS follow
+// Sections 4.1, 7.1.2, and 8.3.
+var (
+	// SamsungSSD is the paper's measured device: 0.5 TB, $I = $50,
+	// $Fl = $0.5e-9/byte, 200K IOPS achieved (Section 4.1).
+	SamsungSSD = Config{
+		Name: "samsung-ssd", MaxIOPS: 2.0e5, LatencySec: 100e-6,
+		Path: UserLevelPath, CostPerByte: 0.5e-9, IOPSCost: 50,
+	}
+	// NextGenSSD is the 500K-IOPS drive of Section 7.1.2 at a similar
+	// price point (≈40% cheaper per I/O).
+	NextGenSSD = Config{
+		Name: "nextgen-ssd", MaxIOPS: 5.0e5, LatencySec: 80e-6,
+		Path: UserLevelPath, CostPerByte: 0.5e-9, IOPSCost: 50,
+	}
+	// EnterpriseHDD is Section 8.3's best-case disk: 200 IOPS, 5 ms.
+	EnterpriseHDD = Config{
+		Name: "enterprise-hdd", MaxIOPS: 200, LatencySec: 5e-3,
+		Path: KernelPath, CostPerByte: 0.03e-9, IOPSCost: 150,
+	}
+	// CommodityHDD is Section 8.3's commodity disk: 100 IOPS, 10 ms.
+	CommodityHDD = Config{
+		Name: "commodity-hdd", MaxIOPS: 100, LatencySec: 10e-3,
+		Path: KernelPath, CostPerByte: 0.02e-9, IOPSCost: 40,
+	}
+	// NVRAM approximates Section 8.2: cost and performance between DRAM
+	// and flash, accessed without an I/O path.
+	NVRAM = Config{
+		Name: "nvram", MaxIOPS: 5e6, LatencySec: 1e-6,
+		Path: UserLevelPath, CostPerByte: 2e-9, IOPSCost: 0,
+	}
+)
+
+// Common errors.
+var (
+	ErrClosed        = errors.New("ssd: device closed")
+	ErrOutOfRange    = errors.New("ssd: address out of range")
+	ErrInjectedRead  = errors.New("ssd: injected read failure")
+	ErrInjectedWrite = errors.New("ssd: injected write failure")
+)
+
+const chunkSize = 1 << 16 // 64 KiB sparse chunks
+
+// Device is a simulated secondary-storage device. It is safe for
+// concurrent use.
+type Device struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	chunks   map[int64][]byte
+	written  int64 // high-water mark of bytes addressed
+	closed   bool
+	busySec  float64 // accumulated device-busy virtual seconds
+	failRead int     // inject failures on the next N reads
+	failRate float64 // probabilistic write failure rate
+	rng      *rand.Rand
+
+	stats metrics.IOStats
+}
+
+// New returns a device with the given configuration.
+func New(cfg Config) *Device {
+	if cfg.MaxIOPS <= 0 {
+		panic(fmt.Sprintf("ssd: non-positive MaxIOPS %v", cfg.MaxIOPS))
+	}
+	return &Device{
+		cfg:    cfg,
+		chunks: make(map[int64][]byte),
+		rng:    rand.New(rand.NewSource(1)),
+	}
+}
+
+// Config returns the device's configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns the device's I/O statistics.
+func (d *Device) Stats() *metrics.IOStats { return &d.stats }
+
+// chargeIO accrues the CPU cost of one I/O to the in-flight operation and
+// escalates it to an SS operation. A nil charger skips CPU accounting
+// (e.g., background flush paths measured separately).
+func (d *Device) chargeIO(ch *sim.Charger) {
+	if ch == nil {
+		return
+	}
+	p := ch.Profile()
+	if d.cfg.Path == KernelPath {
+		ch.Add(p.IOIssueKernel)
+	} else {
+		ch.Add(p.IOIssueUser)
+	}
+	ch.Add(p.ContextSwitch)
+	ch.Escalate(sim.OpSS)
+}
+
+// accountBusy charges device-busy time for one I/O.
+func (d *Device) accountBusy() {
+	d.busySec += 1 / d.cfg.MaxIOPS
+}
+
+// BusySeconds returns accumulated device-busy virtual time; the harness
+// compares it against elapsed virtual time to detect I/O-bound operation.
+func (d *Device) BusySeconds() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.busySec
+}
+
+// Latency returns the device latency per I/O in virtual seconds.
+func (d *Device) Latency() float64 { return d.cfg.LatencySec }
+
+// WriteAt writes data at the given offset as one device write I/O,
+// charging ch for the CPU cost (ch may be nil for background writes).
+func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
+	if off < 0 {
+		return ErrOutOfRange
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.failRate > 0 && d.rng.Float64() < d.failRate {
+		return ErrInjectedWrite
+	}
+	d.writeLocked(off, data)
+	d.accountBusy()
+	d.stats.Writes.Inc()
+	d.stats.BytesWritten.Add(int64(len(data)))
+	d.chargeIO(ch)
+	return nil
+}
+
+func (d *Device) writeLocked(off int64, data []byte) {
+	end := off + int64(len(data))
+	if end > d.written {
+		d.written = end
+	}
+	for len(data) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := chunkSize - co
+		if int64(len(data)) < n {
+			n = int64(len(data))
+		}
+		chunk, ok := d.chunks[ci]
+		if !ok {
+			chunk = make([]byte, chunkSize)
+			d.chunks[ci] = chunk
+		}
+		copy(chunk[co:co+n], data[:n])
+		off += n
+		data = data[n:]
+	}
+}
+
+// ReadAt reads length bytes at the given offset as one device read I/O,
+// charging ch for the CPU cost.
+func (d *Device) ReadAt(off int64, length int, ch *sim.Charger) ([]byte, error) {
+	if off < 0 || length < 0 {
+		return nil, ErrOutOfRange
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if d.failRead > 0 {
+		d.failRead--
+		d.mu.Unlock()
+		return nil, ErrInjectedRead
+	}
+	if off+int64(length) > d.written {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: read [%d,%d) beyond high-water %d", ErrOutOfRange, off, off+int64(length), d.written)
+	}
+	out := make([]byte, length)
+	d.readLocked(off, out)
+	d.accountBusy()
+	d.stats.Reads.Inc()
+	d.stats.BytesRead.Add(int64(length))
+	d.mu.Unlock()
+	d.chargeIO(ch)
+	return out, nil
+}
+
+func (d *Device) readLocked(off int64, out []byte) {
+	for len(out) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := chunkSize - co
+		if int64(len(out)) < n {
+			n = int64(len(out))
+		}
+		if chunk, ok := d.chunks[ci]; ok {
+			copy(out[:n], chunk[co:co+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				out[i] = 0
+			}
+		}
+		off += n
+		out = out[n:]
+	}
+}
+
+// Trim releases the storage backing [off, off+length) back to the device
+// (log-structured GC uses this after reclaiming a segment). Partial chunks
+// at the boundaries are zeroed rather than freed.
+func (d *Device) Trim(off int64, length int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	end := off + length
+	for ci := off / chunkSize; ci*chunkSize < end; ci++ {
+		cs, ce := ci*chunkSize, (ci+1)*chunkSize
+		if cs >= off && ce <= end {
+			delete(d.chunks, ci)
+			continue
+		}
+		chunk, ok := d.chunks[ci]
+		if !ok {
+			continue
+		}
+		zs, ze := off, end
+		if zs < cs {
+			zs = cs
+		}
+		if ze > ce {
+			ze = ce
+		}
+		for i := zs - cs; i < ze-cs; i++ {
+			chunk[i] = 0
+		}
+	}
+}
+
+// FootprintBytes returns the bytes of simulated media currently allocated.
+func (d *Device) FootprintBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(len(d.chunks)) * chunkSize
+}
+
+// HighWater returns the highest written address (the log tail for
+// log-structured users).
+func (d *Device) HighWater() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.written
+}
+
+// FailNextReads makes the next n reads fail with ErrInjectedRead.
+func (d *Device) FailNextReads(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failRead = n
+}
+
+// SetWriteFailureRate makes each write fail with the given probability.
+func (d *Device) SetWriteFailureRate(p float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failRate = p
+}
+
+// Close marks the device closed; subsequent I/O fails with ErrClosed.
+func (d *Device) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}

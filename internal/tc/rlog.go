@@ -1,0 +1,211 @@
+// Package tc implements a Deuteronomy-style transaction component (paper
+// Figure 6 and Section 6.3): multi-version concurrency control whose
+// version store doubles as a record cache, a redo recovery log whose
+// buffers are retained in memory as an updated-record cache, and a
+// log-structured read cache for records fetched from the data component.
+//
+// All transactional updates reach the data component as blind updates
+// (Section 6.2): the TC reads through its caches, and committed values are
+// posted to the Bw-tree without reading the target page.
+package tc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"costperf/internal/ssd"
+)
+
+// redoEntry is one write of a committed transaction.
+type redoEntry struct {
+	key      []byte
+	val      []byte
+	isDelete bool
+}
+
+// commitRecord is the unit appended to the recovery log: all writes of one
+// transaction plus its commit timestamp.
+type commitRecord struct {
+	commitTS uint64
+	entries  []redoEntry
+}
+
+const rlogMagic = 0xC7
+
+// rlog is the redo recovery log: records accumulate in an in-memory buffer
+// (which the TC retains as a record cache) and flush to the device in
+// large writes.
+type rlog struct {
+	mu      sync.Mutex
+	dev     *ssd.Device
+	buf     []byte
+	start   int64 // device offset of buf[0]
+	bufCap  int
+	flushes int64
+}
+
+func newRlog(dev *ssd.Device, bufBytes int) *rlog {
+	if bufBytes <= 0 {
+		bufBytes = 1 << 20
+	}
+	return &rlog{dev: dev, buf: make([]byte, 0, bufBytes), bufCap: bufBytes}
+}
+
+func encodeCommit(rec commitRecord) []byte {
+	var body []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		body = append(body, tmp[:n]...)
+	}
+	putB := func(b []byte) {
+		put(uint64(len(b)))
+		body = append(body, b...)
+	}
+	put(rec.commitTS)
+	put(uint64(len(rec.entries)))
+	for _, e := range rec.entries {
+		flag := byte(0)
+		if e.isDelete {
+			flag = 1
+		}
+		body = append(body, flag)
+		putB(e.key)
+		if !e.isDelete {
+			putB(e.val)
+		}
+	}
+	// Frame: magic | len(4) | crc(4) | body
+	out := make([]byte, 9+len(body))
+	out[0] = rlogMagic
+	binary.BigEndian.PutUint32(out[1:], uint32(len(body)))
+	binary.BigEndian.PutUint32(out[5:], crc32.ChecksumIEEE(body))
+	copy(out[9:], body)
+	return out
+}
+
+func decodeCommit(body []byte) (commitRecord, error) {
+	var rec commitRecord
+	pos := 0
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, errors.New("tc: truncated log record")
+		}
+		pos += n
+		return v, nil
+	}
+	getB := func() ([]byte, error) {
+		l, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(l) > len(body) {
+			return nil, errors.New("tc: truncated log record")
+		}
+		b := append([]byte(nil), body[pos:pos+int(l)]...)
+		pos += int(l)
+		return b, nil
+	}
+	ts, err := get()
+	if err != nil {
+		return rec, err
+	}
+	rec.commitTS = ts
+	n, err := get()
+	if err != nil {
+		return rec, err
+	}
+	for i := uint64(0); i < n; i++ {
+		if pos >= len(body) {
+			return rec, errors.New("tc: truncated log record")
+		}
+		e := redoEntry{isDelete: body[pos] == 1}
+		pos++
+		if e.key, err = getB(); err != nil {
+			return rec, err
+		}
+		if !e.isDelete {
+			if e.val, err = getB(); err != nil {
+				return rec, err
+			}
+		}
+		rec.entries = append(rec.entries, e)
+	}
+	return rec, nil
+}
+
+// append stages a commit record; it flushes automatically when the buffer
+// fills.
+func (l *rlog) append(rec commitRecord) error {
+	framed := encodeCommit(rec)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf)+len(framed) > l.bufCap {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+	}
+	l.buf = append(l.buf, framed...)
+	return nil
+}
+
+// flush forces buffered records to the device (group commit boundary).
+func (l *rlog) flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *rlog) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if err := l.dev.WriteAt(l.start, l.buf, nil); err != nil {
+		return err
+	}
+	l.start += int64(len(l.buf))
+	l.buf = l.buf[:0]
+	l.flushes++
+	return nil
+}
+
+// replay scans the durable log in order, invoking fn per commit record.
+// It stops silently at the first torn or unwritten frame.
+func replayLog(dev *ssd.Device, fn func(commitRecord) error) error {
+	off := int64(0)
+	hw := dev.HighWater()
+	for off+9 <= hw {
+		hdr, err := dev.ReadAt(off, 9, nil)
+		if err != nil {
+			return err
+		}
+		if hdr[0] != rlogMagic {
+			return nil
+		}
+		blen := int64(binary.BigEndian.Uint32(hdr[1:]))
+		sum := binary.BigEndian.Uint32(hdr[5:])
+		if off+9+blen > hw {
+			return nil // torn tail
+		}
+		body, err := dev.ReadAt(off+9, int(blen), nil)
+		if err != nil {
+			return err
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return nil // torn write
+		}
+		rec, err := decodeCommit(body)
+		if err != nil {
+			return fmt.Errorf("tc: corrupt log record at %d: %w", off, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += 9 + blen
+	}
+	return nil
+}

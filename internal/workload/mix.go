@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Mix describes an operation mix as relative weights. Weights need not sum
+// to 1; they are normalized. A zero Mix is invalid.
+type Mix struct {
+	Read       float64
+	Update     float64
+	Insert     float64
+	BlindWrite float64
+	Scan       float64
+	Delete     float64
+}
+
+// Standard mixes, named after the YCSB workloads they approximate plus
+// paper-specific mixes.
+var (
+	// ReadOnly is the paper's Section 5 read-only comparison workload.
+	ReadOnly = Mix{Read: 1}
+	// ReadMostly approximates YCSB-B: 95% reads, 5% updates.
+	ReadMostly = Mix{Read: 0.95, Update: 0.05}
+	// UpdateHeavy approximates YCSB-A: 50% reads, 50% updates.
+	UpdateHeavy = Mix{Read: 0.5, Update: 0.5}
+	// BlindWriteHeavy exercises paper Section 6.2: mostly blind updates.
+	BlindWriteHeavy = Mix{Read: 0.2, BlindWrite: 0.8}
+	// ScanMix adds short range scans.
+	ScanMix = Mix{Read: 0.7, Update: 0.25, Scan: 0.05}
+)
+
+func (m Mix) total() float64 {
+	return m.Read + m.Update + m.Insert + m.BlindWrite + m.Scan + m.Delete
+}
+
+// Validate reports whether the mix has positive total weight and no
+// negative components.
+func (m Mix) Validate() error {
+	for _, w := range []float64{m.Read, m.Update, m.Insert, m.BlindWrite, m.Scan, m.Delete} {
+		if w < 0 {
+			return fmt.Errorf("workload: negative mix weight %v", w)
+		}
+	}
+	if m.total() <= 0 {
+		return fmt.Errorf("workload: mix has zero total weight")
+	}
+	return nil
+}
+
+// Generator produces a stream of operations over a keyspace.
+type Generator struct {
+	cfg   GeneratorConfig
+	rng   *rand.Rand
+	n     uint64 // current keyspace size (grows with inserts)
+	cdf   [6]float64
+	kinds [6]OpKind
+}
+
+// GeneratorConfig configures a Generator.
+type GeneratorConfig struct {
+	// Keys is the initial keyspace size (records 0..Keys-1 assumed loaded).
+	Keys uint64
+	// ValueSize is the payload size for generated writes.
+	ValueSize int
+	// Mix is the operation mix.
+	Mix Mix
+	// Chooser selects keys for read/update/blind-write/scan/delete.
+	// Inserts always append at the end of the keyspace.
+	Chooser KeyChooser
+	// ScanLen is the range length for scan operations (default 10).
+	ScanLen int
+	// Seed drives the op-kind selection.
+	Seed int64
+}
+
+// NewGenerator validates cfg and returns a generator.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
+	if err := cfg.Mix.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Keys == 0 {
+		return nil, fmt.Errorf("workload: zero keyspace")
+	}
+	if cfg.Chooser == nil {
+		return nil, fmt.Errorf("workload: nil Chooser")
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 100
+	}
+	if cfg.ScanLen <= 0 {
+		cfg.ScanLen = 10
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), n: cfg.Keys}
+	total := cfg.Mix.total()
+	weights := []float64{cfg.Mix.Read, cfg.Mix.Update, cfg.Mix.Insert, cfg.Mix.BlindWrite, cfg.Mix.Scan, cfg.Mix.Delete}
+	kinds := []OpKind{OpRead, OpUpdate, OpInsert, OpBlindWrite, OpScan, OpDelete}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		g.cdf[i] = acc
+		g.kinds[i] = kinds[i]
+	}
+	g.cdf[len(g.cdf)-1] = 1 // guard against FP drift
+	return g, nil
+}
+
+// Keys returns the current keyspace size (initial keys plus inserts so far).
+func (g *Generator) Keys() uint64 { return g.n }
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	u := g.rng.Float64()
+	kind := g.kinds[len(g.kinds)-1]
+	for i, c := range g.cdf {
+		if u <= c {
+			kind = g.kinds[i]
+			break
+		}
+	}
+	switch kind {
+	case OpInsert:
+		id := g.n
+		g.n++
+		return Op{Kind: OpInsert, Key: Key(id), Value: ValueFor(id, g.cfg.ValueSize)}
+	case OpScan:
+		id := g.cfg.Chooser.Next(g.n)
+		return Op{Kind: OpScan, Key: Key(id), ScanLen: g.cfg.ScanLen}
+	case OpUpdate, OpBlindWrite:
+		id := g.cfg.Chooser.Next(g.n)
+		return Op{Kind: kind, Key: Key(id), Value: ValueFor(id+uint64(g.rng.Int63()), g.cfg.ValueSize)}
+	case OpDelete:
+		id := g.cfg.Chooser.Next(g.n)
+		return Op{Kind: OpDelete, Key: Key(id)}
+	default:
+		id := g.cfg.Chooser.Next(g.n)
+		return Op{Kind: OpRead, Key: Key(id)}
+	}
+}

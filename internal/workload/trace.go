@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace recording and replay: experiments can capture the exact operation
+// stream they ran and replay it elsewhere (a different engine, a different
+// configuration) for apples-to-apples comparisons — the methodology the
+// paper's "same workload on both systems" measurements rely on.
+
+// traceMagic opens every trace stream.
+var traceMagic = [4]byte{'C', 'P', 'T', '1'}
+
+// ErrBadTrace is returned when a stream is not a valid trace.
+var ErrBadTrace = errors.New("workload: invalid trace")
+
+// TraceWriter serializes operations to a stream.
+type TraceWriter struct {
+	w     *bufio.Writer
+	count int64
+	err   error
+}
+
+// NewTraceWriter starts a trace on w.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+func (t *TraceWriter) uvarint(v uint64) {
+	if t.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, t.err = t.w.Write(buf[:n])
+}
+
+func (t *TraceWriter) bytes(b []byte) {
+	t.uvarint(uint64(len(b)))
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(b)
+}
+
+// Append records one operation.
+func (t *TraceWriter) Append(op Op) error {
+	if t.err != nil {
+		return t.err
+	}
+	t.uvarint(uint64(op.Kind))
+	t.bytes(op.Key)
+	switch op.Kind {
+	case OpUpdate, OpInsert, OpBlindWrite:
+		t.bytes(op.Value)
+	case OpScan:
+		t.uvarint(uint64(op.ScanLen))
+	}
+	if t.err == nil {
+		t.count++
+	}
+	return t.err
+}
+
+// Count returns the number of operations recorded.
+func (t *TraceWriter) Count() int64 { return t.count }
+
+// Flush drains the writer's buffer.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// TraceReader replays a recorded trace.
+type TraceReader struct {
+	r *bufio.Reader
+}
+
+// NewTraceReader validates the stream header and returns a reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if hdr != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+func (t *TraceReader) bytes() ([]byte, error) {
+	n, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible field length %d", ErrBadTrace, n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(t.r, b); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return b, nil
+}
+
+// Next returns the next operation, or io.EOF at the end of the trace.
+func (t *TraceReader) Next() (Op, error) {
+	kindRaw, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Op{}, io.EOF
+		}
+		return Op{}, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	kind := OpKind(kindRaw)
+	if kind < OpRead || kind > OpDelete {
+		return Op{}, fmt.Errorf("%w: unknown op kind %d", ErrBadTrace, kindRaw)
+	}
+	op := Op{Kind: kind}
+	if op.Key, err = t.bytes(); err != nil {
+		return Op{}, err
+	}
+	switch kind {
+	case OpUpdate, OpInsert, OpBlindWrite:
+		if op.Value, err = t.bytes(); err != nil {
+			return Op{}, err
+		}
+	case OpScan:
+		n, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return Op{}, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		op.ScanLen = int(n)
+	}
+	return op, nil
+}
+
+// Record captures n operations from a generator into w and returns the
+// recorded operations' count.
+func Record(gen *Generator, n int, w io.Writer) (int64, error) {
+	tw, err := NewTraceWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Append(gen.Next()); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// Replay feeds every operation of a trace to apply, stopping on the first
+// error. It returns the number of operations applied.
+func Replay(r io.Reader, apply func(Op) error) (int64, error) {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		op, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := apply(op); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	gen, err := NewGenerator(GeneratorConfig{
+		Keys:    200,
+		Mix:     Mix{Read: 1, Update: 1, Insert: 0.2, BlindWrite: 0.5, Scan: 0.3, Delete: 0.1},
+		Chooser: NewZipfian(3, 0.9),
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate the expected stream with an identical generator.
+	ref, err := NewGenerator(GeneratorConfig{
+		Keys:    200,
+		Mix:     Mix{Read: 1, Update: 1, Insert: 0.2, BlindWrite: 0.5, Scan: 0.3, Delete: 0.1},
+		Chooser: NewZipfian(3, 0.9),
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	want := make([]Op, n)
+	for i := range want {
+		want[i] = ref.Next()
+	}
+
+	var buf bytes.Buffer
+	count, err := Record(gen, n, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("recorded %d, want %d", count, n)
+	}
+
+	i := 0
+	applied, err := Replay(&buf, func(op Op) error {
+		w := want[i]
+		if op.Kind != w.Kind || !bytes.Equal(op.Key, w.Key) ||
+			!bytes.Equal(op.Value, w.Value) || op.ScanLen != w.ScanLen {
+			t.Fatalf("op %d = %+v, want %+v", i, op, w)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != n {
+		t.Fatalf("replayed %d, want %d", applied, n)
+	}
+}
+
+func TestTraceBadMagic(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("NOPE1234"))); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewTraceReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("empty err = %v", err)
+	}
+}
+
+func TestTraceTruncated(t *testing.T) {
+	gen, _ := NewGenerator(GeneratorConfig{Keys: 10, Mix: ReadMostly, Chooser: NewUniform(1)})
+	var buf bytes.Buffer
+	if _, err := Record(gen, 20, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Chop mid-record: replay returns an error (not silent loss) unless the
+	// cut lands exactly on a boundary.
+	cut := raw[:len(raw)-3]
+	_, err := Replay(bytes.NewReader(cut), func(Op) error { return nil })
+	if err == nil {
+		t.Skip("cut landed on a record boundary")
+	}
+	if !errors.Is(err, ErrBadTrace) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTraceCorruptKind(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0x63) // kind = 99
+	if _, err := Replay(&buf, func(Op) error { return nil }); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplayApplyError(t *testing.T) {
+	gen, _ := NewGenerator(GeneratorConfig{Keys: 10, Mix: ReadOnly, Chooser: NewUniform(1)})
+	var buf bytes.Buffer
+	if _, err := Record(gen, 5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	n, err := Replay(&buf, func(Op) error { return boom })
+	if !errors.Is(err, boom) || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+// Property: arbitrary op sequences survive the trace round trip.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		var ops []Op
+		for i, s := range seeds {
+			kind := OpKind(int(s) % 6)
+			op := Op{Kind: kind, Key: Key(uint64(s))}
+			switch kind {
+			case OpUpdate, OpInsert, OpBlindWrite:
+				op.Value = ValueFor(uint64(i), int(s)%50)
+			case OpScan:
+				op.ScanLen = int(s) % 100
+			}
+			ops = append(ops, op)
+		}
+		var buf bytes.Buffer
+		tw, err := NewTraceWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			if err := tw.Append(op); err != nil {
+				return false
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return false
+		}
+		i := 0
+		_, err = Replay(&buf, func(op Op) error {
+			w := ops[i]
+			if op.Kind != w.Kind || !bytes.Equal(op.Key, w.Key) ||
+				!bytes.Equal(op.Value, w.Value) || op.ScanLen != w.ScanLen {
+				return errors.New("mismatch")
+			}
+			i++
+			return nil
+		})
+		return err == nil && i == len(ops)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package workload generates the key/value access patterns that drive every
+// experiment in this repository: uniform and zipfian key popularity,
+// hot/cold working sets (the access-frequency spectrum of the paper's
+// Figures 2, 3, and 8), and YCSB-style operation mixes including the blind
+// updates of paper Section 6.2.
+//
+// Generators are deterministic given a seed so experiments are repeatable.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is the kind of a generated operation.
+type OpKind int
+
+const (
+	// OpRead looks up a key.
+	OpRead OpKind = iota
+	// OpUpdate is a read-modify-write of an existing key.
+	OpUpdate
+	// OpInsert adds a new key.
+	OpInsert
+	// OpBlindWrite overwrites a key without depending on its prior state
+	// (paper Section 6.2: these need not read the base page).
+	OpBlindWrite
+	// OpScan reads a short ordered range starting at a key.
+	OpScan
+	// OpDelete removes a key.
+	OpDelete
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpBlindWrite:
+		return "blindwrite"
+	case OpScan:
+		return "scan"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind    OpKind
+	Key     []byte
+	Value   []byte // set for Update/Insert/BlindWrite
+	ScanLen int    // set for Scan
+}
+
+// Key renders record identifier i as a fixed-width big-endian key so that
+// numeric order equals lexicographic byte order (required by the ordered
+// stores' range scans).
+func Key(i uint64) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], i)
+	return k[:]
+}
+
+// KeyID inverts Key.
+func KeyID(k []byte) uint64 {
+	if len(k) != 8 {
+		panic(fmt.Sprintf("workload: key length %d, want 8", len(k)))
+	}
+	return binary.BigEndian.Uint64(k)
+}
+
+// ValueFor deterministically produces a value of the given size for key id i,
+// so tests can verify payload integrity after eviction/recovery round trips.
+func ValueFor(i uint64, size int) []byte {
+	v := make([]byte, size)
+	var seed [8]byte
+	binary.BigEndian.PutUint64(seed[:], i*0x9e3779b97f4a7c15+1)
+	for j := range v {
+		v[j] = seed[j%8] ^ byte(j)
+	}
+	return v
+}
+
+// KeyChooser selects which record an operation targets.
+type KeyChooser interface {
+	// Next returns a record id in [0, n) for a keyspace of size n.
+	Next(n uint64) uint64
+}
+
+// Uniform chooses keys uniformly at random.
+type Uniform struct {
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform chooser with the given seed.
+func NewUniform(seed int64) *Uniform {
+	return &Uniform{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements KeyChooser.
+func (u *Uniform) Next(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: empty keyspace")
+	}
+	return uint64(u.rng.Int63n(int64(n)))
+}
+
+// Zipfian chooses keys with a zipfian popularity distribution (YCSB's
+// default skew θ=0.99 unless configured otherwise). Item 0 is the hottest.
+type Zipfian struct {
+	rng   *rand.Rand
+	theta float64
+
+	// cached state for the current n (Gray et al. quick zipf generation)
+	n     uint64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipfian returns a zipfian chooser with skew theta in (0, 1).
+func NewZipfian(seed int64, theta float64) *Zipfian {
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("workload: zipfian theta %v out of (0,1)", theta))
+	}
+	return &Zipfian{rng: rand.New(rand.NewSource(seed)), theta: theta}
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var z float64
+	for i := uint64(1); i <= n; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+	}
+	return z
+}
+
+func (z *Zipfian) prepare(n uint64) {
+	if z.n == n {
+		return
+	}
+	z.n = n
+	z.zetan = zeta(n, z.theta)
+	z.zeta2 = zeta(2, z.theta)
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+// Next implements KeyChooser.
+func (z *Zipfian) Next(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: empty keyspace")
+	}
+	if n == 1 {
+		return 0
+	}
+	z.prepare(n)
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// HotCold draws from a small hot set with the given probability and from the
+// cold remainder otherwise — directly modelling the hot/cold data spectrum
+// the paper's cost analysis turns on.
+type HotCold struct {
+	rng     *rand.Rand
+	hotFrac float64 // fraction of the keyspace that is hot
+	hotProb float64 // probability an access goes to the hot set
+}
+
+// NewHotCold returns a chooser where hotFrac of keys receive hotProb of
+// accesses (e.g. 0.1, 0.9 for a 90/10 skew).
+func NewHotCold(seed int64, hotFrac, hotProb float64) *HotCold {
+	if hotFrac <= 0 || hotFrac > 1 {
+		panic(fmt.Sprintf("workload: hotFrac %v out of (0,1]", hotFrac))
+	}
+	if hotProb < 0 || hotProb > 1 {
+		panic(fmt.Sprintf("workload: hotProb %v out of [0,1]", hotProb))
+	}
+	return &HotCold{rng: rand.New(rand.NewSource(seed)), hotFrac: hotFrac, hotProb: hotProb}
+}
+
+// Next implements KeyChooser.
+func (h *HotCold) Next(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: empty keyspace")
+	}
+	hot := uint64(float64(n) * h.hotFrac)
+	if hot == 0 {
+		hot = 1
+	}
+	if h.rng.Float64() < h.hotProb {
+		return uint64(h.rng.Int63n(int64(hot)))
+	}
+	if hot >= n {
+		return uint64(h.rng.Int63n(int64(n)))
+	}
+	return hot + uint64(h.rng.Int63n(int64(n-hot)))
+}
+
+// Sequential cycles through the keyspace in order (bulk loads, scans).
+type Sequential struct {
+	next uint64
+}
+
+// NewSequential returns a sequential chooser starting at 0.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Next implements KeyChooser.
+func (s *Sequential) Next(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: empty keyspace")
+	}
+	k := s.next % n
+	s.next++
+	return k
+}

@@ -1,0 +1,329 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 255, 1 << 20, math.MaxUint64} {
+		if got := KeyID(Key(id)); got != id {
+			t.Errorf("KeyID(Key(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestKeyOrderMatchesNumericOrder(t *testing.T) {
+	f := func(a, b uint64) bool {
+		cmp := bytes.Compare(Key(a), Key(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyIDWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short key")
+		}
+	}()
+	KeyID([]byte{1, 2, 3})
+}
+
+func TestValueForDeterministic(t *testing.T) {
+	a := ValueFor(42, 64)
+	b := ValueFor(42, 64)
+	if !bytes.Equal(a, b) {
+		t.Fatal("ValueFor not deterministic")
+	}
+	c := ValueFor(43, 64)
+	if bytes.Equal(a, c) {
+		t.Fatal("different ids produced identical values")
+	}
+	if len(a) != 64 {
+		t.Fatalf("len = %d, want 64", len(a))
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	u := NewUniform(1)
+	const n = 10
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		k := u.Next(n)
+		if k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("uniform covered %d/%d keys in 1000 draws", len(seen), n)
+	}
+}
+
+func TestUniformEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty keyspace")
+		}
+	}()
+	NewUniform(1).Next(0)
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(1, 0.99)
+	const n, draws = 1000, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Next(n)
+		if k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Item 0 must be by far the most popular; the top 10 items should
+	// account for a large share of accesses under theta=0.99.
+	top := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(top)))
+	var top10 int
+	for _, c := range top[:10] {
+		top10 += c
+	}
+	if frac := float64(top10) / draws; frac < 0.3 {
+		t.Fatalf("top-10 share = %v, want >= 0.3 for zipfian skew", frac)
+	}
+	if counts[0] < counts[n-1] {
+		t.Fatal("item 0 should be hotter than the tail")
+	}
+}
+
+func TestZipfianSingleKey(t *testing.T) {
+	z := NewZipfian(1, 0.5)
+	if got := z.Next(1); got != 0 {
+		t.Fatalf("Next(1) = %d, want 0", got)
+	}
+}
+
+func TestZipfianBadThetaPanics(t *testing.T) {
+	for _, theta := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("theta=%v did not panic", theta)
+				}
+			}()
+			NewZipfian(1, theta)
+		}()
+	}
+}
+
+func TestZipfianAdaptsToGrowingKeyspace(t *testing.T) {
+	z := NewZipfian(7, 0.9)
+	for _, n := range []uint64{10, 100, 10000} {
+		for i := 0; i < 100; i++ {
+			if k := z.Next(n); k >= n {
+				t.Fatalf("key %d out of range %d", k, n)
+			}
+		}
+	}
+}
+
+func TestHotColdSkew(t *testing.T) {
+	h := NewHotCold(1, 0.1, 0.9)
+	const n, draws = 1000, 50000
+	hotHits := 0
+	for i := 0; i < draws; i++ {
+		k := h.Next(n)
+		if k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k < 100 { // hot set = first 10%
+			hotHits++
+		}
+	}
+	frac := float64(hotHits) / draws
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestHotColdDegenerate(t *testing.T) {
+	// hotFrac=1 means every access is in the "hot" range.
+	h := NewHotCold(1, 1.0, 0.5)
+	for i := 0; i < 100; i++ {
+		if k := h.Next(10); k >= 10 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestHotColdBadParamsPanic(t *testing.T) {
+	for _, c := range []struct{ frac, prob float64 }{
+		{0, 0.5}, {-1, 0.5}, {1.5, 0.5}, {0.1, -0.1}, {0.1, 1.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("frac=%v prob=%v did not panic", c.frac, c.prob)
+				}
+			}()
+			NewHotCold(1, c.frac, c.prob)
+		}()
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	s := NewSequential()
+	want := []uint64{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := s.Next(3); got != w {
+			t.Fatalf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	if err := ReadOnly.Validate(); err != nil {
+		t.Fatalf("ReadOnly invalid: %v", err)
+	}
+	if err := (Mix{}).Validate(); err == nil {
+		t.Fatal("zero mix should be invalid")
+	}
+	if err := (Mix{Read: -1, Update: 2}).Validate(); err == nil {
+		t.Fatal("negative weight should be invalid")
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{
+		Keys:    1000,
+		Mix:     Mix{Read: 0.5, Update: 0.5},
+		Chooser: NewUniform(1),
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpKind]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		op := g.Next()
+		counts[op.Kind]++
+		if op.Kind == OpRead && op.Value != nil {
+			t.Fatal("read op carries a value")
+		}
+		if op.Kind == OpUpdate && op.Value == nil {
+			t.Fatal("update op missing value")
+		}
+	}
+	rf := float64(counts[OpRead]) / draws
+	if rf < 0.45 || rf > 0.55 {
+		t.Fatalf("read fraction = %v, want ~0.5", rf)
+	}
+	if counts[OpInsert] != 0 || counts[OpScan] != 0 {
+		t.Fatal("unexpected op kinds generated")
+	}
+}
+
+func TestGeneratorInsertGrowsKeyspace(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{
+		Keys:    10,
+		Mix:     Mix{Insert: 1},
+		Chooser: NewUniform(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert {
+			t.Fatalf("kind = %v, want insert", op.Kind)
+		}
+		if got := KeyID(op.Key); got != uint64(10+i) {
+			t.Fatalf("insert key = %d, want %d", got, 10+i)
+		}
+	}
+	if g.Keys() != 15 {
+		t.Fatalf("Keys = %d, want 15", g.Keys())
+	}
+}
+
+func TestGeneratorScanLen(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{
+		Keys:    100,
+		Mix:     Mix{Scan: 1},
+		Chooser: NewUniform(1),
+		ScanLen: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := g.Next()
+	if op.Kind != OpScan || op.ScanLen != 25 {
+		t.Fatalf("op = %+v, want scan len 25", op)
+	}
+}
+
+func TestGeneratorConfigErrors(t *testing.T) {
+	cases := []GeneratorConfig{
+		{Keys: 0, Mix: ReadOnly, Chooser: NewUniform(1)},
+		{Keys: 10, Mix: Mix{}, Chooser: NewUniform(1)},
+		{Keys: 10, Mix: ReadOnly, Chooser: nil},
+	}
+	for i, cfg := range cases {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpRead: "read", OpUpdate: "update", OpInsert: "insert",
+		OpBlindWrite: "blindwrite", OpScan: "scan", OpDelete: "delete",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if OpKind(42).String() != "OpKind(42)" {
+		t.Error("unknown kind string")
+	}
+}
+
+// Property: generator only produces keys within the (growing) keyspace.
+func TestGeneratorKeyRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := NewGenerator(GeneratorConfig{
+			Keys:    50,
+			Mix:     Mix{Read: 1, Update: 1, Insert: 0.2, BlindWrite: 1, Scan: 0.3},
+			Chooser: NewUniform(seed),
+			Seed:    seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			op := g.Next()
+			if KeyID(op.Key) >= g.Keys() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
