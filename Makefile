@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+check: ## vet + build + full tests + race pass on the storage stack
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/bwtree ./internal/llama/... ./internal/tc \
+		./internal/ssd ./internal/fault ./internal/lsm ./internal/integration
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -18,6 +18,7 @@ import (
 
 	"costperf/internal/btree"
 	"costperf/internal/bwtree"
+	"costperf/internal/fault"
 	"costperf/internal/llama/logstore"
 	"costperf/internal/lsm"
 	"costperf/internal/masstree"
@@ -47,6 +48,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	recordTo := flag.String("record", "", "record the generated operations to this trace file")
 	replayFrom := flag.String("replay", "", "replay operations from this trace file instead of generating")
+	faultSpec := flag.String("faults", "",
+		"deterministic fault-injection spec applied after loading, e.g. seed=42,read=0.001,write=0.001,latency=0.01:0.002 (see internal/fault.ParseSpec)")
 	flag.Parse()
 
 	sess := sim.NewSession(sim.DefaultCosts())
@@ -54,6 +57,8 @@ func main() {
 
 	var s store
 	var bw *bwtree.Tree
+	// faultReport prints the store's retry/health counters after a -faults run.
+	var faultReport func()
 	switch *storeName {
 	case "bwtree":
 		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20})
@@ -62,12 +67,19 @@ func main() {
 		check(err)
 		bw = tree
 		s = bwAdapter{tree}
+		faultReport = func() {
+			fmt.Printf("  bwtree retry: %s, health: %s\n", tree.Stats().Retry.String(), tree.Stats().Health.String())
+			fmt.Printf("  logstore retry: %s, health: %s\n", st.Stats().Retry.String(), st.Stats().Health.String())
+		}
 	case "masstree":
 		s = mtAdapter{masstree.New(sess)}
 	case "lsm":
 		tree, err := lsm.New(lsm.Config{Device: dev, Session: sess})
 		check(err)
 		s = lsmAdapter{tree}
+		faultReport = func() {
+			fmt.Printf("  lsm retry: %s, health: %s\n", tree.Stats().Retry.String(), tree.Stats().Health.String())
+		}
 	case "btree":
 		tree, err := btree.New(btree.Config{Device: dev, PoolPages: *pool, Session: sess})
 		check(err)
@@ -112,6 +124,15 @@ func main() {
 	}
 	sess.Tracker().Reset()
 	dev.Stats().Reset()
+
+	// Install fault injection only for the measured phase: the load above
+	// runs clean so every run starts from the same store state.
+	if *faultSpec != "" {
+		inj, err := fault.ParseSpec(*faultSpec)
+		check(err)
+		dev.SetFaultInjector(inj)
+		fmt.Printf("injecting faults: %s\n", *faultSpec)
+	}
 
 	apply := func(i int, op workload.Op) {
 		switch op.Kind {
@@ -181,6 +202,10 @@ func main() {
 		fmt.Printf("  measured R = %.2f (paper: 5.8 user-level, ~9 kernel)\n", tk.R())
 	}
 	fmt.Printf("  device: %s\n", dev.Stats().String())
+	if *faultSpec != "" && faultReport != nil {
+		fmt.Println("fault absorption:")
+		faultReport()
+	}
 }
 
 func check(err error) {

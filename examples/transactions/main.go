@@ -93,11 +93,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	maxTS, applied, err := tc.Recover(logDev, fresh.Tree)
+	res, err := tc.Recover(logDev, fresh.Tree)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("crash recovery: replayed %d committed writes (through ts %d)\n", applied, maxTS)
+	fmt.Printf("crash recovery: replayed %d committed writes (through ts %d)\n", res.Applied, res.MaxTS)
 	v, ok, err := fresh.Tree.Get(costperf.Key(0))
 	if err != nil || !ok {
 		log.Fatalf("account 0 lost in recovery: ok=%v err=%v", ok, err)

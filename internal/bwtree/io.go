@@ -7,10 +7,38 @@ import (
 	"fmt"
 	"sort"
 
+	"costperf/internal/fault"
 	"costperf/internal/llama/logstore"
 	"costperf/internal/llama/mapping"
 	"costperf/internal/sim"
 )
+
+// storeRead reads a log record, retrying transient device faults under the
+// tree's retry policy. Corrupt and persistent errors surface immediately.
+func (t *Tree) storeRead(addr logstore.Address, ch *sim.Charger) (logstore.Record, error) {
+	var rec logstore.Record
+	err := t.cfg.Retry.Do(&t.stats.Retry, func() error {
+		var rerr error
+		rec, rerr = t.cfg.Store.Read(addr, ch)
+		return rerr
+	})
+	return rec, err
+}
+
+// storeAppend appends a log record with degraded-state semantics: once a
+// persistent storage failure is seen the tree latches read-only and all
+// further flush work fails fast with ErrDegraded instead of risking a
+// half-written durable state.
+func (t *Tree) storeAppend(pid uint64, kind logstore.Kind, payload []byte, ch *sim.Charger) (logstore.Address, error) {
+	if t.stats.Health.Degraded() {
+		return logstore.Address{}, ErrDegraded
+	}
+	addr, err := t.cfg.Store.Append(pid, kind, payload, ch)
+	if err != nil && fault.Classify(err) == fault.ClassPersistent {
+		t.stats.Health.Degrade(fmt.Sprintf("append page %d: %v", pid, err))
+	}
+	return addr, err
+}
 
 // On-log payload subtypes (first payload byte).
 const (
@@ -251,7 +279,7 @@ func (t *Tree) readDurableState(addr logstore.Address, ch *sim.Charger) (node, i
 		if cur.IsNil() {
 			return nil, 0, nil, errors.New("bwtree: durable chain ends without base")
 		}
-		rec, err := t.cfg.Store.Read(cur, ch)
+		rec, err := t.storeRead(cur, ch)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -438,7 +466,7 @@ func (t *Tree) FlushPage(pid mapping.PID) error {
 			if !ok {
 				return fmt.Errorf("bwtree: index page %d not resident", pid)
 			}
-			addr, err := t.cfg.Store.Append(uint64(pid), logstore.KindBase, encodeIndexBase(idx, hdr.level), ch)
+			addr, err := t.storeAppend(uint64(pid), logstore.KindBase, encodeIndexBase(idx, hdr.level), ch)
 			if err != nil {
 				return err
 			}
@@ -461,7 +489,7 @@ func (t *Tree) FlushPage(pid mapping.PID) error {
 		if !hdr.dirtyBase && !hdr.addr.IsNil() {
 			deltas := collectUnflushed(hdr.head, hdr.unflushed)
 			payload := encodeDeltaBatch(deltas, hdr.addr)
-			addr, err := t.cfg.Store.Append(uint64(pid), logstore.KindDelta, payload, ch)
+			addr, err := t.storeAppend(uint64(pid), logstore.KindDelta, payload, ch)
 			if err != nil {
 				return err
 			}
@@ -483,7 +511,7 @@ func (t *Tree) FlushPage(pid mapping.PID) error {
 			}
 			continue
 		}
-		addr, err := t.cfg.Store.Append(uint64(pid), logstore.KindBase, encodeLeafBase(base), ch)
+		addr, err := t.storeAppend(uint64(pid), logstore.KindBase, encodeLeafBase(base), ch)
 		if err != nil {
 			return err
 		}
@@ -578,7 +606,7 @@ func (t *Tree) FlushAll() error {
 	buf.WriteByte(payloadMeta)
 	putUvarint(&buf, uint64(t.root))
 	putUvarint(&buf, uint64(t.table.MaxPID()))
-	addr, err := t.cfg.Store.Append(metaPID, logstore.KindBase, buf.Bytes(), nil)
+	addr, err := t.storeAppend(metaPID, logstore.KindBase, buf.Bytes(), nil)
 	if err != nil {
 		return err
 	}
@@ -601,6 +629,7 @@ func Open(cfg Config) (*Tree, error) {
 		return nil, ErrNoStore
 	}
 	latest := map[uint64]logstore.Address{}
+	var checkpointed map[uint64]logstore.Address
 	var root mapping.PID
 	var maxPID mapping.PID
 	sawMeta := false
@@ -614,6 +643,17 @@ func Open(cfg Config) (*Tree, error) {
 				if r.err == nil {
 					sawMeta = true
 					metaAddr = addr
+					// Snapshot the mapping as of this checkpoint. Records
+					// after the last meta belong to a FlushAll that never
+					// committed (torn by a crash mid-flush): trusting them
+					// can resurrect a parent page that references children
+					// whose records were lost in the tear. Recovery must be
+					// checkpoint-consistent, so only records at or before
+					// the last durable meta are used.
+					checkpointed = make(map[uint64]logstore.Address, len(latest))
+					for pid, a := range latest {
+						checkpointed[pid] = a
+					}
 				}
 			}
 			return true
@@ -630,7 +670,7 @@ func Open(cfg Config) (*Tree, error) {
 	t := &Tree{cfg: cfg, table: mapping.New[pageHeader](cfg.MaxPIDs), root: root}
 	// Track the live checkpoint record so GC relocates rather than drops it.
 	t.metaAddr = metaAddr
-	for pidRaw, addr := range latest {
+	for pidRaw, addr := range checkpointed {
 		pid := mapping.PID(pidRaw)
 		if pid > maxPID {
 			maxPID = pid
@@ -680,7 +720,7 @@ func (t *Tree) RelocateForGC(rec logstore.Record, oldAddr logstore.Address) bool
 		if latest != oldAddr {
 			return false // superseded checkpoint
 		}
-		na, err := t.cfg.Store.Append(metaPID, logstore.KindBase, rec.Payload, nil)
+		na, err := t.storeAppend(metaPID, logstore.KindBase, rec.Payload, nil)
 		if err != nil {
 			return false
 		}
@@ -707,7 +747,7 @@ func (t *Tree) RelocateForGC(rec logstore.Record, oldAddr logstore.Address) bool
 		}
 		if len(hdr.diskChain) == 1 && hdr.addr == oldAddr {
 			// Sole record: relocate verbatim.
-			na, err := t.cfg.Store.Append(rec.PID, rec.Kind, rec.Payload, nil)
+			na, err := t.storeAppend(rec.PID, rec.Kind, rec.Payload, nil)
 			if err != nil {
 				return false
 			}
@@ -745,7 +785,7 @@ func (t *Tree) rewriteDurable(pid mapping.PID) error {
 			if !ok {
 				return fmt.Errorf("bwtree: index page %d not resident", pid)
 			}
-			na, err := t.cfg.Store.Append(uint64(pid), logstore.KindBase, encodeIndexBase(idx, hdr.level), nil)
+			na, err := t.storeAppend(uint64(pid), logstore.KindBase, encodeIndexBase(idx, hdr.level), nil)
 			if err != nil {
 				return err
 			}
@@ -771,7 +811,7 @@ func (t *Tree) rewriteDurable(pid mapping.PID) error {
 		if !ok {
 			return fmt.Errorf("bwtree: page %d durable state is not a leaf", pid)
 		}
-		na, err := t.cfg.Store.Append(uint64(pid), logstore.KindBase, encodeLeafBase(base), nil)
+		na, err := t.storeAppend(uint64(pid), logstore.KindBase, encodeLeafBase(base), nil)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"costperf/internal/fault"
 	"costperf/internal/llama/logstore"
 	"costperf/internal/llama/mapping"
 	"costperf/internal/metrics"
@@ -18,6 +19,9 @@ import (
 var (
 	ErrClosed  = errors.New("bwtree: closed")
 	ErrNoStore = errors.New("bwtree: no log store configured")
+	// ErrDegraded is returned by flush/evict paths after a persistent
+	// storage failure latched the tree read-only (see Stats.Health).
+	ErrDegraded = errors.New("bwtree: tree degraded (read-only)")
 )
 
 // Config configures a Tree.
@@ -35,6 +39,9 @@ type Config struct {
 	ConsolidateAfter int
 	// MaxPIDs bounds the mapping table (0 = unbounded).
 	MaxPIDs uint64
+	// Retry bounds the backoff loop around log-store page reads; the zero
+	// value takes fault.DefaultRetry.
+	Retry fault.RetryPolicy
 }
 
 func (c *Config) setDefaults() {
@@ -60,6 +67,10 @@ type Stats struct {
 	PageFlushes    metrics.Counter
 	DeltaFlushes   metrics.Counter
 	CASFailures    metrics.Counter
+	// Retry meters the transient-fault retry budget spent on page I/O.
+	Retry metrics.RetryStats
+	// Health latches degraded (read-only) after a persistent flush failure.
+	Health metrics.Health
 }
 
 // Tree is a latch-free Bw-tree. All methods are safe for concurrent use.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"costperf/internal/fault"
 	"costperf/internal/sim"
 	"costperf/internal/ssd"
 	"costperf/internal/workload"
@@ -183,8 +184,11 @@ func TestPageStoreDeviceFailures(t *testing.T) {
 	if err := ps.WritePage(1, []byte("page-one")); err != nil {
 		t.Fatal(err)
 	}
-	// Injected read failure surfaces.
-	dev.FailNextReads(1)
+	// Injected read failure surfaces (the page store has no retry layer,
+	// so even a transient fault reaches the caller).
+	inj := fault.NewInjector(1)
+	dev.SetFaultInjector(inj)
+	inj.FailNextReads(1, fault.ClassTransient)
 	if _, err := ps.ReadPage(1); err == nil {
 		t.Fatal("injected read failure swallowed")
 	}
@@ -193,11 +197,11 @@ func TestPageStoreDeviceFailures(t *testing.T) {
 		t.Fatalf("post-failure read = %q, %v", v, err)
 	}
 	// Injected write failure surfaces and does not corrupt the index.
-	dev.SetWriteFailureRate(1.0)
+	inj.SetWriteErrorRate(1.0)
 	if err := ps.WritePage(2, []byte("page-two")); err == nil {
 		t.Fatal("injected write failure swallowed")
 	}
-	dev.SetWriteFailureRate(0)
+	inj.SetWriteErrorRate(0)
 	if _, err := ps.ReadPage(2); err == nil {
 		t.Fatal("failed write left a readable page")
 	}

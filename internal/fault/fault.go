@@ -1,0 +1,167 @@
+// Package fault is the deterministic fault-injection and fault-handling
+// layer of the storage stack. It has two halves:
+//
+//   - Injector: a seeded, programmable implementation of ssd.FaultInjector
+//     that can produce transient and persistent read/write errors, latency
+//     spikes, torn (prefix-only) writes, bit-flip corruption, and crash
+//     points that simulate power loss mid-flush.
+//
+//   - Classification and retry: Classify sorts any I/O error into
+//     transient / persistent / corrupt, and RetryPolicy implements the
+//     bounded exponential-backoff retry loop every I/O consumer in the
+//     stack (LLAMA log store, Bw-tree page I/O, TC recovery log, LSM
+//     tables) uses to absorb transient faults. Retries are metered through
+//     metrics.RetryStats so fault absorption is observable.
+//
+// The paper's cost/performance analysis (and Deuteronomy's recovery story
+// it builds on) assumes the caching stack keeps serving when secondary
+// storage misbehaves; this package makes that assumption testable.
+package fault
+
+import (
+	"errors"
+
+	"costperf/internal/metrics"
+	"costperf/internal/ssd"
+)
+
+// Class is the retry-relevant classification of an I/O error.
+type Class int
+
+const (
+	// ClassNone is a nil error.
+	ClassNone Class = iota
+	// ClassTransient errors may clear on retry (media hiccup, injected
+	// transient fault).
+	ClassTransient
+	// ClassPersistent errors will not clear on retry (device crashed or
+	// closed, persistent injected fault, unknown errors). Consumers react
+	// by surfacing the error and, for writes, latching a degraded state.
+	ClassPersistent
+	// ClassCorrupt errors mean the bytes came back but failed
+	// verification (checksum mismatch, undecodable frame). Retrying may
+	// help only if the corruption was injected on the read path; the
+	// stack treats it as a distinct, loudly-surfaced condition.
+	ClassCorrupt
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return "transient"
+	case ClassCorrupt:
+		return "corrupt"
+	default:
+		return "persistent"
+	}
+}
+
+// Sentinel errors. Injected faults and store-level verification failures
+// wrap one of these so Classify works uniformly across the stack.
+var (
+	// ErrTransient marks an error that may clear on retry.
+	ErrTransient = errors.New("fault: transient I/O error")
+	// ErrPersistent marks an error that will not clear on retry.
+	ErrPersistent = errors.New("fault: persistent I/O error")
+	// ErrCorrupt is the canonical corruption marker; logstore.ErrCorrupt,
+	// lsm.ErrCorrupt, and the TC log's decode errors all wrap it.
+	ErrCorrupt = errors.New("fault: data corruption detected")
+	// ErrCrashed is returned for every I/O after a crash point fired:
+	// the simulated device lost power and stays down until Repair.
+	ErrCrashed = errors.New("fault: device crashed (simulated power loss)")
+)
+
+// Classify sorts err into a Class. Unknown errors classify as persistent:
+// retrying an error we cannot identify risks looping on a hard failure.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return ClassNone
+	case errors.Is(err, ErrCorrupt):
+		return ClassCorrupt
+	case errors.Is(err, ErrTransient),
+		errors.Is(err, ssd.ErrInjectedRead),
+		errors.Is(err, ssd.ErrInjectedWrite):
+		return ClassTransient
+	default:
+		return ClassPersistent
+	}
+}
+
+// IsTransient reports whether err may clear on retry.
+func IsTransient(err error) bool { return Classify(err) == ClassTransient }
+
+// RetryPolicy bounds the exponential-backoff retry loop used around device
+// I/O. The zero value takes the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt bound, first try included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelaySec is the backoff before the first retry, in virtual
+	// seconds; it doubles per retry (default 100µs, one SSD latency).
+	BaseDelaySec float64
+	// MaxDelaySec caps the per-retry backoff (default 5ms).
+	MaxDelaySec float64
+}
+
+// DefaultRetry returns the stack-wide default policy.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelaySec: 100e-6, MaxDelaySec: 5e-3}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetry()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelaySec <= 0 {
+		p.BaseDelaySec = d.BaseDelaySec
+	}
+	if p.MaxDelaySec <= 0 {
+		p.MaxDelaySec = d.MaxDelaySec
+	}
+	return p
+}
+
+// Do runs op, retrying transient failures with exponential backoff up to
+// the policy's attempt bound. Persistent and corrupt errors return
+// immediately — retrying cannot help and would double-apply side effects.
+// Every attempt and backoff is metered through m (which may be nil).
+func (p RetryPolicy) Do(m *metrics.RetryStats, op func() error) error {
+	p = p.withDefaults()
+	delay := p.BaseDelaySec
+	retried := false
+	for attempt := 1; ; attempt++ {
+		if m != nil {
+			m.Attempts.Inc()
+		}
+		err := op()
+		if err == nil {
+			if retried && m != nil {
+				m.Absorbed.Inc()
+			}
+			return nil
+		}
+		if Classify(err) != ClassTransient {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			if m != nil {
+				m.Exhausted.Inc()
+			}
+			return err
+		}
+		retried = true
+		if m != nil {
+			m.Retries.Inc()
+			m.BackoffMicros.Add(int64(delay * 1e6))
+		}
+		delay *= 2
+		if delay > p.MaxDelaySec {
+			delay = p.MaxDelaySec
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"costperf/internal/metrics"
+	"costperf/internal/ssd"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassNone},
+		{ErrTransient, ClassTransient},
+		{fmt.Errorf("wrapped: %w", ErrTransient), ClassTransient},
+		{ssd.ErrInjectedRead, ClassTransient},
+		{ssd.ErrInjectedWrite, ClassTransient},
+		{ErrPersistent, ClassPersistent},
+		{ErrCrashed, ClassPersistent},
+		{ssd.ErrClosed, ClassPersistent},
+		{errors.New("mystery"), ClassPersistent},
+		{fmt.Errorf("store: bad frame (%w)", ErrCorrupt), ClassCorrupt},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryAbsorbsTransient(t *testing.T) {
+	var m metrics.RetryStats
+	fails := 2
+	err := DefaultRetry().Do(&m, func() error {
+		if fails > 0 {
+			fails--
+			return ErrTransient
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if m.Attempts.Value() != 3 || m.Retries.Value() != 2 || m.Absorbed.Value() != 1 {
+		t.Fatalf("meter = %s, want attempts=3 retries=2 absorbed=1", m.String())
+	}
+	if m.BackoffMicros.Value() <= 0 {
+		t.Fatalf("expected backoff time to be metered, got %d", m.BackoffMicros.Value())
+	}
+}
+
+func TestRetryStopsOnPersistent(t *testing.T) {
+	var m metrics.RetryStats
+	calls := 0
+	err := DefaultRetry().Do(&m, func() error {
+		calls++
+		return ErrPersistent
+	})
+	if !errors.Is(err, ErrPersistent) {
+		t.Fatalf("Do = %v, want ErrPersistent", err)
+	}
+	if calls != 1 {
+		t.Fatalf("persistent error retried: %d calls", calls)
+	}
+	if m.Retries.Value() != 0 || m.Exhausted.Value() != 0 {
+		t.Fatalf("meter = %s, want no retries", m.String())
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	var m metrics.RetryStats
+	p := RetryPolicy{MaxAttempts: 3}
+	calls := 0
+	err := p.Do(&m, func() error {
+		calls++
+		return ErrTransient
+	})
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("Do = %v, want ErrTransient", err)
+	}
+	if calls != 3 {
+		t.Fatalf("got %d attempts, want 3", calls)
+	}
+	if m.Exhausted.Value() != 1 || m.Absorbed.Value() != 0 {
+		t.Fatalf("meter = %s, want exhausted=1", m.String())
+	}
+}
+
+func TestRetryNilMeter(t *testing.T) {
+	if err := DefaultRetry().Do(nil, func() error { return nil }); err != nil {
+		t.Fatalf("Do with nil meter: %v", err)
+	}
+}
+
+func newDev() *ssd.Device {
+	return ssd.New(ssd.Config{Name: "test", MaxIOPS: 1e6, LatencySec: 1e-6})
+}
+
+func TestInjectorScheduledFailures(t *testing.T) {
+	dev := newDev()
+	in := NewInjector(1)
+	dev.SetFaultInjector(in)
+	in.FailWrite(2, ClassTransient)
+	in.FailRead(1, ClassPersistent)
+
+	if err := dev.WriteAt(0, []byte("aaaa"), nil); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	err := dev.WriteAt(4, []byte("bbbb"), nil)
+	if !IsTransient(err) {
+		t.Fatalf("write 2 = %v, want transient", err)
+	}
+	if err := dev.WriteAt(4, []byte("bbbb"), nil); err != nil {
+		t.Fatalf("write 3 (retry): %v", err)
+	}
+	_, err = dev.ReadAt(0, 4, nil)
+	if Classify(err) != ClassPersistent {
+		t.Fatalf("read 1 = %v, want persistent", err)
+	}
+	got, err := dev.ReadAt(0, 8, nil)
+	if err != nil || string(got) != "aaaabbbb" {
+		t.Fatalf("read 2 = %q, %v", got, err)
+	}
+}
+
+func TestInjectorFailNextCounters(t *testing.T) {
+	dev := newDev()
+	in := NewInjector(1)
+	dev.SetFaultInjector(in)
+	if err := dev.WriteAt(0, []byte("data"), nil); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	in.FailNextReads(2, ClassTransient)
+	for i := 0; i < 2; i++ {
+		if _, err := dev.ReadAt(0, 4, nil); !IsTransient(err) {
+			t.Fatalf("read %d = %v, want transient", i, err)
+		}
+	}
+	if _, err := dev.ReadAt(0, 4, nil); err != nil {
+		t.Fatalf("read after budget: %v", err)
+	}
+}
+
+func TestInjectorTearWriteSilent(t *testing.T) {
+	dev := newDev()
+	in := NewInjector(1)
+	dev.SetFaultInjector(in)
+	in.TearWrite(1, 3)
+	if err := dev.WriteAt(0, []byte{1, 2, 3, 4, 5, 6}, nil); err != nil {
+		t.Fatalf("torn write should report success, got %v", err)
+	}
+	got, err := dev.ReadAt(0, 6, nil)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	want := []byte{1, 2, 3, 0, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("torn write persisted %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInjectorCrashAtWrite(t *testing.T) {
+	dev := newDev()
+	in := NewInjector(1)
+	dev.SetFaultInjector(in)
+	in.CrashAtWrite(2, 2)
+
+	if err := dev.WriteAt(0, []byte("good"), nil); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	err := dev.WriteAt(4, []byte("doom"), nil)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write = %v, want ErrCrashed", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector should report crashed")
+	}
+	if _, err := dev.ReadAt(0, 4, nil); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read = %v, want ErrCrashed", err)
+	}
+	if err := dev.WriteAt(8, []byte("more"), nil); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v, want ErrCrashed", err)
+	}
+
+	in.Repair()
+	if in.Crashed() {
+		t.Fatal("Repair should clear the crash state")
+	}
+	got, err := dev.ReadAt(0, 8, nil)
+	if err != nil {
+		t.Fatalf("post-repair read: %v", err)
+	}
+	want := []byte{'g', 'o', 'o', 'd', 'd', 'o', 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("surviving bytes = %v, want %v (torn prefix only)", got, want)
+		}
+	}
+}
+
+func TestInjectorBitFlip(t *testing.T) {
+	dev := newDev()
+	in := NewInjector(1)
+	dev.SetFaultInjector(in)
+	in.FlipBitOnRead(1, 0)
+	if err := dev.WriteAt(0, []byte{0x00, 0xFF}, nil); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := dev.ReadAt(0, 2, nil)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got[0] != 0x01 {
+		t.Fatalf("flipped read = %#x, want 0x01", got[0])
+	}
+	got, err = dev.ReadAt(0, 2, nil)
+	if err != nil || got[0] != 0x00 {
+		t.Fatalf("second read = %#x, %v; flip should be one-shot", got[0], err)
+	}
+
+	in.FlipBitOnWrite(2, 8)
+	if err := dev.WriteAt(4, []byte{0xAA, 0x00}, nil); err != nil {
+		t.Fatalf("flipped write should report success: %v", err)
+	}
+	got, err = dev.ReadAt(4, 2, nil)
+	if err != nil || got[1] != 0x01 {
+		t.Fatalf("media after flipped write = %v, %v; want byte 1 = 0x01", got, err)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() []int {
+		dev := newDev()
+		in := NewInjector(42)
+		dev.SetFaultInjector(in)
+		in.SetWriteErrorRate(0.3)
+		var failed []int
+		for i := 0; i < 50; i++ {
+			if err := dev.WriteAt(int64(i*8), []byte("01234567"), nil); err != nil {
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("rate 0.3 over 50 writes produced no failures")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs differ at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestInjectorLatencySpikes(t *testing.T) {
+	dev := newDev()
+	in := NewInjector(7)
+	dev.SetFaultInjector(in)
+	in.SetLatencySpikes(1.0, 0.5)
+	if err := dev.WriteAt(0, []byte("x"), nil); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := dev.BusySeconds(); got < 0.5 {
+		t.Fatalf("busy = %v, want >= 0.5 (latency spike)", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("seed=7,read=0.001,write=0.002,latency=0.01:0.002,crash=5,crashkeep=2,flipread=3:17")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	dev := newDev()
+	dev.SetFaultInjector(in)
+	for i := int64(0); i < 4; i++ {
+		if err := dev.WriteAt(i*4, []byte("abcd"), nil); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := dev.WriteAt(16, []byte("abcd"), nil); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write 5 = %v, want ErrCrashed", err)
+	}
+
+	for _, bad := range []string{
+		"nonsense",
+		"seed=x",
+		"read=2",
+		"latency=0.5",
+		"crash=0",
+		"flipread=3",
+		"bogus=1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	if _, err := ParseSpec(""); err != nil {
+		t.Fatalf("empty spec should be a no-fault injector: %v", err)
+	}
+}

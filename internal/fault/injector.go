@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"costperf/internal/ssd"
+)
+
+// event is one scheduled, one-shot fault keyed to the Nth read or write.
+type event struct {
+	class Class // ClassTransient or ClassPersistent; ClassNone = no error
+	tear  bool
+	keep  int
+	flip  bool
+	bit   int64
+	crash bool
+}
+
+// Injector is a deterministic, seeded fault plan implementing
+// ssd.FaultInjector. Faults are either scheduled against the Nth read or
+// write the device performs after installation (exact, reproducible crash
+// points) or probabilistic from the seeded generator (identical fault
+// sequences for identical seeds and I/O orders). Safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	reads  int64
+	writes int64
+
+	crashed bool
+
+	readRate   float64 // transient read-error probability
+	writeRate  float64 // transient write-error probability
+	latProb    float64 // latency-spike probability
+	latSpike   float64 // extra busy seconds per spike
+	nextReads  int64   // fail the next N reads...
+	nextRClass Class   // ...with this class
+	nextWrites int64
+	nextWClass Class
+
+	readEvents  map[int64]event
+	writeEvents map[int64]event
+}
+
+// NewInjector returns an injector whose probabilistic faults are driven by
+// the given seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		rng:         rand.New(rand.NewSource(seed)),
+		readEvents:  map[int64]event{},
+		writeEvents: map[int64]event{},
+	}
+}
+
+// FailRead schedules the nth read (1-based, counted from installation) to
+// fail with the given class.
+func (in *Injector) FailRead(nth int64, class Class) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.readEvents[nth] = event{class: class}
+}
+
+// FailWrite schedules the nth write to fail with the given class. Nothing
+// reaches the media.
+func (in *Injector) FailWrite(nth int64, class Class) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeEvents[nth] = event{class: class}
+}
+
+// FailNextReads makes the next n reads fail with the given class.
+func (in *Injector) FailNextReads(n int64, class Class) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.nextReads, in.nextRClass = n, class
+}
+
+// FailNextWrites makes the next n writes fail with the given class.
+func (in *Injector) FailNextWrites(n int64, class Class) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.nextWrites, in.nextWClass = n, class
+}
+
+// TearWrite silently truncates the nth write to its first keep bytes: the
+// device reports success, and only checksum verification can catch the
+// damage later (a lying-firmware torn write).
+func (in *Injector) TearWrite(nth int64, keep int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeEvents[nth] = event{tear: true, keep: keep}
+}
+
+// CrashAtWrite simulates power loss mid-flush: the nth write persists only
+// its first keep bytes, fails with ErrCrashed, and every subsequent I/O
+// fails with ErrCrashed until Repair.
+func (in *Injector) CrashAtWrite(nth int64, keep int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeEvents[nth] = event{class: ClassPersistent, tear: true, keep: keep, crash: true}
+}
+
+// FlipBitOnWrite corrupts the nth write: bit (modulo the write length) is
+// flipped in the bytes that reach the media. The write reports success.
+func (in *Injector) FlipBitOnWrite(nth int64, bit int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeEvents[nth] = event{flip: true, bit: bit}
+}
+
+// FlipBitOnRead corrupts the nth read's returned bytes (the media stays
+// intact — a transfer-path corruption).
+func (in *Injector) FlipBitOnRead(nth int64, bit int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.readEvents[nth] = event{flip: true, bit: bit}
+}
+
+// SetReadErrorRate makes each read fail transiently with probability p.
+func (in *Injector) SetReadErrorRate(p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.readRate = p
+}
+
+// SetWriteErrorRate makes each write fail transiently with probability p.
+func (in *Injector) SetWriteErrorRate(p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeRate = p
+}
+
+// SetLatencySpikes adds extraSec of device-busy time to each I/O with
+// probability p.
+func (in *Injector) SetLatencySpikes(p, extraSec float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.latProb, in.latSpike = p, extraSec
+}
+
+// Crashed reports whether a crash point has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Repair simulates the post-crash reboot: the crash state and all
+// scheduled one-shot events are cleared (probabilistic rates — the
+// environment — persist). Data already lost stays lost; the consumer
+// re-opens its stores over the surviving device contents.
+func (in *Injector) Repair() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashed = false
+	in.nextReads, in.nextWrites = 0, 0
+	in.readEvents = map[int64]event{}
+	in.writeEvents = map[int64]event{}
+}
+
+// Counts returns the number of reads and writes observed so far.
+func (in *Injector) Counts() (reads, writes int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.reads, in.writes
+}
+
+func classErr(class Class, op string, n int64) error {
+	base := ErrTransient
+	if class == ClassPersistent {
+		base = ErrPersistent
+	}
+	return fmt.Errorf("fault: injected %s failure at %s #%d: %w", class, op, n, base)
+}
+
+// ReadFault implements ssd.FaultInjector.
+func (in *Injector) ReadFault(off int64, length int) ssd.FaultOutcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.reads++
+	if in.crashed {
+		return ssd.FaultOutcome{Err: fmt.Errorf("read %d bytes at %d: %w", length, off, ErrCrashed)}
+	}
+	var fo ssd.FaultOutcome
+	if in.latProb > 0 && in.rng.Float64() < in.latProb {
+		fo.ExtraBusySec = in.latSpike
+	}
+	if ev, ok := in.readEvents[in.reads]; ok {
+		delete(in.readEvents, in.reads)
+		if ev.flip {
+			fo.Flip, fo.FlipBit = true, ev.bit
+		}
+		if ev.class != ClassNone {
+			fo.Err = classErr(ev.class, "read", in.reads)
+		}
+		return fo
+	}
+	if in.nextReads > 0 {
+		in.nextReads--
+		fo.Err = classErr(in.nextRClass, "read", in.reads)
+		return fo
+	}
+	if in.readRate > 0 && in.rng.Float64() < in.readRate {
+		fo.Err = classErr(ClassTransient, "read", in.reads)
+	}
+	return fo
+}
+
+// WriteFault implements ssd.FaultInjector.
+func (in *Injector) WriteFault(off int64, data []byte) ssd.FaultOutcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writes++
+	if in.crashed {
+		return ssd.FaultOutcome{Err: fmt.Errorf("write %d bytes at %d: %w", len(data), off, ErrCrashed)}
+	}
+	var fo ssd.FaultOutcome
+	if in.latProb > 0 && in.rng.Float64() < in.latProb {
+		fo.ExtraBusySec = in.latSpike
+	}
+	if ev, ok := in.writeEvents[in.writes]; ok {
+		delete(in.writeEvents, in.writes)
+		if ev.tear {
+			fo.Tear, fo.TearKeep = true, ev.keep
+		}
+		if ev.flip {
+			fo.Flip, fo.FlipBit = true, ev.bit
+		}
+		if ev.crash {
+			in.crashed = true
+			fo.Err = fmt.Errorf("write %d bytes at %d: %w", len(data), off, ErrCrashed)
+			return fo
+		}
+		if ev.class != ClassNone {
+			fo.Err = classErr(ev.class, "write", in.writes)
+		}
+		return fo
+	}
+	if in.nextWrites > 0 {
+		in.nextWrites--
+		fo.Err = classErr(in.nextWClass, "write", in.writes)
+		return fo
+	}
+	if in.writeRate > 0 && in.rng.Float64() < in.writeRate {
+		fo.Err = classErr(ClassTransient, "write", in.writes)
+	}
+	return fo
+}

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds an Injector from a compact comma-separated spec, used by
+// the kvbench -faults flag. Keys:
+//
+//	seed=N           rng seed for probabilistic faults (default 1)
+//	read=P           transient read-error probability
+//	write=P          transient write-error probability
+//	latency=P:SEC    latency spikes: probability P, SEC extra busy seconds
+//	crash=N          simulate power loss at the Nth device write
+//	crashkeep=B      bytes of the crashing write that survive (default 0)
+//	flipread=N:BIT   flip BIT on the Nth read
+//	flipwrite=N:BIT  flip BIT on the Nth write
+//
+// Example: "seed=7,read=0.001,write=0.001,latency=0.01:0.002,crash=5000".
+func ParseSpec(s string) (*Injector, error) {
+	seed := int64(1)
+	var crashAt int64
+	crashKeep := 0
+	type pair struct{ a, b int64 }
+	var flipReads, flipWrites []pair
+	var readRate, writeRate, latProb, latSpike float64
+
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: spec field %q is not key=value", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", val, err)
+			}
+			seed = n
+		case "read", "write":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("fault: bad %s probability %q", key, val)
+			}
+			if key == "read" {
+				readRate = p
+			} else {
+				writeRate = p
+			}
+		case "latency":
+			ps, secs, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("fault: latency wants P:SEC, got %q", val)
+			}
+			p, err1 := strconv.ParseFloat(ps, 64)
+			sec, err2 := strconv.ParseFloat(secs, 64)
+			if err1 != nil || err2 != nil || p < 0 || p > 1 || sec < 0 {
+				return nil, fmt.Errorf("fault: bad latency spec %q", val)
+			}
+			latProb, latSpike = p, sec
+		case "crash":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fault: bad crash write index %q", val)
+			}
+			crashAt = n
+		case "crashkeep":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: bad crashkeep %q", val)
+			}
+			crashKeep = n
+		case "flipread", "flipwrite":
+			ns, bits, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("fault: %s wants N:BIT, got %q", key, val)
+			}
+			n, err1 := strconv.ParseInt(ns, 10, 64)
+			bit, err2 := strconv.ParseInt(bits, 10, 64)
+			if err1 != nil || err2 != nil || n < 1 || bit < 0 {
+				return nil, fmt.Errorf("fault: bad %s spec %q", key, val)
+			}
+			if key == "flipread" {
+				flipReads = append(flipReads, pair{n, bit})
+			} else {
+				flipWrites = append(flipWrites, pair{n, bit})
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown spec key %q", key)
+		}
+	}
+
+	in := NewInjector(seed)
+	in.SetReadErrorRate(readRate)
+	in.SetWriteErrorRate(writeRate)
+	in.SetLatencySpikes(latProb, latSpike)
+	if crashAt > 0 {
+		in.CrashAtWrite(crashAt, crashKeep)
+	}
+	for _, p := range flipReads {
+		in.FlipBitOnRead(p.a, p.b)
+	}
+	for _, p := range flipWrites {
+		in.FlipBitOnWrite(p.a, p.b)
+	}
+	return in, nil
+}

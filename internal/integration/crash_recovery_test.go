@@ -1,0 +1,398 @@
+// Crash-recovery property harness: for each store in the stack (Bw-tree
+// over LLAMA, the TC recovery log, and the LSM tree) run a deterministic
+// workload with explicit commit points, crash the simulated device at 100
+// seeded write indexes (persisting only a seeded prefix of the crashed
+// write, like power loss mid-flush), then repair, reopen from the device
+// alone, and check the recovered state is exactly a committed prefix:
+// everything committed before the crash is present and correct, anything
+// newer is either absent or intact — never garbage, never partial.
+package integration_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"costperf/internal/bwtree"
+	"costperf/internal/fault"
+	"costperf/internal/llama/logstore"
+	"costperf/internal/lsm"
+	"costperf/internal/ssd"
+	"costperf/internal/tc"
+	"costperf/internal/workload"
+)
+
+const crashSeeds = 100
+
+// crashPoint spreads the 100 seeds over the workload's device writes and
+// varies how much of the crashed write survives.
+func crashPoint(seed int, totalWrites int64) (nth int64, keep int) {
+	if totalWrites < 1 {
+		totalWrites = 1
+	}
+	nth = 1 + int64(seed)*(totalWrites-1)/int64(crashSeeds-1)
+	keep = (seed * 37) % 2048
+	return nth, keep
+}
+
+// --- Bw-tree over LLAMA log store -----------------------------------------
+
+const (
+	btBatches = 4
+	btPerB    = 50
+	btHotKey  = uint64(99999)
+)
+
+func btValue(id uint64) []byte { return workload.ValueFor(id, 64) }
+func btHotVal(b int) []byte    { return workload.ValueFor(9000+uint64(b), 64) }
+func btKey(b, i int) uint64    { return uint64(b*btPerB + i) }
+func openLogstore(dev *ssd.Device) (*logstore.Store, error) {
+	return logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 14, SegmentBytes: 1 << 16})
+}
+
+// runBwtreeWorkload applies batches of inserts plus a hot-key update, with
+// FlushAll as the per-batch commit point. It returns the index of the last
+// batch whose commit succeeded (-1 if none).
+func runBwtreeWorkload(dev *ssd.Device) int {
+	st, err := openLogstore(dev)
+	if err != nil {
+		return -1
+	}
+	tree, err := bwtree.New(bwtree.Config{Store: st})
+	if err != nil {
+		return -1
+	}
+	committed := -1
+	for b := 0; b < btBatches; b++ {
+		for i := 0; i < btPerB; i++ {
+			id := btKey(b, i)
+			if err := tree.Insert(workload.Key(id), btValue(id)); err != nil {
+				return committed
+			}
+		}
+		if err := tree.Insert(workload.Key(btHotKey), btHotVal(b)); err != nil {
+			return committed
+		}
+		if err := tree.FlushAll(); err != nil {
+			return committed
+		}
+		committed = b
+	}
+	return committed
+}
+
+func TestCrashRecoveryBwtree(t *testing.T) {
+	// Dry run without faults to learn the workload's device write count.
+	dryDev := ssd.New(ssd.SamsungSSD)
+	dryInj := fault.NewInjector(0)
+	dryDev.SetFaultInjector(dryInj)
+	if got := runBwtreeWorkload(dryDev); got != btBatches-1 {
+		t.Fatalf("faultless dry run committed %d batches, want %d", got+1, btBatches)
+	}
+	_, totalWrites := dryInj.Counts()
+
+	for seed := 0; seed < crashSeeds; seed++ {
+		nth, keep := crashPoint(seed, totalWrites)
+		dev := ssd.New(ssd.SamsungSSD)
+		inj := fault.NewInjector(int64(seed))
+		dev.SetFaultInjector(inj)
+		inj.CrashAtWrite(nth, keep)
+
+		committed := runBwtreeWorkload(dev)
+		if !inj.Crashed() {
+			t.Fatalf("seed %d: crash point %d never fired", seed, nth)
+		}
+		inj.Repair()
+
+		st, err := openLogstore(dev)
+		if err != nil {
+			t.Fatalf("seed %d: reopen log store: %v", seed, err)
+		}
+		tree, err := bwtree.Open(bwtree.Config{Store: st})
+		if errors.Is(err, bwtree.ErrNoCheckpoint) {
+			if committed >= 0 {
+				t.Fatalf("seed %d: committed batch %d but no checkpoint survived", seed, committed)
+			}
+			continue // crash before the first commit: empty prefix is correct
+		}
+		if err != nil {
+			t.Fatalf("seed %d: reopen tree: %v", seed, err)
+		}
+
+		// Committed batches must be fully present and correct; newer keys
+		// may or may not have been checkpointed by a torn FlushAll, but a
+		// present key must never carry a wrong value.
+		for b := 0; b < btBatches; b++ {
+			for i := 0; i < btPerB; i++ {
+				id := btKey(b, i)
+				v, ok, err := tree.Get(workload.Key(id))
+				if err != nil {
+					t.Fatalf("seed %d: get %d: %v", seed, id, err)
+				}
+				if b <= committed && !ok {
+					t.Fatalf("seed %d: committed key %d lost (committed batch %d)", seed, id, committed)
+				}
+				if ok && !bytes.Equal(v, btValue(id)) {
+					t.Fatalf("seed %d: key %d recovered with wrong value", seed, id)
+				}
+			}
+		}
+		if committed >= 0 {
+			// The hot key was overwritten every batch: recovery must yield
+			// one of the versions written at or after the last commit.
+			v, ok, err := tree.Get(workload.Key(btHotKey))
+			if err != nil || !ok {
+				t.Fatalf("seed %d: hot key lost: ok=%v err=%v", seed, ok, err)
+			}
+			valid := false
+			for b := committed; b < btBatches; b++ {
+				if bytes.Equal(v, btHotVal(b)) {
+					valid = true
+					break
+				}
+			}
+			if !valid {
+				t.Fatalf("seed %d: hot key recovered with stale or corrupt value", seed)
+			}
+		}
+	}
+}
+
+// --- TC recovery log -------------------------------------------------------
+
+type memDC struct{ m map[string][]byte }
+
+func newMemDC() *memDC { return &memDC{m: map[string][]byte{}} }
+
+func (d *memDC) Get(key []byte) ([]byte, bool, error) {
+	v, ok := d.m[string(key)]
+	return v, ok, nil
+}
+func (d *memDC) BlindWrite(key, val []byte) error {
+	d.m[string(key)] = append([]byte(nil), val...)
+	return nil
+}
+func (d *memDC) Delete(key []byte) error {
+	delete(d.m, string(key))
+	return nil
+}
+
+const tcTxns = 25
+
+func tcVal(txn, j int) []byte { return workload.ValueFor(uint64(1000+txn*10+j), 32) }
+func tcKey(txn, j int) []byte { return workload.Key(uint64(txn*2 + j)) }
+
+// runTCWorkload commits transactions of two writes each, flushing the
+// recovery log after every commit. Returns the last transaction index
+// (0-based) whose log flush succeeded, or -1.
+func runTCWorkload(dev *ssd.Device) int {
+	c, err := tc.New(tc.Config{DC: newMemDC(), LogDevice: dev, LogBufferBytes: 1 << 12})
+	if err != nil {
+		return -1
+	}
+	flushed := -1
+	for i := 0; i < tcTxns; i++ {
+		tx, err := c.Begin()
+		if err != nil {
+			return flushed
+		}
+		if err := tx.Write(tcKey(i, 0), tcVal(i, 0)); err != nil {
+			return flushed
+		}
+		if err := tx.Write(tcKey(i, 1), tcVal(i, 1)); err != nil {
+			return flushed
+		}
+		if err := tx.Commit(); err != nil {
+			return flushed
+		}
+		if err := c.Flush(); err != nil {
+			return flushed
+		}
+		flushed = i
+	}
+	return flushed
+}
+
+func TestCrashRecoveryTC(t *testing.T) {
+	dryDev := ssd.New(ssd.SamsungSSD)
+	dryInj := fault.NewInjector(0)
+	dryDev.SetFaultInjector(dryInj)
+	if got := runTCWorkload(dryDev); got != tcTxns-1 {
+		t.Fatalf("faultless dry run flushed %d txns, want %d", got+1, tcTxns)
+	}
+	_, totalWrites := dryInj.Counts()
+
+	for seed := 0; seed < crashSeeds; seed++ {
+		nth, keep := crashPoint(seed, totalWrites)
+		dev := ssd.New(ssd.SamsungSSD)
+		inj := fault.NewInjector(int64(seed))
+		dev.SetFaultInjector(inj)
+		inj.CrashAtWrite(nth, keep)
+
+		flushed := runTCWorkload(dev)
+		if !inj.Crashed() {
+			t.Fatalf("seed %d: crash point %d never fired", seed, nth)
+		}
+		inj.Repair()
+
+		dc := newMemDC()
+		res, err := tc.Recover(dev, dc)
+		if err != nil {
+			t.Fatalf("seed %d: recover: %v", seed, err)
+		}
+
+		// Redo replay must yield a prefix of the commit order: every txn up
+		// to some cutoff fully applied (a torn final flush may still carry
+		// whole commit records beyond the last explicit flush), and nothing
+		// after the cutoff. Commit records are atomic: a txn must never be
+		// half-applied.
+		cutoff := -1
+		for i := 0; i < tcTxns; i++ {
+			_, ok0, _ := dc.Get(tcKey(i, 0))
+			_, ok1, _ := dc.Get(tcKey(i, 1))
+			if ok0 != ok1 {
+				t.Fatalf("seed %d: txn %d half-applied", seed, i)
+			}
+			if ok0 {
+				if cutoff != i-1 {
+					t.Fatalf("seed %d: txn %d applied but txn %d missing", seed, i, cutoff+1)
+				}
+				cutoff = i
+				for j := 0; j < 2; j++ {
+					v, _, _ := dc.Get(tcKey(i, j))
+					if !bytes.Equal(v, tcVal(i, j)) {
+						t.Fatalf("seed %d: txn %d replayed with wrong value", seed, i)
+					}
+				}
+			}
+		}
+		if cutoff < flushed {
+			t.Fatalf("seed %d: flushed txn %d lost (recovered through %d, replay %s)",
+				seed, flushed, cutoff, res.Replay)
+		}
+		if res.Applied != (cutoff+1)*2 {
+			t.Fatalf("seed %d: %d entries applied, want %d", seed, res.Applied, (cutoff+1)*2)
+		}
+	}
+}
+
+// --- LSM tree --------------------------------------------------------------
+
+const (
+	lsmBatches = 6
+	lsmPerB    = 40
+)
+
+func lsmKey(b, i int) []byte { return []byte(fmt.Sprintf("key-%02d-%03d", b, i)) }
+func lsmVal(b, i int) []byte { return workload.ValueFor(uint64(b*lsmPerB+i), 48) }
+func newCrashLSM(dev *ssd.Device) (*lsm.Tree, error) {
+	return lsm.New(lsm.Config{Device: dev, MemtableBytes: 4 << 10, L0Tables: 2, LevelBytesBase: 32 << 10})
+}
+
+// runLSMWorkload puts one batch of keys per iteration — deleting the first
+// key of the previous batch — and commits each batch with Flush. Returns
+// the last batch whose flush succeeded, or -1.
+func runLSMWorkload(dev *ssd.Device) int {
+	tr, err := newCrashLSM(dev)
+	if err != nil {
+		return -1
+	}
+	committed := -1
+	for b := 0; b < lsmBatches; b++ {
+		for i := 0; i < lsmPerB; i++ {
+			if err := tr.Put(lsmKey(b, i), lsmVal(b, i)); err != nil {
+				return committed
+			}
+		}
+		if b > 0 {
+			if err := tr.Delete(lsmKey(b-1, 0)); err != nil {
+				return committed
+			}
+		}
+		if err := tr.Flush(); err != nil {
+			return committed
+		}
+		committed = b
+	}
+	return committed
+}
+
+func TestCrashRecoveryLSM(t *testing.T) {
+	dryDev := ssd.New(ssd.SamsungSSD)
+	dryInj := fault.NewInjector(0)
+	dryDev.SetFaultInjector(dryInj)
+	if got := runLSMWorkload(dryDev); got != lsmBatches-1 {
+		t.Fatalf("faultless dry run committed %d batches, want %d", got+1, lsmBatches)
+	}
+	_, totalWrites := dryInj.Counts()
+
+	for seed := 0; seed < crashSeeds; seed++ {
+		nth, keep := crashPoint(seed, totalWrites)
+		dev := ssd.New(ssd.SamsungSSD)
+		inj := fault.NewInjector(int64(seed))
+		dev.SetFaultInjector(inj)
+		inj.CrashAtWrite(nth, keep)
+
+		committed := runLSMWorkload(dev)
+		if !inj.Crashed() {
+			t.Fatalf("seed %d: crash point %d never fired", seed, nth)
+		}
+		inj.Repair()
+
+		tr, err := lsm.Open(lsm.Config{Device: dev, MemtableBytes: 4 << 10, L0Tables: 2, LevelBytesBase: 32 << 10})
+		if errors.Is(err, lsm.ErrNoManifest) {
+			if committed >= 0 {
+				t.Fatalf("seed %d: committed batch %d but no manifest survived", seed, committed)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: reopen: %v", seed, err)
+		}
+
+		// Each batch is one memtable flush committed by one manifest write,
+		// so recovery must see an all-or-nothing prefix of batches: a batch
+		// is visible iff every batch before it is, and at least through the
+		// last explicit commit. (A crash during a later flush's compaction
+		// can land after that flush's manifest commit, so visibility may
+		// extend one batch past `committed`.)
+		visible := make([]bool, lsmBatches)
+		for b := 0; b < lsmBatches; b++ {
+			_, found, err := tr.Get(lsmKey(b, lsmPerB-1))
+			if err != nil {
+				t.Fatalf("seed %d: probe batch %d: %v", seed, b, err)
+			}
+			visible[b] = found
+		}
+		for b := 0; b < lsmBatches; b++ {
+			if b <= committed && !visible[b] {
+				t.Fatalf("seed %d: committed batch %d lost", seed, b)
+			}
+			if b > 0 && visible[b] && !visible[b-1] {
+				t.Fatalf("seed %d: batch %d visible but batch %d missing", seed, b, b-1)
+			}
+		}
+		for b := 0; b < lsmBatches; b++ {
+			if !visible[b] {
+				continue
+			}
+			deleted := b+1 < lsmBatches && visible[b+1] // next batch tombstoned our first key
+			for i := 0; i < lsmPerB; i++ {
+				v, found, err := tr.Get(lsmKey(b, i))
+				if err != nil {
+					t.Fatalf("seed %d: get %s: %v", seed, lsmKey(b, i), err)
+				}
+				if i == 0 && deleted {
+					if found {
+						t.Fatalf("seed %d: key %s resurrected past its tombstone", seed, lsmKey(b, i))
+					}
+					continue
+				}
+				if !found || !bytes.Equal(v, lsmVal(b, i)) {
+					t.Fatalf("seed %d: batch %d visible but key %s wrong: found=%v", seed, b, lsmKey(b, i), found)
+				}
+			}
+		}
+	}
+}

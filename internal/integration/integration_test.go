@@ -15,6 +15,7 @@ import (
 
 	"costperf/internal/bwtree"
 	"costperf/internal/core"
+	"costperf/internal/fault"
 	"costperf/internal/llama"
 	"costperf/internal/llama/logstore"
 	"costperf/internal/sim"
@@ -71,12 +72,36 @@ func TestDeviceReadFailureSurfacesAndRecovers(t *testing.T) {
 	if err := s.st.Flush(nil); err != nil {
 		t.Fatal(err)
 	}
-	s.dev.FailNextReads(1)
-	if _, _, err := s.tree.Get(workload.Key(0)); !errors.Is(err, ssd.ErrInjectedRead) {
-		t.Fatalf("injected failure not surfaced: %v", err)
+	inj := fault.NewInjector(1)
+	s.dev.SetFaultInjector(inj)
+	// A transient read fault is absorbed by the Bw-tree's retry loop: the
+	// read completes and the retry meter records the absorption.
+	inj.FailNextReads(1, fault.ClassTransient)
+	if _, ok, err := s.tree.Get(workload.Key(0)); err != nil || !ok {
+		t.Fatalf("transient read fault not absorbed: ok=%v err=%v", ok, err)
 	}
-	// The failure must not corrupt anything: the next read succeeds and
-	// all data remains reachable.
+	if got := s.tree.Stats().Retry.Absorbed.Value(); got == 0 {
+		t.Fatal("retry meter recorded no absorbed faults")
+	}
+	// A persistent read fault surfaces immediately (no retry storm). Evict
+	// again first: the transient probe above reloaded the page.
+	for _, pid := range s.tree.Pages() {
+		if err := s.tree.EvictPage(pid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.st.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	inj.FailNextReads(1, fault.ClassPersistent)
+	if _, _, err := s.tree.Get(workload.Key(1)); !errors.Is(err, fault.ErrPersistent) {
+		t.Fatalf("persistent read fault not surfaced: %v", err)
+	}
+	// ...but read failures never latch the degraded state, and nothing is
+	// corrupted: all data remains reachable.
+	if s.tree.Stats().Health.Degraded() {
+		t.Fatal("read failure degraded the tree")
+	}
 	for i := 0; i < 1000; i++ {
 		v, ok, err := s.tree.Get(workload.Key(uint64(i)))
 		if err != nil || !ok || !bytes.Equal(v, workload.ValueFor(uint64(i), 64)) {
@@ -92,8 +117,12 @@ func TestDeviceWriteFailureSurfacesAndRecovers(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s.dev.SetWriteFailureRate(1.0)
-	// A flush that needs device writes must fail...
+	inj := fault.NewInjector(1)
+	s.dev.SetFaultInjector(inj)
+	inj.SetWriteErrorRate(1.0)
+	// With every write failing transiently, the retry budget exhausts and
+	// the flush fails — but as a transient error, so the store does not
+	// latch degraded and recovers as soon as the fault clears.
 	err := error(nil)
 	for _, pid := range s.tree.Pages() {
 		if e := s.tree.FlushPage(pid); e != nil {
@@ -103,11 +132,17 @@ func TestDeviceWriteFailureSurfacesAndRecovers(t *testing.T) {
 	if e := s.st.Flush(nil); e != nil {
 		err = e
 	}
-	if !errors.Is(err, ssd.ErrInjectedWrite) {
+	if !errors.Is(err, fault.ErrTransient) {
 		t.Fatalf("write failure not surfaced: %v", err)
 	}
+	if s.st.Stats().Retry.Exhausted.Value() == 0 {
+		t.Fatal("retry meter recorded no exhausted budgets")
+	}
+	if s.st.Stats().Health.Degraded() || s.tree.Stats().Health.Degraded() {
+		t.Fatal("transient write faults latched the degraded state")
+	}
 	// ...and succeed after the fault clears.
-	s.dev.SetWriteFailureRate(0)
+	inj.SetWriteErrorRate(0)
 	for _, pid := range s.tree.Pages() {
 		if err := s.tree.FlushPage(pid); err != nil {
 			t.Fatal(err)
@@ -362,8 +397,8 @@ func TestTransactionalStackSurvivesEvictionAndGC(t *testing.T) {
 		t.Fatal(err)
 	}
 	fresh := buildStack(t)
-	if _, applied, err := tc.Recover(logDev, fresh.tree); err != nil || applied == 0 {
-		t.Fatalf("recover: applied=%d err=%v", applied, err)
+	if res, err := tc.Recover(logDev, fresh.tree); err != nil || res.Applied == 0 {
+		t.Fatalf("recover: err=%v", err)
 	}
 	for i := uint64(0); i < accounts; i++ {
 		if _, ok, err := fresh.tree.Get(workload.Key(i)); err != nil || !ok {

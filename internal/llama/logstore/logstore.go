@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"costperf/internal/fault"
 	"costperf/internal/metrics"
 	"costperf/internal/sim"
 	"costperf/internal/ssd"
@@ -74,9 +75,14 @@ const (
 // Common errors.
 var (
 	ErrBadAddress = errors.New("logstore: invalid address")
-	ErrCorrupt    = errors.New("logstore: corrupt record")
-	ErrTooLarge   = errors.New("logstore: record exceeds segment size")
-	ErrClosed     = errors.New("logstore: closed")
+	// ErrCorrupt wraps fault.ErrCorrupt so fault.Classify sees store-level
+	// checksum failures uniformly.
+	ErrCorrupt  = fmt.Errorf("logstore: corrupt record (%w)", fault.ErrCorrupt)
+	ErrTooLarge = errors.New("logstore: record exceeds segment size")
+	ErrClosed   = errors.New("logstore: closed")
+	// ErrDegraded is returned by writes after a persistent device write
+	// failure latched the store read-only (see Stats.Health).
+	ErrDegraded = errors.New("logstore: store degraded (read-only)")
 )
 
 // Config configures a Store.
@@ -90,6 +96,9 @@ type Config struct {
 	// SegmentBytes is the GC granularity. Must be a multiple of
 	// BufferBytes. Default 4 MiB.
 	SegmentBytes int64
+	// Retry bounds the backoff loop around device I/O; the zero value
+	// takes fault.DefaultRetry.
+	Retry fault.RetryPolicy
 }
 
 func (c *Config) setDefaults() error {
@@ -125,6 +134,10 @@ type Stats struct {
 	GCReclaimed     metrics.Counter
 	GCRelocated     metrics.Counter
 	BufferHits      metrics.Counter // reads served from the unflushed buffer
+	// Retry meters the transient-fault retry budget spent on device I/O.
+	Retry metrics.RetryStats
+	// Health latches degraded (read-only) after a persistent write failure.
+	Health metrics.Health
 }
 
 // Store is a log-structured record store. It is safe for concurrent use.
@@ -199,12 +212,18 @@ func (s *Store) Tail() int64 {
 	return s.bufStart + int64(len(s.buf))
 }
 
+// encodeHeader frames a record. The checksum covers the header prefix as
+// well as the payload: a zero-length payload checksums to 0, so a
+// payload-only CRC would let a torn header (zero-filled length and CRC
+// fields) masquerade as a valid empty record during recovery.
 func encodeHeader(dst []byte, kind Kind, pid uint64, payload []byte) {
 	dst[0] = magic
 	dst[1] = byte(kind)
 	binary.BigEndian.PutUint64(dst[2:], pid)
 	binary.BigEndian.PutUint32(dst[10:], uint32(len(payload)))
-	binary.BigEndian.PutUint32(dst[14:], crc32.ChecksumIEEE(payload))
+	sum := crc32.ChecksumIEEE(dst[:14])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	binary.BigEndian.PutUint32(dst[14:], sum)
 }
 
 // Append adds a record to the log and returns its address. The record
@@ -225,6 +244,9 @@ func (s *Store) Append(pid uint64, kind Kind, payload []byte, ch *sim.Charger) (
 	defer s.mu.Unlock()
 	if s.closed {
 		return Address{}, ErrClosed
+	}
+	if s.stats.Health.Degraded() {
+		return Address{}, ErrDegraded
 	}
 	// Keep records inside one segment: pad to the boundary if needed.
 	off := s.bufStart + int64(len(s.buf))
@@ -293,7 +315,18 @@ func (s *Store) flushLocked() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	if err := s.cfg.Device.WriteAt(s.bufStart, s.buf, nil); err != nil {
+	if s.stats.Health.Degraded() {
+		return ErrDegraded
+	}
+	// A retried flush rewrites the whole buffer at the same offset, so a
+	// torn first attempt is simply overwritten.
+	err := s.cfg.Retry.Do(&s.stats.Retry, func() error {
+		return s.cfg.Device.WriteAt(s.bufStart, s.buf, nil)
+	})
+	if err != nil {
+		if fault.Classify(err) == fault.ClassPersistent {
+			s.stats.Health.Degrade(fmt.Sprintf("flush at %d: %v", s.bufStart, err))
+		}
 		return err
 	}
 	s.stats.Flushes.Inc()
@@ -357,7 +390,9 @@ func decode(raw []byte, wantLen int32) (Record, error) {
 		return Record{}, fmt.Errorf("%w: length mismatch", ErrCorrupt)
 	}
 	payload := raw[headerSize : headerSize+int(plen)]
-	if crc32.ChecksumIEEE(payload) != sum {
+	want := crc32.ChecksumIEEE(raw[:14])
+	want = crc32.Update(want, crc32.IEEETable, payload)
+	if want != sum {
 		return Record{}, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
 	return Record{PID: pid, Kind: kind, Payload: payload}, nil
@@ -412,7 +447,12 @@ func (s *Store) scanDevice(fn func(rec Record, addr Address, recLen int64) bool)
 		return (s.segIndex(o) + 1) * s.cfg.SegmentBytes
 	}
 	for off+headerSize <= hw {
-		hdr, err := s.cfg.Device.ReadAt(off, headerSize, nil)
+		var hdr []byte
+		err := s.cfg.Retry.Do(&s.stats.Retry, func() error {
+			var rerr error
+			hdr, rerr = s.cfg.Device.ReadAt(off, headerSize, nil)
+			return rerr
+		})
 		if err != nil {
 			return err
 		}
@@ -424,7 +464,12 @@ func (s *Store) scanDevice(fn func(rec Record, addr Address, recLen int64) bool)
 		if off+headerSize+plen > hw {
 			return nil // torn tail record
 		}
-		raw, err := s.cfg.Device.ReadAt(off, headerSize+int(plen), nil)
+		var raw []byte
+		err = s.cfg.Retry.Do(&s.stats.Retry, func() error {
+			var rerr error
+			raw, rerr = s.cfg.Device.ReadAt(off, headerSize+int(plen), nil)
+			return rerr
+		})
 		if err != nil {
 			return err
 		}
@@ -501,7 +546,12 @@ func (s *Store) CollectSegment(relocate func(rec Record, old Address) bool, ch *
 	if hw := s.cfg.Device.HighWater(); segOff+segLen > hw {
 		segLen = hw - segOff
 	}
-	raw, err := s.cfg.Device.ReadAt(segOff, int(segLen), nil)
+	var raw []byte
+	err := s.cfg.Retry.Do(&s.stats.Retry, func() error {
+		var rerr error
+		raw, rerr = s.cfg.Device.ReadAt(segOff, int(segLen), nil)
+		return rerr
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -534,7 +584,9 @@ func (s *Store) CollectSegment(relocate func(rec Record, old Address) bool, ch *
 		ch.Copy(int(relocated))
 	}
 
-	s.cfg.Device.Trim(segOff, s.cfg.SegmentBytes)
+	if err := s.cfg.Device.Trim(segOff, s.cfg.SegmentBytes); err != nil {
+		return 0, fmt.Errorf("logstore: trim segment %d: %w", victim, err)
+	}
 	s.cfg.Device.Stats().GCReclaimed.Add(total - relocated)
 	s.cfg.Device.Stats().GCWrites.Add(relocated)
 

@@ -3,12 +3,24 @@ package lsm
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 
+	"costperf/internal/fault"
 	"costperf/internal/metrics"
 	"costperf/internal/sim"
 	"costperf/internal/ssd"
+)
+
+var (
+	// ErrCorrupt is returned when on-device table or manifest data fails
+	// checksum or structural verification. It wraps fault.ErrCorrupt so
+	// Classify recognizes it across the stack.
+	ErrCorrupt = fmt.Errorf("lsm: corrupt record (%w)", fault.ErrCorrupt)
+	// ErrDegraded is returned by write paths after a persistent device
+	// write failure latched the tree read-only.
+	ErrDegraded = errors.New("lsm: tree degraded (read-only)")
 )
 
 // Config configures a Tree.
@@ -26,6 +38,9 @@ type Config struct {
 	MaxLevels int
 	// Session enables execution-cost accounting (may be nil).
 	Session *sim.Session
+	// Retry bounds the backoff loop around device I/O; the zero value
+	// takes fault.DefaultRetry.
+	Retry fault.RetryPolicy
 }
 
 func (c *Config) setDefaults() error {
@@ -57,22 +72,28 @@ type Stats struct {
 	Compactions metrics.Counter
 	BloomSkips  metrics.Counter
 	TableReads  metrics.Counter
+	// Retry meters fault absorption around device I/O.
+	Retry metrics.RetryStats
+	// Health latches the tree read-only after a persistent write failure.
+	Health metrics.Health
 }
 
 // Tree is the LSM store. It is safe for concurrent use (writers serialize
 // on an internal mutex; compaction runs inline on the triggering writer,
 // as in a single-threaded RocksDB configuration).
 type Tree struct {
-	cfg    Config
-	mu     sync.RWMutex
-	mem    *memtable
-	levels [][]*sstable // levels[0] newest-first; deeper levels sorted by min key
-	tail   int64        // next free device offset
-	nextID uint64
-	stats  Stats
+	cfg         Config
+	mu          sync.RWMutex
+	mem         *memtable
+	levels      [][]*sstable // levels[0] newest-first; deeper levels sorted by min key
+	tail        int64        // next free device offset
+	nextID      uint64
+	manifestSeq uint64
+	stats       Stats
 }
 
-// New creates an empty tree.
+// New creates an empty tree. Table data starts above the manifest slots so
+// the tree is recoverable with Open after the first flush commits.
 func New(cfg Config) (*Tree, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
@@ -81,6 +102,7 @@ func New(cfg Config) (*Tree, error) {
 		cfg:    cfg,
 		mem:    newMemtable(),
 		levels: make([][]*sstable, cfg.MaxLevels),
+		tail:   tablesBase,
 	}, nil
 }
 
@@ -112,6 +134,9 @@ func (t *Tree) Delete(key []byte) error {
 }
 
 func (t *Tree) write(key, val []byte, tombstone bool) error {
+	if t.stats.Health.Degraded() {
+		return ErrDegraded
+	}
 	ch := t.begin()
 	t.mu.Lock()
 	t.mem.put(key, val, tombstone, ch)
@@ -132,17 +157,50 @@ func (t *Tree) write(key, val []byte, tombstone bool) error {
 	return err
 }
 
-// flushLocked writes the memtable to a new L0 table (one large write) and
-// triggers compaction as needed.
+// writeTableRetried writes a sorted run through the retry loop (a rewrite
+// at the same offset is idempotent) and latches the tree degraded on a
+// persistent write failure.
+func (t *Tree) writeTableRetried(id uint64, level int, entries []kv, off int64) (*sstable, int64, error) {
+	var tbl *sstable
+	var next int64
+	err := t.cfg.Retry.Do(&t.stats.Retry, func() error {
+		var werr error
+		tbl, next, werr = writeTable(t.cfg.Device, id, level, entries, off)
+		return werr
+	})
+	if err != nil && fault.Classify(err) == fault.ClassPersistent {
+		t.stats.Health.Degrade(fmt.Sprintf("table %d write: %v", id, err))
+	}
+	return tbl, next, err
+}
+
+// tableReadAll loads a whole table through the retry loop.
+func (t *Tree) tableReadAll(tbl *sstable, ch *sim.Charger) ([]kv, error) {
+	var out []kv
+	err := t.cfg.Retry.Do(&t.stats.Retry, func() error {
+		var rerr error
+		out, rerr = tbl.readAll(t.cfg.Device, ch)
+		return rerr
+	})
+	return out, err
+}
+
+// flushLocked writes the memtable to a new L0 table (one large write),
+// commits it with a manifest write, and triggers compaction as needed. The
+// memtable is discarded only after its table is durably written, so a
+// failed flush loses nothing.
 func (t *Tree) flushLocked(ch *sim.Charger) error {
 	if t.mem.count == 0 {
 		return nil
+	}
+	if t.stats.Health.Degraded() {
+		return ErrDegraded
 	}
 	entries := make([]kv, 0, t.mem.count)
 	for e := t.mem.first(); e != nil; e = e.next[0] {
 		entries = append(entries, kv{key: e.key, val: e.val, tombstone: e.tombstone})
 	}
-	tbl, next, err := writeTable(t.cfg.Device, t.nextID, 0, entries, t.tail)
+	tbl, next, err := t.writeTableRetried(t.nextID, 0, entries, t.tail)
 	if err != nil {
 		return err
 	}
@@ -151,6 +209,11 @@ func (t *Tree) flushLocked(ch *sim.Charger) error {
 	t.levels[0] = append([]*sstable{tbl}, t.levels[0]...) // newest first
 	t.mem = newMemtable()
 	t.stats.Flushes.Inc()
+	// Durable commit point: the flushed data is recoverable once the
+	// manifest referencing its table is on the device.
+	if err := t.writeManifestLocked(); err != nil {
+		return err
+	}
 	return t.maybeCompactLocked(ch)
 }
 
@@ -220,7 +283,14 @@ func (t *Tree) tableGet(tbl *sstable, key []byte, ch *sim.Charger) (kv, bool, er
 		return kv{}, false, nil
 	}
 	t.stats.TableReads.Inc()
-	return tbl.get(t.cfg.Device, key, ch)
+	var e kv
+	var found bool
+	err := t.cfg.Retry.Do(&t.stats.Retry, func() error {
+		var gerr error
+		e, found, gerr = tbl.get(t.cfg.Device, key, ch)
+		return gerr
+	})
+	return e, found, err
 }
 
 // levelBytes sums a level's data bytes.
@@ -262,23 +332,24 @@ func (t *Tree) maybeCompactLocked(ch *sim.Charger) error {
 
 // compactLocked merges level lvl into lvl+1: all tables of L0 (they
 // overlap), or the largest table of deeper levels, plus every overlapping
-// table below.
+// table below. The compaction is staged: the live table set is not touched
+// until every replacement table is durably written, so a failed (or
+// crashed) compaction leaves the tree — in memory and on device — exactly
+// as it was.
 func (t *Tree) compactLocked(lvl int, ch *sim.Charger) error {
-	t.stats.Compactions.Inc()
+	// Select inputs without mutating the live table set.
 	var ups []*sstable
+	upIdx := -1
 	if lvl == 0 {
 		ups = append(ups, t.levels[0]...)
-		t.levels[0] = nil
 	} else {
 		// Pick the largest table to push down.
-		maxI := 0
 		for i, tb := range t.levels[lvl] {
-			if tb.dataLen > t.levels[lvl][maxI].dataLen {
-				maxI = i
+			if upIdx < 0 || tb.dataLen > t.levels[lvl][upIdx].dataLen {
+				upIdx = i
 			}
 		}
-		ups = []*sstable{t.levels[lvl][maxI]}
-		t.levels[lvl] = append(t.levels[lvl][:maxI], t.levels[lvl][maxI+1:]...)
+		ups = []*sstable{t.levels[lvl][upIdx]}
 	}
 	lo, hi := ups[0].min, ups[0].max
 	for _, tb := range ups {
@@ -304,14 +375,14 @@ func (t *Tree) compactLocked(lvl int, ch *sim.Charger) error {
 	// newest-first; a deeper "up" level has a single table.
 	sources := make([][]kv, 0, len(ups)+len(downs))
 	for _, tb := range ups {
-		entries, err := tb.readAll(t.cfg.Device, nil)
+		entries, err := t.tableReadAll(tb, nil)
 		if err != nil {
 			return err
 		}
 		sources = append(sources, entries)
 	}
 	for _, tb := range downs {
-		entries, err := tb.readAll(t.cfg.Device, nil)
+		entries, err := t.tableReadAll(tb, nil)
 		if err != nil {
 			return err
 		}
@@ -324,8 +395,10 @@ func (t *Tree) compactLocked(lvl int, ch *sim.Charger) error {
 		}
 	}
 
-	// Write merged runs as tables capped near the memtable size.
+	// Write merged runs as tables capped near the memtable size. Allocation
+	// state advances in locals and commits only if every write succeeds.
 	var newTables []*sstable
+	newTail, nextID := t.tail, t.nextID
 	capBytes := int64(t.cfg.MemtableBytes)
 	for start := 0; start < len(merged); {
 		var sz int64
@@ -334,27 +407,40 @@ func (t *Tree) compactLocked(lvl int, ch *sim.Charger) error {
 			sz += int64(len(merged[end].key) + len(merged[end].val) + 8)
 			end++
 		}
-		tbl, nt, err := writeTable(t.cfg.Device, t.nextID, next, merged[start:end], t.tail)
+		tbl, nt, err := t.writeTableRetried(nextID, next, merged[start:end], newTail)
 		if err != nil {
 			return err
 		}
-		t.nextID++
-		t.tail = nt
+		nextID++
+		newTail = nt
 		newTables = append(newTables, tbl)
 		start = end
 	}
-	// Reclaim old tables' media.
-	for _, tb := range ups {
-		t.cfg.Device.Trim(tb.dataOff, tb.dataLen)
-		t.cfg.Device.Stats().GCReclaimed.Add(tb.dataLen)
-	}
-	for _, tb := range downs {
-		t.cfg.Device.Trim(tb.dataOff, tb.dataLen)
-		t.cfg.Device.Stats().GCReclaimed.Add(tb.dataLen)
+
+	// All replacement tables are durable: commit the new table set.
+	t.tail, t.nextID = newTail, nextID
+	if lvl == 0 {
+		t.levels[0] = nil
+	} else {
+		t.levels[lvl] = append(t.levels[lvl][:upIdx], t.levels[lvl][upIdx+1:]...)
 	}
 	keep = append(keep, newTables...)
 	sort.Slice(keep, func(i, j int) bool { return bytes.Compare(keep[i].min, keep[j].min) < 0 })
 	t.levels[next] = keep
+	t.stats.Compactions.Inc()
+
+	// Durable commit point before reclaiming inputs: once the manifest no
+	// longer references the old tables, trimming them cannot orphan data.
+	if err := t.writeManifestLocked(); err != nil {
+		return err
+	}
+	for _, tb := range append(ups, downs...) {
+		if err := t.cfg.Device.Trim(tb.dataOff, tb.dataLen); err != nil {
+			// Post-commit cleanup failure leaks space, not data.
+			return fmt.Errorf("lsm: trim table %d: %w", tb.id, err)
+		}
+		t.cfg.Device.Stats().GCReclaimed.Add(tb.dataLen)
+	}
 	return nil
 }
 
@@ -424,7 +510,7 @@ func (t *Tree) Scan(start []byte, limit int, fn func(k, v []byte) bool) error {
 	}
 	sources = append(sources, memRun)
 	for _, tbl := range t.levels[0] {
-		entries, err := tbl.readAll(t.cfg.Device, ch)
+		entries, err := t.tableReadAll(tbl, ch)
 		if err != nil {
 			return err
 		}
@@ -436,7 +522,7 @@ func (t *Tree) Scan(start []byte, limit int, fn func(k, v []byte) bool) error {
 			if bytes.Compare(tbl.max, start) < 0 {
 				continue
 			}
-			entries, err := tbl.readAll(t.cfg.Device, ch)
+			entries, err := t.tableReadAll(tbl, ch)
 			if err != nil {
 				return err
 			}

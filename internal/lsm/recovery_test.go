@@ -1,0 +1,183 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"costperf/internal/fault"
+	"costperf/internal/ssd"
+)
+
+func reopen(t *testing.T, dev *ssd.Device) *Tree {
+	t.Helper()
+	tr, err := Open(Config{
+		Device:         dev,
+		MemtableBytes:  8 << 10,
+		L0Tables:       3,
+		LevelBytesBase: 64 << 10,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return tr
+}
+
+func TestOpenNoManifest(t *testing.T) {
+	dev := ssd.New(ssd.SamsungSSD)
+	if _, err := Open(Config{Device: dev}); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("Open on empty device = %v, want ErrNoManifest", err)
+	}
+}
+
+func TestOpenRecoversFlushedData(t *testing.T) {
+	tr, dev := newTree(t)
+	const n = 2000 // enough to flush several tables and compact
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a slice of keys so tombstones are exercised too.
+	for i := 0; i < n; i += 10 {
+		if err := tr.Delete([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	seq := tr.ManifestSeq()
+	if seq == 0 {
+		t.Fatal("no manifest committed after flush")
+	}
+
+	rec := reopen(t, dev)
+	if got := rec.ManifestSeq(); got != seq {
+		t.Fatalf("recovered manifest seq %d, want %d", got, seq)
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		v, found, err := rec.Get(key)
+		if err != nil {
+			t.Fatalf("Get %s: %v", key, err)
+		}
+		if i%10 == 0 {
+			if found {
+				t.Fatalf("deleted key %s resurrected as %q", key, v)
+			}
+			continue
+		}
+		if !found || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+			t.Fatalf("Get %s = %q,%v after recovery", key, v, found)
+		}
+	}
+	// The recovered tree must keep working as a writer.
+	if err := rec.Put([]byte("post-recovery"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenSurvivesTornManifestWrite(t *testing.T) {
+	tr, dev := newTree(t)
+	inj := fault.NewInjector(7)
+	dev.SetFaultInjector(inj)
+
+	if err := tr.Put([]byte("committed"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil { // commits manifest seq 1
+		t.Fatal(err)
+	}
+	// Each flush performs two device writes: the L0 table, then the
+	// manifest. The first flush used writes 1-2; tear the second flush's
+	// manifest (write 4) mid-frame — a power loss during the commit write.
+	inj.TearWrite(4, 5)
+	if err := tr.Put([]byte("torn"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil { // tear is silent, like real power loss
+		t.Fatal(err)
+	}
+
+	rec := reopen(t, dev)
+	if got := rec.ManifestSeq(); got != 1 {
+		t.Fatalf("recovered manifest seq %d, want 1 (torn commit discarded)", got)
+	}
+	if _, found, err := rec.Get([]byte("committed")); err != nil || !found {
+		t.Fatalf("committed key lost: found=%v err=%v", found, err)
+	}
+	if _, found, err := rec.Get([]byte("torn")); err != nil || found {
+		t.Fatalf("uncommitted key visible after torn manifest: found=%v err=%v", found, err)
+	}
+}
+
+func TestOpenDetectsCorruptTable(t *testing.T) {
+	tr, dev := newTree(t)
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the table data region (above the manifest slots).
+	raw, err := dev.ReadAt(tablesBase, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteAt(tablesBase, []byte{raw[0] ^ 0xFF}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(Config{Device: dev})
+	if !errors.Is(err, fault.ErrCorrupt) {
+		t.Fatalf("Open over corrupt table = %v, want fault.ErrCorrupt", err)
+	}
+}
+
+func TestPersistentWriteFailureDegradesTree(t *testing.T) {
+	tr, dev := newTree(t)
+	inj := fault.NewInjector(11)
+	dev.SetFaultInjector(inj)
+
+	if err := tr.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	inj.FailNextWrites(1, fault.ClassPersistent)
+	if err := tr.Flush(); !errors.Is(err, fault.ErrPersistent) {
+		t.Fatalf("Flush under persistent fault = %v, want ErrPersistent", err)
+	}
+	if !tr.Stats().Health.Degraded() {
+		t.Fatal("tree not degraded after persistent write failure")
+	}
+	if err := tr.Put([]byte("b"), []byte("2")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Put on degraded tree = %v, want ErrDegraded", err)
+	}
+	// Reads keep working on the degraded tree (read-only availability).
+	if _, _, err := tr.Get([]byte("a")); err != nil {
+		t.Fatalf("Get on degraded tree: %v", err)
+	}
+}
+
+func TestTransientWriteFaultAbsorbedByRetry(t *testing.T) {
+	tr, dev := newTree(t)
+	inj := fault.NewInjector(13)
+	dev.SetFaultInjector(inj)
+
+	inj.FailNextWrites(1, fault.ClassTransient)
+	if err := tr.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush with transient fault = %v, want absorbed", err)
+	}
+	if tr.Stats().Retry.Absorbed.Value() == 0 {
+		t.Fatal("retry absorption not metered")
+	}
+	if tr.Stats().Health.Degraded() {
+		t.Fatal("transient fault must not degrade the tree")
+	}
+}

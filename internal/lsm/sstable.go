@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 
 	"costperf/internal/sim"
@@ -91,10 +92,16 @@ type sstable struct {
 	entries  int
 }
 
-// encodeRecord frames one KV for the device.
+// recordCRCSize prefixes every record with a CRC32 of its body, so torn or
+// bit-flipped table data is detected instead of decoded as garbage.
+const recordCRCSize = 4
+
+// encodeRecord frames one KV for the device:
+// crc(4) | flags(1) | klen | key | vlen | val.
 func encodeRecord(e kv) []byte {
 	var buf bytes.Buffer
 	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(make([]byte, recordCRCSize)) // CRC placeholder
 	flags := byte(0)
 	if e.tombstone {
 		flags = 1
@@ -106,28 +113,53 @@ func encodeRecord(e kv) []byte {
 	n = binary.PutUvarint(tmp[:], uint64(len(e.val)))
 	buf.Write(tmp[:n])
 	buf.Write(e.val)
-	return buf.Bytes()
+	out := buf.Bytes()
+	binary.BigEndian.PutUint32(out, crc32.ChecksumIEEE(out[recordCRCSize:]))
+	return out
 }
 
-func decodeRecord(raw []byte) (kv, error) {
-	if len(raw) < 3 {
-		return kv{}, fmt.Errorf("lsm: truncated record")
+// parseRecord decodes one record from the front of raw, returning the entry
+// and the framed bytes consumed. Checksum or structure failures wrap
+// ErrCorrupt — the caller (recovery, lookup) must treat the data as damaged
+// rather than silently truncating.
+func parseRecord(raw []byte) (kv, int, error) {
+	if len(raw) < recordCRCSize+3 {
+		return kv{}, 0, fmt.Errorf("%w: truncated record", ErrCorrupt)
 	}
-	e := kv{tombstone: raw[0] == 1}
-	rest := raw[1:]
+	crc := binary.BigEndian.Uint32(raw)
+	rest := raw[recordCRCSize:]
+	e := kv{tombstone: rest[0] == 1}
+	rest = rest[1:]
 	kl, n := binary.Uvarint(rest)
 	if n <= 0 || uint64(len(rest)) < uint64(n)+kl {
-		return kv{}, fmt.Errorf("lsm: truncated key")
+		return kv{}, 0, fmt.Errorf("%w: truncated key", ErrCorrupt)
 	}
 	rest = rest[n:]
-	e.key = append([]byte(nil), rest[:kl]...)
+	key := rest[:kl]
 	rest = rest[kl:]
 	vl, n := binary.Uvarint(rest)
 	if n <= 0 || uint64(len(rest)) < uint64(n)+vl {
-		return kv{}, fmt.Errorf("lsm: truncated value")
+		return kv{}, 0, fmt.Errorf("%w: truncated value", ErrCorrupt)
 	}
 	rest = rest[n:]
-	e.val = append([]byte(nil), rest[:vl]...)
+	val := rest[:vl]
+	consumed := len(raw) - len(rest) + int(vl)
+	if crc32.ChecksumIEEE(raw[recordCRCSize:consumed]) != crc {
+		return kv{}, 0, fmt.Errorf("%w: record checksum mismatch", ErrCorrupt)
+	}
+	e.key = append([]byte(nil), key...)
+	e.val = append([]byte(nil), val...)
+	return e, consumed, nil
+}
+
+func decodeRecord(raw []byte) (kv, error) {
+	e, consumed, err := parseRecord(raw)
+	if err != nil {
+		return kv{}, err
+	}
+	if consumed != len(raw) {
+		return kv{}, fmt.Errorf("%w: record length mismatch", ErrCorrupt)
+	}
 	return e, nil
 }
 

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// HealthState is a store's operational state.
+type HealthState int32
+
+const (
+	// HealthHealthy is the normal full-service state.
+	HealthHealthy HealthState = iota
+	// HealthDegraded is the read-only state a store latches into after a
+	// persistent write failure: reads keep being served from whatever is
+	// durable or cached, writes fail fast instead of corrupting state.
+	HealthDegraded
+)
+
+// String names the state.
+func (s HealthState) String() string {
+	if s == HealthDegraded {
+		return "degraded"
+	}
+	return "healthy"
+}
+
+// Health is a latching store-health indicator. The zero value is healthy
+// and ready to use. The first Degrade wins; the reason is retained for
+// observability. All methods are safe for concurrent use.
+type Health struct {
+	state  atomic.Int32
+	mu     sync.Mutex
+	reason string
+	// Degradations counts Degrade calls (including redundant ones), so a
+	// flapping fault source is visible even though the state only latches
+	// once.
+	Degradations Counter
+}
+
+// Degrade latches the degraded (read-only) state, recording reason on the
+// first transition. It reports whether this call performed the transition.
+func (h *Health) Degrade(reason string) bool {
+	h.Degradations.Inc()
+	if !h.state.CompareAndSwap(int32(HealthHealthy), int32(HealthDegraded)) {
+		return false
+	}
+	h.mu.Lock()
+	h.reason = reason
+	h.mu.Unlock()
+	return true
+}
+
+// Degraded reports whether the store has latched into the degraded state.
+func (h *Health) Degraded() bool { return h.State() == HealthDegraded }
+
+// State returns the current state.
+func (h *Health) State() HealthState { return HealthState(h.state.Load()) }
+
+// Reason returns the reason recorded by the first Degrade, or "".
+func (h *Health) Reason() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.reason
+}
+
+// String renders the health for experiment logs.
+func (h *Health) String() string {
+	if !h.Degraded() {
+		return "healthy"
+	}
+	return fmt.Sprintf("degraded (%s)", h.Reason())
+}
+
+// RetryStats meters an I/O retry budget: how many attempts a store issued,
+// how many were re-attempts after transient failures, and how the retried
+// operations ultimately resolved. The zero value is ready to use.
+type RetryStats struct {
+	Attempts      Counter // every attempt, first tries included
+	Retries       Counter // re-attempts after a transient failure
+	Absorbed      Counter // operations that succeeded after >= 1 retry
+	Exhausted     Counter // operations that failed through the attempt bound
+	BackoffMicros Counter // virtual microseconds spent backing off
+}
+
+// String renders the retry stats for experiment logs.
+func (r *RetryStats) String() string {
+	return fmt.Sprintf("attempts=%d retries=%d absorbed=%d exhausted=%d backoff=%dus",
+		r.Attempts.Value(), r.Retries.Value(), r.Absorbed.Value(),
+		r.Exhausted.Value(), r.BackoffMicros.Value())
+}

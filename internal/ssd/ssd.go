@@ -104,6 +104,39 @@ var (
 	ErrInjectedWrite = errors.New("ssd: injected write failure")
 )
 
+// FaultOutcome describes what a fault injector wants to happen to one I/O.
+// The zero value means "no fault": the I/O proceeds normally.
+type FaultOutcome struct {
+	// Err, when non-nil, fails the operation with this error. For writes,
+	// nothing reaches the media unless Tear is also set.
+	Err error
+	// Tear truncates a write: only the first TearKeep bytes reach the
+	// media (a torn/prefix-only write, as after power loss mid-flush).
+	// With a nil Err the device still reports success — a silently torn
+	// write that only checksum verification can catch later.
+	Tear     bool
+	TearKeep int
+	// Flip flips bit FlipBit of the transferred data (modulo its length):
+	// on writes the corrupted bytes reach the media, on reads the caller
+	// receives them. Models bit rot / firmware corruption.
+	Flip    bool
+	FlipBit int64
+	// ExtraBusySec adds a latency spike to the device-busy accounting.
+	ExtraBusySec float64
+}
+
+// FaultInjector decides, per I/O, whether and how to misbehave. The
+// canonical implementation is internal/fault.Injector; the interface lives
+// here so the device does not depend on the fault package. Implementations
+// must be safe for concurrent use; the device calls them with its own lock
+// held, so they must not call back into the device.
+type FaultInjector interface {
+	// ReadFault is consulted before a read of length bytes at off.
+	ReadFault(off int64, length int) FaultOutcome
+	// WriteFault is consulted before a write of data at off.
+	WriteFault(off int64, data []byte) FaultOutcome
+}
+
 const chunkSize = 1 << 16 // 64 KiB sparse chunks
 
 // Device is a simulated secondary-storage device. It is safe for
@@ -115,10 +148,9 @@ type Device struct {
 	chunks   map[int64][]byte
 	written  int64 // high-water mark of bytes addressed
 	closed   bool
-	busySec  float64 // accumulated device-busy virtual seconds
-	failRead int     // inject failures on the next N reads
-	failRate float64 // probabilistic write failure rate
-	rng      *rand.Rand
+	busySec  float64       // accumulated device-busy virtual seconds
+	injector FaultInjector // programmable fault injection (may be nil)
+	shim     *legacyShim   // lazily created by the deprecated fault hooks
 
 	stats metrics.IOStats
 }
@@ -131,7 +163,6 @@ func New(cfg Config) *Device {
 	return &Device{
 		cfg:    cfg,
 		chunks: make(map[int64][]byte),
-		rng:    rand.New(rand.NewSource(1)),
 	}
 }
 
@@ -174,6 +205,46 @@ func (d *Device) BusySeconds() float64 {
 // Latency returns the device latency per I/O in virtual seconds.
 func (d *Device) Latency() float64 { return d.cfg.LatencySec }
 
+// faultOnWriteLocked consults the legacy shim and the installed injector,
+// first non-zero outcome wins. Caller holds d.mu.
+func (d *Device) faultOnWriteLocked(off int64, data []byte) FaultOutcome {
+	if d.shim != nil {
+		if fo := d.shim.WriteFault(off, data); fo != (FaultOutcome{}) {
+			return fo
+		}
+	}
+	if d.injector != nil {
+		return d.injector.WriteFault(off, data)
+	}
+	return FaultOutcome{}
+}
+
+func (d *Device) faultOnReadLocked(off int64, length int) FaultOutcome {
+	if d.shim != nil {
+		if fo := d.shim.ReadFault(off, length); fo != (FaultOutcome{}) {
+			return fo
+		}
+	}
+	if d.injector != nil {
+		return d.injector.ReadFault(off, length)
+	}
+	return FaultOutcome{}
+}
+
+// flipBit flips bit fo.FlipBit (modulo the buffer length) in a copy of b.
+func flipBit(b []byte, bit int64) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	cp := append([]byte(nil), b...)
+	bit %= int64(len(cp) * 8)
+	if bit < 0 {
+		bit += int64(len(cp) * 8)
+	}
+	cp[bit/8] ^= 1 << (bit % 8)
+	return cp
+}
+
 // WriteAt writes data at the given offset as one device write I/O,
 // charging ch for the CPU cost (ch may be nil for background writes).
 func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
@@ -185,10 +256,40 @@ func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
 	if d.closed {
 		return ErrClosed
 	}
-	if d.failRate > 0 && d.rng.Float64() < d.failRate {
-		return ErrInjectedWrite
+	fo := d.faultOnWriteLocked(off, data)
+	if fo.ExtraBusySec > 0 {
+		d.busySec += fo.ExtraBusySec
 	}
-	d.writeLocked(off, data)
+	towrite := data
+	if fo.Tear {
+		keep := fo.TearKeep
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > len(data) {
+			keep = len(data)
+		}
+		towrite = data[:keep]
+	}
+	if fo.Flip {
+		towrite = flipBit(towrite, fo.FlipBit)
+	}
+	if fo.Tear {
+		// Only the prefix hit the media, but the full address range stays
+		// readable (as stale/zero bytes), like a real torn sector range —
+		// recovery must detect the damage by checksum, not by short read.
+		if end := off + int64(len(data)); end > d.written {
+			d.written = end
+		}
+	}
+	if fo.Err != nil {
+		// A torn write's prefix reached the media before the failure.
+		if fo.Tear && len(towrite) > 0 {
+			d.writeLocked(off, towrite)
+		}
+		return fo.Err
+	}
+	d.writeLocked(off, towrite)
 	d.accountBusy()
 	d.stats.Writes.Inc()
 	d.stats.BytesWritten.Add(int64(len(data)))
@@ -230,10 +331,13 @@ func (d *Device) ReadAt(off int64, length int, ch *sim.Charger) ([]byte, error) 
 		d.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if d.failRead > 0 {
-		d.failRead--
+	fo := d.faultOnReadLocked(off, length)
+	if fo.ExtraBusySec > 0 {
+		d.busySec += fo.ExtraBusySec
+	}
+	if fo.Err != nil {
 		d.mu.Unlock()
-		return nil, ErrInjectedRead
+		return nil, fo.Err
 	}
 	if off+int64(length) > d.written {
 		d.mu.Unlock()
@@ -241,6 +345,9 @@ func (d *Device) ReadAt(off int64, length int, ch *sim.Charger) ([]byte, error) 
 	}
 	out := make([]byte, length)
 	d.readLocked(off, out)
+	if fo.Flip {
+		out = flipBit(out, fo.FlipBit)
+	}
 	d.accountBusy()
 	d.stats.Reads.Inc()
 	d.stats.BytesRead.Add(int64(length))
@@ -271,10 +378,17 @@ func (d *Device) readLocked(off int64, out []byte) {
 
 // Trim releases the storage backing [off, off+length) back to the device
 // (log-structured GC uses this after reclaiming a segment). Partial chunks
-// at the boundaries are zeroed rather than freed.
-func (d *Device) Trim(off int64, length int64) {
+// at the boundaries are zeroed rather than freed. Trimming a closed device
+// returns ErrClosed without mutating the freed state.
+func (d *Device) Trim(off int64, length int64) error {
+	if off < 0 || length < 0 {
+		return ErrOutOfRange
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
 	end := off + length
 	for ci := off / chunkSize; ci*chunkSize < end; ci++ {
 		cs, ce := ci*chunkSize, (ci+1)*chunkSize
@@ -297,6 +411,7 @@ func (d *Device) Trim(off int64, length int64) {
 			chunk[i] = 0
 		}
 	}
+	return nil
 }
 
 // FootprintBytes returns the bytes of simulated media currently allocated.
@@ -314,18 +429,73 @@ func (d *Device) HighWater() int64 {
 	return d.written
 }
 
-// FailNextReads makes the next n reads fail with ErrInjectedRead.
-func (d *Device) FailNextReads(n int) {
+// SetFaultInjector installs (or, with nil, removes) a programmable fault
+// injector consulted on every I/O. See internal/fault for the canonical
+// deterministic implementation.
+func (d *Device) SetFaultInjector(fi FaultInjector) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.failRead = n
+	d.injector = fi
+}
+
+// legacyShim implements FaultInjector for the deprecated ad-hoc fault
+// hooks below, so the whole fault path is uniform: every injected fault —
+// legacy or programmed — flows through a FaultOutcome.
+type legacyShim struct {
+	mu       sync.Mutex
+	failRead int
+	failRate float64
+	rng      *rand.Rand
+}
+
+func (s *legacyShim) ReadFault(int64, int) FaultOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failRead > 0 {
+		s.failRead--
+		return FaultOutcome{Err: ErrInjectedRead}
+	}
+	return FaultOutcome{}
+}
+
+func (s *legacyShim) WriteFault(int64, []byte) FaultOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failRate > 0 && s.rng.Float64() < s.failRate {
+		return FaultOutcome{Err: ErrInjectedWrite}
+	}
+	return FaultOutcome{}
+}
+
+func (d *Device) ensureShim() *legacyShim {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.shim == nil {
+		d.shim = &legacyShim{rng: rand.New(rand.NewSource(1))}
+	}
+	return d.shim
+}
+
+// FailNextReads makes the next n reads fail with ErrInjectedRead.
+//
+// Deprecated: thin compatibility shim. New code should install an
+// internal/fault.Injector via SetFaultInjector, which supports error
+// classification, torn writes, corruption, and crash points.
+func (d *Device) FailNextReads(n int) {
+	s := d.ensureShim()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failRead = n
 }
 
 // SetWriteFailureRate makes each write fail with the given probability.
+//
+// Deprecated: thin compatibility shim; see FailNextReads.
 func (d *Device) SetWriteFailureRate(p float64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.failRate = p
+	s := d.ensureShim()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failRate = p
 }
 
 // Close marks the device closed; subsequent I/O fails with ErrClosed.

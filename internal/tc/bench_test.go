@@ -102,7 +102,7 @@ func BenchmarkRecoveryReplay(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Recover(logDev, newBenchDC()); err != nil {
+		if _, err := Recover(logDev, newBenchDC()); err != nil {
 			b.Fatal(err)
 		}
 	}

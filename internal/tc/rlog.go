@@ -16,6 +16,8 @@ import (
 	"hash/crc32"
 	"sync"
 
+	"costperf/internal/fault"
+	"costperf/internal/metrics"
 	"costperf/internal/ssd"
 )
 
@@ -45,14 +47,23 @@ type rlog struct {
 	start   int64 // device offset of buf[0]
 	bufCap  int
 	flushes int64
+
+	retry  fault.RetryPolicy
+	meter  *metrics.RetryStats // owned by the TC's Stats (may be nil)
+	health *metrics.Health     // owned by the TC's Stats (may be nil)
 }
 
-func newRlog(dev *ssd.Device, bufBytes int) *rlog {
+func newRlog(dev *ssd.Device, bufBytes int, retry fault.RetryPolicy, meter *metrics.RetryStats, health *metrics.Health) *rlog {
 	if bufBytes <= 0 {
 		bufBytes = 1 << 20
 	}
-	return &rlog{dev: dev, buf: make([]byte, 0, bufBytes), bufCap: bufBytes}
+	return &rlog{
+		dev: dev, buf: make([]byte, 0, bufBytes), bufCap: bufBytes,
+		retry: retry, meter: meter, health: health,
+	}
 }
+
+func (l *rlog) degraded() bool { return l.health != nil && l.health.Degraded() }
 
 func encodeCommit(rec commitRecord) []byte {
 	var body []byte
@@ -144,6 +155,9 @@ func (l *rlog) append(rec commitRecord) error {
 	framed := encodeCommit(rec)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.degraded() {
+		return ErrDegraded
+	}
 	if len(l.buf)+len(framed) > l.bufCap {
 		if err := l.flushLocked(); err != nil {
 			return err
@@ -164,7 +178,18 @@ func (l *rlog) flushLocked() error {
 	if len(l.buf) == 0 {
 		return nil
 	}
-	if err := l.dev.WriteAt(l.start, l.buf, nil); err != nil {
+	if l.degraded() {
+		return ErrDegraded
+	}
+	// A retried flush rewrites the whole buffer at the same offset, so a
+	// torn first attempt is simply overwritten.
+	err := l.retry.Do(l.meter, func() error {
+		return l.dev.WriteAt(l.start, l.buf, nil)
+	})
+	if err != nil {
+		if l.health != nil && fault.Classify(err) == fault.ClassPersistent {
+			l.health.Degrade(fmt.Sprintf("log flush at %d: %v", l.start, err))
+		}
 		return err
 	}
 	l.start += int64(len(l.buf))
@@ -173,39 +198,111 @@ func (l *rlog) flushLocked() error {
 	return nil
 }
 
-// replay scans the durable log in order, invoking fn per commit record.
-// It stops silently at the first torn or unwritten frame.
-func replayLog(dev *ssd.Device, fn func(commitRecord) error) error {
+// ReplayReason explains why log replay stopped where it did.
+type ReplayReason string
+
+const (
+	// ReplayCleanEnd: the scan consumed every written byte; the log ends at
+	// a record boundary (or the remaining tail was never written).
+	ReplayCleanEnd ReplayReason = "clean-end"
+	// ReplayTornTail: written bytes remain after the last complete record,
+	// but not enough for a whole frame — a flush torn by power loss.
+	ReplayTornTail ReplayReason = "torn-tail"
+	// ReplayBadCRC: a full frame was present but its body failed the
+	// checksum — a torn or corrupted write inside the frame.
+	ReplayBadCRC ReplayReason = "bad-crc"
+	// ReplayBadMagic: the byte at the truncation offset is neither a frame
+	// magic nor zero fill — foreign or corrupted data in the log region.
+	ReplayBadMagic ReplayReason = "bad-magic"
+)
+
+// ReplaySummary reports how far log replay got and why it stopped.
+type ReplaySummary struct {
+	// Records is the number of complete commit records applied.
+	Records int
+	// TruncatedAt is the byte offset where replay stopped: the end of the
+	// last complete record (everything at and beyond it was discarded).
+	TruncatedAt int64
+	// Reason explains the stop.
+	Reason ReplayReason
+}
+
+// String renders the summary for logs.
+func (s ReplaySummary) String() string {
+	return fmt.Sprintf("replayed %d commit record(s), log truncated at byte %d (%s)",
+		s.Records, s.TruncatedAt, s.Reason)
+}
+
+// replayLog scans the durable log in order, invoking fn per commit record,
+// and reports where and why the scan stopped. Device reads retry transient
+// faults under the given policy.
+func replayLog(dev *ssd.Device, retry fault.RetryPolicy, m *metrics.RetryStats, fn func(commitRecord) error) (ReplaySummary, error) {
+	sum := ReplaySummary{Reason: ReplayCleanEnd}
 	off := int64(0)
 	hw := dev.HighWater()
+	readAt := func(o int64, n int) ([]byte, error) {
+		var out []byte
+		err := retry.Do(m, func() error {
+			var rerr error
+			out, rerr = dev.ReadAt(o, n, nil)
+			return rerr
+		})
+		return out, err
+	}
 	for off+9 <= hw {
-		hdr, err := dev.ReadAt(off, 9, nil)
+		hdr, err := readAt(off, 9)
 		if err != nil {
-			return err
+			return sum, err
 		}
 		if hdr[0] != rlogMagic {
-			return nil
+			// Zero bytes inside the written high-water are the zero-filled
+			// remainder of a torn flush; anything else is foreign data.
+			if hdr[0] == 0 {
+				sum.Reason = ReplayTornTail
+			} else {
+				sum.Reason = ReplayBadMagic
+			}
+			sum.TruncatedAt = off
+			return sum, nil
 		}
 		blen := int64(binary.BigEndian.Uint32(hdr[1:]))
-		sum := binary.BigEndian.Uint32(hdr[5:])
+		crc := binary.BigEndian.Uint32(hdr[5:])
+		if blen == 0 {
+			// encodeCommit never produces an empty body; a zero length is
+			// the zero-filled remainder of a flush torn inside the header
+			// (an empty body would also pass the CRC check, since the CRC
+			// field reads as zero too).
+			sum.TruncatedAt, sum.Reason = off, ReplayTornTail
+			return sum, nil
+		}
 		if off+9+blen > hw {
-			return nil // torn tail
+			sum.TruncatedAt, sum.Reason = off, ReplayTornTail
+			return sum, nil
 		}
-		body, err := dev.ReadAt(off+9, int(blen), nil)
+		body, err := readAt(off+9, int(blen))
 		if err != nil {
-			return err
+			return sum, err
 		}
-		if crc32.ChecksumIEEE(body) != sum {
-			return nil // torn write
+		if crc32.ChecksumIEEE(body) != crc {
+			sum.TruncatedAt, sum.Reason = off, ReplayBadCRC
+			return sum, nil
 		}
 		rec, err := decodeCommit(body)
 		if err != nil {
-			return fmt.Errorf("tc: corrupt log record at %d: %w", off, err)
+			return sum, fmt.Errorf("tc: corrupt log record at %d: %v (%w)", off, err, fault.ErrCorrupt)
 		}
 		if err := fn(rec); err != nil {
-			return err
+			return sum, err
 		}
+		sum.Records++
 		off += 9 + blen
+		sum.TruncatedAt = off
 	}
-	return nil
+	// The last complete record ended before the high-water mark: a final
+	// flush was torn mid-header.
+	if hw > off {
+		sum.Reason = ReplayTornTail
+	}
+	sum.TruncatedAt = off
+	return sum, nil
 }

@@ -2,9 +2,11 @@ package tc
 
 import (
 	"errors"
+	"log"
 	"sync"
 	"sync/atomic"
 
+	"costperf/internal/fault"
 	"costperf/internal/metrics"
 	"costperf/internal/recordcache"
 	"costperf/internal/sim"
@@ -26,6 +28,9 @@ var (
 	ErrConflict = errors.New("tc: write-write conflict")
 	ErrClosed   = errors.New("tc: closed")
 	ErrNoScan   = errors.New("tc: data component does not support scans")
+	// ErrDegraded is returned by commits after a persistent log-device
+	// write failure latched the TC read-only (see Stats.Health).
+	ErrDegraded = errors.New("tc: degraded (read-only)")
 )
 
 // version is one committed value in the MVCC store. The value slices
@@ -64,6 +69,10 @@ type Stats struct {
 	DCReads          metrics.Counter // reads that had to go to the data component
 	VersionsDropped  metrics.Counter // versions reclaimed by GC
 	Scans            metrics.Counter
+	// Retry meters the transient-fault retry budget spent on log I/O.
+	Retry metrics.RetryStats
+	// Health latches degraded (read-only) after a persistent log failure.
+	Health metrics.Health
 }
 
 // Config configures a TC.
@@ -79,6 +88,9 @@ type Config struct {
 	ReadCacheBytes int64
 	// Session enables execution-cost accounting (may be nil).
 	Session *sim.Session
+	// Retry bounds the backoff loop around log-device I/O; the zero value
+	// takes fault.DefaultRetry.
+	Retry fault.RetryPolicy
 }
 
 // TC is the transaction component. Safe for concurrent use.
@@ -112,14 +124,15 @@ func New(cfg Config) (*TC, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TC{
+	tc := &TC{
 		cfg:    cfg,
 		mvcc:   map[string]*keyVersions{},
 		active: map[uint64]uint64{},
 		nextTx: 1,
-		log:    newRlog(cfg.LogDevice, cfg.LogBufferBytes),
 		rcache: rc,
-	}, nil
+	}
+	tc.log = newRlog(cfg.LogDevice, cfg.LogBufferBytes, cfg.Retry, &tc.stats.Retry, &tc.stats.Health)
+	return tc, nil
 }
 
 // Stats returns the TC's counters.
@@ -315,6 +328,25 @@ func (t *Tx) Commit() error {
 	rec := commitRecord{commitTS: commitTS}
 	for _, w := range t.writes {
 		rec.entries = append(rec.entries, w)
+	}
+	// Redo log append, version install, and DC blind updates happen before
+	// releasing the commit section: releasing earlier would let a later
+	// committer's updates reach the log or the data component first,
+	// reordering the durable state against commit timestamps (a lost update
+	// once GC makes the DC authoritative). Deuteronomy orders DC updates by
+	// timestamp; serializing the post-commit publication is our
+	// equivalent. Reads remain concurrent (they take the same mutex only
+	// briefly) and the log still group-commits.
+	//
+	// The log append comes first: if it fails, no version has been
+	// installed, so the in-memory state never diverges from what recovery
+	// can reconstruct — the transaction simply never committed.
+	defer tc.mu.Unlock()
+	if err := tc.log.append(rec); err != nil {
+		tc.stats.Aborts.Inc()
+		return err
+	}
+	for _, w := range rec.entries {
 		kv := tc.mvcc[string(w.key)]
 		if kv == nil {
 			kv = &keyVersions{}
@@ -329,7 +361,6 @@ func (t *Tx) Commit() error {
 			// active snapshots keep reading their view.
 			pv, pok, err := tc.cfg.DC.Get(w.key)
 			if err != nil {
-				tc.mu.Unlock()
 				return err
 			}
 			kv.vs = []version{{val: pv, commitTS: 0, isDelete: !pok}}
@@ -338,18 +369,6 @@ func (t *Tx) Commit() error {
 		kv.vs = append([]version{{
 			val: w.val, commitTS: commitTS, isDelete: w.isDelete,
 		}}, kv.vs...)
-	}
-	// Redo log append and DC blind updates happen before releasing the
-	// commit section: releasing earlier would let a later committer's
-	// updates reach the log or the data component first, reordering the
-	// durable state against commit timestamps (a lost update once GC
-	// makes the DC authoritative). Deuteronomy orders DC updates by
-	// timestamp; serializing the post-commit publication is our
-	// equivalent. Reads remain concurrent (they take the same mutex only
-	// briefly) and the log still group-commits.
-	defer tc.mu.Unlock()
-	if err := tc.log.append(rec); err != nil {
-		return err
 	}
 	for _, w := range rec.entries {
 		tc.rcache.Invalidate(w.key)
@@ -453,14 +472,26 @@ func (tc *TC) Close() error {
 	return tc.log.flush()
 }
 
+// RecoverResult reports what log replay reconstructed.
+type RecoverResult struct {
+	// MaxTS is the highest commit timestamp replayed.
+	MaxTS uint64
+	// Applied is the number of redo entries applied to the data component.
+	Applied int
+	// Replay summarizes how far the log scan got and why it stopped.
+	Replay ReplaySummary
+}
+
 // Recover replays a recovery log against a data component, reapplying all
 // committed writes in commit order. Redo application uses the same blind
 // updates as normal operation — the paper notes there is no difference
-// between normal and recovery processing (Section 6.2).
-func Recover(logDevice *ssd.Device, dc DataComponent) (maxTS uint64, applied int, err error) {
-	err = replayLog(logDevice, func(rec commitRecord) error {
-		if rec.commitTS > maxTS {
-			maxTS = rec.commitTS
+// between normal and recovery processing (Section 6.2). The replay summary
+// (records applied, truncation offset, stop reason) is logged and returned.
+func Recover(logDevice *ssd.Device, dc DataComponent) (RecoverResult, error) {
+	var res RecoverResult
+	sum, err := replayLog(logDevice, fault.DefaultRetry(), nil, func(rec commitRecord) error {
+		if rec.commitTS > res.MaxTS {
+			res.MaxTS = rec.commitTS
 		}
 		for _, e := range rec.entries {
 			var err error
@@ -472,9 +503,21 @@ func Recover(logDevice *ssd.Device, dc DataComponent) (maxTS uint64, applied int
 			if err != nil {
 				return err
 			}
-			applied++
+			res.Applied++
 		}
 		return nil
 	})
-	return maxTS, applied, err
+	res.Replay = sum
+	if err == nil {
+		log.Printf("tc: recovery %s, %d redo entr%s applied, max commit ts %d",
+			sum, res.Applied, plural(res.Applied, "y", "ies"), res.MaxTS)
+	}
+	return res, err
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -332,12 +332,12 @@ func TestRecoveryReplaysCommittedOnly(t *testing.T) {
 
 	// "Restart": replay into a fresh DC.
 	dc2 := newMemDC()
-	maxTS, applied, err := Recover(logDev, dc2)
+	res, err := Recover(logDev, dc2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if maxTS == 0 || applied == 0 {
-		t.Fatalf("maxTS=%d applied=%d", maxTS, applied)
+	if res.MaxTS == 0 || res.Applied == 0 {
+		t.Fatalf("maxTS=%d applied=%d", res.MaxTS, res.Applied)
 	}
 	for i := 0; i < 50; i++ {
 		v, ok, _ := dc2.Get(workload.Key(uint64(i)))
@@ -369,8 +369,8 @@ func TestTornLogTailIgnored(t *testing.T) {
 	logDev.WriteAt(tail, []byte{rlogMagic, 0, 0, 1, 0, 0, 0, 0, 0}, nil)
 
 	dc2 := newMemDC()
-	if _, applied, err := Recover(logDev, dc2); err != nil || applied != 1 {
-		t.Fatalf("applied=%d err=%v", applied, err)
+	if res, err := Recover(logDev, dc2); err != nil || res.Applied != 1 {
+		t.Fatalf("applied=%d err=%v", res.Applied, err)
 	}
 }
 
@@ -422,8 +422,8 @@ func TestEndToEndWithBwTree(t *testing.T) {
 	dev2 := ssd.New(ssd.SamsungSSD)
 	st2, _ := logstore.Open(logstore.Config{Device: dev2, BufferBytes: 1 << 14, SegmentBytes: 1 << 16})
 	tree2, _ := bwtree.New(bwtree.Config{Store: st2})
-	if _, applied, err := Recover(logDev, tree2); err != nil || applied != n {
-		t.Fatalf("applied=%d err=%v", applied, err)
+	if res, err := Recover(logDev, tree2); err != nil || res.Applied != n {
+		t.Fatalf("applied=%d err=%v", res.Applied, err)
 	}
 	for i := 0; i < n; i++ {
 		v, ok, err := tree2.Get(workload.Key(uint64(i)))
@@ -669,12 +669,15 @@ func TestCorruptLogRecordFailsRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	dc := newMemDC()
-	maxTS, applied, err := Recover(logDev, dc)
+	res, err := Recover(logDev, dc)
 	if err != nil {
 		t.Fatalf("recovery errored instead of stopping at the bad frame: %v", err)
 	}
-	if applied != 0 || maxTS != 0 {
-		t.Fatalf("corrupt record applied: n=%d ts=%d", applied, maxTS)
+	if res.Applied != 0 || res.MaxTS != 0 {
+		t.Fatalf("corrupt record applied: n=%d ts=%d", res.Applied, res.MaxTS)
+	}
+	if res.Replay.Reason != ReplayBadCRC || res.Replay.TruncatedAt != 0 {
+		t.Fatalf("replay summary = %v, want bad-crc at 0", res.Replay)
 	}
 }
 

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's full verification pass: vet, build, the complete
+# test suite, and a race-enabled run of the concurrency-sensitive storage
+# packages (the ones the fault-injection and crash-recovery work hardens).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race \
+    ./internal/bwtree \
+    ./internal/llama/... \
+    ./internal/tc \
+    ./internal/ssd \
+    ./internal/fault \
+    ./internal/lsm \
+    ./internal/integration
