@@ -16,7 +16,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/bwtree ./internal/llama/... ./internal/tc \
-		./internal/ssd ./internal/fault ./internal/lsm ./internal/integration
+		./internal/ssd ./internal/fault ./internal/lsm ./internal/metrics \
+		./internal/engine ./internal/integration
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

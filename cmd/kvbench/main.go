@@ -9,19 +9,33 @@
 //	kvbench -store masstree -mix readonly
 //	kvbench -store lsm -mix updateheavy -dist hotcold
 //	kvbench -store btree -pool 256
+//
+// With -concurrency N the same workload is driven through the engine
+// front-end (internal/engine) by N goroutines: ops take real wall-clock
+// latency measurements and the report switches to p50/p95/p99 latency plus
+// admission-control counters (shed, timeouts, queue depth). -deadline sets
+// the per-op deadline applied by the engine:
+//
+//	kvbench -store lsm -concurrency 8 -deadline 50ms -faults seed=42,write=0.01
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"costperf/internal/btree"
 	"costperf/internal/bwtree"
+	"costperf/internal/engine"
 	"costperf/internal/fault"
 	"costperf/internal/llama/logstore"
 	"costperf/internal/lsm"
 	"costperf/internal/masstree"
+	"costperf/internal/metrics"
 	"costperf/internal/sim"
 	"costperf/internal/ssd"
 	"costperf/internal/workload"
@@ -50,7 +64,25 @@ func main() {
 	replayFrom := flag.String("replay", "", "replay operations from this trace file instead of generating")
 	faultSpec := flag.String("faults", "",
 		"deterministic fault-injection spec applied after loading, e.g. seed=42,read=0.001,write=0.001,latency=0.01:0.002 (see internal/fault.ParseSpec)")
+	concurrency := flag.Int("concurrency", 0,
+		"drive the workload through the engine front-end with N worker goroutines (0 = direct single-threaded mode)")
+	deadline := flag.Duration("deadline", 0,
+		"per-op deadline applied by the engine (implies -concurrency 1 when unset)")
+	queue := flag.Int("queue", 0, "engine admission queue bound (default 2*concurrency)")
 	flag.Parse()
+
+	if *deadline > 0 && *concurrency <= 0 {
+		*concurrency = 1
+	}
+	if *concurrency > 0 {
+		runEngineMode(engineModeConfig{
+			store: *storeName, keys: *keys, ops: *ops, mix: *mixName, dist: *distName,
+			valueSize: *valueSize, pool: *pool, seed: *seed,
+			recordTo: *recordTo, replayFrom: *replayFrom, faultSpec: *faultSpec,
+			concurrency: *concurrency, deadline: *deadline, queue: *queue,
+		})
+		return
+	}
 
 	sess := sim.NewSession(sim.DefaultCosts())
 	dev := ssd.New(ssd.SamsungSSD)
@@ -89,33 +121,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	var chooser workload.KeyChooser
-	switch *distName {
-	case "uniform":
-		chooser = workload.NewUniform(*seed)
-	case "zipfian":
-		chooser = workload.NewZipfian(*seed, 0.99)
-	case "hotcold":
-		chooser = workload.NewHotCold(*seed, 0.1, 0.9)
-	case "sequential":
-		chooser = workload.NewSequential()
-	default:
-		fmt.Fprintf(os.Stderr, "kvbench: unknown distribution %q\n", *distName)
-		os.Exit(2)
-	}
-
-	mixes := map[string]workload.Mix{
-		"readonly":    workload.ReadOnly,
-		"readmostly":  workload.ReadMostly,
-		"updateheavy": workload.UpdateHeavy,
-		"blindheavy":  workload.BlindWriteHeavy,
-		"scanmix":     workload.ScanMix,
-	}
-	mix, ok := mixes[*mixName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "kvbench: unknown mix %q\n", *mixName)
-		os.Exit(2)
-	}
+	chooser := pickChooser(*distName, *seed)
+	mix := pickMix(*mixName)
 
 	// Load.
 	fmt.Printf("loading %d keys into %s...\n", *keys, *storeName)
@@ -213,6 +220,221 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "kvbench:", err)
 		os.Exit(1)
 	}
+}
+
+func pickChooser(dist string, seed int64) workload.KeyChooser {
+	switch dist {
+	case "uniform":
+		return workload.NewUniform(seed)
+	case "zipfian":
+		return workload.NewZipfian(seed, 0.99)
+	case "hotcold":
+		return workload.NewHotCold(seed, 0.1, 0.9)
+	case "sequential":
+		return workload.NewSequential()
+	default:
+		fmt.Fprintf(os.Stderr, "kvbench: unknown distribution %q\n", dist)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func pickMix(name string) workload.Mix {
+	mixes := map[string]workload.Mix{
+		"readonly":    workload.ReadOnly,
+		"readmostly":  workload.ReadMostly,
+		"updateheavy": workload.UpdateHeavy,
+		"blindheavy":  workload.BlindWriteHeavy,
+		"scanmix":     workload.ScanMix,
+	}
+	mix, ok := mixes[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "kvbench: unknown mix %q\n", name)
+		os.Exit(2)
+	}
+	return mix
+}
+
+// --- engine mode: concurrent workers through the front-end ---
+
+type engineModeConfig struct {
+	store, mix, dist     string
+	keys                 uint64
+	ops, valueSize, pool int
+	seed                 int64
+	recordTo, replayFrom string
+	faultSpec            string
+	concurrency, queue   int
+	deadline             time.Duration
+}
+
+// runEngineMode drives the workload through internal/engine with N worker
+// goroutines. Unlike direct mode, latencies here are real wall-clock
+// measurements (the stores still meter deterministic costs internally), and
+// the report adds the front-end's admission-control and breaker counters.
+// The stores run without a sim session: concurrent workers would race on a
+// shared charger, and the interesting numbers in this mode are latency
+// percentiles and shed/timeout counts, not cost units.
+func runEngineMode(cfg engineModeConfig) {
+	dev := ssd.New(ssd.SamsungSSD)
+	var es engine.Store
+	switch cfg.store {
+	case "bwtree":
+		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20})
+		check(err)
+		tree, err := bwtree.New(bwtree.Config{Store: st})
+		check(err)
+		es = engine.WrapBwTree(tree)
+	case "masstree":
+		es = engine.WrapMassTree(masstree.New(nil))
+	case "lsm":
+		tree, err := lsm.New(lsm.Config{Device: dev})
+		check(err)
+		es = engine.WrapLSM(tree)
+	case "btree":
+		tree, err := btree.New(btree.Config{Device: dev, PoolPages: cfg.pool})
+		check(err)
+		es = engine.WrapBTree(tree)
+	default:
+		fmt.Fprintf(os.Stderr, "kvbench: unknown store %q\n", cfg.store)
+		os.Exit(2)
+	}
+
+	// Load sequentially and clean, as in direct mode.
+	fmt.Printf("loading %d keys into %s...\n", cfg.keys, cfg.store)
+	bg := context.Background()
+	for i := uint64(0); i < cfg.keys; i++ {
+		check(es.Put(bg, workload.Key(i), workload.ValueFor(i, cfg.valueSize)))
+	}
+	dev.Stats().Reset()
+	if cfg.faultSpec != "" {
+		inj, err := fault.ParseSpec(cfg.faultSpec)
+		check(err)
+		dev.SetFaultInjector(inj)
+		fmt.Printf("injecting faults: %s\n", cfg.faultSpec)
+	}
+
+	ops := collectOps(cfg)
+	eng, err := engine.New(engine.Config{
+		Store:          es,
+		MaxConcurrent:  cfg.concurrency,
+		MaxQueue:       cfg.queue,
+		DefaultTimeout: cfg.deadline,
+	})
+	check(err)
+
+	fmt.Printf("running %d ops (%s / %s) with %d workers", len(ops), cfg.mix, cfg.dist, cfg.concurrency)
+	if cfg.deadline > 0 {
+		fmt.Printf(", deadline %v", cfg.deadline)
+	}
+	fmt.Println("...")
+
+	var (
+		latency                          metrics.Histogram // client-observed, microseconds
+		completed, shed, timeouts, fails metrics.Counter
+		opCh                             = make(chan workload.Op)
+		wg                               sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := range opCh {
+				t0 := time.Now()
+				var err error
+				switch op.Kind {
+				case workload.OpRead:
+					_, _, err = eng.Get(bg, op.Key)
+				case workload.OpUpdate, workload.OpInsert, workload.OpBlindWrite:
+					err = eng.Put(bg, op.Key, op.Value)
+				case workload.OpScan:
+					err = eng.Scan(bg, op.Key, op.ScanLen, func(_, _ []byte) bool { return true })
+				case workload.OpDelete:
+					err = eng.Delete(bg, op.Key)
+				}
+				latency.Observe(float64(time.Since(t0).Microseconds()))
+				switch {
+				case err == nil:
+					completed.Inc()
+				case errors.Is(err, engine.ErrOverload):
+					shed.Inc()
+				case errors.Is(err, context.DeadlineExceeded):
+					timeouts.Inc()
+				default:
+					fails.Inc()
+				}
+			}
+		}()
+	}
+	for _, op := range ops {
+		opCh <- op
+	}
+	close(opCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := eng.Stats()
+	lat := latency.Snapshot()
+	fmt.Println("\nresults (engine mode, wall-clock):")
+	fmt.Printf("  elapsed: %v  (%.0f ops/sec)\n", elapsed.Round(time.Microsecond),
+		float64(len(ops))/elapsed.Seconds())
+	fmt.Printf("  completed=%d shed=%d timeouts=%d errors=%d\n",
+		completed.Value(), shed.Value(), timeouts.Value(), fails.Value())
+	fmt.Printf("  latency (us): p50=%.0f p95=%.0f p99=%.0f max=%.0f\n", lat.P50, lat.P95, lat.P99, lat.Max)
+	qw := st.WaitMicros.Snapshot()
+	if qw.Count > 0 {
+		fmt.Printf("  queue wait (us): n=%d p50=%.0f p95=%.0f p99=%.0f peak depth=%d\n",
+			qw.Count, qw.P50, qw.P95, qw.P99, st.QueuePeak.Value())
+	}
+	fmt.Printf("  engine: %s\n", st.String())
+	fmt.Printf("  device: %s\n", dev.Stats().String())
+	check(eng.Close())
+}
+
+// collectOps materialises the op stream so workers can consume it
+// concurrently: either a replayed trace or cfg.ops generated operations
+// (recorded to -record when asked, identically to direct mode).
+func collectOps(cfg engineModeConfig) []workload.Op {
+	if cfg.replayFrom != "" {
+		f, err := os.Open(cfg.replayFrom)
+		check(err)
+		defer f.Close()
+		var ops []workload.Op
+		_, err = workload.Replay(f, func(op workload.Op) error {
+			ops = append(ops, op)
+			return nil
+		})
+		check(err)
+		fmt.Printf("replaying trace %s (%d ops)\n", cfg.replayFrom, len(ops))
+		return ops
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Keys: cfg.keys, ValueSize: cfg.valueSize,
+		Mix: pickMix(cfg.mix), Chooser: pickChooser(cfg.dist, cfg.seed), Seed: cfg.seed,
+	})
+	check(err)
+	var tw *workload.TraceWriter
+	if cfg.recordTo != "" {
+		f, err := os.Create(cfg.recordTo)
+		check(err)
+		defer f.Close()
+		tw, err = workload.NewTraceWriter(f)
+		check(err)
+	}
+	ops := make([]workload.Op, 0, cfg.ops)
+	for i := 0; i < cfg.ops; i++ {
+		op := gen.Next()
+		if tw != nil {
+			check(tw.Append(op))
+		}
+		ops = append(ops, op)
+	}
+	if tw != nil {
+		check(tw.Flush())
+		fmt.Printf("recorded %d ops to %s\n", tw.Count(), cfg.recordTo)
+	}
+	return ops
 }
 
 type bwAdapter struct{ t *bwtree.Tree }

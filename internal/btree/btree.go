@@ -19,6 +19,7 @@ package btree
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -153,6 +154,16 @@ func (t *Tree) begin() *sim.Charger {
 	return t.cfg.Session.Begin()
 }
 
+// beginCtx is begin with the operation's context bound to the charger, so
+// cancellation propagates into page reads, write-backs, and pool eviction
+// even when no Session is configured.
+func (t *Tree) beginCtx(ctx context.Context) *sim.Charger {
+	if t.cfg.Session == nil {
+		return sim.DetachedCharger(ctx)
+	}
+	return t.cfg.Session.Begin().WithContext(ctx)
+}
+
 func (t *Tree) allocLocked(leaf bool) *page {
 	p := &page{id: t.nextID, leaf: leaf, dirty: true}
 	t.nextID++
@@ -232,7 +243,16 @@ func (t *Tree) writeBackLocked(p *page, ch *sim.Charger) error {
 
 // Get returns the value for key.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
-	ch := t.begin()
+	return t.get(key, t.begin())
+}
+
+// GetCtx is Get bounded by ctx: pool-miss page reads abort promptly once
+// ctx is cancelled or past deadline.
+func (t *Tree) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return t.get(key, t.beginCtx(ctx))
+}
+
+func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -294,12 +314,21 @@ func (t *Tree) descend(key []byte, ch *sim.Charger) (*page, error) {
 
 // Insert upserts key -> val.
 func (t *Tree) Insert(key, val []byte) error {
+	return t.insert(key, val, t.begin())
+}
+
+// InsertCtx is Insert bounded by ctx.
+func (t *Tree) InsertCtx(ctx context.Context, key, val []byte) error {
+	return t.insert(key, val, t.beginCtx(ctx))
+}
+
+func (t *Tree) insert(key, val []byte, ch *sim.Charger) error {
 	if len(key)+len(val)+24 > PageSize/2 {
+		abandon(ch)
 		return ErrTooLarge
 	}
 	key = append([]byte(nil), key...)
 	val = append([]byte(nil), val...)
-	ch := t.begin()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -409,7 +438,15 @@ func (t *Tree) maybeSplitLocked(p *page) ([]byte, pageID, error) {
 // Delete removes key (idempotent). Pages are not merged (classic lazy
 // deletion).
 func (t *Tree) Delete(key []byte) error {
-	ch := t.begin()
+	return t.delete(key, t.begin())
+}
+
+// DeleteCtx is Delete bounded by ctx.
+func (t *Tree) DeleteCtx(ctx context.Context, key []byte) error {
+	return t.delete(key, t.beginCtx(ctx))
+}
+
+func (t *Tree) delete(key []byte, ch *sim.Charger) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -434,7 +471,16 @@ func (t *Tree) Delete(key []byte) error {
 
 // Scan visits keys >= start in order via the leaf sibling chain.
 func (t *Tree) Scan(start []byte, limit int, fn func(k, v []byte) bool) error {
-	ch := t.begin()
+	return t.scan(start, limit, fn, t.begin())
+}
+
+// ScanCtx is Scan bounded by ctx: the context is checked at every sibling
+// hop, so a cancelled scan stops fetching pages.
+func (t *Tree) ScanCtx(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
+	return t.scan(start, limit, fn, t.beginCtx(ctx))
+}
+
+func (t *Tree) scan(start []byte, limit int, fn func(k, v []byte) bool, ch *sim.Charger) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -464,6 +510,10 @@ func (t *Tree) Scan(start []byte, limit int, fn func(k, v []byte) bool) error {
 		if p.next == nilPage || (limit > 0 && visited >= limit) {
 			settle(ch)
 			return nil
+		}
+		if err := ch.Err(); err != nil {
+			abandon(ch)
+			return err
 		}
 		p, err = t.fetch(p.next, ch)
 		if err != nil {

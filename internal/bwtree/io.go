@@ -14,10 +14,11 @@ import (
 )
 
 // storeRead reads a log record, retrying transient device faults under the
-// tree's retry policy. Corrupt and persistent errors surface immediately.
+// tree's retry policy. Corrupt and persistent errors surface immediately;
+// the charger's context (if any) aborts both the I/O and the backoff.
 func (t *Tree) storeRead(addr logstore.Address, ch *sim.Charger) (logstore.Record, error) {
 	var rec logstore.Record
-	err := t.cfg.Retry.Do(&t.stats.Retry, func() error {
+	err := t.cfg.Retry.DoCtx(ch.Context(), &t.stats.Retry, func() error {
 		var rerr error
 		rec, rerr = t.cfg.Store.Read(addr, ch)
 		return rerr

@@ -2,6 +2,7 @@ package bwtree
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sort"
 
@@ -15,16 +16,29 @@ import (
 // page is a consistent snapshot (delta chain applied); across pages the
 // scan is weakly consistent, like Bw-tree scans generally.
 func (t *Tree) Scan(start []byte, limit int, fn func(key, val []byte) bool) error {
+	return t.scan(start, limit, fn, t.begin())
+}
+
+// ScanCtx is Scan bounded by ctx: the context is checked between pages, so
+// a cancelled long scan stops loading evicted pages promptly.
+func (t *Tree) ScanCtx(ctx context.Context, start []byte, limit int, fn func(key, val []byte) bool) error {
+	return t.scan(start, limit, fn, t.beginCtx(ctx))
+}
+
+func (t *Tree) scan(start []byte, limit int, fn func(key, val []byte) bool, ch *sim.Charger) error {
 	if t.closed.Load() {
+		abandon(ch)
 		return ErrClosed
 	}
-	ch := t.begin()
 	defer settle(ch)
 	t.stats.Scans.Inc()
 
 	visited := 0
 	cur := start
 	for {
+		if err := ch.Err(); err != nil {
+			return err
+		}
 		leaf, hdr, _, err := t.descend(cur, ch)
 		if err != nil {
 			return err

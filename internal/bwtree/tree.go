@@ -2,6 +2,7 @@ package bwtree
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -118,6 +119,16 @@ func (t *Tree) begin() *sim.Charger {
 		return nil
 	}
 	return t.cfg.Session.Begin()
+}
+
+// beginCtx is begin with the operation's context bound to the charger, so
+// cancellation propagates down the I/O path even when no Session is
+// configured (a detached charger carries only the context then).
+func (t *Tree) beginCtx(ctx context.Context) *sim.Charger {
+	if t.cfg.Session == nil {
+		return sim.DetachedCharger(ctx)
+	}
+	return t.cfg.Session.Begin().WithContext(ctx)
 }
 
 func (t *Tree) now() float64 {
@@ -266,11 +277,25 @@ func (t *Tree) chainSearch(hdr *pageHeader, key []byte, ch *sim.Charger) ([]byte
 
 // Get returns the value for key.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	return t.get(key, t.begin())
+}
+
+// GetCtx is Get bounded by ctx: page loads from the log store (and their
+// retry backoffs) abort promptly once ctx is cancelled or past deadline.
+func (t *Tree) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return t.get(key, t.beginCtx(ctx))
+}
+
+func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
 	if t.closed.Load() {
+		abandon(ch)
 		return nil, false, ErrClosed
 	}
-	ch := t.begin()
 	for {
+		if err := ch.Err(); err != nil {
+			abandon(ch)
+			return nil, false, err
+		}
 		leaf, hdr, _, err := t.descend(key, ch)
 		if err != nil {
 			abandon(ch)

@@ -1,6 +1,7 @@
 package bwtree
 
 import (
+	"context"
 	"errors"
 
 	"costperf/internal/sim"
@@ -9,7 +10,16 @@ import (
 // Insert upserts key -> val by prepending an insert delta to the owning
 // leaf's chain with a single CAS — the Bw-tree's latch-free update.
 func (t *Tree) Insert(key, val []byte) error {
-	if err := t.write(key, val, false, false); err != nil {
+	if err := t.write(key, val, false, false, t.begin()); err != nil {
+		return err
+	}
+	t.stats.Inserts.Inc()
+	return nil
+}
+
+// InsertCtx is Insert bounded by ctx.
+func (t *Tree) InsertCtx(ctx context.Context, key, val []byte) error {
+	if err := t.write(key, val, false, false, t.beginCtx(ctx)); err != nil {
 		return err
 	}
 	t.stats.Inserts.Inc()
@@ -18,7 +28,16 @@ func (t *Tree) Insert(key, val []byte) error {
 
 // Delete removes key (idempotent: deleting an absent key succeeds).
 func (t *Tree) Delete(key []byte) error {
-	if err := t.write(key, nil, true, false); err != nil {
+	if err := t.write(key, nil, true, false, t.begin()); err != nil {
+		return err
+	}
+	t.stats.Deletes.Inc()
+	return nil
+}
+
+// DeleteCtx is Delete bounded by ctx.
+func (t *Tree) DeleteCtx(ctx context.Context, key []byte) error {
+	if err := t.write(key, nil, true, false, t.beginCtx(ctx)); err != nil {
 		return err
 	}
 	t.stats.Deletes.Inc()
@@ -29,7 +48,16 @@ func (t *Tree) Delete(key []byte) error {
 // be in main memory (paper Section 6.2): if the base is evicted, the delta
 // is prepended above the diskRef and no read I/O occurs.
 func (t *Tree) BlindWrite(key, val []byte) error {
-	if err := t.write(key, val, false, true); err != nil {
+	if err := t.write(key, val, false, true, t.begin()); err != nil {
+		return err
+	}
+	t.stats.BlindWrites.Inc()
+	return nil
+}
+
+// BlindWriteCtx is BlindWrite bounded by ctx.
+func (t *Tree) BlindWriteCtx(ctx context.Context, key, val []byte) error {
+	if err := t.write(key, val, false, true, t.beginCtx(ctx)); err != nil {
 		return err
 	}
 	t.stats.BlindWrites.Inc()
@@ -45,17 +73,21 @@ func cloneBytes(b []byte) []byte {
 	return out
 }
 
-func (t *Tree) write(key, val []byte, isDelete, blind bool) error {
+func (t *Tree) write(key, val []byte, isDelete, blind bool, ch *sim.Charger) error {
 	if t.closed.Load() {
+		abandon(ch)
 		return ErrClosed
 	}
 	key = cloneBytes(key)
 	val = cloneBytes(val)
-	ch := t.begin()
 	for attempt := 0; ; attempt++ {
 		if attempt > 1<<16 {
 			abandon(ch)
 			return errors.New("bwtree: write live-locked")
+		}
+		if err := ch.Err(); err != nil {
+			abandon(ch) // cancelled before the delta was installed
+			return err
 		}
 		leaf, hdr, parent, err := t.descend(key, ch)
 		if err != nil {

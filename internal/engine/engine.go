@@ -1,0 +1,355 @@
+// Package engine is the concurrent service front-end of the storage stack:
+// a uniform wrapper that turns each store of the reproduction into a
+// bounded, deadline-aware, overload-shedding service.
+//
+// The paper's cost/performance analysis treats each store as an engine
+// serving a request stream; this package supplies the request-stream
+// machinery the data structures themselves do not model:
+//
+//   - Deadlines. Every operation takes a context; DefaultTimeout bounds
+//     requests that arrive without one. Cancellation propagates down the
+//     charger into SSD waits and retry backoffs, so an abandoned request
+//     stops burning the IOPS the cost model meters.
+//
+//   - Admission control. At most MaxConcurrent operations run in the
+//     store at once; up to MaxQueue more wait. Beyond that the engine
+//     fails fast with ErrOverload instead of letting latency collapse —
+//     shedding is observable via Stats.Shed, queue depth, and wait-time
+//     histograms.
+//
+//   - Circuit breaking. A store whose own Health has latched degraded is
+//     read-only: writes fail fast with ErrReadOnly. Independently, a run
+//     of persistent write failures trips the engine's breaker open
+//     (ErrCircuitOpen); every ProbeEvery-th rejected write is admitted as
+//     a half-open probe whose outcome closes the circuit or re-opens it.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"costperf/internal/fault"
+	"costperf/internal/metrics"
+)
+
+// Typed front-end errors.
+var (
+	// ErrOverload is returned when MaxConcurrent operations are running
+	// and MaxQueue more are already waiting: the request is shed unserved.
+	ErrOverload = errors.New("engine: overloaded (admission queue full)")
+	// ErrCircuitOpen is returned by writes while the engine's breaker is
+	// open after sustained persistent failures.
+	ErrCircuitOpen = errors.New("engine: circuit open (writes failing fast)")
+	// ErrReadOnly is returned by writes when the store's own health has
+	// latched degraded: reads keep being served, writes cannot be trusted.
+	ErrReadOnly = errors.New("engine: store degraded (read-only)")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("engine: closed")
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Store is the wrapped store (required).
+	Store Store
+	// MaxConcurrent bounds in-store concurrency (default 64).
+	MaxConcurrent int
+	// MaxQueue bounds the admission wait queue; a request arriving with
+	// MaxQueue waiters already queued is shed with ErrOverload
+	// (default 2*MaxConcurrent).
+	MaxQueue int
+	// DefaultTimeout is applied to operations whose context carries no
+	// deadline (0 = no default deadline).
+	DefaultTimeout time.Duration
+	// BreakerThreshold is the run of consecutive persistent write
+	// failures that trips the circuit open (default 5).
+	BreakerThreshold int
+	// ProbeEvery admits every Nth circuit-rejected write as a half-open
+	// probe (default 16).
+	ProbeEvery int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Store == nil {
+		return errors.New("engine: nil store")
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 16
+	}
+	return nil
+}
+
+// Stats meters the front-end. All fields are safe for concurrent use.
+type Stats struct {
+	// Admitted counts operations that acquired an execution slot.
+	Admitted metrics.Counter
+	// Shed counts requests rejected with ErrOverload (queue full).
+	Shed metrics.Counter
+	// Timeouts counts operations that ended with a deadline-exceeded
+	// context (while queued or while executing).
+	Timeouts metrics.Counter
+	// Cancels counts operations that ended cancelled (not by deadline).
+	Cancels metrics.Counter
+	// ReadOnlyRejects counts writes refused because the store's own
+	// health is degraded.
+	ReadOnlyRejects metrics.Counter
+	// CircuitRejects counts writes refused by the open breaker.
+	CircuitRejects metrics.Counter
+	// QueueDepth is the current number of admission waiters; QueuePeak is
+	// its high-water mark.
+	QueueDepth metrics.Gauge
+	QueuePeak  metrics.Gauge
+	// WaitMicros samples wall-clock admission wait per queued operation;
+	// OpMicros samples wall-clock execution latency of admitted
+	// operations (both in microseconds).
+	WaitMicros metrics.Histogram
+	OpMicros   metrics.Histogram
+	// Breaker is the circuit state: healthy = closed, degraded = open,
+	// probing = half-open. Its Probes/Restores counters meter the
+	// half-open cycle; Degradations counts trips (including re-trips
+	// after failed probes).
+	Breaker metrics.Health
+}
+
+// String renders the front-end counters for experiment logs.
+func (s *Stats) String() string {
+	return fmt.Sprintf("admitted=%d shed=%d timeouts=%d cancels=%d readonly=%d circuit=%d qpeak=%d breaker=%s",
+		s.Admitted.Value(), s.Shed.Value(), s.Timeouts.Value(), s.Cancels.Value(),
+		s.ReadOnlyRejects.Value(), s.CircuitRejects.Value(), s.QueuePeak.Value(), s.Breaker.String())
+}
+
+// Engine is the concurrent front-end. All methods are safe for concurrent
+// use.
+type Engine struct {
+	cfg   Config
+	sem   chan struct{}
+	stats Stats
+
+	waiters    atomic.Int64
+	consecFail atomic.Int64 // consecutive persistent write failures
+	rejected   atomic.Int64 // circuit rejections, for probe cadence
+	closed     atomic.Bool
+}
+
+// New creates an engine over the given store.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent)}, nil
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Store returns the wrapped store (for harnesses that need direct access,
+// e.g. to force a checkpoint).
+func (e *Engine) Store() Store { return e.cfg.Store }
+
+// admit acquires an execution slot, applying the default deadline. The
+// returned done func releases the slot and must be called exactly once
+// when err is nil.
+func (e *Engine) admit(parent context.Context) (ctx context.Context, done func(), err error) {
+	if e.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx = parent
+	cancel := func() {}
+	if e.cfg.DefaultTimeout > 0 {
+		if _, has := parent.Deadline(); !has {
+			ctx, cancel = context.WithTimeout(parent, e.cfg.DefaultTimeout)
+		}
+	}
+	select {
+	case e.sem <- struct{}{}:
+		// Fast path: a slot was free.
+	default:
+		// Queue, bounded: the request is shed rather than waiting behind
+		// more than MaxQueue others — bounded queues keep shed requests
+		// cheap and waiting requests' latency bounded.
+		n := e.waiters.Add(1)
+		if n > int64(e.cfg.MaxQueue) {
+			e.waiters.Add(-1)
+			e.stats.Shed.Inc()
+			cancel()
+			return nil, nil, ErrOverload
+		}
+		e.stats.QueueDepth.Set(n)
+		e.stats.QueuePeak.Max(n)
+		start := time.Now()
+		select {
+		case e.sem <- struct{}{}:
+			e.stats.QueueDepth.Set(e.waiters.Add(-1))
+			e.stats.WaitMicros.Observe(float64(time.Since(start).Microseconds()))
+		case <-ctx.Done():
+			e.stats.QueueDepth.Set(e.waiters.Add(-1))
+			cerr := ctx.Err()
+			e.noteAbort(cerr)
+			cancel()
+			return nil, nil, cerr
+		}
+	}
+	e.stats.Admitted.Inc()
+	opStart := time.Now()
+	done = func() {
+		<-e.sem
+		e.stats.OpMicros.Observe(float64(time.Since(opStart).Microseconds()))
+		cancel()
+	}
+	return ctx, done, nil
+}
+
+// noteAbort meters a context-terminated operation.
+func (e *Engine) noteAbort(err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		e.stats.Timeouts.Inc()
+	case errors.Is(err, context.Canceled):
+		e.stats.Cancels.Inc()
+	}
+}
+
+// gateWrite decides whether a write may proceed. It returns probe=true
+// when the write was admitted as the breaker's half-open probe.
+func (e *Engine) gateWrite() (probe bool, err error) {
+	if h := e.cfg.Store.Health(); h != nil && h.Degraded() {
+		e.stats.ReadOnlyRejects.Inc()
+		return false, ErrReadOnly
+	}
+	switch e.stats.Breaker.State() {
+	case metrics.HealthHealthy:
+		return false, nil
+	case metrics.HealthProbing:
+		// A probe is in flight; everyone else keeps failing fast.
+		e.stats.CircuitRejects.Inc()
+		return false, ErrCircuitOpen
+	default: // open
+		if e.rejected.Add(1)%int64(e.cfg.ProbeEvery) == 0 && e.stats.Breaker.Probe() {
+			return true, nil
+		}
+		e.stats.CircuitRejects.Inc()
+		return false, ErrCircuitOpen
+	}
+}
+
+// noteWrite folds a write's outcome into the breaker state machine.
+func (e *Engine) noteWrite(err error, probe bool) {
+	switch fault.Classify(err) {
+	case fault.ClassNone:
+		e.consecFail.Store(0)
+		if probe {
+			e.stats.Breaker.Restore()
+		}
+	case fault.ClassAborted:
+		// The caller stopped waiting; this says nothing about the store.
+		// An aborted probe releases the half-open slot back to open.
+		if probe {
+			e.stats.Breaker.Degrade("probe aborted")
+		}
+	case fault.ClassPersistent:
+		if probe {
+			e.stats.Breaker.Degrade(fmt.Sprintf("probe failed: %v", err))
+			return
+		}
+		if e.consecFail.Add(1) >= int64(e.cfg.BreakerThreshold) {
+			e.stats.Breaker.Degrade(fmt.Sprintf("persistent failures: %v", err))
+		}
+	default:
+		// Transient (retry budget exhausted) or corrupt: surfaced to the
+		// caller but not a sustained-failure signal; the run restarts.
+		e.consecFail.Store(0)
+		if probe {
+			e.stats.Breaker.Restore()
+		}
+	}
+}
+
+// Get returns the value for key.
+func (e *Engine) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	ctx, done, err := e.admit(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	defer done()
+	v, ok, err := e.cfg.Store.Get(ctx, key)
+	if err != nil {
+		e.noteAbort(err)
+	}
+	return v, ok, err
+}
+
+// Put upserts key -> val.
+func (e *Engine) Put(ctx context.Context, key, val []byte) error {
+	ctx, done, err := e.admit(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	probe, err := e.gateWrite()
+	if err != nil {
+		return err
+	}
+	err = e.cfg.Store.Put(ctx, key, val)
+	e.noteWrite(err, probe)
+	if err != nil {
+		e.noteAbort(err)
+	}
+	return err
+}
+
+// Delete removes key.
+func (e *Engine) Delete(ctx context.Context, key []byte) error {
+	ctx, done, err := e.admit(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	probe, err := e.gateWrite()
+	if err != nil {
+		return err
+	}
+	err = e.cfg.Store.Delete(ctx, key)
+	e.noteWrite(err, probe)
+	if err != nil {
+		e.noteAbort(err)
+	}
+	return err
+}
+
+// Scan visits live pairs with key >= start in order until fn returns false
+// or limit pairs are visited (limit <= 0 means unlimited).
+func (e *Engine) Scan(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
+	ctx, done, err := e.admit(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	err = e.cfg.Store.Scan(ctx, start, limit, fn)
+	if err != nil {
+		e.noteAbort(err)
+	}
+	return err
+}
+
+// Close marks the engine closed (new operations fail with ErrClosed;
+// in-flight operations finish) and closes the store.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	return e.cfg.Store.Close()
+}

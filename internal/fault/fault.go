@@ -19,7 +19,9 @@
 package fault
 
 import (
+	"context"
 	"errors"
+	"time"
 
 	"costperf/internal/metrics"
 	"costperf/internal/ssd"
@@ -43,6 +45,11 @@ const (
 	// help only if the corruption was injected on the read path; the
 	// stack treats it as a distinct, loudly-surfaced condition.
 	ClassCorrupt
+	// ClassAborted errors mean the request itself was cancelled or its
+	// deadline expired (context.Canceled / context.DeadlineExceeded):
+	// the store is fine, the caller just stopped waiting. Consumers must
+	// neither retry nor latch a degraded state for aborted operations.
+	ClassAborted
 )
 
 // String names the class.
@@ -54,6 +61,8 @@ func (c Class) String() string {
 		return "transient"
 	case ClassCorrupt:
 		return "corrupt"
+	case ClassAborted:
+		return "aborted"
 	default:
 		return "persistent"
 	}
@@ -80,6 +89,8 @@ func Classify(err error) Class {
 	switch {
 	case err == nil:
 		return ClassNone
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ClassAborted
 	case errors.Is(err, ErrCorrupt):
 		return ClassCorrupt
 	case errors.Is(err, ErrTransient),
@@ -131,10 +142,27 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // immediately — retrying cannot help and would double-apply side effects.
 // Every attempt and backoff is metered through m (which may be nil).
 func (p RetryPolicy) Do(m *metrics.RetryStats, op func() error) error {
+	return p.DoCtx(context.Background(), m, op)
+}
+
+// DoCtx is Do with cancellation: the context is checked before every
+// attempt, and when it is cancellable (ctx.Done() != nil) the backoff
+// between attempts becomes a real, interruptible sleep — a cancelled
+// context aborts the backoff immediately with the context's error rather
+// than after the remaining budget. Non-cancellable contexts (Background)
+// keep Do's purely-virtual backoff, so single-threaded experiment runs
+// stay deterministic and fast.
+func (p RetryPolicy) DoCtx(ctx context.Context, m *metrics.RetryStats, op func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p = p.withDefaults()
 	delay := p.BaseDelaySec
 	retried := false
 	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if m != nil {
 			m.Attempts.Inc()
 		}
@@ -158,6 +186,15 @@ func (p RetryPolicy) Do(m *metrics.RetryStats, op func() error) error {
 		if m != nil {
 			m.Retries.Inc()
 			m.BackoffMicros.Add(int64(delay * 1e6))
+		}
+		if ctx.Done() != nil {
+			timer := time.NewTimer(time.Duration(delay * float64(time.Second)))
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
 		}
 		delay *= 2
 		if delay > p.MaxDelaySec {

@@ -1,9 +1,11 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"costperf/internal/metrics"
 	"costperf/internal/ssd"
@@ -309,5 +311,88 @@ func TestParseSpec(t *testing.T) {
 func TestParseSpecEmpty(t *testing.T) {
 	if _, err := ParseSpec(""); err != nil {
 		t.Fatalf("empty spec should be a no-fault injector: %v", err)
+	}
+}
+
+func TestDoCtxCancelAbortsBackoff(t *testing.T) {
+	// A huge backoff budget that a live sleep would take minutes to burn:
+	// cancellation mid-backoff must abort immediately with the ctx error.
+	p := RetryPolicy{MaxAttempts: 4, BaseDelaySec: 60, MaxDelaySec: 60}
+	ctx, cancel := context.WithCancel(context.Background())
+	var m metrics.RetryStats
+	calls := 0
+	start := time.Now()
+	err := p.DoCtx(ctx, &m, func() error {
+		calls++
+		cancel() // fires while DoCtx is about to enter the backoff sleep
+		return ErrTransient
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoCtx = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times after cancellation, want 1", calls)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored cancellation: took %v", elapsed)
+	}
+}
+
+func TestDoCtxDeadlineAbortsBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseDelaySec: 60, MaxDelaySec: 60}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.DoCtx(ctx, nil, func() error { return ErrTransient })
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoCtx = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("backoff outlived the deadline: took %v", elapsed)
+	}
+}
+
+func TestDoCtxPreCancelledMakesNoAttempts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := DefaultRetry().DoCtx(ctx, nil, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoCtx = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("pre-cancelled context still ran the op %d times", calls)
+	}
+}
+
+func TestDoCtxBackgroundStaysVirtual(t *testing.T) {
+	// With a non-cancellable context the backoff must stay virtual (metered,
+	// not slept), preserving the speed of deterministic experiment runs.
+	p := RetryPolicy{MaxAttempts: 3, BaseDelaySec: 60, MaxDelaySec: 60}
+	var m metrics.RetryStats
+	start := time.Now()
+	err := p.DoCtx(context.Background(), &m, func() error { return ErrTransient })
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("DoCtx = %v, want ErrTransient", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("background context slept for real: %v", elapsed)
+	}
+	if m.BackoffMicros.Value() != 2*60e6 {
+		t.Fatalf("virtual backoff = %dus, want %dus", m.BackoffMicros.Value(), int64(2*60e6))
+	}
+}
+
+func TestClassifyAborted(t *testing.T) {
+	for _, err := range []error{
+		context.Canceled,
+		context.DeadlineExceeded,
+		fmt.Errorf("op: %w", context.Canceled),
+	} {
+		if got := Classify(err); got != ClassAborted {
+			t.Errorf("Classify(%v) = %v, want aborted", err, got)
+		}
 	}
 }

@@ -237,6 +237,9 @@ func (s *Store) Append(pid uint64, kind Kind, payload []byte, ch *sim.Charger) (
 	if recLen > s.cfg.SegmentBytes {
 		return Address{}, ErrTooLarge
 	}
+	if err := ch.Err(); err != nil {
+		return Address{}, err // cancelled before any state changed
+	}
 	if ch != nil {
 		ch.Copy(len(payload)) // staging the payload into the write buffer
 	}
@@ -252,14 +255,14 @@ func (s *Store) Append(pid uint64, kind Kind, payload []byte, ch *sim.Charger) (
 	off := s.bufStart + int64(len(s.buf))
 	segEnd := (s.segIndex(off) + 1) * s.cfg.SegmentBytes
 	if off+recLen > segEnd {
-		if err := s.padToLocked(segEnd); err != nil {
+		if err := s.padToLocked(segEnd, ch); err != nil {
 			return Address{}, err
 		}
 		off = s.bufStart + int64(len(s.buf))
 	}
 	// Flush if the buffer cannot hold the record.
 	if int64(len(s.buf))+recLen > int64(s.cfg.BufferBytes) {
-		if err := s.flushLocked(); err != nil {
+		if err := s.flushLocked(ch); err != nil {
 			return Address{}, err
 		}
 		off = s.bufStart
@@ -276,7 +279,7 @@ func (s *Store) Append(pid uint64, kind Kind, payload []byte, ch *sim.Charger) (
 
 // padToLocked appends a pad record so the next record starts at target.
 // Caller holds s.mu.
-func (s *Store) padToLocked(target int64) error {
+func (s *Store) padToLocked(target int64, ch *sim.Charger) error {
 	off := s.bufStart + int64(len(s.buf))
 	gap := target - off
 	if gap == 0 {
@@ -295,23 +298,25 @@ func (s *Store) padToLocked(target int64) error {
 		s.buf = append(s.buf, payload...)
 	}
 	if int64(len(s.buf)) >= int64(s.cfg.BufferBytes) {
-		return s.flushLocked()
+		return s.flushLocked(ch)
 	}
 	return nil
 }
 
 // Flush writes the buffered records to the device in a single large write.
+// The charger's context (if any) bounds the flush: a cancelled request
+// aborts the device write and the retry backoff, leaving the buffer intact
+// for the next flush attempt.
 func (s *Store) Flush(ch *sim.Charger) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	_ = ch // buffer flush cost is charged to the device write below via nil charger policy
-	return s.flushLocked()
+	return s.flushLocked(ch)
 }
 
-func (s *Store) flushLocked() error {
+func (s *Store) flushLocked(ch *sim.Charger) error {
 	if len(s.buf) == 0 {
 		return nil
 	}
@@ -319,9 +324,13 @@ func (s *Store) flushLocked() error {
 		return ErrDegraded
 	}
 	// A retried flush rewrites the whole buffer at the same offset, so a
-	// torn first attempt is simply overwritten.
-	err := s.cfg.Retry.Do(&s.stats.Retry, func() error {
-		return s.cfg.Device.WriteAt(s.bufStart, s.buf, nil)
+	// torn first attempt is simply overwritten. The flush cost stays
+	// charged to the device (nil-charger policy); only the caller's
+	// cancellation is carried down via a detached charger. An aborted
+	// flush is not a store failure: the buffer survives for the next try.
+	dch := sim.DetachedCharger(ch.Context())
+	err := s.cfg.Retry.DoCtx(ch.Context(), &s.stats.Retry, func() error {
+		return s.cfg.Device.WriteAt(s.bufStart, s.buf, dch)
 	})
 	if err != nil {
 		if fault.Classify(err) == fault.ClassPersistent {
@@ -341,6 +350,9 @@ func (s *Store) flushLocked() error {
 func (s *Store) Read(addr Address, ch *sim.Charger) (Record, error) {
 	if addr.IsNil() || addr.Len < 0 {
 		return Record{}, ErrBadAddress
+	}
+	if err := ch.Err(); err != nil {
+		return Record{}, err // cancelled: skip the I/O entirely
 	}
 	off := addr.offset()
 	total := headerSize + int(addr.Len)
@@ -606,7 +618,7 @@ func (s *Store) Close() error {
 	if s.closed {
 		return nil
 	}
-	if err := s.flushLocked(); err != nil {
+	if err := s.flushLocked(nil); err != nil {
 		return err
 	}
 	s.closed = true

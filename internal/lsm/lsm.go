@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -116,6 +117,16 @@ func (t *Tree) begin() *sim.Charger {
 	return t.cfg.Session.Begin()
 }
 
+// beginCtx is begin with the operation's context bound to the charger, so
+// cancellation propagates into table I/O and retry backoffs even when no
+// Session is configured.
+func (t *Tree) beginCtx(ctx context.Context) *sim.Charger {
+	if t.cfg.Session == nil {
+		return sim.DetachedCharger(ctx)
+	}
+	return t.cfg.Session.Begin().WithContext(ctx)
+}
+
 func settle(ch *sim.Charger) {
 	if ch != nil {
 		ch.Settle()
@@ -125,19 +136,32 @@ func settle(ch *sim.Charger) {
 // Put inserts or overwrites key -> val. Like all LSM updates it is blind:
 // no secondary storage is read (paper Section 6.2).
 func (t *Tree) Put(key, val []byte) error {
-	return t.write(append([]byte(nil), key...), append([]byte(nil), val...), false)
+	return t.write(append([]byte(nil), key...), append([]byte(nil), val...), false, t.begin())
+}
+
+// PutCtx is Put bounded by ctx: a triggered memtable flush (and its retry
+// backoff) aborts promptly when ctx is cancelled.
+func (t *Tree) PutCtx(ctx context.Context, key, val []byte) error {
+	return t.write(append([]byte(nil), key...), append([]byte(nil), val...), false, t.beginCtx(ctx))
 }
 
 // Delete removes key by writing a tombstone (also blind).
 func (t *Tree) Delete(key []byte) error {
-	return t.write(append([]byte(nil), key...), nil, true)
+	return t.write(append([]byte(nil), key...), nil, true, t.begin())
 }
 
-func (t *Tree) write(key, val []byte, tombstone bool) error {
+// DeleteCtx is Delete bounded by ctx.
+func (t *Tree) DeleteCtx(ctx context.Context, key []byte) error {
+	return t.write(append([]byte(nil), key...), nil, true, t.beginCtx(ctx))
+}
+
+func (t *Tree) write(key, val []byte, tombstone bool, ch *sim.Charger) error {
 	if t.stats.Health.Degraded() {
 		return ErrDegraded
 	}
-	ch := t.begin()
+	if err := ch.Err(); err != nil {
+		return err // cancelled before the memtable was touched
+	}
 	t.mu.Lock()
 	t.mem.put(key, val, tombstone, ch)
 	if ch != nil {
@@ -159,11 +183,12 @@ func (t *Tree) write(key, val []byte, tombstone bool) error {
 
 // writeTableRetried writes a sorted run through the retry loop (a rewrite
 // at the same offset is idempotent) and latches the tree degraded on a
-// persistent write failure.
-func (t *Tree) writeTableRetried(id uint64, level int, entries []kv, off int64) (*sstable, int64, error) {
+// persistent write failure. The charger's context (if any) aborts the
+// write and its backoff; an aborted write does not degrade the tree.
+func (t *Tree) writeTableRetried(id uint64, level int, entries []kv, off int64, ch *sim.Charger) (*sstable, int64, error) {
 	var tbl *sstable
 	var next int64
-	err := t.cfg.Retry.Do(&t.stats.Retry, func() error {
+	err := t.cfg.Retry.DoCtx(ch.Context(), &t.stats.Retry, func() error {
 		var werr error
 		tbl, next, werr = writeTable(t.cfg.Device, id, level, entries, off)
 		return werr
@@ -177,7 +202,7 @@ func (t *Tree) writeTableRetried(id uint64, level int, entries []kv, off int64) 
 // tableReadAll loads a whole table through the retry loop.
 func (t *Tree) tableReadAll(tbl *sstable, ch *sim.Charger) ([]kv, error) {
 	var out []kv
-	err := t.cfg.Retry.Do(&t.stats.Retry, func() error {
+	err := t.cfg.Retry.DoCtx(ch.Context(), &t.stats.Retry, func() error {
 		var rerr error
 		out, rerr = tbl.readAll(t.cfg.Device, ch)
 		return rerr
@@ -200,7 +225,7 @@ func (t *Tree) flushLocked(ch *sim.Charger) error {
 	for e := t.mem.first(); e != nil; e = e.next[0] {
 		entries = append(entries, kv{key: e.key, val: e.val, tombstone: e.tombstone})
 	}
-	tbl, next, err := t.writeTableRetried(t.nextID, 0, entries, t.tail)
+	tbl, next, err := t.writeTableRetried(t.nextID, 0, entries, t.tail, ch)
 	if err != nil {
 		return err
 	}
@@ -236,7 +261,19 @@ func (t *Tree) Flush() error {
 // Get returns the value for key, searching memtable, then L0 newest-first,
 // then one candidate table per deeper level.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
-	ch := t.begin()
+	return t.get(key, t.begin())
+}
+
+// GetCtx is Get bounded by ctx: table reads and their retry backoffs abort
+// promptly once ctx is cancelled or past deadline.
+func (t *Tree) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return t.get(key, t.beginCtx(ctx))
+}
+
+func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
+	if err := ch.Err(); err != nil {
+		return nil, false, err
+	}
 	t.mu.RLock()
 	defer func() {
 		t.mu.RUnlock()
@@ -285,7 +322,7 @@ func (t *Tree) tableGet(tbl *sstable, key []byte, ch *sim.Charger) (kv, bool, er
 	t.stats.TableReads.Inc()
 	var e kv
 	var found bool
-	err := t.cfg.Retry.Do(&t.stats.Retry, func() error {
+	err := t.cfg.Retry.DoCtx(ch.Context(), &t.stats.Retry, func() error {
 		var gerr error
 		e, found, gerr = tbl.get(t.cfg.Device, key, ch)
 		return gerr
@@ -407,7 +444,7 @@ func (t *Tree) compactLocked(lvl int, ch *sim.Charger) error {
 			sz += int64(len(merged[end].key) + len(merged[end].val) + 8)
 			end++
 		}
-		tbl, nt, err := t.writeTableRetried(nextID, next, merged[start:end], newTail)
+		tbl, nt, err := t.writeTableRetried(nextID, next, merged[start:end], newTail, ch)
 		if err != nil {
 			return err
 		}
@@ -493,7 +530,19 @@ func mergeSources(sources [][]kv, dropTombs bool) []kv {
 // tables, until fn returns false or limit pairs are visited (limit <= 0
 // means unlimited). It holds a shared lock for a consistent snapshot.
 func (t *Tree) Scan(start []byte, limit int, fn func(k, v []byte) bool) error {
-	ch := t.begin()
+	return t.scan(start, limit, fn, t.begin())
+}
+
+// ScanCtx is Scan bounded by ctx: the context aborts table reads between
+// levels, so a cancelled scan stops issuing large sequential I/Os.
+func (t *Tree) ScanCtx(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
+	return t.scan(start, limit, fn, t.beginCtx(ctx))
+}
+
+func (t *Tree) scan(start []byte, limit int, fn func(k, v []byte) bool, ch *sim.Charger) error {
+	if err := ch.Err(); err != nil {
+		return err
+	}
 	t.mu.RLock()
 	defer func() {
 		t.mu.RUnlock()

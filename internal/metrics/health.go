@@ -16,19 +16,34 @@ const (
 	// persistent write failure: reads keep being served from whatever is
 	// durable or cached, writes fail fast instead of corrupting state.
 	HealthDegraded
+	// HealthProbing is the circuit breaker's half-open state: one probe
+	// operation is in flight to test whether the fault condition cleared.
+	// Probing resolves to healthy (Restore) or back to degraded (Degrade).
+	HealthProbing
 )
 
 // String names the state.
 func (s HealthState) String() string {
-	if s == HealthDegraded {
+	switch s {
+	case HealthDegraded:
 		return "degraded"
+	case HealthProbing:
+		return "probing"
+	default:
+		return "healthy"
 	}
-	return "healthy"
 }
 
-// Health is a latching store-health indicator. The zero value is healthy
-// and ready to use. The first Degrade wins; the reason is retained for
-// observability. All methods are safe for concurrent use.
+// Health is a latching store-health indicator with an optional
+// probe/restore escape hatch. The zero value is healthy and ready to use.
+// The first Degrade wins; the reason is retained for observability.
+// All methods are safe for concurrent use.
+//
+// Stores use only Degrade — their degradation is permanent until reopen.
+// The engine's circuit breaker additionally uses Probe/Restore to
+// implement half-open probing: Probe claims the single in-flight probe
+// slot, Restore closes the circuit on probe success, and Degrade (from
+// probing) reopens it on probe failure.
 type Health struct {
 	state  atomic.Int32
 	mu     sync.Mutex
@@ -37,19 +52,63 @@ type Health struct {
 	// flapping fault source is visible even though the state only latches
 	// once.
 	Degradations Counter
+	// Probes counts successful Probe transitions (degraded -> probing).
+	Probes Counter
+	// Restores counts successful Restore transitions back to healthy.
+	Restores Counter
 }
 
-// Degrade latches the degraded (read-only) state, recording reason on the
-// first transition. It reports whether this call performed the transition.
+// Degrade latches the degraded (read-only) state from healthy or probing,
+// recording reason on each transition. It reports whether this call
+// performed a transition.
 func (h *Health) Degrade(reason string) bool {
 	h.Degradations.Inc()
-	if !h.state.CompareAndSwap(int32(HealthHealthy), int32(HealthDegraded)) {
+	for {
+		cur := h.state.Load()
+		if cur == int32(HealthDegraded) {
+			return false
+		}
+		if h.state.CompareAndSwap(cur, int32(HealthDegraded)) {
+			h.mu.Lock()
+			if h.reason == "" {
+				h.reason = reason
+			}
+			h.mu.Unlock()
+			return true
+		}
+	}
+}
+
+// Probe claims the half-open probe slot: it transitions degraded ->
+// probing and reports whether this caller won the slot. At most one
+// prober holds the slot; everyone else keeps failing fast until the probe
+// resolves via Restore (success) or Degrade (failure).
+func (h *Health) Probe() bool {
+	if !h.state.CompareAndSwap(int32(HealthDegraded), int32(HealthProbing)) {
 		return false
 	}
-	h.mu.Lock()
-	h.reason = reason
-	h.mu.Unlock()
+	h.Probes.Inc()
 	return true
+}
+
+// Restore returns the indicator to healthy (clearing the recorded reason)
+// from probing or degraded, and reports whether a transition happened.
+// The probing -> healthy edge is the circuit breaker's probe-success
+// close; the degraded -> healthy edge supports administrative reset.
+func (h *Health) Restore() bool {
+	for {
+		cur := h.state.Load()
+		if cur == int32(HealthHealthy) {
+			return false
+		}
+		if h.state.CompareAndSwap(cur, int32(HealthHealthy)) {
+			h.mu.Lock()
+			h.reason = ""
+			h.mu.Unlock()
+			h.Restores.Inc()
+			return true
+		}
+	}
 }
 
 // Degraded reports whether the store has latched into the degraded state.
@@ -67,10 +126,14 @@ func (h *Health) Reason() string {
 
 // String renders the health for experiment logs.
 func (h *Health) String() string {
-	if !h.Degraded() {
+	s := h.State()
+	if s == HealthHealthy {
 		return "healthy"
 	}
-	return fmt.Sprintf("degraded (%s)", h.Reason())
+	if r := h.Reason(); r != "" {
+		return fmt.Sprintf("%s (%s)", s, r)
+	}
+	return s.String()
 }
 
 // RetryStats meters an I/O retry budget: how many attempts a store issued,

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestHealthDegradeReasonRace drives Degrade and Reason from many
+// goroutines at once (run under -race): readers must never observe a torn
+// reason, and after the dust settles exactly one degradation reason must
+// have been latched.
+func TestHealthDegradeReasonRace(t *testing.T) {
+	var h Health
+	const writers, readers = 8, 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 100; j++ {
+				h.Degrade(fmt.Sprintf("writer-%d-iter-%d", i, j))
+			}
+		}(i)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 200; j++ {
+				_ = h.Reason()
+				_ = h.State()
+				_ = h.String()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if !h.Degraded() {
+		t.Fatal("health not degraded after concurrent Degrade calls")
+	}
+	if h.Reason() == "" {
+		t.Fatal("no reason latched")
+	}
+	if got := h.Degradations.Value(); got != writers*100 {
+		t.Fatalf("Degradations = %d, want %d", got, writers*100)
+	}
+}
+
+// TestHealthProbeRestore walks the circuit-breaker state machine:
+// healthy -> degraded -> probing -> degraded (probe failed) -> probing ->
+// healthy (probe succeeded).
+func TestHealthProbeRestore(t *testing.T) {
+	var h Health
+	if h.Probe() {
+		t.Fatal("Probe from healthy must fail (nothing to probe)")
+	}
+	if !h.Degrade("first failure") {
+		t.Fatal("Degrade from healthy must transition")
+	}
+	if !h.Probe() {
+		t.Fatal("Probe from degraded must win the slot")
+	}
+	if h.State() != HealthProbing {
+		t.Fatalf("state = %v, want probing", h.State())
+	}
+	if h.Probe() {
+		t.Fatal("second Probe must lose while one is in flight")
+	}
+	// Probe failed: circuit reopens, original reason retained.
+	if !h.Degrade("probe failed") {
+		t.Fatal("Degrade from probing must transition")
+	}
+	if got := h.Reason(); got != "first failure" {
+		t.Fatalf("reason = %q, want the first latched reason", got)
+	}
+	// Probe again, this time successfully.
+	if !h.Probe() {
+		t.Fatal("re-Probe from degraded must win")
+	}
+	if !h.Restore() {
+		t.Fatal("Restore from probing must transition")
+	}
+	if h.State() != HealthHealthy || h.Degraded() {
+		t.Fatalf("state = %v, want healthy", h.State())
+	}
+	if h.Reason() != "" {
+		t.Fatalf("reason %q not cleared by Restore", h.Reason())
+	}
+	if h.Restore() {
+		t.Fatal("Restore from healthy must be a no-op")
+	}
+	// A fresh degradation after a restore records its own reason.
+	if !h.Degrade("second failure") {
+		t.Fatal("Degrade after Restore must transition")
+	}
+	if got := h.Reason(); got != "second failure" {
+		t.Fatalf("reason = %q, want the post-restore reason", got)
+	}
+	if h.Probes.Value() != 2 || h.Restores.Value() != 1 {
+		t.Fatalf("probes=%d restores=%d, want 2/1", h.Probes.Value(), h.Restores.Value())
+	}
+}
+
+// TestHealthProbeExclusive races many probers against one degraded
+// indicator: exactly one may hold the half-open slot.
+func TestHealthProbeExclusive(t *testing.T) {
+	var h Health
+	h.Degrade("down")
+	const probers = 16
+	var wg sync.WaitGroup
+	wins := make(chan int, probers)
+	start := make(chan struct{})
+	for i := 0; i < probers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if h.Probe() {
+				wins <- i
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d probers won the slot, want exactly 1", n)
+	}
+}

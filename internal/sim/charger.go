@@ -1,11 +1,22 @@
 package sim
 
-import "sync/atomic"
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
 
 // Charger accumulates the execution cost of a single in-flight operation
 // and settles it into a Tracker when the operation completes. Engines
 // thread one Charger through each operation's call path; substrates (the
 // mapping table, the cache, the device) add their charges to it.
+//
+// A Charger optionally carries the operation's context.Context. Because
+// the charger is already threaded through every layer of an operation —
+// store, log store, device — it doubles as the cancellation conduit:
+// substrates call Err before starting expensive work (a device I/O, a
+// retry backoff) so a cancelled or deadline-expired request stops burning
+// IOPS instead of running to completion.
 //
 // A Charger is used by a single goroutine for a single operation and is
 // therefore not synchronized. The zero value is unusable; obtain one from
@@ -15,6 +26,55 @@ type Charger struct {
 	tracker *Tracker
 	cost    Cost
 	class   OpClass
+	ctx     context.Context // nil means context.Background()
+}
+
+// WithContext binds ctx to the charger for the duration of the operation
+// and returns the charger for chaining. A nil ctx clears the binding.
+func (c *Charger) WithContext(ctx context.Context) *Charger {
+	c.ctx = ctx
+	return c
+}
+
+// Context returns the operation's context. It is nil-receiver-safe and
+// returns context.Background() when no context was bound, so substrates
+// can call ch.Context() without guarding against nil chargers.
+func (c *Charger) Context() context.Context {
+	if c == nil || c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// Err returns the bound context's cancellation error, if any. Like
+// Context, it is nil-receiver-safe: a nil charger is never cancelled.
+func (c *Charger) Err() error {
+	if c == nil || c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// discardSession backs DetachedCharger: charges settle into a shared
+// tracker nobody reads. Created lazily so stores without sessions pay
+// nothing until they run a cancellable operation.
+var (
+	discardOnce    sync.Once
+	discardSession *Session
+)
+
+// DetachedCharger returns a charger that carries ctx but records into a
+// discard tracker. Stores configured without a Session use it so that
+// cancellable operations still propagate their context down the I/O path.
+// When ctx can never be cancelled (nil ctx or no Done channel, e.g.
+// context.Background()), it returns nil — the store's uninstrumented fast
+// path is unchanged.
+func DetachedCharger(ctx context.Context) *Charger {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	discardOnce.Do(func() { discardSession = NewSession(DefaultCosts()) })
+	return discardSession.Begin().WithContext(ctx)
 }
 
 // Profile returns the cost profile charges should be computed against.

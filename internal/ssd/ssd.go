@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"costperf/internal/metrics"
 	"costperf/internal/sim"
@@ -141,16 +142,24 @@ const chunkSize = 1 << 16 // 64 KiB sparse chunks
 
 // Device is a simulated secondary-storage device. It is safe for
 // concurrent use.
+//
+// Accounting note: the high-water mark, device-busy time, and I/O stats
+// are atomics rather than lock-guarded fields so that concurrent meter
+// readers (the engine front-end, the cost model's rental accounting, and
+// experiment harnesses polling mid-run) never tear a counter and never
+// contend with the I/O path's data lock.
 type Device struct {
-	cfg Config
+	cfg          Config
+	busyPerIONos int64 // 1/MaxIOPS in nanoseconds, precomputed
 
 	mu       sync.RWMutex
 	chunks   map[int64][]byte
-	written  int64 // high-water mark of bytes addressed
 	closed   bool
-	busySec  float64       // accumulated device-busy virtual seconds
 	injector FaultInjector // programmable fault injection (may be nil)
 	shim     *legacyShim   // lazily created by the deprecated fault hooks
+
+	written   atomic.Int64 // high-water mark of bytes addressed
+	busyNanos atomic.Int64 // accumulated device-busy virtual nanoseconds
 
 	stats metrics.IOStats
 }
@@ -161,8 +170,9 @@ func New(cfg Config) *Device {
 		panic(fmt.Sprintf("ssd: non-positive MaxIOPS %v", cfg.MaxIOPS))
 	}
 	return &Device{
-		cfg:    cfg,
-		chunks: make(map[int64][]byte),
+		cfg:          cfg,
+		busyPerIONos: int64(1e9/cfg.MaxIOPS + 0.5),
+		chunks:       make(map[int64][]byte),
 	}
 }
 
@@ -191,15 +201,14 @@ func (d *Device) chargeIO(ch *sim.Charger) {
 
 // accountBusy charges device-busy time for one I/O.
 func (d *Device) accountBusy() {
-	d.busySec += 1 / d.cfg.MaxIOPS
+	d.busyNanos.Add(d.busyPerIONos)
 }
 
 // BusySeconds returns accumulated device-busy virtual time; the harness
 // compares it against elapsed virtual time to detect I/O-bound operation.
+// Safe to poll concurrently with in-flight I/O.
 func (d *Device) BusySeconds() float64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.busySec
+	return float64(d.busyNanos.Load()) / 1e9
 }
 
 // Latency returns the device latency per I/O in virtual seconds.
@@ -247,7 +256,13 @@ func flipBit(b []byte, bit int64) []byte {
 
 // WriteAt writes data at the given offset as one device write I/O,
 // charging ch for the CPU cost (ch may be nil for background writes).
+// If the charger carries a cancelled context, the write fails before any
+// I/O is issued or busy time accrued: a caller that stopped waiting must
+// not keep consuming the device's IOPS budget.
 func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
+	if err := ch.Err(); err != nil {
+		return err
+	}
 	if off < 0 {
 		return ErrOutOfRange
 	}
@@ -258,7 +273,7 @@ func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
 	}
 	fo := d.faultOnWriteLocked(off, data)
 	if fo.ExtraBusySec > 0 {
-		d.busySec += fo.ExtraBusySec
+		d.busyNanos.Add(int64(fo.ExtraBusySec * 1e9))
 	}
 	towrite := data
 	if fo.Tear {
@@ -278,9 +293,7 @@ func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
 		// Only the prefix hit the media, but the full address range stays
 		// readable (as stale/zero bytes), like a real torn sector range —
 		// recovery must detect the damage by checksum, not by short read.
-		if end := off + int64(len(data)); end > d.written {
-			d.written = end
-		}
+		d.raiseHighWater(off + int64(len(data)))
 	}
 	if fo.Err != nil {
 		// A torn write's prefix reached the media before the failure.
@@ -297,11 +310,17 @@ func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
 	return nil
 }
 
-func (d *Device) writeLocked(off int64, data []byte) {
-	end := off + int64(len(data))
-	if end > d.written {
-		d.written = end
+func (d *Device) raiseHighWater(end int64) {
+	for {
+		cur := d.written.Load()
+		if end <= cur || d.written.CompareAndSwap(cur, end) {
+			return
+		}
 	}
+}
+
+func (d *Device) writeLocked(off int64, data []byte) {
+	d.raiseHighWater(off + int64(len(data)))
 	for len(data) > 0 {
 		ci := off / chunkSize
 		co := off % chunkSize
@@ -321,8 +340,12 @@ func (d *Device) writeLocked(off int64, data []byte) {
 }
 
 // ReadAt reads length bytes at the given offset as one device read I/O,
-// charging ch for the CPU cost.
+// charging ch for the CPU cost. Like WriteAt, a cancelled context on the
+// charger fails the read before it reaches the media.
 func (d *Device) ReadAt(off int64, length int, ch *sim.Charger) ([]byte, error) {
+	if err := ch.Err(); err != nil {
+		return nil, err
+	}
 	if off < 0 || length < 0 {
 		return nil, ErrOutOfRange
 	}
@@ -333,15 +356,15 @@ func (d *Device) ReadAt(off int64, length int, ch *sim.Charger) ([]byte, error) 
 	}
 	fo := d.faultOnReadLocked(off, length)
 	if fo.ExtraBusySec > 0 {
-		d.busySec += fo.ExtraBusySec
+		d.busyNanos.Add(int64(fo.ExtraBusySec * 1e9))
 	}
 	if fo.Err != nil {
 		d.mu.Unlock()
 		return nil, fo.Err
 	}
-	if off+int64(length) > d.written {
+	if hw := d.written.Load(); off+int64(length) > hw {
 		d.mu.Unlock()
-		return nil, fmt.Errorf("%w: read [%d,%d) beyond high-water %d", ErrOutOfRange, off, off+int64(length), d.written)
+		return nil, fmt.Errorf("%w: read [%d,%d) beyond high-water %d", ErrOutOfRange, off, off+int64(length), hw)
 	}
 	out := make([]byte, length)
 	d.readLocked(off, out)
@@ -422,11 +445,9 @@ func (d *Device) FootprintBytes() int64 {
 }
 
 // HighWater returns the highest written address (the log tail for
-// log-structured users).
+// log-structured users). Safe to poll concurrently with in-flight I/O.
 func (d *Device) HighWater() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.written
+	return d.written.Load()
 }
 
 // SetFaultInjector installs (or, with nil, removes) a programmable fault

@@ -1,17 +1,28 @@
 #!/bin/sh
 # check.sh — the repo's full verification pass: vet, build, the complete
 # test suite, and a race-enabled run of the concurrency-sensitive storage
-# packages (the ones the fault-injection and crash-recovery work hardens).
+# packages (the ones the fault-injection, crash-recovery, and engine
+# front-end work hardens).
+#
+# Set CHECK_SHORT=1 for the CI-friendly variant: identical coverage, but
+# the seeded chaos/crash matrices run their -short subset of seeds.
 set -eux
+
+SHORT=""
+if [ -n "${CHECK_SHORT:-}" ]; then
+    SHORT="-short"
+fi
 
 go vet ./...
 go build ./...
-go test ./...
-go test -race \
+go test $SHORT ./...
+go test $SHORT -race \
     ./internal/bwtree \
     ./internal/llama/... \
     ./internal/tc \
     ./internal/ssd \
     ./internal/fault \
     ./internal/lsm \
+    ./internal/metrics \
+    ./internal/engine \
     ./internal/integration
