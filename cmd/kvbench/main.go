@@ -30,12 +30,14 @@ import (
 
 	"costperf/internal/btree"
 	"costperf/internal/bwtree"
+	"costperf/internal/core"
 	"costperf/internal/engine"
 	"costperf/internal/fault"
 	"costperf/internal/llama/logstore"
 	"costperf/internal/lsm"
 	"costperf/internal/masstree"
 	"costperf/internal/metrics"
+	"costperf/internal/obs"
 	"costperf/internal/sim"
 	"costperf/internal/ssd"
 	"costperf/internal/workload"
@@ -69,6 +71,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0,
 		"per-op deadline applied by the engine (implies -concurrency 1 when unset)")
 	queue := flag.Int("queue", 0, "engine admission queue bound (default 2*concurrency)")
+	obsDump := flag.Bool("obs", false,
+		"trace every operation and print a per-store cost table (measured F, R, ROPS, IOPS, live $/op and five-minute-rule breakeven)")
 	flag.Parse()
 
 	if *deadline > 0 && *concurrency <= 0 {
@@ -80,6 +84,7 @@ func main() {
 			valueSize: *valueSize, pool: *pool, seed: *seed,
 			recordTo: *recordTo, replayFrom: *replayFrom, faultSpec: *faultSpec,
 			concurrency: *concurrency, deadline: *deadline, queue: *queue,
+			obs: *obsDump,
 		})
 		return
 	}
@@ -87,16 +92,29 @@ func main() {
 	sess := sim.NewSession(sim.DefaultCosts())
 	dev := ssd.New(ssd.SamsungSSD)
 
+	// With -obs every store operation is traced; the store's tracer also
+	// observes the device, so physical I/O is attributed to it directly.
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if *obsDump {
+		reg = obs.NewRegistry()
+		tr = reg.Tracer(*storeName)
+		dev.SetObserver(tr)
+	}
+
 	var s store
 	var bw *bwtree.Tree
 	// faultReport prints the store's retry/health counters after a -faults run.
 	var faultReport func()
 	switch *storeName {
 	case "bwtree":
-		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20})
+		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20,
+			Obs: regTracer(reg, "log")})
 		check(err)
-		tree, err := bwtree.New(bwtree.Config{Store: st, Session: sess})
+		tree, err := bwtree.New(bwtree.Config{Store: st, Session: sess, Obs: tr})
 		check(err)
+		tr.FoldRetries(&tree.Stats().Retry)
+		tr.FoldHealth(&tree.Stats().Health)
 		bw = tree
 		s = bwAdapter{tree}
 		faultReport = func() {
@@ -104,16 +122,20 @@ func main() {
 			fmt.Printf("  logstore retry: %s, health: %s\n", st.Stats().Retry.String(), st.Stats().Health.String())
 		}
 	case "masstree":
-		s = mtAdapter{masstree.New(sess)}
+		mt := masstree.New(sess)
+		mt.SetObs(tr)
+		s = mtAdapter{mt}
 	case "lsm":
-		tree, err := lsm.New(lsm.Config{Device: dev, Session: sess})
+		tree, err := lsm.New(lsm.Config{Device: dev, Session: sess, Obs: tr})
 		check(err)
+		tr.FoldRetries(&tree.Stats().Retry)
+		tr.FoldHealth(&tree.Stats().Health)
 		s = lsmAdapter{tree}
 		faultReport = func() {
 			fmt.Printf("  lsm retry: %s, health: %s\n", tree.Stats().Retry.String(), tree.Stats().Health.String())
 		}
 	case "btree":
-		tree, err := btree.New(btree.Config{Device: dev, PoolPages: *pool, Session: sess})
+		tree, err := btree.New(btree.Config{Device: dev, PoolPages: *pool, Session: sess, Obs: tr})
 		check(err)
 		s = btAdapter{tree}
 	default:
@@ -131,6 +153,9 @@ func main() {
 	}
 	sess.Tracker().Reset()
 	dev.Stats().Reset()
+	if reg != nil {
+		reg.ResetAll() // measure the run, not the load
+	}
 
 	// Install fault injection only for the measured phase: the load above
 	// runs clean so every run starts from the same store state.
@@ -213,6 +238,28 @@ func main() {
 		fmt.Println("fault absorption:")
 		faultReport()
 	}
+	printObsTable(reg)
+}
+
+// printObsTable renders the registry's per-store cost table against the
+// paper's rental rates: measured F, R, ROPS, IOPS feed the core model for a
+// live $/op and five-minute-rule breakeven (Eq. 7) per store.
+func printObsTable(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	base := core.PaperCosts()
+	fmt.Println("\nobservability (measured model inputs, live costs vs paper rates):")
+	fmt.Print(reg.Table(base))
+}
+
+// regTracer returns reg's tracer under name, or nil (tracing off) when no
+// registry was created.
+func regTracer(reg *obs.Registry, name string) *obs.Tracer {
+	if reg == nil {
+		return nil
+	}
+	return reg.Tracer(name)
 }
 
 func check(err error) {
@@ -266,6 +313,7 @@ type engineModeConfig struct {
 	faultSpec            string
 	concurrency, queue   int
 	deadline             time.Duration
+	obs                  bool
 }
 
 // runEngineMode drives the workload through internal/engine with N worker
@@ -277,22 +325,36 @@ type engineModeConfig struct {
 // percentiles and shed/timeout counts, not cost units.
 func runEngineMode(cfg engineModeConfig) {
 	dev := ssd.New(ssd.SamsungSSD)
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if cfg.obs {
+		reg = obs.NewRegistry()
+		tr = reg.Tracer(cfg.store)
+		dev.SetObserver(tr)
+	}
 	var es engine.Store
 	switch cfg.store {
 	case "bwtree":
-		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20})
+		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20,
+			Obs: regTracer(reg, "log")})
 		check(err)
-		tree, err := bwtree.New(bwtree.Config{Store: st})
+		tree, err := bwtree.New(bwtree.Config{Store: st, Obs: tr})
 		check(err)
+		tr.FoldRetries(&tree.Stats().Retry)
+		tr.FoldHealth(&tree.Stats().Health)
 		es = engine.WrapBwTree(tree)
 	case "masstree":
-		es = engine.WrapMassTree(masstree.New(nil))
+		mt := masstree.New(nil)
+		mt.SetObs(tr)
+		es = engine.WrapMassTree(mt)
 	case "lsm":
-		tree, err := lsm.New(lsm.Config{Device: dev})
+		tree, err := lsm.New(lsm.Config{Device: dev, Obs: tr})
 		check(err)
+		tr.FoldRetries(&tree.Stats().Retry)
+		tr.FoldHealth(&tree.Stats().Health)
 		es = engine.WrapLSM(tree)
 	case "btree":
-		tree, err := btree.New(btree.Config{Device: dev, PoolPages: cfg.pool})
+		tree, err := btree.New(btree.Config{Device: dev, PoolPages: cfg.pool, Obs: tr})
 		check(err)
 		es = engine.WrapBTree(tree)
 	default:
@@ -314,12 +376,17 @@ func runEngineMode(cfg engineModeConfig) {
 		fmt.Printf("injecting faults: %s\n", cfg.faultSpec)
 	}
 
+	if reg != nil {
+		reg.ResetAll() // measure the run, not the load
+	}
+
 	ops := collectOps(cfg)
 	eng, err := engine.New(engine.Config{
 		Store:          es,
 		MaxConcurrent:  cfg.concurrency,
 		MaxQueue:       cfg.queue,
 		DefaultTimeout: cfg.deadline,
+		Obs:            regTracer(reg, "engine"),
 	})
 	check(err)
 
@@ -389,6 +456,7 @@ func runEngineMode(cfg engineModeConfig) {
 	}
 	fmt.Printf("  engine: %s\n", st.String())
 	fmt.Printf("  device: %s\n", dev.Stats().String())
+	printObsTable(reg)
 	check(eng.Close())
 }
 

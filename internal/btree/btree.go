@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"costperf/internal/metrics"
+	"costperf/internal/obs"
 	"costperf/internal/sim"
 	"costperf/internal/ssd"
 )
@@ -113,6 +114,10 @@ type Config struct {
 	PoolPages int
 	// Session enables execution-cost accounting (may be nil).
 	Session *sim.Session
+	// Obs, when non-nil, receives one tracing span per operation; pool
+	// misses and eviction write-backs mark the span as having touched
+	// the device. Nil traces nothing at zero cost.
+	Obs *obs.Tracer
 }
 
 // Tree is a classic buffer-pool B-tree.
@@ -252,9 +257,12 @@ func (t *Tree) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
 	return t.get(key, t.beginCtx(ctx))
 }
 
-func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
+func (t *Tree) get(key []byte, ch *sim.Charger) (_ []byte, _ bool, err error) {
+	sp := t.cfg.Obs.Start(obs.OpGet)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	m0, wb0 := t.stats.PoolMisses.Value(), t.stats.WriteBacks.Value()
+	defer func() { t.endOpLocked(&sp, m0, wb0, err) }()
 	if t.closed {
 		abandon(ch)
 		return nil, false, ErrClosed
@@ -293,6 +301,17 @@ func settle(ch *sim.Charger) {
 	}
 }
 
+// endOpLocked finishes an operation span, marking it a miss when the
+// operation performed device I/O (pool-miss reads or eviction
+// write-backs) since the recorded baselines. Caller holds t.mu, so the
+// counter deltas are exactly this operation's.
+func (t *Tree) endOpLocked(sp *obs.Span, m0, wb0 int64, err error) {
+	if t.stats.PoolMisses.Value() != m0 || t.stats.WriteBacks.Value() != wb0 {
+		sp.Miss()
+	}
+	sp.End(err)
+}
+
 // descend walks to the leaf owning key.
 func (t *Tree) descend(key []byte, ch *sim.Charger) (*page, error) {
 	p, err := t.fetch(t.root, ch)
@@ -322,15 +341,19 @@ func (t *Tree) InsertCtx(ctx context.Context, key, val []byte) error {
 	return t.insert(key, val, t.beginCtx(ctx))
 }
 
-func (t *Tree) insert(key, val []byte, ch *sim.Charger) error {
+func (t *Tree) insert(key, val []byte, ch *sim.Charger) (err error) {
+	sp := t.cfg.Obs.Start(obs.OpPut)
 	if len(key)+len(val)+24 > PageSize/2 {
 		abandon(ch)
+		sp.End(ErrTooLarge)
 		return ErrTooLarge
 	}
 	key = append([]byte(nil), key...)
 	val = append([]byte(nil), val...)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	m0, wb0 := t.stats.PoolMisses.Value(), t.stats.WriteBacks.Value()
+	defer func() { t.endOpLocked(&sp, m0, wb0, err) }()
 	if t.closed {
 		abandon(ch)
 		return ErrClosed
@@ -446,9 +469,12 @@ func (t *Tree) DeleteCtx(ctx context.Context, key []byte) error {
 	return t.delete(key, t.beginCtx(ctx))
 }
 
-func (t *Tree) delete(key []byte, ch *sim.Charger) error {
+func (t *Tree) delete(key []byte, ch *sim.Charger) (err error) {
+	sp := t.cfg.Obs.Start(obs.OpDelete)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	m0, wb0 := t.stats.PoolMisses.Value(), t.stats.WriteBacks.Value()
+	defer func() { t.endOpLocked(&sp, m0, wb0, err) }()
 	if t.closed {
 		abandon(ch)
 		return ErrClosed
@@ -480,9 +506,12 @@ func (t *Tree) ScanCtx(ctx context.Context, start []byte, limit int, fn func(k, 
 	return t.scan(start, limit, fn, t.beginCtx(ctx))
 }
 
-func (t *Tree) scan(start []byte, limit int, fn func(k, v []byte) bool, ch *sim.Charger) error {
+func (t *Tree) scan(start []byte, limit int, fn func(k, v []byte) bool, ch *sim.Charger) (err error) {
+	sp := t.cfg.Obs.Start(obs.OpScan)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	m0, wb0 := t.stats.PoolMisses.Value(), t.stats.WriteBacks.Value()
+	defer func() { t.endOpLocked(&sp, m0, wb0, err) }()
 	if t.closed {
 		abandon(ch)
 		return ErrClosed

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"costperf/internal/llama/mapping"
+	"costperf/internal/obs"
 	"costperf/internal/sim"
 )
 
@@ -25,7 +26,9 @@ func (t *Tree) ScanCtx(ctx context.Context, start []byte, limit int, fn func(key
 	return t.scan(start, limit, fn, t.beginCtx(ctx))
 }
 
-func (t *Tree) scan(start []byte, limit int, fn func(key, val []byte) bool, ch *sim.Charger) error {
+func (t *Tree) scan(start []byte, limit int, fn func(key, val []byte) bool, ch *sim.Charger) (err error) {
+	sp := t.cfg.Obs.Start(obs.OpScan)
+	defer func() { sp.End(err) }()
 	if t.closed.Load() {
 		abandon(ch)
 		return ErrClosed
@@ -43,7 +46,11 @@ func (t *Tree) scan(start []byte, limit int, fn func(key, val []byte) bool, ch *
 		if err != nil {
 			return err
 		}
+		loads0 := t.stats.PageLoads.Value()
 		keys, vals, highKey, err := t.pageView(leaf, hdr, ch)
+		if t.stats.PageLoads.Value() != loads0 {
+			sp.Miss() // an evicted page was loaded from the log store
+		}
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"costperf/internal/llama/logstore"
 	"costperf/internal/llama/mapping"
 	"costperf/internal/metrics"
+	"costperf/internal/obs"
 	"costperf/internal/sim"
 )
 
@@ -43,6 +44,10 @@ type Config struct {
 	// Retry bounds the backoff loop around log-store page reads; the zero
 	// value takes fault.DefaultRetry.
 	Retry fault.RetryPolicy
+	// Obs, when non-nil, receives one tracing span per public operation
+	// (page-load misses marked; see internal/obs). Nil traces nothing at
+	// zero cost.
+	Obs *obs.Tracer
 }
 
 func (c *Config) setDefaults() {
@@ -287,18 +292,22 @@ func (t *Tree) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
 }
 
 func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
+	sp := t.cfg.Obs.Start(obs.OpGet)
 	if t.closed.Load() {
 		abandon(ch)
+		sp.End(ErrClosed)
 		return nil, false, ErrClosed
 	}
 	for {
 		if err := ch.Err(); err != nil {
 			abandon(ch)
+			sp.End(err)
 			return nil, false, err
 		}
 		leaf, hdr, _, err := t.descend(key, ch)
 		if err != nil {
 			abandon(ch)
+			sp.End(err)
 			return nil, false, err
 		}
 		t.touch(leaf, hdr)
@@ -309,17 +318,21 @@ func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
 				ch.Copy(len(val))
 			}
 			settle(ch)
+			sp.End(nil)
 			return val, found, nil
 		}
 		var nl *needLoad
 		if errors.As(serr, &nl) {
+			sp.Miss() // the delta chain bottomed out in a flushed page
 			if err := t.loadPage(leaf, nl.ref, ch); err != nil {
 				abandon(ch)
+				sp.End(err)
 				return nil, false, err
 			}
 			continue // retry with the loaded page
 		}
 		abandon(ch)
+		sp.End(serr)
 		return nil, false, serr
 	}
 }

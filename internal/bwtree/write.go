@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"costperf/internal/obs"
 	"costperf/internal/sim"
 )
 
@@ -73,7 +74,13 @@ func cloneBytes(b []byte) []byte {
 	return out
 }
 
-func (t *Tree) write(key, val []byte, isDelete, blind bool, ch *sim.Charger) error {
+func (t *Tree) write(key, val []byte, isDelete, blind bool, ch *sim.Charger) (err error) {
+	op := obs.OpPut
+	if isDelete {
+		op = obs.OpDelete
+	}
+	sp := t.cfg.Obs.Start(op)
+	defer func() { sp.End(err) }()
 	if t.closed.Load() {
 		abandon(ch)
 		return ErrClosed

@@ -33,6 +33,7 @@ import (
 
 	"costperf/internal/fault"
 	"costperf/internal/metrics"
+	"costperf/internal/obs"
 )
 
 // Typed front-end errors.
@@ -69,6 +70,10 @@ type Config struct {
 	// ProbeEvery admits every Nth circuit-rejected write as a half-open
 	// probe (default 16).
 	ProbeEvery int
+	// Obs, when non-nil, receives one tracing span per front-end
+	// operation, with shed/read-only/circuit rejections tagged as shed
+	// outcomes (see internal/obs). Nil traces nothing at zero cost.
+	Obs *obs.Tracer
 }
 
 func (c *Config) setDefaults() error {
@@ -278,10 +283,23 @@ func (e *Engine) noteWrite(err error, probe bool) {
 	}
 }
 
+// endSpan finishes a front-end span: rejections that never reached the
+// store (overload shedding, read-only writes, the open circuit) are shed
+// outcomes; everything else classifies by error.
+func endSpan(sp *obs.Span, err error) {
+	if errors.Is(err, ErrOverload) || errors.Is(err, ErrReadOnly) || errors.Is(err, ErrCircuitOpen) {
+		sp.EndOutcome(obs.OutcomeShed)
+		return
+	}
+	sp.End(err)
+}
+
 // Get returns the value for key.
 func (e *Engine) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	sp := e.cfg.Obs.Start(obs.OpGet)
 	ctx, done, err := e.admit(ctx)
 	if err != nil {
+		endSpan(&sp, err)
 		return nil, false, err
 	}
 	defer done()
@@ -289,18 +307,22 @@ func (e *Engine) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if err != nil {
 		e.noteAbort(err)
 	}
+	endSpan(&sp, err)
 	return v, ok, err
 }
 
 // Put upserts key -> val.
 func (e *Engine) Put(ctx context.Context, key, val []byte) error {
+	sp := e.cfg.Obs.Start(obs.OpPut)
 	ctx, done, err := e.admit(ctx)
 	if err != nil {
+		endSpan(&sp, err)
 		return err
 	}
 	defer done()
 	probe, err := e.gateWrite()
 	if err != nil {
+		endSpan(&sp, err)
 		return err
 	}
 	err = e.cfg.Store.Put(ctx, key, val)
@@ -308,18 +330,22 @@ func (e *Engine) Put(ctx context.Context, key, val []byte) error {
 	if err != nil {
 		e.noteAbort(err)
 	}
+	endSpan(&sp, err)
 	return err
 }
 
 // Delete removes key.
 func (e *Engine) Delete(ctx context.Context, key []byte) error {
+	sp := e.cfg.Obs.Start(obs.OpDelete)
 	ctx, done, err := e.admit(ctx)
 	if err != nil {
+		endSpan(&sp, err)
 		return err
 	}
 	defer done()
 	probe, err := e.gateWrite()
 	if err != nil {
+		endSpan(&sp, err)
 		return err
 	}
 	err = e.cfg.Store.Delete(ctx, key)
@@ -327,14 +353,17 @@ func (e *Engine) Delete(ctx context.Context, key []byte) error {
 	if err != nil {
 		e.noteAbort(err)
 	}
+	endSpan(&sp, err)
 	return err
 }
 
 // Scan visits live pairs with key >= start in order until fn returns false
 // or limit pairs are visited (limit <= 0 means unlimited).
 func (e *Engine) Scan(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
+	sp := e.cfg.Obs.Start(obs.OpScan)
 	ctx, done, err := e.admit(ctx)
 	if err != nil {
+		endSpan(&sp, err)
 		return err
 	}
 	defer done()
@@ -342,6 +371,7 @@ func (e *Engine) Scan(ctx context.Context, start []byte, limit int, fn func(k, v
 	if err != nil {
 		e.noteAbort(err)
 	}
+	endSpan(&sp, err)
 	return err
 }
 

@@ -12,10 +12,12 @@ import (
 	"time"
 
 	"costperf/internal/bwtree"
+	"costperf/internal/core"
 	"costperf/internal/engine"
 	"costperf/internal/fault"
 	"costperf/internal/llama/logstore"
 	"costperf/internal/lsm"
+	"costperf/internal/obs"
 	"costperf/internal/ssd"
 )
 
@@ -116,9 +118,9 @@ func (s *chaosState) floorOf(idx int) uint64 {
 // chaosVariant abstracts the two recoverable stores under test.
 type chaosVariant struct {
 	name string
-	// build creates the store over dev and returns its engine Store plus a
-	// checkpoint func (the store's durable commit point).
-	build func(t *testing.T, dev *ssd.Device) (engine.Store, func() error)
+	// build creates the store over dev (traced by tr) and returns its engine
+	// Store plus a checkpoint func (the store's durable commit point).
+	build func(t *testing.T, dev *ssd.Device, tr *obs.Tracer) (engine.Store, func() error)
 	// recover reopens the store from the repaired device and returns a
 	// lookup func, or empty=true when no commit point ever became durable.
 	recover func(t *testing.T, dev *ssd.Device) (lookup func(key []byte) ([]byte, bool, error), empty bool)
@@ -130,15 +132,17 @@ func bwtreeChaosVariant() chaosVariant {
 	}
 	return chaosVariant{
 		name: "bwtree",
-		build: func(t *testing.T, dev *ssd.Device) (engine.Store, func() error) {
+		build: func(t *testing.T, dev *ssd.Device, obsTr *obs.Tracer) (engine.Store, func() error) {
 			st, err := logstore.Open(logCfg(dev))
 			if err != nil {
 				t.Fatalf("logstore.Open: %v", err)
 			}
-			tr, err := bwtree.New(bwtree.Config{Store: st, ConsolidateAfter: 4})
+			tr, err := bwtree.New(bwtree.Config{Store: st, ConsolidateAfter: 4, Obs: obsTr})
 			if err != nil {
 				t.Fatalf("bwtree.New: %v", err)
 			}
+			obsTr.FoldRetries(&tr.Stats().Retry)
+			obsTr.FoldHealth(&tr.Stats().Health)
 			return engine.WrapBwTree(tr), tr.FlushAll
 		},
 		recover: func(t *testing.T, dev *ssd.Device) (func([]byte) ([]byte, bool, error), bool) {
@@ -164,11 +168,15 @@ func lsmChaosVariant() chaosVariant {
 	}
 	return chaosVariant{
 		name: "lsm",
-		build: func(t *testing.T, dev *ssd.Device) (engine.Store, func() error) {
-			tr, err := lsm.New(cfg(dev))
+		build: func(t *testing.T, dev *ssd.Device, obsTr *obs.Tracer) (engine.Store, func() error) {
+			c := cfg(dev)
+			c.Obs = obsTr
+			tr, err := lsm.New(c)
 			if err != nil {
 				t.Fatalf("lsm.New: %v", err)
 			}
+			obsTr.FoldRetries(&tr.Stats().Retry)
+			obsTr.FoldHealth(&tr.Stats().Health)
 			return engine.WrapLSM(tr), tr.Flush
 		},
 		recover: func(t *testing.T, dev *ssd.Device) (func([]byte) ([]byte, bool, error), bool) {
@@ -189,7 +197,14 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 	rng := rand.New(rand.NewSource(seed))
 	dev := ssd.New(ssd.Config{Name: "chaos", MaxIOPS: 1e6, LatencySec: 1e-6})
 	inj := fault.NewInjector(seed)
-	store, checkpoint := variant.build(t, dev)
+
+	// Observability: the store's tracer observes the device, the engine has
+	// its own, and a narrator goroutine periodically logs one cost line per
+	// store so overload and fault episodes are visible in the test trace.
+	reg := obs.NewRegistry()
+	obsTr := reg.Tracer(variant.name)
+	dev.SetObserver(obsTr)
+	store, checkpoint := variant.build(t, dev, obsTr)
 
 	// Faults start only once the store exists: transient error rates,
 	// virtual latency spikes, and one crash point early enough that the
@@ -201,7 +216,7 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 	inj.CrashAtWrite(crashAt, rng.Intn(64))
 	dev.SetFaultInjector(inj)
 
-	cfg := engine.Config{Store: store}
+	cfg := engine.Config{Store: store, Obs: reg.Tracer("engine")}
 	if overload {
 		cfg.Store = &slowStore{Store: store, d: 20 * time.Microsecond}
 		cfg.MaxConcurrent = 1
@@ -217,6 +232,28 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 
 	state := &chaosState{}
 	ctx := context.Background()
+
+	// Narrator: every 200ms emit one line per active store with measured F,
+	// R, shed/timeout counts, and live $/op against paper rates.
+	stopNarr := make(chan struct{})
+	var narrWG sync.WaitGroup
+	narrWG.Add(1)
+	go func() {
+		defer narrWG.Done()
+		base := core.PaperCosts()
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopNarr:
+				return
+			case <-tick.C:
+				for _, line := range reg.Narrate(base) {
+					t.Logf("seed %d narrator: %s", seed, line)
+				}
+			}
+		}
+	}()
 
 	// Checkpointer: snapshot acked versions, run the store's durable
 	// commit point, and promote the snapshot to the recovery floor only if
@@ -340,6 +377,11 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 	}
 	close(stopCkpt)
 	ckptWG.Wait()
+	close(stopNarr)
+	narrWG.Wait()
+	for _, line := range reg.Narrate(core.PaperCosts()) {
+		t.Logf("seed %d final: %s", seed, line)
+	}
 
 	st := eng.Stats()
 	if overload && st.Shed.Value() == 0 {

@@ -1,0 +1,301 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"costperf/internal/btree"
+	"costperf/internal/bwtree"
+	"costperf/internal/engine"
+	"costperf/internal/fault"
+	"costperf/internal/llama/logstore"
+	"costperf/internal/lsm"
+	"costperf/internal/masstree"
+	"costperf/internal/ssd"
+	"costperf/internal/tc"
+)
+
+// Differential harness: the five stores implement the same key-value
+// contract behind engine.Store, so an identical seeded operation sequence
+// must produce byte-identical answers from every one of them — same Get
+// results, same scan contents in the same order, same final state. MassTree
+// (pure main memory, no device, no caching tiers) is the oracle; any
+// divergence in the others is a bug in their caching, flushing, or
+// recovery-oriented machinery, exactly the machinery the paper's cost model
+// charges for.
+//
+// Store configs are deliberately tiny (4 KiB memtable, minimal buffer
+// pool, 4 KiB log buffer) so the workload constantly crosses the
+// memory/secondary-storage boundary: evictions, flushes, and page loads all
+// fire within a few hundred operations.
+
+const (
+	diffKeySpace  = 96
+	diffOpsPerRun = 300
+)
+
+type diffStore struct {
+	name string
+	s    engine.Store
+	devs []*ssd.Device // devices to fault in the transient-faulted run
+}
+
+func diffDevice(name string) *ssd.Device {
+	return ssd.New(ssd.Config{Name: name, MaxIOPS: 1e6, LatencySec: 1e-6})
+}
+
+// buildDiffStores constructs fresh instances of all five stores. The
+// MassTree oracle is always index 0.
+func buildDiffStores(t *testing.T) []diffStore {
+	t.Helper()
+	stores := []diffStore{
+		{name: "masstree", s: engine.WrapMassTree(masstree.New(nil))},
+	}
+
+	bwDev := diffDevice("diff-bw")
+	bwLog, err := logstore.Open(logstore.Config{Device: bwDev, BufferBytes: 4096, SegmentBytes: 16384})
+	if err != nil {
+		t.Fatalf("logstore.Open: %v", err)
+	}
+	bw, err := bwtree.New(bwtree.Config{Store: bwLog, ConsolidateAfter: 4})
+	if err != nil {
+		t.Fatalf("bwtree.New: %v", err)
+	}
+	stores = append(stores, diffStore{name: "bwtree", s: engine.WrapBwTree(bw), devs: []*ssd.Device{bwDev}})
+
+	btDev := diffDevice("diff-bt")
+	bt, err := btree.New(btree.Config{Device: btDev, PoolPages: 8})
+	if err != nil {
+		t.Fatalf("btree.New: %v", err)
+	}
+	stores = append(stores, diffStore{name: "btree", s: engine.WrapBTree(bt), devs: []*ssd.Device{btDev}})
+
+	lsmDev := diffDevice("diff-lsm")
+	ls, err := lsm.New(lsm.Config{Device: lsmDev, MemtableBytes: 4096})
+	if err != nil {
+		t.Fatalf("lsm.New: %v", err)
+	}
+	stores = append(stores, diffStore{name: "lsm", s: engine.WrapLSM(ls), devs: []*ssd.Device{lsmDev}})
+
+	// TC stacks on its own Bw-tree data component; both the DC's log-store
+	// device and the recovery-log device belong to the store for faulting.
+	tcDCDev := diffDevice("diff-tc-dc")
+	tcLog, err := logstore.Open(logstore.Config{Device: tcDCDev, BufferBytes: 4096, SegmentBytes: 16384})
+	if err != nil {
+		t.Fatalf("tc logstore.Open: %v", err)
+	}
+	tcDC, err := bwtree.New(bwtree.Config{Store: tcLog, ConsolidateAfter: 4})
+	if err != nil {
+		t.Fatalf("tc bwtree.New: %v", err)
+	}
+	tcLogDev := diffDevice("diff-tc-log")
+	tcc, err := tc.New(tc.Config{DC: tcDC, LogDevice: tcLogDev, LogBufferBytes: 4096})
+	if err != nil {
+		t.Fatalf("tc.New: %v", err)
+	}
+	stores = append(stores, diffStore{name: "tc", s: engine.WrapTC(tcc), devs: []*ssd.Device{tcDCDev, tcLogDev}})
+
+	return stores
+}
+
+func diffKey(rng *rand.Rand) []byte {
+	return []byte(fmt.Sprintf("key-%04d", rng.Intn(diffKeySpace)))
+}
+
+func diffVal(rng *rand.Rand) []byte {
+	v := make([]byte, 1+rng.Intn(160))
+	rng.Read(v)
+	return v
+}
+
+// collectScan materializes a scan into parallel key/value slices.
+func collectScan(s engine.Store, start []byte, limit int) ([][]byte, [][]byte, error) {
+	var ks, vs [][]byte
+	err := s.Scan(context.Background(), start, limit, func(k, v []byte) bool {
+		ks = append(ks, append([]byte(nil), k...))
+		vs = append(vs, append([]byte(nil), v...))
+		return true
+	})
+	return ks, vs, err
+}
+
+// compareScans asserts store got the byte-identical scan (contents and
+// order) that the oracle produced.
+func compareScans(t *testing.T, seed int64, name string, refK, refV, gotK, gotV [][]byte) {
+	t.Helper()
+	if len(gotK) != len(refK) {
+		t.Errorf("seed %d: %s scan returned %d pairs, oracle %d", seed, name, len(gotK), len(refK))
+		return
+	}
+	for i := range refK {
+		if !bytes.Equal(gotK[i], refK[i]) {
+			t.Errorf("seed %d: %s scan pair %d has key %q, oracle %q", seed, name, i, gotK[i], refK[i])
+			return
+		}
+		if !bytes.Equal(gotV[i], refV[i]) {
+			t.Errorf("seed %d: %s scan pair %d (key %q) value diverges", seed, name, i, refK[i])
+			return
+		}
+	}
+}
+
+// diffOp is one generated operation, identical across stores.
+type diffOp struct {
+	kind  int // 0 put, 1 get, 2 delete, 3 scan
+	key   []byte
+	val   []byte
+	limit int
+}
+
+func genDiffOps(seed int64, n int) []diffOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]diffOp, 0, n)
+	for i := 0; i < n; i++ {
+		op := diffOp{key: diffKey(rng)}
+		switch r := rng.Intn(20); {
+		case r < 11:
+			op.kind = 0
+			op.val = diffVal(rng)
+		case r < 14:
+			op.kind = 1
+		case r < 17:
+			op.kind = 2
+		default:
+			op.kind = 3
+			op.limit = 1 + rng.Intn(12)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// applyOnce applies op to s with no retries, returning the Get result when
+// op is a read.
+func applyOnce(s engine.Store, op diffOp) (val []byte, ok bool, ks, vs [][]byte, err error) {
+	ctx := context.Background()
+	switch op.kind {
+	case 0:
+		err = s.Put(ctx, op.key, op.val)
+	case 1:
+		val, ok, err = s.Get(ctx, op.key)
+	case 2:
+		err = s.Delete(ctx, op.key)
+	case 3:
+		ks, vs, err = collectScan(s, op.key, op.limit)
+	}
+	return val, ok, ks, vs, err
+}
+
+// TestDifferentialStores runs the same seeded workload through all five
+// stores and compares every observable result against the MassTree oracle.
+func TestDifferentialStores(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			stores := buildDiffStores(t)
+			ops := genDiffOps(seed, diffOpsPerRun)
+			for i, op := range ops {
+				refVal, refOK, refK, refV, err := applyOnce(stores[0].s, op)
+				if err != nil {
+					t.Fatalf("seed %d op %d: oracle error: %v", seed, i, err)
+				}
+				for _, ds := range stores[1:] {
+					val, ok, ks, vs, err := applyOnce(ds.s, op)
+					if err != nil {
+						t.Fatalf("seed %d op %d: %s error: %v", seed, i, ds.name, err)
+					}
+					switch op.kind {
+					case 1:
+						if ok != refOK {
+							t.Errorf("seed %d op %d: %s Get(%q) found=%v, oracle %v", seed, i, ds.name, op.key, ok, refOK)
+						} else if ok && !bytes.Equal(val, refVal) {
+							t.Errorf("seed %d op %d: %s Get(%q) value diverges", seed, i, ds.name, op.key)
+						}
+					case 3:
+						compareScans(t, seed, ds.name, refK, refV, ks, vs)
+					}
+				}
+			}
+			// Final full scan: identical residual state in identical order.
+			refK, refV, err := collectScan(stores[0].s, nil, 0)
+			if err != nil {
+				t.Fatalf("seed %d: oracle final scan: %v", seed, err)
+			}
+			for _, ds := range stores[1:] {
+				ks, vs, err := collectScan(ds.s, nil, 0)
+				if err != nil {
+					t.Fatalf("seed %d: %s final scan: %v", seed, ds.name, err)
+				}
+				compareScans(t, seed, ds.name+" final", refK, refV, ks, vs)
+			}
+		})
+	}
+}
+
+// TestDifferentialStoresUnderTransientFaults reruns the workload with
+// transient device faults injected into every device-backed store. Failed
+// operations are retried at the harness level (all five operations are
+// idempotent), so after the injectors are removed every store must converge
+// to the oracle's exact final state — transient faults may cost retries but
+// never state.
+func TestDifferentialStoresUnderTransientFaults(t *testing.T) {
+	seeds := []int64{1001, 1002, 1003, 1004, 1005}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			stores := buildDiffStores(t)
+			for _, ds := range stores {
+				for di, dev := range ds.devs {
+					inj := fault.NewInjector(seed + int64(di)*977)
+					inj.SetReadErrorRate(0.05)
+					inj.SetWriteErrorRate(0.05)
+					dev.SetFaultInjector(inj)
+				}
+			}
+			ops := genDiffOps(seed, diffOpsPerRun)
+			for i, op := range ops {
+				for _, ds := range stores {
+					var err error
+					for attempt := 0; attempt < 200; attempt++ {
+						if _, _, _, _, err = applyOnce(ds.s, op); err == nil {
+							break
+						}
+						if !fault.IsTransient(err) {
+							t.Fatalf("seed %d op %d: %s non-transient error: %v", seed, i, ds.name, err)
+						}
+					}
+					if err != nil {
+						t.Fatalf("seed %d op %d: %s still failing after retries: %v", seed, i, ds.name, err)
+					}
+				}
+			}
+			// Remove the injectors and compare final state byte-for-byte.
+			for _, ds := range stores {
+				for _, dev := range ds.devs {
+					dev.SetFaultInjector(nil)
+				}
+			}
+			refK, refV, err := collectScan(stores[0].s, nil, 0)
+			if err != nil {
+				t.Fatalf("seed %d: oracle final scan: %v", seed, err)
+			}
+			for _, ds := range stores[1:] {
+				ks, vs, err := collectScan(ds.s, nil, 0)
+				if err != nil {
+					t.Fatalf("seed %d: %s final scan: %v", seed, ds.name, err)
+				}
+				compareScans(t, seed, ds.name+" faulted-final", refK, refV, ks, vs)
+			}
+		})
+	}
+}

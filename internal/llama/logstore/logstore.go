@@ -21,6 +21,7 @@ import (
 
 	"costperf/internal/fault"
 	"costperf/internal/metrics"
+	"costperf/internal/obs"
 	"costperf/internal/sim"
 	"costperf/internal/ssd"
 )
@@ -99,6 +100,11 @@ type Config struct {
 	// Retry bounds the backoff loop around device I/O; the zero value
 	// takes fault.DefaultRetry.
 	Retry fault.RetryPolicy
+	// Obs, when non-nil, receives one tracing span per append/read/flush;
+	// reads served by the device (not the write buffer) and appends that
+	// trigger a synchronous flush are marked as misses. Nil traces
+	// nothing at zero cost.
+	Obs *obs.Tracer
 }
 
 func (c *Config) setDefaults() error {
@@ -229,7 +235,9 @@ func encodeHeader(dst []byte, kind Kind, pid uint64, payload []byte) {
 // Append adds a record to the log and returns its address. The record
 // becomes durable at the next buffer flush; it is readable immediately.
 // A nil charger skips CPU accounting.
-func (s *Store) Append(pid uint64, kind Kind, payload []byte, ch *sim.Charger) (Address, error) {
+func (s *Store) Append(pid uint64, kind Kind, payload []byte, ch *sim.Charger) (_ Address, err error) {
+	sp := s.cfg.Obs.Start(obs.OpPut)
+	defer func() { sp.End(err) }()
 	if kind != KindBase && kind != KindDelta {
 		return Address{}, fmt.Errorf("logstore: cannot append kind %d", kind)
 	}
@@ -255,6 +263,7 @@ func (s *Store) Append(pid uint64, kind Kind, payload []byte, ch *sim.Charger) (
 	off := s.bufStart + int64(len(s.buf))
 	segEnd := (s.segIndex(off) + 1) * s.cfg.SegmentBytes
 	if off+recLen > segEnd {
+		sp.Miss() // segment padding may flush the buffer to the device
 		if err := s.padToLocked(segEnd, ch); err != nil {
 			return Address{}, err
 		}
@@ -262,6 +271,7 @@ func (s *Store) Append(pid uint64, kind Kind, payload []byte, ch *sim.Charger) (
 	}
 	// Flush if the buffer cannot hold the record.
 	if int64(len(s.buf))+recLen > int64(s.cfg.BufferBytes) {
+		sp.Miss() // this append pays for the synchronous buffer flush
 		if err := s.flushLocked(ch); err != nil {
 			return Address{}, err
 		}
@@ -316,10 +326,13 @@ func (s *Store) Flush(ch *sim.Charger) error {
 	return s.flushLocked(ch)
 }
 
-func (s *Store) flushLocked(ch *sim.Charger) error {
+func (s *Store) flushLocked(ch *sim.Charger) (err error) {
 	if len(s.buf) == 0 {
 		return nil
 	}
+	sp := s.cfg.Obs.Start(obs.OpFlush)
+	sp.Miss() // a flush is by definition a device write
+	defer func() { sp.End(err) }()
 	if s.stats.Health.Degraded() {
 		return ErrDegraded
 	}
@@ -329,7 +342,7 @@ func (s *Store) flushLocked(ch *sim.Charger) error {
 	// cancellation is carried down via a detached charger. An aborted
 	// flush is not a store failure: the buffer survives for the next try.
 	dch := sim.DetachedCharger(ch.Context())
-	err := s.cfg.Retry.DoCtx(ch.Context(), &s.stats.Retry, func() error {
+	err = s.cfg.Retry.DoCtx(ch.Context(), &s.stats.Retry, func() error {
 		return s.cfg.Device.WriteAt(s.bufStart, s.buf, dch)
 	})
 	if err != nil {
@@ -347,7 +360,9 @@ func (s *Store) flushLocked(ch *sim.Charger) error {
 // Read fetches the record at addr. Reads of still-buffered records are
 // served from memory without I/O (and without escalating the operation to
 // SS class).
-func (s *Store) Read(addr Address, ch *sim.Charger) (Record, error) {
+func (s *Store) Read(addr Address, ch *sim.Charger) (_ Record, err error) {
+	sp := s.cfg.Obs.Start(obs.OpGet)
+	defer func() { sp.End(err) }()
 	if addr.IsNil() || addr.Len < 0 {
 		return Record{}, ErrBadAddress
 	}
@@ -380,6 +395,7 @@ func (s *Store) Read(addr Address, ch *sim.Charger) (Record, error) {
 	}
 	s.mu.Unlock()
 
+	sp.Miss() // past the buffered tail: served by the device
 	raw, err := s.cfg.Device.ReadAt(off, total, ch)
 	if err != nil {
 		return Record{}, err

@@ -10,6 +10,7 @@ import (
 
 	"costperf/internal/fault"
 	"costperf/internal/metrics"
+	"costperf/internal/obs"
 	"costperf/internal/sim"
 	"costperf/internal/ssd"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// Retry bounds the backoff loop around device I/O; the zero value
 	// takes fault.DefaultRetry.
 	Retry fault.RetryPolicy
+	// Obs, when non-nil, receives one tracing span per operation; table
+	// reads and synchronous flushes mark the span as having touched the
+	// device. Nil traces nothing at zero cost.
+	Obs *obs.Tracer
 }
 
 func (c *Config) setDefaults() error {
@@ -156,10 +161,17 @@ func (t *Tree) DeleteCtx(ctx context.Context, key []byte) error {
 }
 
 func (t *Tree) write(key, val []byte, tombstone bool, ch *sim.Charger) error {
+	op := obs.OpPut
+	if tombstone {
+		op = obs.OpDelete
+	}
+	sp := t.cfg.Obs.Start(op)
 	if t.stats.Health.Degraded() {
+		sp.End(ErrDegraded)
 		return ErrDegraded
 	}
 	if err := ch.Err(); err != nil {
+		sp.End(err)
 		return err // cancelled before the memtable was touched
 	}
 	t.mu.Lock()
@@ -169,6 +181,7 @@ func (t *Tree) write(key, val []byte, tombstone bool, ch *sim.Charger) error {
 	}
 	var err error
 	if t.mem.bytes >= t.cfg.MemtableBytes {
+		sp.Miss() // this write pays for the synchronous flush I/O
 		err = t.flushLocked(ch)
 	}
 	t.mu.Unlock()
@@ -178,6 +191,7 @@ func (t *Tree) write(key, val []byte, tombstone bool, ch *sim.Charger) error {
 		t.stats.Puts.Inc()
 	}
 	settle(ch)
+	sp.End(err)
 	return err
 }
 
@@ -270,8 +284,10 @@ func (t *Tree) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
 	return t.get(key, t.beginCtx(ctx))
 }
 
-func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
+func (t *Tree) get(key []byte, ch *sim.Charger) (_ []byte, _ bool, err error) {
+	sp := t.cfg.Obs.Start(obs.OpGet)
 	if err := ch.Err(); err != nil {
+		sp.End(err)
 		return nil, false, err
 	}
 	t.mu.RLock()
@@ -279,12 +295,13 @@ func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
 		t.mu.RUnlock()
 		t.stats.Gets.Inc()
 		settle(ch)
+		sp.End(err)
 	}()
 	if v, tomb, found := t.mem.get(key, ch); found {
 		return v, !tomb && true, nil
 	}
 	for _, tbl := range t.levels[0] {
-		e, found, err := t.tableGet(tbl, key, ch)
+		e, found, err := t.tableGet(tbl, key, ch, &sp)
 		if err != nil {
 			return nil, false, err
 		}
@@ -300,7 +317,7 @@ func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
 		if i >= len(tables) || bytes.Compare(key, tables[i].min) < 0 {
 			continue
 		}
-		e, found, err := t.tableGet(tables[i], key, ch)
+		e, found, err := t.tableGet(tables[i], key, ch, &sp)
 		if err != nil {
 			return nil, false, err
 		}
@@ -311,7 +328,7 @@ func (t *Tree) get(key []byte, ch *sim.Charger) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
-func (t *Tree) tableGet(tbl *sstable, key []byte, ch *sim.Charger) (kv, bool, error) {
+func (t *Tree) tableGet(tbl *sstable, key []byte, ch *sim.Charger, sp *obs.Span) (kv, bool, error) {
 	if !tbl.filter.mayContain(key) {
 		if ch != nil {
 			ch.Hash()
@@ -320,6 +337,7 @@ func (t *Tree) tableGet(tbl *sstable, key []byte, ch *sim.Charger) (kv, bool, er
 		return kv{}, false, nil
 	}
 	t.stats.TableReads.Inc()
+	sp.Miss() // bloom filter passed: this lookup reads the table on device
 	var e kv
 	var found bool
 	err := t.cfg.Retry.DoCtx(ch.Context(), &t.stats.Retry, func() error {
@@ -539,8 +557,10 @@ func (t *Tree) ScanCtx(ctx context.Context, start []byte, limit int, fn func(k, 
 	return t.scan(start, limit, fn, t.beginCtx(ctx))
 }
 
-func (t *Tree) scan(start []byte, limit int, fn func(k, v []byte) bool, ch *sim.Charger) error {
+func (t *Tree) scan(start []byte, limit int, fn func(k, v []byte) bool, ch *sim.Charger) (err error) {
+	sp := t.cfg.Obs.Start(obs.OpScan)
 	if err := ch.Err(); err != nil {
+		sp.End(err)
 		return err
 	}
 	t.mu.RLock()
@@ -548,6 +568,7 @@ func (t *Tree) scan(start []byte, limit int, fn func(k, v []byte) bool, ch *sim.
 		t.mu.RUnlock()
 		t.stats.Scans.Inc()
 		settle(ch)
+		sp.End(err)
 	}()
 
 	// Materialize sources newest-first. Scans over on-device tables read
@@ -559,6 +580,7 @@ func (t *Tree) scan(start []byte, limit int, fn func(k, v []byte) bool, ch *sim.
 	}
 	sources = append(sources, memRun)
 	for _, tbl := range t.levels[0] {
+		sp.Miss() // each table contributes a sequential device read
 		entries, err := t.tableReadAll(tbl, ch)
 		if err != nil {
 			return err
@@ -571,6 +593,7 @@ func (t *Tree) scan(start []byte, limit int, fn func(k, v []byte) bool, ch *sim.
 			if bytes.Compare(tbl.max, start) < 0 {
 				continue
 			}
+			sp.Miss()
 			entries, err := t.tableReadAll(tbl, ch)
 			if err != nil {
 				return err

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"costperf/internal/metrics"
+	"costperf/internal/obs"
 	"costperf/internal/sim"
 )
 
@@ -125,6 +126,7 @@ type Tree struct {
 	mu      sync.RWMutex
 	top     *layer
 	session *sim.Session
+	obs     *obs.Tracer
 	stats   Stats
 	mem     atomic.Int64
 	count   atomic.Int64
@@ -140,6 +142,12 @@ func New(session *sim.Session) *Tree {
 
 // Stats returns the tree's counters.
 func (t *Tree) Stats() *Stats { return &t.stats }
+
+// SetObs installs a tracer receiving one span per operation (see
+// internal/obs). MassTree is a pure main-memory structure, so its spans
+// are always hits — they anchor the measured MM op latency (the paper's
+// 1/ROPS) that SS-touching stores are compared against. Nil disables.
+func (t *Tree) SetObs(tr *obs.Tracer) { t.obs = tr }
 
 // Len returns the number of live keys.
 func (t *Tree) Len() int { return int(t.count.Load()) }
@@ -169,6 +177,8 @@ func compare(ch *sim.Charger, n int) {
 
 // Get returns the value stored for key.
 func (t *Tree) Get(key []byte) ([]byte, bool) {
+	sp := t.obs.Start(obs.OpGet)
+	defer sp.End(nil)
 	ch := t.begin()
 	t.mu.RLock()
 	val, ok := t.top.get(key, ch)
@@ -232,6 +242,8 @@ func (b *border) search(sk slicedKey, ch *sim.Charger) int {
 
 // Put inserts or overwrites key -> val.
 func (t *Tree) Put(key, val []byte) {
+	sp := t.obs.Start(obs.OpPut)
+	defer sp.End(nil)
 	key = append([]byte(nil), key...)
 	val = append([]byte(nil), val...)
 	ch := t.begin()
@@ -350,6 +362,8 @@ func insertRec(n node, ne entry, ch *sim.Charger, st *Stats, grown *int) (bool, 
 // not rebalanced (lazy deletion, as in the original's common case); empty
 // sub-layers are unlinked when their last key disappears.
 func (t *Tree) Delete(key []byte) bool {
+	sp := t.obs.Start(obs.OpDelete)
+	defer sp.End(nil)
 	ch := t.begin()
 	t.mu.Lock()
 	removed, memDelta := t.top.del(key, ch)

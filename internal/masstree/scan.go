@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sort"
 
+	"costperf/internal/obs"
 	"costperf/internal/sim"
 )
 
@@ -12,6 +13,8 @@ import (
 // visited (limit <= 0 means unlimited). The scan holds a shared lock, so
 // it observes a consistent snapshot.
 func (t *Tree) Scan(start []byte, limit int, fn func(key, val []byte) bool) {
+	sp := t.obs.Start(obs.OpScan)
+	defer sp.End(nil)
 	ch := t.begin()
 	t.mu.RLock()
 	visited := 0

@@ -5,9 +5,18 @@ import "fmt"
 // IOStats aggregates the I/O-level counters every storage engine in this
 // repository reports. The cost model consumes these to attribute secondary
 // storage execution and rental costs (paper Section 3.2).
+//
+// Retry accounting: Reads and Writes count *logical* I/Os — each request
+// that ultimately succeeded counts exactly once, no matter how many times a
+// bounded-retry loop re-issued it. Every failed physical attempt is charged
+// to FailedReads/FailedWrites instead (and still accrues device busy time),
+// so total physical device traffic is Reads+FailedReads (resp.
+// Writes+FailedWrites) and retries can never inflate the logical op counts.
 type IOStats struct {
-	Reads        Counter // read I/O operations issued to the device
-	Writes       Counter // write I/O operations issued to the device
+	Reads        Counter // read I/Os completed (logical: once per successful request)
+	Writes       Counter // write I/Os completed (logical: once per successful request)
+	FailedReads  Counter // failed physical read attempts (each retry re-issue that errored)
+	FailedWrites Counter // failed physical write attempts (each retry re-issue that errored)
 	BytesRead    Counter // bytes transferred device -> memory
 	BytesWritten Counter // bytes transferred memory -> device
 	CacheHits    Counter // operations satisfied from the in-memory cache (MM ops)
@@ -42,6 +51,8 @@ func (s *IOStats) WriteAmplification() float64 {
 func (s *IOStats) Reset() {
 	s.Reads.Reset()
 	s.Writes.Reset()
+	s.FailedReads.Reset()
+	s.FailedWrites.Reset()
 	s.BytesRead.Reset()
 	s.BytesWritten.Reset()
 	s.CacheHits.Reset()
@@ -53,7 +64,8 @@ func (s *IOStats) Reset() {
 
 // String renders the stats for experiment logs.
 func (s *IOStats) String() string {
-	return fmt.Sprintf("reads=%d writes=%d bytesR=%d bytesW=%d hits=%d misses=%d (F=%.4f) evict=%d",
-		s.Reads.Value(), s.Writes.Value(), s.BytesRead.Value(), s.BytesWritten.Value(),
+	return fmt.Sprintf("reads=%d writes=%d failedR=%d failedW=%d bytesR=%d bytesW=%d hits=%d misses=%d (F=%.4f) evict=%d",
+		s.Reads.Value(), s.Writes.Value(), s.FailedReads.Value(), s.FailedWrites.Value(),
+		s.BytesRead.Value(), s.BytesWritten.Value(),
 		s.CacheHits.Value(), s.CacheMisses.Value(), s.MissRatio(), s.Evictions.Value())
 }

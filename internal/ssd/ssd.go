@@ -138,6 +138,20 @@ type FaultInjector interface {
 	WriteFault(off int64, data []byte) FaultOutcome
 }
 
+// IOObserver receives one callback per physical I/O attempt the device
+// executes. The canonical implementation is internal/obs.Tracer (matched
+// structurally so the device does not depend on the obs package): the SSD
+// charges the store's tracer with the simulated IOPS cost and busy latency
+// of every transfer, including failed attempts that a retry loop will
+// re-issue. Implementations must be cheap (atomic adds) and safe for
+// concurrent use; the device may invoke them with its own lock held.
+type IOObserver interface {
+	// ObserveIO reports one attempt: direction, payload bytes moved
+	// (0 for failed attempts), device-busy seconds charged, and whether
+	// the attempt failed with an injected fault.
+	ObserveIO(write bool, bytes int, busySec float64, failed bool)
+}
+
 const chunkSize = 1 << 16 // 64 KiB sparse chunks
 
 // Device is a simulated secondary-storage device. It is safe for
@@ -157,6 +171,7 @@ type Device struct {
 	closed   bool
 	injector FaultInjector // programmable fault injection (may be nil)
 	shim     *legacyShim   // lazily created by the deprecated fault hooks
+	observer IOObserver    // per-attempt telemetry sink (may be nil)
 
 	written   atomic.Int64 // high-water mark of bytes addressed
 	busyNanos atomic.Int64 // accumulated device-busy virtual nanoseconds
@@ -202,6 +217,14 @@ func (d *Device) chargeIO(ch *sim.Charger) {
 // accountBusy charges device-busy time for one I/O.
 func (d *Device) accountBusy() {
 	d.busyNanos.Add(d.busyPerIONos)
+}
+
+// observeLocked reports one physical attempt to the installed observer.
+// Caller holds d.mu (observers must be atomic-cheap, see IOObserver).
+func (d *Device) observeLocked(write bool, bytes int, busySec float64, failed bool) {
+	if d.observer != nil {
+		d.observer.ObserveIO(write, bytes, busySec, failed)
+	}
 }
 
 // BusySeconds returns accumulated device-busy virtual time; the harness
@@ -272,8 +295,10 @@ func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
 		return ErrClosed
 	}
 	fo := d.faultOnWriteLocked(off, data)
+	attemptBusy := float64(d.busyPerIONos) / 1e9
 	if fo.ExtraBusySec > 0 {
 		d.busyNanos.Add(int64(fo.ExtraBusySec * 1e9))
+		attemptBusy += fo.ExtraBusySec
 	}
 	towrite := data
 	if fo.Tear {
@@ -300,12 +325,20 @@ func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
 		if fo.Tear && len(towrite) > 0 {
 			d.writeLocked(off, towrite)
 		}
+		// The failed attempt still occupied the device and consumed an
+		// I/O slot: charge busy time and the physical-attempt counter,
+		// but no logical write and no payload bytes — a bounded-retry
+		// loop re-issuing this request must not inflate logical counts.
+		d.accountBusy()
+		d.stats.FailedWrites.Inc()
+		d.observeLocked(true, 0, attemptBusy, true)
 		return fo.Err
 	}
 	d.writeLocked(off, towrite)
 	d.accountBusy()
 	d.stats.Writes.Inc()
 	d.stats.BytesWritten.Add(int64(len(data)))
+	d.observeLocked(true, len(data), attemptBusy, false)
 	d.chargeIO(ch)
 	return nil
 }
@@ -355,10 +388,17 @@ func (d *Device) ReadAt(off int64, length int, ch *sim.Charger) ([]byte, error) 
 		return nil, ErrClosed
 	}
 	fo := d.faultOnReadLocked(off, length)
+	attemptBusy := float64(d.busyPerIONos) / 1e9
 	if fo.ExtraBusySec > 0 {
 		d.busyNanos.Add(int64(fo.ExtraBusySec * 1e9))
+		attemptBusy += fo.ExtraBusySec
 	}
 	if fo.Err != nil {
+		// Failed physical attempt: busy time and attempt counter, no
+		// logical read (see WriteAt's failure path).
+		d.accountBusy()
+		d.stats.FailedReads.Inc()
+		d.observeLocked(false, 0, attemptBusy, true)
 		d.mu.Unlock()
 		return nil, fo.Err
 	}
@@ -374,6 +414,7 @@ func (d *Device) ReadAt(off int64, length int, ch *sim.Charger) ([]byte, error) 
 	d.accountBusy()
 	d.stats.Reads.Inc()
 	d.stats.BytesRead.Add(int64(length))
+	d.observeLocked(false, length, attemptBusy, false)
 	d.mu.Unlock()
 	d.chargeIO(ch)
 	return out, nil
@@ -457,6 +498,14 @@ func (d *Device) SetFaultInjector(fi FaultInjector) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.injector = fi
+}
+
+// SetObserver installs (or, with nil, removes) a per-attempt I/O telemetry
+// sink. See internal/obs.Tracer for the canonical implementation.
+func (d *Device) SetObserver(o IOObserver) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.observer = o
 }
 
 // legacyShim implements FaultInjector for the deprecated ad-hoc fault

@@ -3,6 +3,8 @@ package tc
 import (
 	"bytes"
 	"sort"
+
+	"costperf/internal/obs"
 )
 
 // Scanner is the optional range-scan capability of a data component.
@@ -22,14 +24,19 @@ type Scanner interface {
 // same key — including versions newer than the snapshot, whose presence
 // means the DC already holds post-snapshot state and the version store is
 // the authority for visibility.
-func (t *Tx) Scan(start []byte, limit int, fn func(key, val []byte) bool) error {
+func (t *Tx) Scan(start []byte, limit int, fn func(key, val []byte) bool) (err error) {
 	if t.done {
 		return ErrTxDone
 	}
+	sp := t.tc.cfg.Obs.Start(obs.OpScan)
+	defer func() { sp.End(err) }()
 	sc, ok := t.tc.cfg.DC.(Scanner)
 	if !ok {
 		return ErrNoScan
 	}
+	// The DC walk below always runs, so a snapshot scan escapes the TC's
+	// caching tiers by construction.
+	sp.Miss()
 	// Collect the overlay: own writes + visible versions, with own writes
 	// winning; record keys whose visible state is "absent".
 	type overlayEntry struct {
@@ -86,7 +93,7 @@ func (t *Tx) Scan(start []byte, limit int, fn func(key, val []byte) bool) error 
 	}
 	oi := 0
 	cont := true
-	err := sc.Scan(start, 0, func(dk, dv []byte) bool {
+	err = sc.Scan(start, 0, func(dk, dv []byte) bool {
 		// Emit overlay keys strictly before the DC key.
 		for oi < len(keys) && keys[oi] < string(dk) {
 			e := overlay[keys[oi]]

@@ -8,6 +8,7 @@ import (
 
 	"costperf/internal/fault"
 	"costperf/internal/metrics"
+	"costperf/internal/obs"
 	"costperf/internal/recordcache"
 	"costperf/internal/sim"
 	"costperf/internal/ssd"
@@ -91,6 +92,10 @@ type Config struct {
 	// Retry bounds the backoff loop around log-device I/O; the zero value
 	// takes fault.DefaultRetry.
 	Retry fault.RetryPolicy
+	// Obs, when non-nil, receives one tracing span per transactional
+	// read/commit; reads that fall through to the data component are
+	// marked as misses. Nil traces nothing at zero cost.
+	Obs *obs.Tracer
 }
 
 // TC is the transaction component. Safe for concurrent use.
@@ -176,11 +181,13 @@ func (tc *TC) begin() *sim.Charger {
 // Read returns the value of key visible at the transaction's snapshot.
 // The lookup path is the Figure 6 cascade: own writes, MVCC version store
 // (recovery-log record cache), read cache, then the data component.
-func (t *Tx) Read(key []byte) ([]byte, bool, error) {
+func (t *Tx) Read(key []byte) (_ []byte, _ bool, err error) {
 	if t.done {
 		return nil, false, ErrTxDone
 	}
 	tc := t.tc
+	sp := tc.cfg.Obs.Start(obs.OpGet)
+	defer func() { sp.End(err) }()
 	ch := tc.begin()
 	if ch != nil {
 		ch.Hash()
@@ -237,7 +244,10 @@ func (t *Tx) Read(key []byte) ([]byte, bool, error) {
 		}
 		return v, true, nil
 	}
-	// 4. Data component.
+	// 4. Data component. The TC's own caches all missed; whether the DC
+	// itself hits memory is the DC's span to report — from the TC's view
+	// this read escaped its caching tiers.
+	sp.Miss()
 	tc.stats.DCReads.Inc()
 	if ch != nil {
 		ch.Settle() // the DC charges its own operation
@@ -297,12 +307,14 @@ func (t *Tx) Delete(key []byte) error {
 
 // Commit validates (first-committer-wins), appends the redo record,
 // installs versions, and posts blind updates to the data component.
-func (t *Tx) Commit() error {
+func (t *Tx) Commit() (err error) {
 	if t.done {
 		return ErrTxDone
 	}
 	t.done = true
 	tc := t.tc
+	sp := tc.cfg.Obs.Start(obs.OpCommit)
+	defer func() { sp.End(err) }()
 	if tc.closed.Load() {
 		return ErrClosed
 	}

@@ -6,6 +6,11 @@
 #
 # Set CHECK_SHORT=1 for the CI-friendly variant: identical coverage, but
 # the seeded chaos/crash matrices run their -short subset of seeds.
+#
+# Set CHECK_RACE=1 to run the entire module under the race detector (with
+# -short workloads) instead of the targeted storage-stack list — broader
+# coverage (obs, workload, experiments, the differential suite) at several
+# times the runtime.
 set -eux
 
 SHORT=""
@@ -16,13 +21,17 @@ fi
 go vet ./...
 go build ./...
 go test $SHORT ./...
-go test $SHORT -race \
-    ./internal/bwtree \
-    ./internal/llama/... \
-    ./internal/tc \
-    ./internal/ssd \
-    ./internal/fault \
-    ./internal/lsm \
-    ./internal/metrics \
-    ./internal/engine \
-    ./internal/integration
+if [ -n "${CHECK_RACE:-}" ]; then
+    go test -race -short ./...
+else
+    go test $SHORT -race \
+        ./internal/bwtree \
+        ./internal/llama/... \
+        ./internal/tc \
+        ./internal/ssd \
+        ./internal/fault \
+        ./internal/lsm \
+        ./internal/metrics \
+        ./internal/engine \
+        ./internal/integration
+fi
