@@ -73,6 +73,10 @@ func main() {
 	queue := flag.Int("queue", 0, "engine admission queue bound (default 2*concurrency)")
 	obsDump := flag.Bool("obs", false,
 		"trace every operation and print a per-store cost table (measured F, R, ROPS, IOPS, live $/op and five-minute-rule breakeven)")
+	mirror := flag.Bool("mirror", false,
+		"run the store on a self-healing mirrored device pair (ssd.Mirror): verified reads, read-repair, quarantine; doubles the SS rent in -obs costs")
+	scrubRate := flag.Float64("scrub-rate", 256,
+		"background scrubber budget in pages/sec with -mirror (each page costs one read per leg; 0 disables the scrubber)")
 	flag.Parse()
 
 	if *deadline > 0 && *concurrency <= 0 {
@@ -84,13 +88,13 @@ func main() {
 			valueSize: *valueSize, pool: *pool, seed: *seed,
 			recordTo: *recordTo, replayFrom: *replayFrom, faultSpec: *faultSpec,
 			concurrency: *concurrency, deadline: *deadline, queue: *queue,
-			obs: *obsDump,
+			obs: *obsDump, mirror: *mirror, scrubRate: *scrubRate,
 		})
 		return
 	}
 
 	sess := sim.NewSession(sim.DefaultCosts())
-	dev := ssd.New(ssd.SamsungSSD)
+	dev, mir := newDevice(*mirror)
 
 	// With -obs every store operation is traced; the store's tracer also
 	// observes the device, so physical I/O is attributed to it directly.
@@ -100,6 +104,9 @@ func main() {
 		reg = obs.NewRegistry()
 		tr = reg.Tracer(*storeName)
 		dev.SetObserver(tr)
+		if mir != nil {
+			tr.FoldMirror(mir.MirrorStats())
+		}
 	}
 
 	var s store
@@ -164,6 +171,11 @@ func main() {
 		check(err)
 		dev.SetFaultInjector(inj)
 		fmt.Printf("injecting faults: %s\n", *faultSpec)
+	}
+	if mir != nil && *scrubRate > 0 {
+		mir.StartScrub(*scrubRate)
+		defer mir.StopScrub()
+		fmt.Printf("scrubbing at %.0f pages/sec (%.0f IOPS budget)\n", *scrubRate, 2**scrubRate)
 	}
 
 	apply := func(i int, op workload.Op) {
@@ -234,11 +246,25 @@ func main() {
 		fmt.Printf("  measured R = %.2f (paper: 5.8 user-level, ~9 kernel)\n", tk.R())
 	}
 	fmt.Printf("  device: %s\n", dev.Stats().String())
+	if mir != nil {
+		fmt.Printf("  mirror: %s\n", mir.MirrorStats().String())
+	}
 	if *faultSpec != "" && faultReport != nil {
 		fmt.Println("fault absorption:")
 		faultReport()
 	}
 	printObsTable(reg)
+}
+
+// newDevice builds the benchmark device: a bare SamsungSSD, or (with
+// -mirror) a self-healing mirrored pair whose non-nil *ssd.Mirror is also
+// returned for scrubber control and stats.
+func newDevice(mirrored bool) (ssd.Dev, *ssd.Mirror) {
+	if mirrored {
+		m := ssd.NewMirror(ssd.SamsungSSD)
+		return m, m
+	}
+	return ssd.New(ssd.SamsungSSD), nil
 }
 
 // printObsTable renders the registry's per-store cost table against the
@@ -314,6 +340,8 @@ type engineModeConfig struct {
 	concurrency, queue   int
 	deadline             time.Duration
 	obs                  bool
+	mirror               bool
+	scrubRate            float64
 }
 
 // runEngineMode drives the workload through internal/engine with N worker
@@ -324,13 +352,16 @@ type engineModeConfig struct {
 // shared charger, and the interesting numbers in this mode are latency
 // percentiles and shed/timeout counts, not cost units.
 func runEngineMode(cfg engineModeConfig) {
-	dev := ssd.New(ssd.SamsungSSD)
+	dev, mir := newDevice(cfg.mirror)
 	var reg *obs.Registry
 	var tr *obs.Tracer
 	if cfg.obs {
 		reg = obs.NewRegistry()
 		tr = reg.Tracer(cfg.store)
 		dev.SetObserver(tr)
+		if mir != nil {
+			tr.FoldMirror(mir.MirrorStats())
+		}
 	}
 	var es engine.Store
 	switch cfg.store {
@@ -378,6 +409,11 @@ func runEngineMode(cfg engineModeConfig) {
 
 	if reg != nil {
 		reg.ResetAll() // measure the run, not the load
+	}
+	if mir != nil && cfg.scrubRate > 0 {
+		mir.StartScrub(cfg.scrubRate)
+		defer mir.StopScrub()
+		fmt.Printf("scrubbing at %.0f pages/sec (%.0f IOPS budget)\n", cfg.scrubRate, 2*cfg.scrubRate)
 	}
 
 	ops := collectOps(cfg)
@@ -456,6 +492,9 @@ func runEngineMode(cfg engineModeConfig) {
 	}
 	fmt.Printf("  engine: %s\n", st.String())
 	fmt.Printf("  device: %s\n", dev.Stats().String())
+	if mir != nil {
+		fmt.Printf("  mirror: %s\n", mir.MirrorStats().String())
+	}
 	printObsTable(reg)
 	check(eng.Close())
 }

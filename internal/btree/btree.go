@@ -104,12 +104,16 @@ type Stats struct {
 	PoolHits   metrics.Counter
 	PoolMisses metrics.Counter
 	WriteBacks metrics.Counter
+	// Health latches degraded (read-only) when the backing device reports
+	// unrecoverable corruption (an ssd.Mirror quarantining a page).
+	Health metrics.Health
 }
 
 // Config configures a Tree.
 type Config struct {
-	// Device is the backing page-slot device.
-	Device *ssd.Device
+	// Device is the backing page-slot device — a plain *ssd.Device or an
+	// *ssd.Mirror for checksum-verified, self-healing storage.
+	Device ssd.Dev
 	// PoolPages is the buffer-pool capacity in pages (default 1024).
 	PoolPages int
 	// Session enables execution-cost accounting (may be nil).
@@ -144,6 +148,13 @@ func New(cfg Config) (*Tree, error) {
 		return nil, fmt.Errorf("btree: pool of %d pages too small", cfg.PoolPages)
 	}
 	t := &Tree{cfg: cfg, pool: map[pageID]*page{}, nextID: 1}
+	// A self-healing device (ssd.Mirror) escalates unrecoverable dual-leg
+	// corruption by latching the tree's health read-only.
+	if ha, ok := cfg.Device.(interface {
+		AttachHealth(*metrics.Health)
+	}); ok {
+		ha.AttachHealth(&t.stats.Health)
+	}
 	root := t.allocLocked(true)
 	t.root = root.id
 	return t, nil
@@ -194,6 +205,9 @@ func (t *Tree) fetch(id pageID, ch *sim.Charger) (*page, error) {
 	}
 	p, err := deserialize(id, raw)
 	if err != nil {
+		// The transfer succeeded but the page image is garbage: count a
+		// failed physical read, not a logical one.
+		t.cfg.Device.Stats().ReclassifyRead()
 		return nil, err
 	}
 	if ch != nil {

@@ -76,7 +76,7 @@ var ErrNoPage = errors.New("compress: no such page")
 // PageStore keeps pages compressed on a device. Every read is a CSS
 // operation: one I/O plus decompression CPU.
 type PageStore struct {
-	dev     *ssd.Device
+	dev     ssd.Dev
 	session *sim.Session
 	level   int
 
@@ -94,7 +94,7 @@ type extent struct {
 
 // NewPageStore creates a compressed page store on the device. level is
 // the flate level (0 = default).
-func NewPageStore(dev *ssd.Device, session *sim.Session, level int) (*PageStore, error) {
+func NewPageStore(dev ssd.Dev, session *sim.Session, level int) (*PageStore, error) {
 	if dev == nil {
 		return nil, errors.New("compress: nil device")
 	}

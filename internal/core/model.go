@@ -208,6 +208,25 @@ func (c Costs) WithIOPS(iops, iopsCost float64) Costs {
 	return c
 }
 
+// WithReplication returns a copy of c with the secondary-storage rent
+// multiplied by n device legs — the cost of an n-way mirror in the
+// paper's Eq. 4–6 terms. Every mirrored byte occupies flash on all n
+// legs, so $Fl scales by n in both the MM rent term Ps*($M+$Fl) (Eq. 4:
+// the durable flash copy behind the cache is mirrored too) and the SS
+// term Ps*$Fl (Eq. 5). Reads are served by one leg, but every write
+// lands on all n, so the rented I/O capability needed per operation
+// scales with the write share — we charge $I conservatively at n, which
+// upper-bounds the mirrored $/op and shortens the Eq. 6 breakeven: DRAM
+// caching pays off sooner when flash rent doubles. n < 1 panics.
+func (c Costs) WithReplication(n int) Costs {
+	if n < 1 {
+		panic(fmt.Sprintf("core: replication factor %d < 1", n))
+	}
+	c.FlashPerByte *= float64(n)
+	c.IOPSCost *= float64(n)
+	return c
+}
+
 // StorageCostRatio returns the MM-vs-SS storage rent ratio,
 // (M+Fl)/Fl — about 11x with paper parameters (Section 4.2).
 func (c Costs) StorageCostRatio() float64 {

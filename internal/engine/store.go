@@ -61,9 +61,11 @@ func (s *bwStore) Close() error            { return s.t.Close() }
 
 type btStore struct{ t *btree.Tree }
 
-// WrapBTree adapts the classic buffer-pool B-tree to Store. It has no
-// latching health indicator: a persistent device failure surfaces as an
-// operation error and is handled by the engine's circuit breaker alone.
+// WrapBTree adapts the classic buffer-pool B-tree to Store. The tree's
+// health latches degraded only when its backing device reports
+// unrecoverable corruption (an ssd.Mirror quarantining a page); ordinary
+// persistent device failures still surface as operation errors handled by
+// the engine's circuit breaker.
 func WrapBTree(t *btree.Tree) Store { return &btStore{t: t} }
 
 func (s *btStore) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
@@ -78,7 +80,7 @@ func (s *btStore) Delete(ctx context.Context, key []byte) error {
 func (s *btStore) Scan(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
 	return s.t.ScanCtx(ctx, start, limit, fn)
 }
-func (s *btStore) Health() *metrics.Health { return nil }
+func (s *btStore) Health() *metrics.Health { return &s.t.Stats().Health }
 func (s *btStore) Close() error            { return s.t.Close() }
 
 // --- LSM ---

@@ -43,7 +43,7 @@ type kvDriver struct {
 	footprint func() int64
 }
 
-func bwDriver(sess *sim.Session, dev *ssd.Device) (*kvDriver, error) {
+func bwDriver(sess *sim.Session, dev ssd.Dev) (*kvDriver, error) {
 	st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 18, SegmentBytes: 1 << 20})
 	if err != nil {
 		return nil, err
@@ -81,7 +81,7 @@ func mtDriver(sess *sim.Session) *kvDriver {
 	}
 }
 
-func lsmDriver(sess *sim.Session, dev *ssd.Device) (*kvDriver, error) {
+func lsmDriver(sess *sim.Session, dev ssd.Dev) (*kvDriver, error) {
 	tr, err := lsm.New(lsm.Config{Device: dev, Session: sess})
 	if err != nil {
 		return nil, err
@@ -99,7 +99,7 @@ func lsmDriver(sess *sim.Session, dev *ssd.Device) (*kvDriver, error) {
 	}, nil
 }
 
-func btDriver(sess *sim.Session, dev *ssd.Device, pool int) (*kvDriver, error) {
+func btDriver(sess *sim.Session, dev ssd.Dev, pool int) (*kvDriver, error) {
 	tr, err := btree.New(btree.Config{Device: dev, PoolPages: pool, Session: sess})
 	if err != nil {
 		return nil, err

@@ -26,7 +26,7 @@ import (
 // stack bundles a Bw-tree data-caching stack for experiments.
 type stack struct {
 	sess *sim.Session
-	dev  *ssd.Device
+	dev  ssd.Dev
 	st   *logstore.Store
 	tree *bwtree.Tree
 }

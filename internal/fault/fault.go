@@ -91,7 +91,10 @@ func Classify(err error) Class {
 		return ClassNone
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return ClassAborted
-	case errors.Is(err, ErrCorrupt):
+	case errors.Is(err, ErrCorrupt), errors.Is(err, ssd.ErrCorrupt):
+		// ssd.ErrCorrupt covers the mirror's verified-read failures,
+		// including ssd.ErrQuarantined (which wraps it): bytes failed
+		// verification on every available copy, so retrying cannot help.
 		return ClassCorrupt
 	case errors.Is(err, ErrTransient),
 		errors.Is(err, ssd.ErrInjectedRead),

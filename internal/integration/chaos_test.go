@@ -120,19 +120,19 @@ type chaosVariant struct {
 	name string
 	// build creates the store over dev (traced by tr) and returns its engine
 	// Store plus a checkpoint func (the store's durable commit point).
-	build func(t *testing.T, dev *ssd.Device, tr *obs.Tracer) (engine.Store, func() error)
+	build func(t *testing.T, dev ssd.Dev, tr *obs.Tracer) (engine.Store, func() error)
 	// recover reopens the store from the repaired device and returns a
 	// lookup func, or empty=true when no commit point ever became durable.
-	recover func(t *testing.T, dev *ssd.Device) (lookup func(key []byte) ([]byte, bool, error), empty bool)
+	recover func(t *testing.T, dev ssd.Dev) (lookup func(key []byte) ([]byte, bool, error), empty bool)
 }
 
 func bwtreeChaosVariant() chaosVariant {
-	logCfg := func(dev *ssd.Device) logstore.Config {
+	logCfg := func(dev ssd.Dev) logstore.Config {
 		return logstore.Config{Device: dev, BufferBytes: 4096, SegmentBytes: 16384}
 	}
 	return chaosVariant{
 		name: "bwtree",
-		build: func(t *testing.T, dev *ssd.Device, obsTr *obs.Tracer) (engine.Store, func() error) {
+		build: func(t *testing.T, dev ssd.Dev, obsTr *obs.Tracer) (engine.Store, func() error) {
 			st, err := logstore.Open(logCfg(dev))
 			if err != nil {
 				t.Fatalf("logstore.Open: %v", err)
@@ -145,7 +145,7 @@ func bwtreeChaosVariant() chaosVariant {
 			obsTr.FoldHealth(&tr.Stats().Health)
 			return engine.WrapBwTree(tr), tr.FlushAll
 		},
-		recover: func(t *testing.T, dev *ssd.Device) (func([]byte) ([]byte, bool, error), bool) {
+		recover: func(t *testing.T, dev ssd.Dev) (func([]byte) ([]byte, bool, error), bool) {
 			st, err := logstore.Open(logCfg(dev))
 			if err != nil {
 				t.Fatalf("logstore re-open: %v", err)
@@ -163,12 +163,12 @@ func bwtreeChaosVariant() chaosVariant {
 }
 
 func lsmChaosVariant() chaosVariant {
-	cfg := func(dev *ssd.Device) lsm.Config {
+	cfg := func(dev ssd.Dev) lsm.Config {
 		return lsm.Config{Device: dev, MemtableBytes: 4096}
 	}
 	return chaosVariant{
 		name: "lsm",
-		build: func(t *testing.T, dev *ssd.Device, obsTr *obs.Tracer) (engine.Store, func() error) {
+		build: func(t *testing.T, dev ssd.Dev, obsTr *obs.Tracer) (engine.Store, func() error) {
 			c := cfg(dev)
 			c.Obs = obsTr
 			tr, err := lsm.New(c)
@@ -179,7 +179,7 @@ func lsmChaosVariant() chaosVariant {
 			obsTr.FoldHealth(&tr.Stats().Health)
 			return engine.WrapLSM(tr), tr.Flush
 		},
-		recover: func(t *testing.T, dev *ssd.Device) (func([]byte) ([]byte, bool, error), bool) {
+		recover: func(t *testing.T, dev ssd.Dev) (func([]byte) ([]byte, bool, error), bool) {
 			tr, err := lsm.Open(cfg(dev))
 			if errors.Is(err, lsm.ErrNoManifest) {
 				return nil, true
@@ -193,9 +193,24 @@ func lsmChaosVariant() chaosVariant {
 }
 
 // runChaos executes one seeded chaos run and returns the engine stats.
-func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
+//
+// mirrored runs the store on an ssd.Mirror instead of a bare device: one
+// leg takes seeded mid-run latent bit flips (and transient read errors)
+// while the background scrubber races the readers to repair them. No crash
+// is scheduled — a mirrored crash sweep has its own harness — and the run
+// asserts that no operation ever surfaces ssd.ErrCorrupt: single-leg
+// damage must be absorbed by failover, read-repair, and the scrubber.
+func runChaos(t *testing.T, variant chaosVariant, seed int64, overload, mirrored bool) {
 	rng := rand.New(rand.NewSource(seed))
-	dev := ssd.New(ssd.Config{Name: "chaos", MaxIOPS: 1e6, LatencySec: 1e-6})
+	devCfg := ssd.Config{Name: "chaos", MaxIOPS: 1e6, LatencySec: 1e-6}
+	var dev ssd.Dev
+	var mir *ssd.Mirror
+	if mirrored {
+		mir = ssd.NewMirror(devCfg)
+		dev = mir
+	} else {
+		dev = ssd.New(devCfg)
+	}
 	inj := fault.NewInjector(seed)
 
 	// Observability: the store's tracer observes the device, the engine has
@@ -204,17 +219,40 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 	reg := obs.NewRegistry()
 	obsTr := reg.Tracer(variant.name)
 	dev.SetObserver(obsTr)
+	if mirrored {
+		obsTr.FoldMirror(mir.MirrorStats())
+	}
 	store, checkpoint := variant.build(t, dev, obsTr)
 
-	// Faults start only once the store exists: transient error rates,
-	// virtual latency spikes, and one crash point early enough that the
-	// run's write traffic is sure to reach it.
-	inj.SetReadErrorRate(0.01)
-	inj.SetWriteErrorRate(0.01)
+	// Faults start only once the store exists. Bare device: transient error
+	// rates, virtual latency spikes, and one crash point early enough that
+	// the run's write traffic is sure to reach it. Mirror: latency spikes
+	// everywhere, plus one leg carrying seeded latent bit flips and
+	// transient read errors — damage confined to a single leg is always
+	// repairable, which is exactly what the no-ErrCorrupt assertion needs.
 	inj.SetLatencySpikes(0.02, 0.001)
-	crashAt := int64(8 + rng.Intn(17)) // device writes until power loss
-	inj.CrashAtWrite(crashAt, rng.Intn(64))
-	dev.SetFaultInjector(inj)
+	var crashAt int64
+	if mirrored {
+		flipLeg := int(seed % 2)
+		flipInj := fault.NewInjector(seed + 7919)
+		flipInj.SetReadErrorRate(0.01)
+		flipInj.SetLatencySpikes(0.02, 0.001)
+		next := int64(10)
+		for k := 0; k < 3+rng.Intn(3); k++ {
+			next += int64(20 + rng.Intn(60))
+			flipInj.FlipBitOnWrite(next, rng.Int63n(8*ssd.MirrorPageSize))
+		}
+		dev.SetFaultInjector(inj)          // both legs: latency spikes
+		mir.Leg(flipLeg).SetFaultInjector(flipInj) // one leg: flips + read errors
+		mir.StartScrub(20000)
+		defer mir.StopScrub()
+	} else {
+		inj.SetReadErrorRate(0.01)
+		inj.SetWriteErrorRate(0.01)
+		crashAt = int64(8 + rng.Intn(17)) // device writes until power loss
+		inj.CrashAtWrite(crashAt, rng.Intn(64))
+		dev.SetFaultInjector(inj)
+	}
 
 	cfg := engine.Config{Store: store, Obs: reg.Tracer("engine")}
 	if overload {
@@ -232,6 +270,15 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 
 	state := &chaosState{}
 	ctx := context.Background()
+
+	// Mirrored runs must never surface corruption to a caller: every
+	// injected flip lands on one leg, and the mirror owns the repair.
+	var corruptSeen atomic.Int64
+	noteErr := func(err error) {
+		if err != nil && errors.Is(err, ssd.ErrCorrupt) {
+			corruptSeen.Add(1)
+		}
+	}
 
 	// Narrator: every 200ms emit one line per active store with measured F,
 	// R, shed/timeout counts, and live $/op against paper rates.
@@ -273,7 +320,7 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 			snap := state.snapshotAcked()
 			if err := checkpoint(); err == nil {
 				state.promoteFloor(snap)
-			} else if errors.Is(err, fault.ErrCrashed) {
+			} else if noteErr(err); errors.Is(err, fault.ErrCrashed) {
 				state.crashed.Store(true)
 				return
 			} else if fault.Classify(err) == fault.ClassPersistent {
@@ -302,6 +349,7 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 					ver := state.issued[idx].Load() + 1
 					state.issued[idx].Store(ver) // before the Put: observed <= issued
 					err := eng.Put(ctx, chaosKey(idx), chaosVal(idx, ver))
+					noteErr(err)
 					switch {
 					case err == nil:
 						state.acked[idx].Store(ver)
@@ -316,6 +364,7 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 					idx := wrng.Intn(chaosKeys)
 					ackedFloor := state.acked[idx].Load() // before the read
 					v, ok, err := eng.Get(ctx, chaosKey(idx))
+					noteErr(err)
 					if errors.Is(err, fault.ErrCrashed) {
 						state.crashed.Store(true)
 						return
@@ -354,6 +403,7 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 						}
 						return true
 					})
+					noteErr(err)
 					if errors.Is(err, fault.ErrCrashed) {
 						state.crashed.Store(true)
 						return
@@ -392,6 +442,37 @@ func runChaos(t *testing.T, variant chaosVariant, seed int64, overload bool) {
 	}
 	if st.QueueDepth.Value() != 0 {
 		t.Errorf("seed %d: queue depth %d after drain", seed, st.QueueDepth.Value())
+	}
+
+	if mirrored {
+		mir.StopScrub()
+		// End of the fault episode: detach both legs' injectors so the
+		// convergence drain below cannot have its repair writes re-flipped
+		// by a still-pending scheduled fault.
+		mir.Leg(0).SetFaultInjector(nil)
+		mir.Leg(1).SetFaultInjector(nil)
+		ms := mir.MirrorStats()
+		if n := corruptSeen.Load(); n != 0 {
+			t.Errorf("seed %d: %d operations surfaced ErrCorrupt despite the mirror (stats: %s)", seed, n, ms.String())
+		}
+		if q := ms.Quarantined.Value(); q != 0 {
+			t.Errorf("seed %d: %d pages quarantined from single-leg flips", seed, q)
+		}
+		if ms.ScrubReads.Value() == 0 && mir.HighWater() > 0 {
+			// A run whose store never flushed to the device leaves the
+			// mirror empty; scrub passes over zero extents read nothing.
+			t.Errorf("seed %d: background scrubber never ran", seed)
+		}
+		// Drain any latent damage the readers and the background scrubber
+		// did not reach, then prove the legs are fully consistent: a second
+		// pass over a healed mirror finds nothing.
+		if rep := mir.ScrubOnce(); rep.Quarantined != 0 {
+			t.Errorf("seed %d: final scrub quarantined %d pages", seed, rep.Quarantined)
+		}
+		if rep := mir.ScrubOnce(); rep.Repaired != 0 || rep.Quarantined != 0 {
+			t.Errorf("seed %d: legs still inconsistent after full scrub: %+v", seed, rep)
+		}
+		t.Logf("seed %d mirror: %s", seed, ms.String())
 	}
 
 	if !inj.Crashed() {
@@ -472,7 +553,7 @@ func TestChaosBwTree(t *testing.T) {
 	for _, seed := range chaosSeeds(t, 1) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			runChaos(t, bwtreeChaosVariant(), seed, seed%3 == 0)
+			runChaos(t, bwtreeChaosVariant(), seed, seed%3 == 0, false)
 		})
 	}
 }
@@ -481,7 +562,39 @@ func TestChaosLSM(t *testing.T) {
 	for _, seed := range chaosSeeds(t, 101) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			runChaos(t, lsmChaosVariant(), seed, seed%3 == 0)
+			runChaos(t, lsmChaosVariant(), seed, seed%3 == 0, false)
+		})
+	}
+}
+
+// mirrorChaosSeeds is smaller than chaosSeeds: each mirrored run carries
+// doubled device traffic plus a hot background scrubber.
+func mirrorChaosSeeds(t *testing.T, base int64) []int64 {
+	n := 8
+	if testing.Short() {
+		n = 2
+	}
+	seeds := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		seeds = append(seeds, base+int64(i))
+	}
+	return seeds
+}
+
+func TestChaosMirroredBwTree(t *testing.T) {
+	for _, seed := range mirrorChaosSeeds(t, 201) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runChaos(t, bwtreeChaosVariant(), seed, seed%3 == 0, true)
+		})
+	}
+}
+
+func TestChaosMirroredLSM(t *testing.T) {
+	for _, seed := range mirrorChaosSeeds(t, 301) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runChaos(t, lsmChaosVariant(), seed, seed%3 == 0, true)
 		})
 	}
 }

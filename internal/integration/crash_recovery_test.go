@@ -47,14 +47,14 @@ const (
 func btValue(id uint64) []byte { return workload.ValueFor(id, 64) }
 func btHotVal(b int) []byte    { return workload.ValueFor(9000+uint64(b), 64) }
 func btKey(b, i int) uint64    { return uint64(b*btPerB + i) }
-func openLogstore(dev *ssd.Device) (*logstore.Store, error) {
+func openLogstore(dev ssd.Dev) (*logstore.Store, error) {
 	return logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 14, SegmentBytes: 1 << 16})
 }
 
 // runBwtreeWorkload applies batches of inserts plus a hot-key update, with
 // FlushAll as the per-batch commit point. It returns the index of the last
 // batch whose commit succeeded (-1 if none).
-func runBwtreeWorkload(dev *ssd.Device) int {
+func runBwtreeWorkload(dev ssd.Dev) int {
 	st, err := openLogstore(dev)
 	if err != nil {
 		return -1

@@ -1,0 +1,353 @@
+// Mirror robustness harnesses: seeded latent-corruption sweeps over a
+// logstore running on ssd.Mirror legs, a dual-leg corruption scenario that
+// must quarantine and latch the store read-only, a crash-during-mirrored-
+// write sweep asserting recovery always finds the intact leg, and the
+// IOStats reclassification audit (a read whose payload fails verification
+// is a failed physical read, never a logical one).
+package integration_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"costperf/internal/bwtree"
+	"costperf/internal/fault"
+	"costperf/internal/llama/logstore"
+	"costperf/internal/ssd"
+	"costperf/internal/workload"
+)
+
+const (
+	mirrorSeeds = 100
+	mirrorRecs  = 48
+)
+
+func newMirror() *ssd.Mirror {
+	return ssd.NewMirrorOf(ssd.New(ssd.SamsungSSD), ssd.New(ssd.SamsungSSD))
+}
+
+// mirrorFixture is a logstore over a fresh mirror, loaded with write-once
+// records and flushed, so injected flips are guaranteed latent: nothing
+// overwrites them, and repair counters must reconcile exactly.
+type mirrorFixture struct {
+	mir   *ssd.Mirror
+	store *logstore.Store
+	addrs []logstore.Address
+	vals  [][]byte
+}
+
+func newMirrorFixture(t *testing.T) *mirrorFixture {
+	t.Helper()
+	f := &mirrorFixture{mir: newMirror()}
+	st, err := logstore.Open(logstore.Config{Device: f.mir, BufferBytes: 1 << 12, SegmentBytes: 1 << 15})
+	if err != nil {
+		t.Fatalf("logstore.Open: %v", err)
+	}
+	f.store = st
+	for i := 0; i < mirrorRecs; i++ {
+		val := workload.ValueFor(uint64(i), 96)
+		addr, err := st.Append(uint64(i), logstore.KindBase, val, nil)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		f.addrs = append(f.addrs, addr)
+		f.vals = append(f.vals, val)
+	}
+	if err := st.Flush(nil); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return f
+}
+
+// pageOf returns the mirror page holding the start of record rec.
+func (f *mirrorFixture) pageOf(rec int) int64 {
+	return (f.addrs[rec].Off - 1) / ssd.MirrorPageSize
+}
+
+// flipLegPage plants a latent media flip: it rewrites the page holding
+// record rec on one leg only, with a single bit flipped in transit, so the
+// leg's media diverges from the mirror's recorded checksum without the
+// mirror observing anything.
+func (f *mirrorFixture) flipLegPage(t *testing.T, leg, rec int, bit int64) {
+	t.Helper()
+	pageOff := f.pageOf(rec) * ssd.MirrorPageSize
+	legDev := f.mir.Leg(leg)
+	// Legs hold unaligned extents (the mirror writes caller-shaped data),
+	// so clamp the rewrite to the bytes actually on the media.
+	avail := legDev.HighWater() - pageOff
+	if avail > ssd.MirrorPageSize {
+		avail = ssd.MirrorPageSize
+	}
+	cur, err := legDev.ReadAt(pageOff, int(avail), nil)
+	if err != nil {
+		t.Fatalf("read leg %d page for flip: %v", leg, err)
+	}
+	inj := fault.NewInjector(0)
+	inj.FlipBitOnWrite(1, bit)
+	legDev.SetFaultInjector(inj)
+	if err := legDev.WriteAt(pageOff, cur, nil); err != nil {
+		t.Fatalf("flip write leg %d: %v", leg, err)
+	}
+	legDev.SetFaultInjector(nil)
+}
+
+// readAll reads every record back through the store and checks the payloads.
+func (f *mirrorFixture) readAll(t *testing.T, seed int, pass string) {
+	t.Helper()
+	for i, addr := range f.addrs {
+		rec, err := f.store.Read(addr, nil)
+		if err != nil {
+			t.Fatalf("seed %d (%s): read record %d: %v", seed, pass, i, err)
+		}
+		if !bytes.Equal(rec.Payload, f.vals[i]) {
+			t.Fatalf("seed %d (%s): record %d payload mismatch", seed, pass, i)
+		}
+	}
+}
+
+// TestMirrorLatentCorruptionSweep: 100 seeded single-leg bit flips. Every
+// one must be detected and repaired — by the read path when it lands on the
+// serving leg, by the scrubber when it lands on the standby leg — with zero
+// user-visible ErrCorrupt and the repair counters reconciling exactly with
+// the one injected fault.
+func TestMirrorLatentCorruptionSweep(t *testing.T) {
+	for seed := 0; seed < mirrorSeeds; seed++ {
+		leg := seed % 2
+		f := newMirrorFixture(t)
+		rec := seed * (mirrorRecs - 1) / (mirrorSeeds - 1)
+		bit := int64((seed*1031 + 17) % (8 * ssd.MirrorPageSize))
+		f.flipLegPage(t, leg, rec, bit)
+
+		// Pass 1: verified reads. A leg-0 flip is caught and read-repaired
+		// here; a leg-1 flip is invisible (leg 0 serves every read).
+		f.readAll(t, seed, "pre-scrub")
+		// Pass 2: the scrubber finds whatever the read path could not see.
+		srep := f.mir.ScrubOnce()
+		if srep.Quarantined != 0 {
+			t.Fatalf("seed %d: scrub quarantined %d pages on a single-leg flip", seed, srep.Quarantined)
+		}
+		// Pass 3: everything still intact.
+		f.readAll(t, seed, "post-scrub")
+
+		ms := f.mir.MirrorStats()
+		rr, sr := ms.ReadRepairs.Value(), ms.ScrubRepairs.Value()
+		if rr+sr != 1 {
+			t.Fatalf("seed %d (leg %d): %d read-repairs + %d scrub-repairs, want exactly 1 for 1 injected flip",
+				seed, leg, rr, sr)
+		}
+		if leg == 0 && rr != 1 {
+			t.Fatalf("seed %d: leg-0 flip repaired by scrub, want read-repair", seed)
+		}
+		if leg == 1 && sr != 1 {
+			t.Fatalf("seed %d: leg-1 flip repaired by the read path, which never reads leg 1", seed)
+		}
+		if q := ms.Quarantined.Value(); q != 0 {
+			t.Fatalf("seed %d: %d pages quarantined on a single-leg flip", seed, q)
+		}
+		// Both legs must have converged back to identical images. Repair
+		// writes are page-sized, so one leg's high-water may run past the
+		// other's unaligned tail; beyond its own high-water a leg reads as
+		// zeros, exactly like the mirror's own clamped page reads.
+		hw := f.mir.HighWater()
+		readPadded := func(leg int) []byte {
+			n := f.mir.Leg(leg).HighWater()
+			if n > hw {
+				n = hw
+			}
+			b, err := f.mir.Leg(leg).ReadAt(0, int(n), nil)
+			if err != nil {
+				t.Fatalf("seed %d: leg %d readback: %v", seed, leg, err)
+			}
+			out := make([]byte, hw)
+			copy(out, b)
+			return out
+		}
+		if !bytes.Equal(readPadded(0), readPadded(1)) {
+			t.Fatalf("seed %d: legs diverged after repair", seed)
+		}
+		if err := f.mir.Close(); err != nil {
+			t.Fatalf("seed %d: close: %v", seed, err)
+		}
+	}
+}
+
+// TestMirrorDualLegCorruptionDegradesStore: the same page corrupted on both
+// legs is unrecoverable. The mirror must quarantine it, surface a typed
+// error (ErrQuarantined wrapping ErrCorrupt), and latch the store's Health
+// degraded so the store goes read-only — never silently serve garbage.
+func TestMirrorDualLegCorruptionDegradesStore(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		f := newMirrorFixture(t)
+		rec := seed * (mirrorRecs - 1) / 9
+		bit := int64((seed*509 + 3) % (8 * ssd.MirrorPageSize))
+		f.flipLegPage(t, 0, rec, bit)
+		f.flipLegPage(t, 1, rec, bit)
+
+		_, err := f.store.Read(f.addrs[rec], nil)
+		if !errors.Is(err, ssd.ErrQuarantined) {
+			t.Fatalf("seed %d: dual-leg corrupt read returned %v, want ErrQuarantined", seed, err)
+		}
+		if !errors.Is(err, ssd.ErrCorrupt) {
+			t.Fatalf("seed %d: quarantine error does not wrap ErrCorrupt", seed)
+		}
+		if fault.Classify(err) != fault.ClassCorrupt {
+			t.Fatalf("seed %d: quarantine error classified %v, want ClassCorrupt", seed, fault.Classify(err))
+		}
+		if !f.store.Stats().Health.Degraded() {
+			t.Fatalf("seed %d: store health not degraded after quarantine", seed)
+		}
+		if _, err := f.store.Append(9999, logstore.KindBase, []byte("x"), nil); !errors.Is(err, logstore.ErrDegraded) {
+			t.Fatalf("seed %d: degraded store accepted a write: %v", seed, err)
+		}
+		if q := f.mir.MirrorStats().Quarantined.Value(); q != 1 {
+			t.Fatalf("seed %d: Quarantined = %d, want 1", seed, q)
+		}
+		// Records on other pages stay readable: quarantine is per-page, not
+		// store-wide data loss.
+		badPage := f.pageOf(rec)
+		for i, addr := range f.addrs {
+			first := (addr.Off - 1) / ssd.MirrorPageSize
+			last := (addr.Off - 1 + int64(addr.Len) + 32) / ssd.MirrorPageSize // header slack
+			if first <= badPage && badPage <= last {
+				continue
+			}
+			got, err := f.store.Read(addr, nil)
+			if err != nil {
+				t.Fatalf("seed %d: record %d off the bad page unreadable: %v", seed, i, err)
+			}
+			if !bytes.Equal(got.Payload, f.vals[i]) {
+				t.Fatalf("seed %d: record %d payload mismatch", seed, i)
+			}
+		}
+		f.mir.Close()
+	}
+}
+
+// TestMirrorCrashRecoverySweep: power loss mid-mirrored-write at 100 seeded
+// write indexes. The shared injector tears exactly one leg's copy (and then
+// fails all I/O, like power loss), so after repair the other leg always
+// holds an intact image of every acknowledged page: recovery must serve the
+// committed prefix with zero corruption errors and zero quarantines.
+func TestMirrorCrashRecoverySweep(t *testing.T) {
+	dryMir := newMirror()
+	dryInj := fault.NewInjector(0)
+	dryMir.SetFaultInjector(dryInj)
+	if got := runBwtreeWorkload(dryMir); got != btBatches-1 {
+		t.Fatalf("faultless dry run committed %d batches, want %d", got+1, btBatches)
+	}
+	_, totalWrites := dryInj.Counts() // counts both legs' physical writes
+
+	for seed := 0; seed < crashSeeds; seed++ {
+		nth, keep := crashPoint(seed, totalWrites)
+		mir := newMirror()
+		inj := fault.NewInjector(int64(seed))
+		mir.SetFaultInjector(inj) // shared: the crash lands on one leg's write
+		inj.CrashAtWrite(nth, keep)
+
+		committed := runBwtreeWorkload(mir)
+		if !inj.Crashed() {
+			t.Fatalf("seed %d: crash point %d never fired", seed, nth)
+		}
+		inj.Repair()
+
+		st, err := openLogstore(mir)
+		if err != nil {
+			t.Fatalf("seed %d: reopen log store: %v", seed, err)
+		}
+		tree, err := bwtree.Open(bwtree.Config{Store: st})
+		if errors.Is(err, bwtree.ErrNoCheckpoint) {
+			if committed >= 0 {
+				t.Fatalf("seed %d: committed batch %d but no checkpoint survived", seed, committed)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: reopen tree: %v", seed, err)
+		}
+
+		for b := 0; b < btBatches; b++ {
+			for i := 0; i < btPerB; i++ {
+				id := btKey(b, i)
+				v, ok, err := tree.Get(workload.Key(id))
+				if err != nil {
+					t.Fatalf("seed %d: get %d: %v", seed, id, err)
+				}
+				if b <= committed && !ok {
+					t.Fatalf("seed %d: committed key %d lost", seed, id)
+				}
+				if ok && !bytes.Equal(v, btValue(id)) {
+					t.Fatalf("seed %d: key %d recovered with wrong value", seed, id)
+				}
+			}
+		}
+		// A single-point crash damages at most one leg: nothing may have
+		// been quarantined, and a full scrub resynchronizes the legs
+		// without finding a doubly-corrupt page.
+		rep := mir.ScrubOnce()
+		if rep.Quarantined != 0 {
+			t.Fatalf("seed %d: scrub quarantined %d pages after single crash", seed, rep.Quarantined)
+		}
+		if q := mir.MirrorStats().Quarantined.Value(); q != 0 {
+			t.Fatalf("seed %d: %d pages quarantined during recovery", seed, q)
+		}
+		mir.Close()
+	}
+}
+
+// TestCorruptPayloadCountsAsFailedRead is the IOStats audit regression: a
+// device read that transfers bytes which then fail record verification must
+// land in FailedReads, not logical Reads — otherwise corrupt transfers
+// inflate the logical I/O rate the cost model prices.
+func TestCorruptPayloadCountsAsFailedRead(t *testing.T) {
+	dev := ssd.New(ssd.SamsungSSD)
+	st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 12, SegmentBytes: 1 << 15})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var addrs []logstore.Address
+	for i := 0; i < 8; i++ {
+		addr, err := st.Append(uint64(i), logstore.KindBase, workload.ValueFor(uint64(i), 64), nil)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		addrs = append(addrs, addr)
+	}
+	if err := st.Flush(nil); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	// Corrupt record 3 on the media: rewrite its first bytes with one bit
+	// flipped in transit (header CRC covers them, so decode must fail).
+	off := addrs[3].Off - 1
+	cur, err := dev.ReadAt(off, 8, nil)
+	if err != nil {
+		t.Fatalf("raw read: %v", err)
+	}
+	inj := fault.NewInjector(0)
+	inj.FlipBitOnWrite(1, 9)
+	dev.SetFaultInjector(inj)
+	if err := dev.WriteAt(off, cur, nil); err != nil {
+		t.Fatalf("corrupting write: %v", err)
+	}
+	dev.SetFaultInjector(nil)
+
+	reads0 := dev.Stats().Reads.Value()
+	failed0 := dev.Stats().FailedReads.Value()
+	if _, err := st.Read(addrs[3], nil); !errors.Is(err, logstore.ErrCorrupt) {
+		t.Fatalf("read of corrupted record returned %v, want ErrCorrupt", err)
+	}
+	if got := dev.Stats().Reads.Value(); got != reads0 {
+		t.Fatalf("corrupt transfer counted as logical read: Reads %d -> %d", reads0, got)
+	}
+	if got := dev.Stats().FailedReads.Value(); got != failed0+1 {
+		t.Fatalf("corrupt transfer not in FailedReads: %d -> %d, want +1", failed0, got)
+	}
+	// Intact records still read (and count) normally.
+	if _, err := st.Read(addrs[4], nil); err != nil {
+		t.Fatalf("intact record unreadable: %v", err)
+	}
+	if got := dev.Stats().Reads.Value(); got != reads0+1 {
+		t.Fatalf("intact read not counted: Reads %d -> %d", reads0, got)
+	}
+}

@@ -88,8 +88,9 @@ var (
 
 // Config configures a Store.
 type Config struct {
-	// Device is the backing secondary-storage device.
-	Device *ssd.Device
+	// Device is the backing secondary-storage device — a plain *ssd.Device
+	// or an *ssd.Mirror for checksum-verified, self-healing storage.
+	Device ssd.Dev
 	// BufferBytes is the write-buffer size; one device write per buffer
 	// (paper: "writes very large buffers containing a large number of
 	// pages ... in a single write"). Default 1 MiB.
@@ -169,6 +170,13 @@ func Open(cfg Config) (*Store, error) {
 		cfg:  cfg,
 		buf:  make([]byte, 0, cfg.BufferBytes),
 		segs: make(map[int64]*segInfo),
+	}
+	// A self-healing device (ssd.Mirror) escalates unrecoverable dual-leg
+	// corruption by latching every attached health read-only.
+	if ha, ok := cfg.Device.(interface {
+		AttachHealth(*metrics.Health)
+	}); ok {
+		ha.AttachHealth(&s.stats.Health)
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -403,7 +411,15 @@ func (s *Store) Read(addr Address, ch *sim.Charger) (_ Record, err error) {
 	if ch != nil {
 		ch.Add(ch.Profile().PageDeserialize)
 	}
-	return decode(raw, addr.Len)
+	rec, err := decode(raw, addr.Len)
+	if err != nil {
+		// The device transfer succeeded but the payload is garbage: the
+		// read must count as a failed physical attempt, not a logical one,
+		// or a retry/repair re-read would inflate the logical count.
+		s.cfg.Device.Stats().ReclassifyRead()
+		return Record{}, err
+	}
+	return rec, nil
 }
 
 func decode(raw []byte, wantLen int32) (Record, error) {

@@ -27,8 +27,9 @@ var (
 
 // Config configures a Tree.
 type Config struct {
-	// Device is the backing flash device.
-	Device *ssd.Device
+	// Device is the backing flash device — a plain *ssd.Device or an
+	// *ssd.Mirror for checksum-verified, self-healing storage.
+	Device ssd.Dev
 	// MemtableBytes triggers a flush to level 0 (default 256 KiB).
 	MemtableBytes int
 	// L0Tables triggers an L0 -> L1 compaction (default 4).
@@ -104,12 +105,24 @@ func New(cfg Config) (*Tree, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	return &Tree{
+	t := &Tree{
 		cfg:    cfg,
 		mem:    newMemtable(),
 		levels: make([][]*sstable, cfg.MaxLevels),
 		tail:   tablesBase,
-	}, nil
+	}
+	t.attachDeviceHealth()
+	return t, nil
+}
+
+// attachDeviceHealth latches the tree read-only when a self-healing device
+// (ssd.Mirror) reports unrecoverable dual-leg corruption.
+func (t *Tree) attachDeviceHealth() {
+	if ha, ok := t.cfg.Device.(interface {
+		AttachHealth(*metrics.Health)
+	}); ok {
+		ha.AttachHealth(&t.stats.Health)
+	}
 }
 
 // Stats returns the tree's counters.

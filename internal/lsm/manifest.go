@@ -216,6 +216,7 @@ func Open(cfg Config) (*Tree, error) {
 		nextID:      best.nextID,
 		manifestSeq: best.seq,
 	}
+	t.attachDeviceHealth()
 	for _, m := range best.tables {
 		tbl, err := t.loadTable(m)
 		if err != nil {

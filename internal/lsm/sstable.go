@@ -165,7 +165,7 @@ func decodeRecord(raw []byte) (kv, error) {
 
 // writeTable writes a sorted run to the device in a single large write
 // starting at off, returning the table and the next free offset.
-func writeTable(dev *ssd.Device, id uint64, level int, entries []kv, off int64) (*sstable, int64, error) {
+func writeTable(dev ssd.Dev, id uint64, level int, entries []kv, off int64) (*sstable, int64, error) {
 	if len(entries) == 0 {
 		return nil, off, fmt.Errorf("lsm: empty table")
 	}
@@ -197,7 +197,7 @@ func writeTable(dev *ssd.Device, id uint64, level int, entries []kv, off int64) 
 
 // get looks up key: bloom check, in-memory binary search, then one device
 // read for the record.
-func (t *sstable) get(dev *ssd.Device, key []byte, ch *sim.Charger) (kv, bool, error) {
+func (t *sstable) get(dev ssd.Dev, key []byte, ch *sim.Charger) (kv, bool, error) {
 	if ch != nil {
 		ch.Hash()
 	}
@@ -217,13 +217,16 @@ func (t *sstable) get(dev *ssd.Device, key []byte, ch *sim.Charger) (kv, bool, e
 	}
 	e, err := decodeRecord(raw)
 	if err != nil {
+		// The transfer succeeded but the record failed verification: count
+		// a failed physical read, not a logical one.
+		dev.Stats().ReclassifyRead()
 		return kv{}, false, err
 	}
 	return e, true, nil
 }
 
 // readAll loads every record of the table (used by compaction and scans).
-func (t *sstable) readAll(dev *ssd.Device, ch *sim.Charger) ([]kv, error) {
+func (t *sstable) readAll(dev ssd.Dev, ch *sim.Charger) ([]kv, error) {
 	raw, err := dev.ReadAt(t.dataOff, int(t.dataLen), ch)
 	if err != nil {
 		return nil, err
@@ -233,6 +236,8 @@ func (t *sstable) readAll(dev *ssd.Device, ch *sim.Charger) ([]kv, error) {
 		rel := t.index[i].off - t.dataOff
 		e, err := decodeRecord(raw[rel : rel+int64(t.index[i].len)])
 		if err != nil {
+			// One failed record spoils the whole verified transfer.
+			dev.Stats().ReclassifyRead()
 			return nil, err
 		}
 		out = append(out, e)

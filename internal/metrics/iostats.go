@@ -47,6 +47,19 @@ func (s *IOStats) WriteAmplification() float64 {
 	return float64(s.BytesWritten.Value()) / float64(user)
 }
 
+// ReclassifyRead moves one read from the logical Reads column to
+// FailedReads: the device-level transfer completed, but the payload later
+// failed checksum verification (a store-layer decode, or a mirror leg's
+// per-page verify), so the attempt must count as a failed physical read,
+// not a logical one — otherwise a retry that re-reads the data would
+// inflate the logical count exactly the way the Reads/FailedReads split
+// exists to prevent. BytesRead is left alone: the corrupt payload really
+// did move across the bus.
+func (s *IOStats) ReclassifyRead() {
+	s.Reads.dec()
+	s.FailedReads.Inc()
+}
+
 // Reset zeroes every counter.
 func (s *IOStats) Reset() {
 	s.Reads.Reset()

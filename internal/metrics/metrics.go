@@ -34,6 +34,11 @@ func (c *Counter) Add(delta int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// dec subtracts one. It is deliberately unexported: the only legitimate
+// non-monotonic edit is IOStats.ReclassifyRead moving a miscounted logical
+// I/O between columns; everything else must stay monotonic.
+func (c *Counter) dec() { c.v.Add(-1) }
+
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
 

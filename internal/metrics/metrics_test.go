@@ -233,3 +233,23 @@ func TestIOStatsResetAndString(t *testing.T) {
 		t.Fatal("Reset did not zero counters")
 	}
 }
+
+func TestReclassifyRead(t *testing.T) {
+	var s IOStats
+	s.Reads.Inc()
+	s.Reads.Inc()
+	s.BytesRead.Add(4096)
+	// A transfer that completed but carried a corrupt payload moves from
+	// the logical count to the failed count; the bytes really moved and
+	// stay where they are.
+	s.ReclassifyRead()
+	if got := s.Reads.Value(); got != 1 {
+		t.Fatalf("Reads = %d after reclassify, want 1", got)
+	}
+	if got := s.FailedReads.Value(); got != 1 {
+		t.Fatalf("FailedReads = %d after reclassify, want 1", got)
+	}
+	if got := s.BytesRead.Value(); got != 4096 {
+		t.Fatalf("BytesRead = %d after reclassify, want 4096", got)
+	}
+}

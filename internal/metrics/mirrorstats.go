@@ -1,0 +1,39 @@
+package metrics
+
+import "fmt"
+
+// MirrorStats counts the self-healing activity of a mirrored device pair
+// (ssd.Mirror): checksum-verified reads, failovers to the second leg,
+// read-path repairs, background scrubber traffic, and pages quarantined
+// after both legs failed verification. It lives in this package (rather
+// than in ssd) so internal/obs can fold it into CostSnapshots without
+// importing the device layer, mirroring how IOStats/RetryStats/Health are
+// shared. All counters are cumulative; the zero value is ready to use.
+type MirrorStats struct {
+	VerifiedReads Counter // mirror reads whose payload passed per-page verification
+	Failovers     Counter // reads served from the second leg after the first leg's I/O failed
+	ReadRepairs   Counter // pages rewritten from the intact leg by the read path
+	ScrubPasses   Counter // complete scrubber sweeps over the checksummed page set
+	ScrubReads    Counter // page-verification reads issued by the scrubber (one per leg per page)
+	ScrubRepairs  Counter // pages rewritten from the intact leg by the scrubber
+	Quarantined   Counter // pages disabled because both legs failed verification
+}
+
+// Reset zeroes every counter.
+func (m *MirrorStats) Reset() {
+	m.VerifiedReads.Reset()
+	m.Failovers.Reset()
+	m.ReadRepairs.Reset()
+	m.ScrubPasses.Reset()
+	m.ScrubReads.Reset()
+	m.ScrubRepairs.Reset()
+	m.Quarantined.Reset()
+}
+
+// String renders the stats for experiment logs.
+func (m *MirrorStats) String() string {
+	return fmt.Sprintf("verified=%d failover=%d readrepair=%d scrubpass=%d scrubread=%d scrubrepair=%d quarantined=%d",
+		m.VerifiedReads.Value(), m.Failovers.Value(), m.ReadRepairs.Value(),
+		m.ScrubPasses.Value(), m.ScrubReads.Value(), m.ScrubRepairs.Value(),
+		m.Quarantined.Value())
+}

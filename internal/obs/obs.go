@@ -111,6 +111,7 @@ type Tracer struct {
 	ioStats []*metrics.IOStats
 	retries []*metrics.RetryStats
 	healths []*metrics.Health
+	mirrors []*metrics.MirrorStats
 }
 
 // NewTracer returns a standalone tracer. Prefer Registry.Tracer so snapshots
@@ -315,6 +316,17 @@ func (t *Tracer) FoldHealth(h *metrics.Health) {
 	}
 	t.mu.Lock()
 	t.healths = append(t.healths, h)
+	t.mu.Unlock()
+}
+
+// FoldMirror attaches a mirrored device's self-healing counters (ssd.Mirror
+// read-repair, scrub, and quarantine activity) to fold into snapshots.
+func (t *Tracer) FoldMirror(m *metrics.MirrorStats) {
+	if t == nil || m == nil {
+		return
+	}
+	t.mu.Lock()
+	t.mirrors = append(t.mirrors, m)
 	t.mu.Unlock()
 }
 

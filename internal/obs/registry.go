@@ -122,6 +122,16 @@ type CostSnapshot struct {
 	RetryAbsorbed  int64
 	RetryExhausted int64
 
+	// Folded self-healing mirror accounting (zero when the store runs on
+	// a bare device). Mirrored reports double the secondary-storage rent
+	// in the cost model (core.Costs.WithReplication).
+	Mirrored     bool
+	ReadRepairs  int64 // pages healed by the verified read path
+	ScrubRepairs int64 // pages healed by the background scrubber
+	ScrubReads   int64 // scrubber verification reads (per leg per page)
+	ScrubPasses  int64 // completed scrub sweeps
+	Quarantined  int64 // pages lost on both legs and disabled
+
 	Health string
 }
 
@@ -191,6 +201,7 @@ func (t *Tracer) Snapshot() CostSnapshot {
 	ioStats := append([]*metrics.IOStats(nil), t.ioStats...)
 	retries := append([]*metrics.RetryStats(nil), t.retries...)
 	healths := append([]*metrics.Health(nil), t.healths...)
+	mirrors := append([]*metrics.MirrorStats(nil), t.mirrors...)
 	t.mu.Unlock()
 
 	if s.DeviceReads+s.DeviceWrites+s.FailedIOs == 0 {
@@ -207,6 +218,14 @@ func (t *Tracer) Snapshot() CostSnapshot {
 		s.Retries += r.Retries.Value()
 		s.RetryAbsorbed += r.Absorbed.Value()
 		s.RetryExhausted += r.Exhausted.Value()
+	}
+	for _, m := range mirrors {
+		s.Mirrored = true
+		s.ReadRepairs += m.ReadRepairs.Value()
+		s.ScrubRepairs += m.ScrubRepairs.Value()
+		s.ScrubReads += m.ScrubReads.Value()
+		s.ScrubPasses += m.ScrubPasses.Value()
+		s.Quarantined += m.Quarantined.Value()
 	}
 	s.Health = "healthy"
 	for _, h := range healths {
@@ -225,8 +244,14 @@ func (t *Tracer) Snapshot() CostSnapshot {
 // LiveCosts substitutes the snapshot's measured ROPS and R into base,
 // yielding a cost model parameterized by what this store actually did.
 // Unmeasured inputs (no completed hits, no misses) keep the base values.
+// A mirrored store pays the two-leg secondary-storage rent
+// (core.Costs.WithReplication), so its live $/op and breakeven reflect
+// the redundancy it bought.
 func (s CostSnapshot) LiveCosts(base core.Costs) core.Costs {
 	c := base
+	if s.Mirrored {
+		c = c.WithReplication(2)
+	}
 	if s.ROPS > 0 {
 		c.ROPS = s.ROPS
 	}
@@ -261,6 +286,9 @@ func (s CostSnapshot) Line(base core.Costs) string {
 	}
 	fmt.Fprintf(&b, " p50=%s p99=%s io=%.0f/s util=%.0f%%", s.P50, s.P99, s.IOPS, 100*s.Utilization)
 	fmt.Fprintf(&b, " $/Mop=%.3f be=%.0fs", 1e6*s.DollarPerOp(base), s.BreakevenInterval(base))
+	if s.Mirrored {
+		fmt.Fprintf(&b, " repair=%d quar=%d", s.ReadRepairs+s.ScrubRepairs, s.Quarantined)
+	}
 	if s.Health != "" && s.Health != "healthy" {
 		fmt.Fprintf(&b, " health=%s", s.Health)
 	}
@@ -276,11 +304,19 @@ func (r *Registry) Table(base core.Costs) string {
 		"store", "ops", "errs", "shed", "p50", "p95", "p99", "F", "R",
 		"ROPS", "IOPS", "util", "$/Mop", "breakeven")
 	for _, s := range snaps {
-		fmt.Fprintf(&b, "%-9s %9d %7d %6d %8s %8s %8s %8.4f %7.1f %10.0f %8.0f %5.0f%% %10.4f %8.1fs\n",
+		fmt.Fprintf(&b, "%-9s %9d %7d %6d %8s %8s %8s %8.4f %7.1f %10.0f %8.0f %5.0f%% %10.4f %8.1fs",
 			s.Store, s.Ops, s.Errors, s.Shed,
 			s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
 			s.F, s.R, s.ROPS, s.IOPS, 100*s.Utilization,
 			1e6*s.DollarPerOp(base), s.BreakevenInterval(base))
+		if s.Mirrored {
+			// The mirrored $/Mop and breakeven above already include the
+			// doubled SS rent (LiveCosts applies WithReplication(2)).
+			fmt.Fprintf(&b, "  [mirror x2: repairs=%d (read=%d scrub=%d) quarantined=%d scrub-reads=%d passes=%d]",
+				s.ReadRepairs+s.ScrubRepairs, s.ReadRepairs, s.ScrubRepairs,
+				s.Quarantined, s.ScrubReads, s.ScrubPasses)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -1,0 +1,119 @@
+package ssd
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestScrubSoakLong is the CHECK_SCRUB=1 long-running scrub soak: a mirror
+// under continuous append traffic with latent flips planted on the standby
+// leg, scrubbed in the background at a fixed page budget for several
+// seconds. It asserts the hard properties the short tests cannot: the
+// scrubber's I/O never exceeds its token-bucket budget in any sampling
+// window, latent damage is repaired without a single user-visible error,
+// and the legs converge to identical images once traffic stops.
+func TestScrubSoakLong(t *testing.T) {
+	if os.Getenv("CHECK_SCRUB") == "" {
+		t.Skip("set CHECK_SCRUB=1 to run the long scrub soak")
+	}
+
+	const (
+		rate    = 400.0 // pages/sec -> scrub budget of 800 leg reads/sec
+		soak    = 8 * time.Second
+		window  = 2 * time.Second
+		slack   = 1.5 // timer coarseness allowance per window
+		payload = 1536
+	)
+
+	m := NewMirror(SamsungSSD)
+	defer m.Close()
+
+	// Seed data so the scrubber has extents to walk from the start.
+	if err := m.WriteAt(0, pattern(256*MirrorPageSize, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Latent flips on the standby leg (leg 1): invisible to the read path,
+	// only the scrubber can find them. One flip roughly every 50 writes.
+	flipInj := newScript()
+	for n := int64(25); n < 100000; n += 50 {
+		flipInj.onWrite[n] = FaultOutcome{Flip: true, FlipBit: (n * 131) % (8 * MirrorPageSize)}
+	}
+	m.Leg(1).SetFaultInjector(flipInj)
+
+	m.StartScrub(rate)
+
+	// Writer: steady append traffic plus verified reads of what it wrote.
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	var writeErrs, readErrs atomic.Int64
+	go func() {
+		defer close(writerDone)
+		off := int64(256 * MirrorPageSize)
+		i := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			data := pattern(payload, i)
+			if err := m.WriteAt(off, data, nil); err != nil {
+				writeErrs.Add(1)
+			}
+			if _, err := m.ReadAt(off, payload, nil); err != nil {
+				readErrs.Add(1)
+			}
+			off += payload
+			i++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Sample the scrub read counter: no window may exceed the token-bucket
+	// budget of 2 leg reads per page at `rate` pages/sec.
+	budget := int64(2 * rate * window.Seconds() * slack)
+	start := time.Now()
+	prev := m.MirrorStats().ScrubReads.Value()
+	for time.Since(start) < soak {
+		time.Sleep(window)
+		cur := m.MirrorStats().ScrubReads.Value()
+		if d := cur - prev; d > budget {
+			t.Errorf("scrub window issued %d leg reads, budget %d (rate %.0f pages/s over %v)",
+				d, budget, rate, window)
+		}
+		prev = cur
+	}
+	close(stop)
+	<-writerDone
+	m.StopScrub()
+	// End of the fault episode: detach the injector so repair writes stop
+	// being re-flipped, then require convergence.
+	m.Leg(1).SetFaultInjector(nil)
+
+	if w, r := writeErrs.Load(), readErrs.Load(); w != 0 || r != 0 {
+		t.Fatalf("traffic saw errors under scrub: %d write, %d read", w, r)
+	}
+	ms := m.MirrorStats()
+	if ms.ScrubReads.Value() == 0 || ms.ScrubPasses.Value() == 0 {
+		t.Fatalf("scrubber made no progress: %s", ms.String())
+	}
+	if ms.Quarantined.Value() != 0 {
+		t.Fatalf("single-leg flips caused %d quarantines", ms.Quarantined.Value())
+	}
+	if ms.ScrubRepairs.Value() == 0 {
+		t.Fatalf("soak planted latent flips but the scrubber repaired none: %s", ms.String())
+	}
+
+	// Drain the remaining damage synchronously, then prove convergence: a
+	// pass over a healed mirror repairs nothing.
+	if rep := m.ScrubOnce(); rep.Quarantined != 0 {
+		t.Fatalf("final scrub quarantined %d pages", rep.Quarantined)
+	}
+	if rep := m.ScrubOnce(); rep.Repaired != 0 || rep.Quarantined != 0 {
+		t.Fatalf("legs still inconsistent after full scrub: %+v", rep)
+	}
+	t.Logf("soak done: %s", ms.String())
+}

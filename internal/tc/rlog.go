@@ -42,7 +42,7 @@ const rlogMagic = 0xC7
 // large writes.
 type rlog struct {
 	mu      sync.Mutex
-	dev     *ssd.Device
+	dev     ssd.Dev
 	buf     []byte
 	start   int64 // device offset of buf[0]
 	bufCap  int
@@ -53,7 +53,7 @@ type rlog struct {
 	health *metrics.Health     // owned by the TC's Stats (may be nil)
 }
 
-func newRlog(dev *ssd.Device, bufBytes int, retry fault.RetryPolicy, meter *metrics.RetryStats, health *metrics.Health) *rlog {
+func newRlog(dev ssd.Dev, bufBytes int, retry fault.RetryPolicy, meter *metrics.RetryStats, health *metrics.Health) *rlog {
 	if bufBytes <= 0 {
 		bufBytes = 1 << 20
 	}
@@ -236,7 +236,7 @@ func (s ReplaySummary) String() string {
 // replayLog scans the durable log in order, invoking fn per commit record,
 // and reports where and why the scan stopped. Device reads retry transient
 // faults under the given policy.
-func replayLog(dev *ssd.Device, retry fault.RetryPolicy, m *metrics.RetryStats, fn func(commitRecord) error) (ReplaySummary, error) {
+func replayLog(dev ssd.Dev, retry fault.RetryPolicy, m *metrics.RetryStats, fn func(commitRecord) error) (ReplaySummary, error) {
 	sum := ReplaySummary{Reason: ReplayCleanEnd}
 	off := int64(0)
 	hw := dev.HighWater()

@@ -82,7 +82,7 @@ type Config struct {
 	DC DataComponent
 	// LogDevice holds the recovery log (typically a dedicated device or
 	// region).
-	LogDevice *ssd.Device
+	LogDevice ssd.Dev
 	// LogBufferBytes sizes the in-memory recovery-log buffer (default 1 MiB).
 	LogBufferBytes int
 	// ReadCacheBytes budgets the log-structured read cache (default 4 MiB).
@@ -137,6 +137,13 @@ func New(cfg Config) (*TC, error) {
 		rcache: rc,
 	}
 	tc.log = newRlog(cfg.LogDevice, cfg.LogBufferBytes, cfg.Retry, &tc.stats.Retry, &tc.stats.Health)
+	// A self-healing log device (ssd.Mirror) escalates unrecoverable
+	// dual-leg corruption by latching the TC read-only.
+	if ha, ok := cfg.LogDevice.(interface {
+		AttachHealth(*metrics.Health)
+	}); ok {
+		ha.AttachHealth(&tc.stats.Health)
+	}
 	return tc, nil
 }
 
@@ -499,7 +506,7 @@ type RecoverResult struct {
 // updates as normal operation — the paper notes there is no difference
 // between normal and recovery processing (Section 6.2). The replay summary
 // (records applied, truncation offset, stop reason) is logged and returned.
-func Recover(logDevice *ssd.Device, dc DataComponent) (RecoverResult, error) {
+func Recover(logDevice ssd.Dev, dc DataComponent) (RecoverResult, error) {
 	var res RecoverResult
 	sum, err := replayLog(logDevice, fault.DefaultRetry(), nil, func(rec commitRecord) error {
 		if rec.commitTS > res.MaxTS {

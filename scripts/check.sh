@@ -11,6 +11,11 @@
 # -short workloads) instead of the targeted storage-stack list — broader
 # coverage (obs, workload, experiments, the differential suite) at several
 # times the runtime.
+#
+# Set CHECK_SCRUB=1 for the long scrub-soak pass: a mirrored device under
+# sustained traffic with latent bit flips, verifying the background
+# scrubber's token-bucket I/O budget and repair convergence over several
+# wall-clock seconds (skipped otherwise).
 set -eux
 
 SHORT=""
@@ -33,5 +38,10 @@ else
         ./internal/lsm \
         ./internal/metrics \
         ./internal/engine \
+        ./internal/integration
+fi
+if [ -n "${CHECK_SCRUB:-}" ]; then
+    CHECK_SCRUB=1 go test -run 'TestScrubSoakLong|TestMirror' -count=1 -timeout 10m \
+        ./internal/ssd \
         ./internal/integration
 fi
