@@ -17,6 +17,15 @@
 // the per-op deadline applied by the engine:
 //
 //	kvbench -store lsm -concurrency 8 -deadline 50ms -faults seed=42,write=0.01
+//
+// With -standby the workload instead runs through a replicated pair
+// (internal/repl): a transaction component whose recovery log is shipped
+// to a warm standby, semi-synchronous writes, optional lossy ship link,
+// mid-run failover, and post-run point-in-time recovery:
+//
+//	kvbench -standby -keys 20000 -ops 50000 -net-loss 0.05
+//	kvbench -standby -failover -ops 50000            # promote at midpoint
+//	kvbench -standby -pitr-lsn 0 -obs                # PITR to the midpoint checkpoint
 package main
 
 import (
@@ -77,7 +86,25 @@ func main() {
 		"run the store on a self-healing mirrored device pair (ssd.Mirror): verified reads, read-repair, quarantine; doubles the SS rent in -obs costs")
 	scrubRate := flag.Float64("scrub-rate", 256,
 		"background scrubber budget in pages/sec with -mirror (each page costs one read per leg; 0 disables the scrubber)")
+	standby := flag.Bool("standby", false,
+		"run the workload through a replicated pair (internal/repl): a transaction component whose log is shipped to a warm standby; writes are semi-synchronous")
+	failover := flag.Bool("failover", false,
+		"with -standby, promote the standby at the run's midpoint (epoch-fences the old primary, run continues on the promoted side)")
+	pitrLSN := flag.Int64("pitr-lsn", -1,
+		"with -standby, replay the shipped log to this LSN after the run and report the reconstructed state (0 = the midpoint checkpoint, -1 = off)")
+	netLoss := flag.Float64("net-loss", 0,
+		"with -standby, drop/duplicate/reorder each shipped frame with this probability (seeded by -seed)")
 	flag.Parse()
+
+	if *standby {
+		runStandbyMode(standbyModeConfig{
+			keys: *keys, ops: *ops, valueSize: *valueSize,
+			mix: *mixName, dist: *distName, seed: *seed,
+			failover: *failover, pitrLSN: *pitrLSN, netLoss: *netLoss,
+			obs: *obsDump,
+		})
+		return
+	}
 
 	if *deadline > 0 && *concurrency <= 0 {
 		*concurrency = 1

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"costperf/internal/core"
+	"costperf/internal/fault"
+	"costperf/internal/masstree"
+	"costperf/internal/obs"
+	"costperf/internal/repl"
+	"costperf/internal/ssd"
+	"costperf/internal/workload"
+)
+
+// standbyModeConfig drives -standby: the workload runs through a
+// repl.Cluster — a primary transaction component whose recovery log is
+// continuously shipped to a warm standby, with semi-synchronous writes.
+type standbyModeConfig struct {
+	keys           uint64
+	ops, valueSize int
+	mix, dist      string
+	seed           int64
+	failover       bool    // force a promotion at the run's midpoint
+	pitrLSN        int64   // -1 off; 0 = midpoint checkpoint; >0 explicit LSN
+	netLoss        float64 // drop/dup/reorder probability on the ship link
+	obs            bool
+}
+
+// mtReplica adapts a MassTree to tc.DataComponent so both cluster replicas
+// run a real main-memory index as their data component.
+type mtReplica struct{ t *masstree.Tree }
+
+func newMtReplica() *mtReplica { return &mtReplica{t: masstree.New(nil)} }
+
+func (d *mtReplica) Get(key []byte) ([]byte, bool, error) {
+	v, ok := d.t.Get(key)
+	return v, ok, nil
+}
+func (d *mtReplica) BlindWrite(key, val []byte) error { d.t.Put(key, val); return nil }
+func (d *mtReplica) Delete(key []byte) error          { d.t.Delete(key); return nil }
+func (d *mtReplica) Scan(start []byte, limit int, fn func(key, val []byte) bool) error {
+	d.t.Scan(start, limit, fn)
+	return nil
+}
+
+func (d *mtReplica) count() int {
+	n := 0
+	d.t.Scan(nil, 0, func(_, _ []byte) bool { n++; return true })
+	return n
+}
+
+// runStandbyMode drives the workload through a replicated pair and reports
+// shipping volume, replication lag, and the cost of the extra log-shipping
+// leg in the -obs table. With -failover the standby is promoted at the
+// midpoint (epoch bump fences the old primary; the run continues on the
+// promoted side). With -pitr-lsn the shipped log is replayed to a point in
+// time after the run.
+func runStandbyMode(cfg standbyModeConfig) {
+	pdev := ssd.SamsungSSD
+	pdev.Name = "primary-log"
+	sdev := ssd.SamsungSSD
+	sdev.Name = "standby-log"
+	primaryLog, standbyLog := ssd.New(pdev), ssd.New(sdev)
+
+	var net *fault.NetInjector
+	if cfg.netLoss > 0 {
+		net = fault.NewNetInjector(cfg.seed)
+		net.SetRates(cfg.netLoss, cfg.netLoss, cfg.netLoss)
+		fmt.Printf("ship link loss: drop/dup/reorder each at %.3f\n", cfg.netLoss)
+	}
+
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if cfg.obs {
+		reg = obs.NewRegistry()
+		tr = reg.Tracer("cluster")
+		primaryLog.SetObserver(tr)
+		standbyLog.SetObserver(tr)
+	}
+
+	cluster, err := repl.NewCluster(repl.ClusterConfig{
+		PrimaryDC: newMtReplica(), PrimaryLog: primaryLog,
+		StandbyDC: newMtReplica(), StandbyLog: standbyLog,
+		Net:        net,
+		CommitWait: 2 * time.Second,
+		AckTimeout: 5 * time.Millisecond,
+		RetryBase:  200 * time.Microsecond,
+		RetryMax:   5 * time.Millisecond,
+		Poll:       50 * time.Microsecond,
+		Window:     8,
+		Seed:       cfg.seed,
+		Obs:        tr,
+	})
+	check(err)
+	defer cluster.Close()
+
+	ctx := context.Background()
+	fmt.Printf("loading %d keys through the replicated cluster...\n", cfg.keys)
+	for i := uint64(0); i < cfg.keys; i++ {
+		check(cluster.Put(ctx, workload.Key(i), workload.ValueFor(i, cfg.valueSize)))
+	}
+	if reg != nil {
+		reg.ResetAll() // measure the run, not the load
+	}
+
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Keys: cfg.keys, ValueSize: cfg.valueSize,
+		Mix: pickMix(cfg.mix), Chooser: pickChooser(cfg.dist, cfg.seed), Seed: cfg.seed,
+	})
+	check(err)
+
+	fmt.Printf("running %d ops (%s / %s) through the cluster", cfg.ops, cfg.mix, cfg.dist)
+	if cfg.failover {
+		fmt.Print(", failover at midpoint")
+	}
+	fmt.Println("...")
+
+	var acked, reads, fenced, timeouts, fails int
+	var ck repl.Checkpoint
+	start := time.Now()
+	for i := 0; i < cfg.ops; i++ {
+		if i == cfg.ops/2 {
+			// Quiesced midpoint: record a PITR target while the standby's
+			// applied state is exactly the acknowledged prefix.
+			ck = cluster.Standby().MarkCheckpoint()
+			fmt.Printf("  midpoint checkpoint: LSN %d (ts %d)\n", ck.LSN, ck.TS)
+			if cfg.failover {
+				check(cluster.Promote())
+				fmt.Printf("  promoted standby: epoch %d, old primary fenced\n", cluster.Epoch())
+			}
+		}
+		op := gen.Next()
+		var err error
+		switch op.Kind {
+		case workload.OpRead:
+			_, _, err = cluster.Get(ctx, op.Key)
+			if err == nil {
+				reads++
+				continue
+			}
+		case workload.OpUpdate, workload.OpInsert, workload.OpBlindWrite:
+			err = cluster.Put(ctx, op.Key, op.Value)
+		case workload.OpScan:
+			err = cluster.Scan(ctx, op.Key, op.ScanLen, func(_, _ []byte) bool { return true })
+			if err == nil {
+				reads++
+				continue
+			}
+		case workload.OpDelete:
+			err = cluster.Delete(ctx, op.Key)
+		}
+		switch {
+		case err == nil:
+			acked++
+		case errors.Is(err, repl.ErrFenced):
+			fenced++
+		case errors.Is(err, repl.ErrShipTimeout):
+			timeouts++
+		default:
+			fails++
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := cluster.Stats()
+	fmt.Println("\nresults (replicated mode, wall-clock):")
+	fmt.Printf("  elapsed: %v  (%.0f ops/sec)\n", elapsed.Round(time.Microsecond),
+		float64(cfg.ops)/elapsed.Seconds())
+	fmt.Printf("  reads=%d acked writes=%d fenced=%d ship-timeouts=%d errors=%d\n",
+		reads, acked, fenced, timeouts, fails)
+	fmt.Printf("  replication: %s\n", st.String())
+	fmt.Printf("  primary durable LSN: %d, standby applied LSN: %d (lag %dB)\n",
+		cluster.Primary().DurableLSN(), cluster.Standby().AppliedLSN(), cluster.Standby().LagBytes())
+	if cluster.Promoted() {
+		fmt.Printf("  failover: promotions=%d epoch=%d\n", st.Promotions.Value(), cluster.Epoch())
+	}
+	fmt.Printf("  primary log device: %s\n", primaryLog.Stats().String())
+	fmt.Printf("  standby log device: %s\n", standbyLog.Stats().String())
+
+	if cfg.pitrLSN >= 0 {
+		target := cfg.pitrLSN
+		if target == 0 {
+			target = ck.LSN
+		}
+		dst := newMtReplica()
+		res, err := cluster.Standby().PITRToLSN(target, dst)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvbench: PITR to LSN %d: %v\n", target, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  PITR: replayed %d records to LSN %d (max commit ts %d), reconstructed %d keys\n",
+			res.Applied, res.Replay.TruncatedAt, res.MaxTS, dst.count())
+	}
+
+	if reg != nil {
+		base := core.PaperCosts()
+		fmt.Println("\nobservability (replication leg included in live costs):")
+		fmt.Print(reg.Table(base))
+	}
+}

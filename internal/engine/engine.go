@@ -20,14 +20,20 @@
 //   - Circuit breaking. A store whose own Health has latched degraded is
 //     read-only: writes fail fast with ErrReadOnly. Independently, a run
 //     of persistent write failures trips the engine's breaker open
-//     (ErrCircuitOpen); every ProbeEvery-th rejected write is admitted as
-//     a half-open probe whose outcome closes the circuit or re-opens it.
+//     (ErrCircuitOpen); once a jittered backoff interval has elapsed, the
+//     next write is admitted as a half-open probe whose outcome closes the
+//     circuit or re-opens it. Each failed probe doubles the backoff up to
+//     ProbeMaxBackoff, and every interval is jittered across [d/2, d] so a
+//     fleet of engines over a flapping store cannot synchronize into probe
+//     storms.
 package engine
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,9 +73,16 @@ type Config struct {
 	// BreakerThreshold is the run of consecutive persistent write
 	// failures that trips the circuit open (default 5).
 	BreakerThreshold int
-	// ProbeEvery admits every Nth circuit-rejected write as a half-open
-	// probe (default 16).
-	ProbeEvery int
+	// ProbeBackoff is the base interval before the open breaker admits a
+	// half-open probe (default 10ms). Each failed probe doubles the
+	// interval up to ProbeMaxBackoff; every interval is drawn jittered
+	// from [d/2, d] so probes desynchronize across engines.
+	ProbeBackoff time.Duration
+	// ProbeMaxBackoff caps the doubling (default 100*ProbeBackoff).
+	ProbeMaxBackoff time.Duration
+	// ProbeJitterSeed seeds the jitter source (default 1); tests pin it
+	// for reproducible schedules.
+	ProbeJitterSeed int64
 	// Obs, when non-nil, receives one tracing span per front-end
 	// operation, with shed/read-only/circuit rejections tagged as shed
 	// outcomes (see internal/obs). Nil traces nothing at zero cost.
@@ -89,8 +102,17 @@ func (c *Config) setDefaults() error {
 	if c.BreakerThreshold <= 0 {
 		c.BreakerThreshold = 5
 	}
-	if c.ProbeEvery <= 0 {
-		c.ProbeEvery = 16
+	if c.ProbeBackoff <= 0 {
+		c.ProbeBackoff = 10 * time.Millisecond
+	}
+	if c.ProbeMaxBackoff <= 0 {
+		c.ProbeMaxBackoff = 100 * c.ProbeBackoff
+	}
+	if c.ProbeMaxBackoff < c.ProbeBackoff {
+		c.ProbeMaxBackoff = c.ProbeBackoff
+	}
+	if c.ProbeJitterSeed == 0 {
+		c.ProbeJitterSeed = 1
 	}
 	return nil
 }
@@ -143,8 +165,16 @@ type Engine struct {
 
 	waiters    atomic.Int64
 	consecFail atomic.Int64 // consecutive persistent write failures
-	rejected   atomic.Int64 // circuit rejections, for probe cadence
 	closed     atomic.Bool
+
+	// Probe scheduling: probeAt is the earliest wall-clock nanosecond at
+	// which the open breaker admits a half-open probe (atomic, read on the
+	// rejected-write fast path); probeWait and the jitter source change
+	// only on breaker transitions, under probeMu.
+	probeAt   atomic.Int64
+	probeMu   sync.Mutex
+	probeWait time.Duration
+	probeRNG  *rand.Rand
 }
 
 // New creates an engine over the given store.
@@ -152,7 +182,11 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent)}, nil
+	return &Engine{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		probeRNG: rand.New(rand.NewSource(cfg.ProbeJitterSeed)),
+	}, nil
 }
 
 // Stats returns the engine's counters.
@@ -243,12 +277,52 @@ func (e *Engine) gateWrite() (probe bool, err error) {
 		e.stats.CircuitRejects.Inc()
 		return false, ErrCircuitOpen
 	default: // open
-		if e.rejected.Add(1)%int64(e.cfg.ProbeEvery) == 0 && e.stats.Breaker.Probe() {
+		if time.Now().UnixNano() >= e.probeAt.Load() && e.stats.Breaker.Probe() {
 			return true, nil
 		}
 		e.stats.CircuitRejects.Inc()
 		return false, ErrCircuitOpen
 	}
+}
+
+// jitter draws a probe interval uniformly from [d/2, d] — the full-period
+// half-jitter that keeps a fleet of breakers over the same flapping store
+// from probing in lockstep while still honoring the backoff's order of
+// magnitude. Caller holds probeMu.
+func (e *Engine) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(e.probeRNG.Int63n(int64(half)+1))
+}
+
+// armProbe schedules the breaker's next half-open probe. A fresh trip
+// (reset) restarts the backoff at ProbeBackoff; a failed probe doubles it
+// up to ProbeMaxBackoff. The armed deadline is jittered (see jitter).
+func (e *Engine) armProbe(reset bool) {
+	e.probeMu.Lock()
+	if reset || e.probeWait <= 0 {
+		e.probeWait = e.cfg.ProbeBackoff
+	} else {
+		e.probeWait *= 2
+		if e.probeWait > e.cfg.ProbeMaxBackoff {
+			e.probeWait = e.cfg.ProbeMaxBackoff
+		}
+	}
+	e.probeAt.Store(time.Now().Add(e.jitter(e.probeWait)).UnixNano())
+	e.probeMu.Unlock()
+}
+
+// rearmProbe schedules another probe at the current backoff, neither
+// resetting nor doubling it (used when a probe aborts without verdict).
+func (e *Engine) rearmProbe() {
+	e.probeMu.Lock()
+	if e.probeWait <= 0 {
+		e.probeWait = e.cfg.ProbeBackoff
+	}
+	e.probeAt.Store(time.Now().Add(e.jitter(e.probeWait)).UnixNano())
+	e.probeMu.Unlock()
 }
 
 // noteWrite folds a write's outcome into the breaker state machine.
@@ -261,17 +335,25 @@ func (e *Engine) noteWrite(err error, probe bool) {
 		}
 	case fault.ClassAborted:
 		// The caller stopped waiting; this says nothing about the store.
-		// An aborted probe releases the half-open slot back to open.
+		// An aborted probe releases the half-open slot back to open and
+		// re-arms at the current backoff without doubling it.
 		if probe {
 			e.stats.Breaker.Degrade("probe aborted")
+			e.rearmProbe()
 		}
 	case fault.ClassPersistent:
 		if probe {
+			// The store is still bad: reopen and back the probe cadence
+			// off exponentially (jittered) so a long outage is probed ever
+			// more rarely instead of at a synchronized fixed rate.
 			e.stats.Breaker.Degrade(fmt.Sprintf("probe failed: %v", err))
+			e.armProbe(false)
 			return
 		}
-		if e.consecFail.Add(1) >= int64(e.cfg.BreakerThreshold) {
-			e.stats.Breaker.Degrade(fmt.Sprintf("persistent failures: %v", err))
+		if e.consecFail.Add(1) >= int64(e.cfg.BreakerThreshold) &&
+			e.stats.Breaker.Degrade(fmt.Sprintf("persistent failures: %v", err)) {
+			// Fresh trip: restart the backoff at its base.
+			e.armProbe(true)
 		}
 	default:
 		// Transient (retry budget exhausted) or corrupt: surfaced to the

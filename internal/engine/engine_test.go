@@ -232,7 +232,7 @@ func TestEngineReadOnlyOnDegradedStore(t *testing.T) {
 func TestEngineBreakerTripAndRecover(t *testing.T) {
 	fs := newFakeStore()
 	persistent := fmt.Errorf("dev: %w", fault.ErrPersistent)
-	e := newTestEngine(t, Config{Store: fs, BreakerThreshold: 3, ProbeEvery: 2})
+	e := newTestEngine(t, Config{Store: fs, BreakerThreshold: 3, ProbeBackoff: 20 * time.Millisecond})
 	ctx := context.Background()
 
 	fs.setPutErr(persistent)
@@ -245,13 +245,27 @@ func TestEngineBreakerTripAndRecover(t *testing.T) {
 	if e.Stats().Breaker.State() != metrics.HealthDegraded {
 		t.Fatalf("breaker = %v, want open", e.Stats().Breaker.State())
 	}
-	// Open circuit: writes fail fast without reaching the store...
+	// Open circuit: before the jittered backoff (>= ProbeBackoff/2) has
+	// elapsed, writes fail fast without reaching the store...
 	if err := e.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("Put = %v, want ErrCircuitOpen", err)
 	}
-	// ...until the probe cadence admits one, which fails and re-opens.
-	if err := e.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, fault.ErrPersistent) {
-		t.Fatalf("probe Put = %v, want the store error", err)
+	// ...until the backoff elapses and a write is admitted as the probe,
+	// which fails and re-opens the circuit with a doubled backoff.
+	var probed bool
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		err := e.Put(ctx, []byte("k"), []byte("v"))
+		if errors.Is(err, fault.ErrPersistent) {
+			probed = true
+			break
+		}
+		if !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("Put while open = %v, want ErrCircuitOpen or the store error", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !probed {
+		t.Fatal("breaker never admitted a failing probe")
 	}
 	if e.Stats().Breaker.State() != metrics.HealthDegraded {
 		t.Fatalf("breaker after failed probe = %v, want open", e.Stats().Breaker.State())
@@ -260,11 +274,12 @@ func TestEngineBreakerTripAndRecover(t *testing.T) {
 	// Fault clears: the next probe closes the circuit.
 	fs.setPutErr(nil)
 	var recovered bool
-	for i := 0; i < 10; i++ {
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
 		if err := e.Put(ctx, []byte("k"), []byte("v")); err == nil {
 			recovered = true
 			break
 		}
+		time.Sleep(time.Millisecond)
 	}
 	if !recovered {
 		t.Fatal("breaker never admitted a successful probe")

@@ -100,6 +100,11 @@ func Classify(err error) Class {
 		errors.Is(err, ssd.ErrInjectedRead),
 		errors.Is(err, ssd.ErrInjectedWrite):
 		return ClassTransient
+	case errors.Is(err, ssd.ErrNoSpace):
+		// A full device stays full until something is trimmed; stated
+		// explicitly (though it is also the default) because flush paths
+		// rely on it to latch read-only instead of retrying.
+		return ClassPersistent
 	default:
 		return ClassPersistent
 	}

@@ -24,6 +24,8 @@ func TestClassify(t *testing.T) {
 		{ErrPersistent, ClassPersistent},
 		{ErrCrashed, ClassPersistent},
 		{ssd.ErrClosed, ClassPersistent},
+		{ssd.ErrNoSpace, ClassPersistent},
+		{fmt.Errorf("log: %w", ssd.ErrNoSpace), ClassPersistent},
 		{errors.New("mystery"), ClassPersistent},
 		{fmt.Errorf("store: bad frame (%w)", ErrCorrupt), ClassCorrupt},
 	}

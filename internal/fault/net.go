@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// NetOutcome describes what the simulated network does to one message on a
+// replication link. The zero value delivers the message untouched.
+type NetOutcome struct {
+	// Drop loses the message entirely (the sender learns nothing).
+	Drop bool
+	// Dup delivers the message twice back to back.
+	Dup bool
+	// Hold delays the message past the next one sent on the link — the
+	// minimal reordering a window of in-flight batches must survive.
+	Hold bool
+}
+
+// NetStats counts what the injector did, for test reconciliation.
+type NetStats struct {
+	Messages   int64 // outcomes issued
+	Dropped    int64 // includes messages eaten by a partition
+	Duplicated int64
+	Held       int64
+	Partitions int64 // partition episodes started
+}
+
+// NetInjector is a seeded fault model for an in-process replication link:
+// probabilistic drops, duplicate delivery, and reordering, plus explicit
+// partitions that eat every message until healed (or for a bounded count,
+// so seeded sweeps stay deterministic). Safe for concurrent use.
+type NetInjector struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	drop float64
+	dup  float64
+	hold float64
+
+	partitioned   bool
+	partitionLeft int64 // when >0, drop this many more messages then heal
+
+	stats NetStats
+}
+
+// NewNetInjector returns an injector seeded for reproducible runs. All
+// rates start at zero: the network is perfect until told otherwise.
+func NewNetInjector(seed int64) *NetInjector {
+	return &NetInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetRates programs the per-message probabilities of dropping, duplicating,
+// and holding (reordering) a message. Rates outside [0,1] are clamped.
+func (n *NetInjector) SetRates(drop, dup, hold float64) {
+	clamp := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.drop, n.dup, n.hold = clamp(drop), clamp(dup), clamp(hold)
+}
+
+// Partition starts dropping every message until Heal.
+func (n *NetInjector) Partition() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.partitioned {
+		n.stats.Partitions++
+	}
+	n.partitioned = true
+	n.partitionLeft = 0
+}
+
+// PartitionFor drops the next count messages, then heals on its own —
+// bounded partitions keep seeded chaos runs guaranteed to re-converge.
+func (n *NetInjector) PartitionFor(count int64) {
+	if count <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.partitioned {
+		n.stats.Partitions++
+	}
+	n.partitioned = true
+	n.partitionLeft = count
+}
+
+// Heal ends a partition.
+func (n *NetInjector) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned = false
+	n.partitionLeft = 0
+}
+
+// Partitioned reports whether the link is currently partitioned.
+func (n *NetInjector) Partitioned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitioned
+}
+
+// Outcome decides the fate of one message. A partition wins over the
+// probabilistic faults; drop, duplicate, and hold are mutually exclusive
+// per message (a window of batches exercises their combinations anyway).
+func (n *NetInjector) Outcome() NetOutcome {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Messages++
+	if n.partitioned {
+		if n.partitionLeft > 0 {
+			n.partitionLeft--
+			if n.partitionLeft == 0 {
+				n.partitioned = false
+			}
+		}
+		n.stats.Dropped++
+		return NetOutcome{Drop: true}
+	}
+	switch p := n.rng.Float64(); {
+	case p < n.drop:
+		n.stats.Dropped++
+		return NetOutcome{Drop: true}
+	case p < n.drop+n.dup:
+		n.stats.Duplicated++
+		return NetOutcome{Dup: true}
+	case p < n.drop+n.dup+n.hold:
+		n.stats.Held++
+		return NetOutcome{Hold: true}
+	}
+	return NetOutcome{}
+}
+
+// Stats returns a copy of the injector's counters.
+func (n *NetInjector) Stats() NetStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}

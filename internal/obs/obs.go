@@ -112,6 +112,7 @@ type Tracer struct {
 	retries []*metrics.RetryStats
 	healths []*metrics.Health
 	mirrors []*metrics.MirrorStats
+	repls   []*metrics.ReplStats
 }
 
 // NewTracer returns a standalone tracer. Prefer Registry.Tracer so snapshots
@@ -327,6 +328,19 @@ func (t *Tracer) FoldMirror(m *metrics.MirrorStats) {
 	}
 	t.mu.Lock()
 	t.mirrors = append(t.mirrors, m)
+	t.mu.Unlock()
+}
+
+// FoldRepl attaches a log-shipping replication counter block (shared by an
+// internal/repl shipper/standby pair) to fold into snapshots. A snapshot
+// with a folded ReplStats reports Replicated, which charges the standby's
+// secondary-storage rent in the live cost model.
+func (t *Tracer) FoldRepl(r *metrics.ReplStats) {
+	if t == nil || r == nil {
+		return
+	}
+	t.mu.Lock()
+	t.repls = append(t.repls, r)
 	t.mu.Unlock()
 }
 

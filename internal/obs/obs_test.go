@@ -409,3 +409,43 @@ func TestRegistryFoldsLegacyCounters(t *testing.T) {
 		t.Fatalf("health = %q", s.Health)
 	}
 }
+
+// TestRegistryFoldsReplStats pins the warm-standby fold: ship volume, lag,
+// and failover counters surface in the snapshot, and the live cost model
+// charges the standby's extra flash leg (Eq. 4-6 with one more replica).
+func TestRegistryFoldsReplStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := reg.Tracer("cluster")
+	var rs metrics.ReplStats
+	rs.BatchesShipped.Add(12)
+	rs.BytesShipped.Add(4096)
+	rs.Resends.Add(3)
+	rs.Promotions.Add(1)
+	rs.FencedWrites.Add(2)
+	rs.PrimaryDurable.Set(1000)
+	rs.AppliedLSN.Set(900)
+	tr.FoldRepl(&rs)
+
+	s := reg.Snapshots()[0]
+	if !s.Replicated {
+		t.Fatal("snapshot not marked replicated")
+	}
+	if s.ShipBatches != 12 || s.ShipBytes != 4096 || s.ShipResends != 3 {
+		t.Fatalf("ship accounting = %+v", s)
+	}
+	if s.ReplLagBytes != 100 || s.Promotions != 1 || s.FencedWrites != 2 {
+		t.Fatalf("lag/failover accounting = %+v", s)
+	}
+	// One extra replication leg: flash rent and IOPS rent double vs base.
+	base := core.PaperCosts()
+	live := s.LiveCosts(base)
+	if live.FlashPerByte != 2*base.FlashPerByte || live.IOPSCost != 2*base.IOPSCost {
+		t.Fatalf("replicated legs: FlashPerByte=%v IOPSCost=%v, want doubled", live.FlashPerByte, live.IOPSCost)
+	}
+	// Mirrored AND replicated = three legs (two mirror legs + standby copy).
+	s.Mirrored = true
+	live = s.LiveCosts(base)
+	if live.FlashPerByte != 3*base.FlashPerByte {
+		t.Fatalf("mirror+standby legs: FlashPerByte=%v, want tripled", live.FlashPerByte)
+	}
+}

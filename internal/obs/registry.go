@@ -132,6 +132,17 @@ type CostSnapshot struct {
 	ScrubPasses  int64 // completed scrub sweeps
 	Quarantined  int64 // pages lost on both legs and disabled
 
+	// Folded warm-standby replication accounting (internal/repl). A
+	// replicated store rents a second copy of the flash plus the ship
+	// bandwidth — one extra replication leg in the cost model.
+	Replicated   bool
+	ShipBatches  int64 // frames handed to the transport (incl. resends)
+	ShipBytes    int64 // payload bytes handed to the transport
+	ShipResends  int64 // frames re-shipped after a timeout or nak
+	ReplLagBytes int64 // standby applied-LSN lag behind primary durable
+	Promotions   int64 // standby promotions (failovers)
+	FencedWrites int64 // stale-primary commits rejected by the epoch gate
+
 	Health string
 }
 
@@ -202,6 +213,7 @@ func (t *Tracer) Snapshot() CostSnapshot {
 	retries := append([]*metrics.RetryStats(nil), t.retries...)
 	healths := append([]*metrics.Health(nil), t.healths...)
 	mirrors := append([]*metrics.MirrorStats(nil), t.mirrors...)
+	repls := append([]*metrics.ReplStats(nil), t.repls...)
 	t.mu.Unlock()
 
 	if s.DeviceReads+s.DeviceWrites+s.FailedIOs == 0 {
@@ -227,6 +239,15 @@ func (t *Tracer) Snapshot() CostSnapshot {
 		s.ScrubPasses += m.ScrubPasses.Value()
 		s.Quarantined += m.Quarantined.Value()
 	}
+	for _, rp := range repls {
+		s.Replicated = true
+		s.ShipBatches += rp.BatchesShipped.Value()
+		s.ShipBytes += rp.BytesShipped.Value()
+		s.ShipResends += rp.Resends.Value()
+		s.ReplLagBytes += rp.LagBytes()
+		s.Promotions += rp.Promotions.Value()
+		s.FencedWrites += rp.FencedWrites.Value()
+	}
 	s.Health = "healthy"
 	for _, h := range healths {
 		if st := h.State(); st != metrics.HealthHealthy {
@@ -244,13 +265,21 @@ func (t *Tracer) Snapshot() CostSnapshot {
 // LiveCosts substitutes the snapshot's measured ROPS and R into base,
 // yielding a cost model parameterized by what this store actually did.
 // Unmeasured inputs (no completed hits, no misses) keep the base values.
-// A mirrored store pays the two-leg secondary-storage rent
-// (core.Costs.WithReplication), so its live $/op and breakeven reflect
-// the redundancy it bought.
+// A mirrored store pays the two-leg secondary-storage rent, and a
+// replicated one pays an extra leg for the warm standby's copy of the
+// flash (core.Costs.WithReplication) — so live $/op and breakeven reflect
+// the redundancy each configuration bought.
 func (s CostSnapshot) LiveCosts(base core.Costs) core.Costs {
 	c := base
+	legs := 1
 	if s.Mirrored {
-		c = c.WithReplication(2)
+		legs = 2
+	}
+	if s.Replicated {
+		legs++ // the standby's full second copy (DESIGN.md, Eq. 4-6)
+	}
+	if legs > 1 {
+		c = c.WithReplication(legs)
 	}
 	if s.ROPS > 0 {
 		c.ROPS = s.ROPS
@@ -289,6 +318,12 @@ func (s CostSnapshot) Line(base core.Costs) string {
 	if s.Mirrored {
 		fmt.Fprintf(&b, " repair=%d quar=%d", s.ReadRepairs+s.ScrubRepairs, s.Quarantined)
 	}
+	if s.Replicated {
+		fmt.Fprintf(&b, " ship=%dB lag=%dB", s.ShipBytes, s.ReplLagBytes)
+		if s.Promotions > 0 {
+			fmt.Fprintf(&b, " failovers=%d", s.Promotions)
+		}
+	}
 	if s.Health != "" && s.Health != "healthy" {
 		fmt.Fprintf(&b, " health=%s", s.Health)
 	}
@@ -315,6 +350,13 @@ func (r *Registry) Table(base core.Costs) string {
 			fmt.Fprintf(&b, "  [mirror x2: repairs=%d (read=%d scrub=%d) quarantined=%d scrub-reads=%d passes=%d]",
 				s.ReadRepairs+s.ScrubRepairs, s.ReadRepairs, s.ScrubRepairs,
 				s.Quarantined, s.ScrubReads, s.ScrubPasses)
+		}
+		if s.Replicated {
+			// The replicated $/Mop and breakeven above already include the
+			// standby's extra flash leg (LiveCosts adds a replication leg).
+			fmt.Fprintf(&b, "  [standby: shipped=%d/%dB resends=%d lag=%dB failovers=%d fenced=%d]",
+				s.ShipBatches, s.ShipBytes, s.ShipResends,
+				s.ReplLagBytes, s.Promotions, s.FencedWrites)
 		}
 		b.WriteByte('\n')
 	}

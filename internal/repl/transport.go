@@ -1,0 +1,157 @@
+package repl
+
+import (
+	"hash/crc32"
+	"sync"
+
+	"costperf/internal/fault"
+)
+
+// Frame is one shipped batch of recovery-log bytes. From/To are LSNs
+// (device offsets) bounding the payload; Durable is the primary's durable
+// LSN at ship time, which the standby uses to measure its lag. A Frame
+// with a negative From carries no payload: it is the shipper's resync
+// probe, asking the standby to report its applied LSN.
+type Frame struct {
+	Epoch   uint64
+	From    int64
+	To      int64
+	Durable int64
+	CRC     uint32 // IEEE CRC over Payload
+	Payload []byte
+}
+
+// probeFrom marks a resync probe.
+const probeFrom = int64(-1)
+
+// frameCRC computes the payload checksum a Frame must carry.
+func frameCRC(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
+
+// Ack is the standby's response to one frame. Applied is the standby's
+// applied LSN after handling it — on a nak this doubles as the resync
+// cursor the shipper should back up to.
+type Ack struct {
+	Epoch   uint64
+	Applied int64
+	OK      bool
+	Reason  string
+}
+
+// linkQueue bounds each direction of the in-process link; overflow drops
+// the message, like a congested network path, and the shipper's resend
+// machinery recovers.
+const linkQueue = 128
+
+// Link is the fault-injectable in-process transport between a shipper and
+// a standby: two bounded channels with a fault.NetInjector deciding, per
+// message, whether to drop, duplicate, or hold (reorder) it. A held
+// message is delivered right after the next message in the same direction
+// — the minimal reordering a windowed protocol must tolerate. Safe for
+// concurrent use.
+type Link struct {
+	mu     sync.Mutex
+	net    *fault.NetInjector
+	frames chan Frame
+	acks   chan Ack
+	heldF  *Frame
+	heldA  *Ack
+	closed bool
+}
+
+// NewLink returns a link; net may be nil for a perfect network.
+func NewLink(net *fault.NetInjector) *Link {
+	return &Link{
+		net:    net,
+		frames: make(chan Frame, linkQueue),
+		acks:   make(chan Ack, linkQueue),
+	}
+}
+
+func (l *Link) outcome() fault.NetOutcome {
+	if l.net == nil {
+		return fault.NetOutcome{}
+	}
+	return l.net.Outcome()
+}
+
+// SendFrame ships a frame toward the standby, subject to network faults.
+func (l *Link) SendFrame(f Frame) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	out := l.outcome()
+	if out.Drop {
+		return
+	}
+	if out.Hold && l.heldF == nil {
+		cp := f
+		l.heldF = &cp
+		return
+	}
+	l.pushFrameLocked(f)
+	if out.Dup {
+		l.pushFrameLocked(f)
+	}
+	if l.heldF != nil {
+		held := *l.heldF
+		l.heldF = nil
+		l.pushFrameLocked(held)
+	}
+}
+
+// SendAck ships an ack toward the shipper, subject to the same faults.
+func (l *Link) SendAck(a Ack) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	out := l.outcome()
+	if out.Drop {
+		return
+	}
+	if out.Hold && l.heldA == nil {
+		cp := a
+		l.heldA = &cp
+		return
+	}
+	l.pushAckLocked(a)
+	if out.Dup {
+		l.pushAckLocked(a)
+	}
+	if l.heldA != nil {
+		held := *l.heldA
+		l.heldA = nil
+		l.pushAckLocked(held)
+	}
+}
+
+func (l *Link) pushFrameLocked(f Frame) {
+	select {
+	case l.frames <- f:
+	default: // queue overflow: the network dropped it
+	}
+}
+
+func (l *Link) pushAckLocked(a Ack) {
+	select {
+	case l.acks <- a:
+	default:
+	}
+}
+
+// Frames is the standby's receive channel.
+func (l *Link) Frames() <-chan Frame { return l.frames }
+
+// Acks is the shipper's receive channel.
+func (l *Link) Acks() <-chan Ack { return l.acks }
+
+// Close makes subsequent sends no-ops (receivers drain what is queued).
+func (l *Link) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.heldF, l.heldA = nil, nil
+	l.mu.Unlock()
+}

@@ -62,6 +62,11 @@ type Config struct {
 	// IOPSCost is the purchase cost attributed to the device's I/O
 	// capability ($I), e.g. SSD price minus flash storage price.
 	IOPSCost float64
+	// CapacityBytes bounds the media the device will allocate (0 =
+	// unbounded). Writes that would allocate past the bound fail with
+	// ErrNoSpace; Trim returns media to the free pool. Capacity is
+	// accounted in whole sparse chunks, matching FootprintBytes.
+	CapacityBytes int64
 }
 
 // Paper-grade device presets. Prices follow Section 4.1; IOPS follow
@@ -103,6 +108,11 @@ var (
 	ErrOutOfRange    = errors.New("ssd: address out of range")
 	ErrInjectedRead  = errors.New("ssd: injected read failure")
 	ErrInjectedWrite = errors.New("ssd: injected write failure")
+	// ErrNoSpace is returned by writes that would allocate media beyond
+	// Config.CapacityBytes. It classifies as persistent (retrying cannot
+	// free space), so flush paths latch their store's Health degraded
+	// (read-only) instead of panicking or looping.
+	ErrNoSpace = errors.New("ssd: device full")
 )
 
 // FaultOutcome describes what a fault injector wants to happen to one I/O.
@@ -294,6 +304,16 @@ func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
 	if d.closed {
 		return ErrClosed
 	}
+	if d.wouldExceedCapacityLocked(off, len(data)) {
+		// A full device rejects the write deterministically, before any
+		// injected fault: like a real ENOSPC it still occupied the device
+		// for the attempt but moved no payload.
+		d.accountBusy()
+		d.stats.FailedWrites.Inc()
+		d.observeLocked(true, 0, float64(d.busyPerIONos)/1e9, true)
+		return fmt.Errorf("%w: write [%d,%d) over capacity %d (footprint %d)",
+			ErrNoSpace, off, off+int64(len(data)), d.cfg.CapacityBytes, int64(len(d.chunks))*chunkSize)
+	}
 	fo := d.faultOnWriteLocked(off, data)
 	attemptBusy := float64(d.busyPerIONos) / 1e9
 	if fo.ExtraBusySec > 0 {
@@ -341,6 +361,22 @@ func (d *Device) WriteAt(off int64, data []byte, ch *sim.Charger) error {
 	d.observeLocked(true, len(data), attemptBusy, false)
 	d.chargeIO(ch)
 	return nil
+}
+
+// wouldExceedCapacityLocked reports whether writing [off, off+n) would
+// allocate chunks past the configured capacity. Rewrites of already
+// allocated chunks are always in budget. Caller holds d.mu.
+func (d *Device) wouldExceedCapacityLocked(off int64, n int) bool {
+	if d.cfg.CapacityBytes <= 0 || n == 0 {
+		return false
+	}
+	fresh := int64(0)
+	for ci := off / chunkSize; ci*chunkSize < off+int64(n); ci++ {
+		if _, ok := d.chunks[ci]; !ok {
+			fresh++
+		}
+	}
+	return (int64(len(d.chunks))+fresh)*chunkSize > d.cfg.CapacityBytes
 }
 
 func (d *Device) raiseHighWater(end int64) {

@@ -301,3 +301,46 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCapacityEnforcedAndTrimFrees pins the simulated-capacity contract:
+// writes that need fresh media beyond CapacityBytes fail with the typed
+// ErrNoSpace (a persistent fault — retries cannot help), overwrites of
+// already-allocated media always fit, and Trim returns media to the free
+// pool so writes succeed again.
+func TestCapacityEnforcedAndTrimFrees(t *testing.T) {
+	d := New(Config{Name: "tiny", MaxIOPS: 1e6, LatencySec: 1e-6, CapacityBytes: 2 * chunkSize})
+	buf := make([]byte, chunkSize)
+	// Two chunks fit exactly.
+	if err := d.WriteAt(0, buf, nil); err != nil {
+		t.Fatalf("chunk 0: %v", err)
+	}
+	if err := d.WriteAt(chunkSize, buf, nil); err != nil {
+		t.Fatalf("chunk 1: %v", err)
+	}
+	// A third fresh chunk is over capacity.
+	err := d.WriteAt(2*chunkSize, buf, nil)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-capacity write = %v, want ErrNoSpace", err)
+	}
+	if got := d.Stats().FailedWrites.Value(); got != 1 {
+		t.Fatalf("FailedWrites = %d, want 1", got)
+	}
+	// Overwriting allocated media is always in budget.
+	if err := d.WriteAt(10, []byte("rewrite"), nil); err != nil {
+		t.Fatalf("rewrite within capacity: %v", err)
+	}
+	// A straddling write that needs one fresh chunk also fails...
+	if err := d.WriteAt(2*chunkSize-10, make([]byte, 20), nil); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("straddling write = %v, want ErrNoSpace", err)
+	}
+	// ...until Trim frees a chunk.
+	if err := d.Trim(0, chunkSize); err != nil {
+		t.Fatalf("trim: %v", err)
+	}
+	if err := d.WriteAt(2*chunkSize, buf, nil); err != nil {
+		t.Fatalf("write after trim: %v", err)
+	}
+	if fp := d.FootprintBytes(); fp != 2*chunkSize {
+		t.Fatalf("footprint = %d, want %d", fp, 2*chunkSize)
+	}
+}

@@ -237,9 +237,26 @@ func (s ReplaySummary) String() string {
 // and reports where and why the scan stopped. Device reads retry transient
 // faults under the given policy.
 func replayLog(dev ssd.Dev, retry fault.RetryPolicy, m *metrics.RetryStats, fn func(commitRecord) error) (ReplaySummary, error) {
-	sum := ReplaySummary{Reason: ReplayCleanEnd}
-	off := int64(0)
+	return replayRange(dev, 0, 0, retry, m, func(rec commitRecord, _ int64) error {
+		return fn(rec)
+	})
+}
+
+// replayRange scans log records in [from, to); from must be a record
+// boundary and to is an inclusive upper bound on record ends (0 = the
+// device high-water mark). fn receives each record together with its end
+// offset (the LSN after the record — the batch boundaries log shipping and
+// PITR navigate by). A record that is complete on the device but ends past
+// the bound stops the scan cleanly; only damage inside the bound reports a
+// torn or corrupt stop.
+func replayRange(dev ssd.Dev, from, to int64, retry fault.RetryPolicy, m *metrics.RetryStats, fn func(commitRecord, int64) error) (ReplaySummary, error) {
+	sum := ReplaySummary{Reason: ReplayCleanEnd, TruncatedAt: from}
+	off := from
 	hw := dev.HighWater()
+	limit := hw
+	if to > 0 && to < hw {
+		limit = to
+	}
 	readAt := func(o int64, n int) ([]byte, error) {
 		var out []byte
 		err := retry.Do(m, func() error {
@@ -249,7 +266,7 @@ func replayLog(dev ssd.Dev, retry fault.RetryPolicy, m *metrics.RetryStats, fn f
 		})
 		return out, err
 	}
-	for off+9 <= hw {
+	for off+9 <= limit {
 		hdr, err := readAt(off, 9)
 		if err != nil {
 			return sum, err
@@ -275,8 +292,12 @@ func replayLog(dev ssd.Dev, retry fault.RetryPolicy, m *metrics.RetryStats, fn f
 			sum.TruncatedAt, sum.Reason = off, ReplayTornTail
 			return sum, nil
 		}
-		if off+9+blen > hw {
-			sum.TruncatedAt, sum.Reason = off, ReplayTornTail
+		if off+9+blen > limit {
+			if off+9+blen > hw {
+				sum.TruncatedAt, sum.Reason = off, ReplayTornTail
+			}
+			// Otherwise the record is intact but past the caller's bound:
+			// a clean stop at the last in-bound boundary.
 			return sum, nil
 		}
 		body, err := readAt(off+9, int(blen))
@@ -291,16 +312,17 @@ func replayLog(dev ssd.Dev, retry fault.RetryPolicy, m *metrics.RetryStats, fn f
 		if err != nil {
 			return sum, fmt.Errorf("tc: corrupt log record at %d: %v (%w)", off, err, fault.ErrCorrupt)
 		}
-		if err := fn(rec); err != nil {
+		if err := fn(rec, off+9+blen); err != nil {
 			return sum, err
 		}
 		sum.Records++
 		off += 9 + blen
 		sum.TruncatedAt = off
 	}
-	// The last complete record ended before the high-water mark: a final
-	// flush was torn mid-header.
-	if hw > off {
+	// Written bytes remain past the last complete record but inside the
+	// scan bound: a final flush was torn mid-header. Bytes past a caller
+	// bound are simply out of scope, not damage.
+	if limit == hw && hw > off {
 		sum.Reason = ReplayTornTail
 	}
 	sum.TruncatedAt = off

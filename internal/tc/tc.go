@@ -2,7 +2,6 @@ package tc
 
 import (
 	"errors"
-	"log"
 	"sync"
 	"sync/atomic"
 
@@ -96,6 +95,18 @@ type Config struct {
 	// read/commit; reads that fall through to the data component are
 	// marked as misses. Nil traces nothing at zero cost.
 	Obs *obs.Tracer
+	// CommitGate, when non-nil, is consulted at the start of every commit;
+	// a non-nil return rejects the transaction. Replication installs an
+	// epoch fence here so a demoted primary cannot commit after failover.
+	CommitGate func() error
+	// LogStartLSN positions the recovery log's first append at this device
+	// offset instead of 0. A promoted standby continues its shipped log in
+	// place, keeping the whole LSN history PITR-addressable.
+	LogStartLSN int64
+	// InitialClock seeds the commit-timestamp clock (a promoted standby
+	// passes the highest timestamp it applied, keeping timestamps
+	// monotonic across failover).
+	InitialClock uint64
 }
 
 // TC is the transaction component. Safe for concurrent use.
@@ -137,6 +148,8 @@ func New(cfg Config) (*TC, error) {
 		rcache: rc,
 	}
 	tc.log = newRlog(cfg.LogDevice, cfg.LogBufferBytes, cfg.Retry, &tc.stats.Retry, &tc.stats.Health)
+	tc.log.start = cfg.LogStartLSN
+	tc.clock.Store(cfg.InitialClock)
 	// A self-healing log device (ssd.Mirror) escalates unrecoverable
 	// dual-leg corruption by latching the TC read-only.
 	if ha, ok := cfg.LogDevice.(interface {
@@ -325,6 +338,15 @@ func (t *Tx) Commit() (err error) {
 	if tc.closed.Load() {
 		return ErrClosed
 	}
+	if gate := tc.cfg.CommitGate; gate != nil {
+		if err := gate(); err != nil {
+			tc.mu.Lock()
+			delete(tc.active, t.id)
+			tc.mu.Unlock()
+			tc.stats.Aborts.Inc()
+			return err
+		}
+	}
 	tc.mu.Lock()
 	delete(tc.active, t.id)
 	if len(t.writes) == 0 {
@@ -507,31 +529,7 @@ type RecoverResult struct {
 // between normal and recovery processing (Section 6.2). The replay summary
 // (records applied, truncation offset, stop reason) is logged and returned.
 func Recover(logDevice ssd.Dev, dc DataComponent) (RecoverResult, error) {
-	var res RecoverResult
-	sum, err := replayLog(logDevice, fault.DefaultRetry(), nil, func(rec commitRecord) error {
-		if rec.commitTS > res.MaxTS {
-			res.MaxTS = rec.commitTS
-		}
-		for _, e := range rec.entries {
-			var err error
-			if e.isDelete {
-				err = dc.Delete(e.key)
-			} else {
-				err = dc.BlindWrite(e.key, e.val)
-			}
-			if err != nil {
-				return err
-			}
-			res.Applied++
-		}
-		return nil
-	})
-	res.Replay = sum
-	if err == nil {
-		log.Printf("tc: recovery %s, %d redo entr%s applied, max commit ts %d",
-			sum, res.Applied, plural(res.Applied, "y", "ies"), res.MaxTS)
-	}
-	return res, err
+	return RecoverTo(logDevice, dc, RecoverOpts{})
 }
 
 func plural(n int, one, many string) string {

@@ -16,6 +16,12 @@
 # sustained traffic with latent bit flips, verifying the background
 # scrubber's token-bucket I/O budget and repair convergence over several
 # wall-clock seconds (skipped otherwise).
+#
+# Set CHECK_FAILOVER=1 for the full 100-seed warm-standby failover soak
+# under the race detector: lossy/partitioned ship links, mid-ship primary
+# crashes, forced promotions, and PITR verification against a MassTree
+# oracle, with a hard watchdog timeout so a wedged drain fails the run
+# instead of hanging it.
 set -eux
 
 SHORT=""
@@ -38,10 +44,15 @@ else
         ./internal/lsm \
         ./internal/metrics \
         ./internal/engine \
+        ./internal/repl \
         ./internal/integration
 fi
 if [ -n "${CHECK_SCRUB:-}" ]; then
     CHECK_SCRUB=1 go test -run 'TestScrubSoakLong|TestMirror' -count=1 -timeout 10m \
         ./internal/ssd \
         ./internal/integration
+fi
+if [ -n "${CHECK_FAILOVER:-}" ]; then
+    go test -race -run 'TestFailoverChaosSweep' -count=1 -timeout 15m \
+        ./internal/integration -failover.full=true
 fi
