@@ -92,9 +92,34 @@ func main() {
 		"with -standby, promote the standby at the run's midpoint (epoch-fences the old primary, run continues on the promoted side)")
 	pitrLSN := flag.Int64("pitr-lsn", -1,
 		"with -standby, replay the shipped log to this LSN after the run and report the reconstructed state (0 = the midpoint checkpoint, -1 = off)")
+	serveAddr := flag.String("serve", "",
+		"serve the store over the wire protocol on this address (e.g. 127.0.0.1:7070)")
+	connectAddr := flag.String("connect", "",
+		"drive the workload against a wire server at this address; \"self\" starts one in-process")
+	conns := flag.Int("conns", 4, "wire mode: client connections")
+	pipelineDepth := flag.Int("pipeline", 16, "wire mode: per-connection in-flight depth")
+	benchOut := flag.String("bench-out", "BENCH_wire.json",
+		"wire mode: write the JSON benchmark snapshot here (empty = skip)")
 	netLoss := flag.Float64("net-loss", 0,
 		"with -standby, drop/duplicate/reorder each shipped frame with this probability (seeded by -seed)")
 	flag.Parse()
+
+	if *serveAddr != "" || *connectAddr != "" {
+		wcfg := wireModeConfig{
+			store: *storeName, keys: *keys, ops: *ops, mix: *mixName, dist: *distName,
+			valueSize: *valueSize, pool: *pool, seed: *seed,
+			conns: *conns, pipeline: *pipelineDepth, benchOut: *benchOut,
+			concurrency: *concurrency, queue: *queue, deadline: *deadline,
+		}
+		if *serveAddr != "" {
+			wcfg.addr = *serveAddr
+			runWireServe(wcfg)
+		} else {
+			wcfg.addr = *connectAddr
+			runWireLoad(wcfg)
+		}
+		return
+	}
 
 	if *standby {
 		runStandbyMode(standbyModeConfig{

@@ -239,7 +239,11 @@ func (e *Engine) admit(parent context.Context) (ctx context.Context, done func()
 			cerr := ctx.Err()
 			e.noteAbort(cerr)
 			cancel()
-			return nil, nil, cerr
+			// Wrap rather than fold into ErrOverload: the caller's clock
+			// ran out while queued, which is a deadline/cancel outcome, and
+			// front-ends that translate errors into status codes (the wire
+			// server) must report it as such, not as load shedding.
+			return nil, nil, fmt.Errorf("engine: admission wait aborted: %w", cerr)
 		}
 	}
 	e.stats.Admitted.Inc()

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"costperf/internal/metrics"
+)
+
+// blockingStore parks every operation until release is closed.
+type blockingStore struct {
+	entered chan struct{} // one tick per operation that started
+	release chan struct{}
+	once    sync.Once
+}
+
+func newBlockingStore() *blockingStore {
+	return &blockingStore{entered: make(chan struct{}, 16), release: make(chan struct{})}
+}
+
+func (s *blockingStore) wait(ctx context.Context) error {
+	s.entered <- struct{}{}
+	select {
+	case <-s.release:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *blockingStore) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return nil, false, s.wait(ctx)
+}
+func (s *blockingStore) Put(ctx context.Context, key, val []byte) error { return s.wait(ctx) }
+func (s *blockingStore) Delete(ctx context.Context, key []byte) error   { return s.wait(ctx) }
+func (s *blockingStore) Scan(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
+	return s.wait(ctx)
+}
+func (s *blockingStore) Health() *metrics.Health { return nil }
+func (s *blockingStore) Close() error            { s.once.Do(func() { close(s.release) }); return nil }
+
+// TestQueueAbortReturnsCtxError is the regression test for deadline
+// accuracy in the admission queue: a request whose context expires while
+// it waits for a slot must surface ctx.Err() (wrapped, still matching
+// errors.Is) — not ErrOverload, which would make a wire front-end report
+// "server shedding load" for what was the client's own clock running out.
+func TestQueueAbortReturnsCtxError(t *testing.T) {
+	st := newBlockingStore()
+	defer st.Close()
+	e, err := New(Config{Store: st, MaxConcurrent: 1, MaxQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the only slot.
+	hold, holdCancel := context.WithCancel(context.Background())
+	defer holdCancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Get(hold, []byte("k"))
+	}()
+	<-st.entered // the slot-holder is inside the store
+
+	// Deadline expires while queued.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err = e.Get(ctx, []byte("k"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued-abort error = %v, want DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrOverload) {
+		t.Fatalf("queued-abort error %v must not be ErrOverload", err)
+	}
+	if !strings.Contains(err.Error(), "admission") {
+		t.Fatalf("queued-abort error %q should say it died in the admission queue", err)
+	}
+	if got := e.Stats().Timeouts.Value(); got != 1 {
+		t.Fatalf("timeouts = %d, want 1", got)
+	}
+
+	// Cancellation (not deadline) while queued maps to context.Canceled.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := e.Get(ctx2, []byte("k"))
+		errCh <- err
+	}()
+	// Wait until the request is parked in the queue, then cancel it.
+	for e.Stats().QueueDepth.Value() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel2()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued-cancel error = %v, want Canceled", err)
+	}
+
+	// Queue overflow still sheds with ErrOverload (unchanged semantics).
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ { // fill MaxQueue
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Get(context.Background(), []byte("k"))
+		}()
+	}
+	for e.Stats().QueueDepth.Value() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := e.Get(context.Background(), []byte("k")); !errors.Is(err, ErrOverload) {
+		t.Fatalf("overflow error = %v, want ErrOverload", err)
+	}
+
+	holdCancel()
+	st.Close()
+	wg.Wait()
+	<-done
+}

@@ -1,0 +1,158 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipePair returns a faulted client end and the raw server end.
+func pipePair(inj *NetInjector) (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return WrapConn(a, inj), b
+}
+
+// readOne reads one message (up to 64 bytes) with a timeout guard.
+func readOne(t *testing.T, c net.Conn) string {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return string(buf[:n])
+}
+
+func TestConnDropAndDeliver(t *testing.T) {
+	inj := NewNetInjector(1)
+	fc, peer := pipePair(inj)
+	defer fc.Close()
+	defer peer.Close()
+
+	inj.SetRates(1, 0, 0) // drop everything
+	if n, err := fc.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("dropped write: n=%d err=%v (must report success)", n, err)
+	}
+	inj.SetRates(0, 0, 0)
+	go fc.Write([]byte("kept"))
+	if got := readOne(t, peer); got != "kept" {
+		t.Fatalf("got %q, want %q", got, "kept")
+	}
+	if st := inj.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped=%d, want 1", st.Dropped)
+	}
+}
+
+func TestConnDup(t *testing.T) {
+	inj := NewNetInjector(1)
+	fc, peer := pipePair(inj)
+	defer fc.Close()
+	defer peer.Close()
+
+	inj.SetRates(0, 1, 0)
+	go fc.Write([]byte("m"))
+	if a, b := readOne(t, peer), readOne(t, peer); a != "m" || b != "m" {
+		t.Fatalf("got %q %q, want duplicated %q", a, b, "m")
+	}
+}
+
+func TestConnHoldReorders(t *testing.T) {
+	inj := NewNetInjector(1)
+	fc, peer := pipePair(inj)
+	defer fc.Close()
+	defer peer.Close()
+
+	inj.SetRates(0, 0, 1)
+	if _, err := fc.Write([]byte("first")); err != nil { // held
+		t.Fatalf("held write: %v", err)
+	}
+	inj.SetRates(0, 0, 0)
+	go fc.Write([]byte("second"))
+	if got := readOne(t, peer); got != "second" {
+		t.Fatalf("got %q, want reordered %q", got, "second")
+	}
+	if got := readOne(t, peer); got != "first" {
+		t.Fatalf("got %q, want held %q", got, "first")
+	}
+}
+
+func TestConnHalfClose(t *testing.T) {
+	inj := NewNetInjector(1)
+	fc, peer := pipePair(inj)
+	defer fc.Close()
+	defer peer.Close()
+
+	inj.SetConnFaults(1, 0)
+	if _, err := fc.Write([]byte("gone")); err != nil {
+		t.Fatalf("half-closing write must report success: %v", err)
+	}
+	inj.SetConnFaults(0, 0)
+	if _, err := fc.Write([]byte("also gone")); err != nil {
+		t.Fatalf("write after half-close must report success: %v", err)
+	}
+	// The opposite direction still flows.
+	go peer.Write([]byte("inbound"))
+	if got := readOne(t, fc); got != "inbound" {
+		t.Fatalf("read after half-close: got %q", got)
+	}
+	if st := inj.Stats(); st.HalfCloses != 1 {
+		t.Fatalf("halfCloses=%d, want 1", st.HalfCloses)
+	}
+}
+
+func TestConnStallHonorsDeadlineAndClose(t *testing.T) {
+	inj := NewNetInjector(1)
+	fc, peer := pipePair(inj)
+	defer peer.Close()
+
+	inj.SetConnFaults(0, 1)
+	fc.SetWriteDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, err := fc.Write([]byte("wedged"))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled write: got %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatalf("stall returned too fast (%v): did not block", time.Since(start))
+	}
+
+	// The conn stays wedged; Close unblocks a stalled writer without a
+	// deadline.
+	fc.SetWriteDeadline(time.Time{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("still wedged"))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("close-unblocked write: got %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled write not unblocked by Close")
+	}
+	if st := inj.Stats(); st.Stalls != 1 {
+		t.Fatalf("stalls=%d, want 1", st.Stalls)
+	}
+}
+
+// TestConnOutcomeDeterminism pins that two injectors with the same seed
+// produce identical outcome sequences including the new modes.
+func TestConnOutcomeDeterminism(t *testing.T) {
+	a, b := NewNetInjector(42), NewNetInjector(42)
+	a.SetRates(0.1, 0.1, 0.1)
+	b.SetRates(0.1, 0.1, 0.1)
+	a.SetConnFaults(0.05, 0.05)
+	b.SetConnFaults(0.05, 0.05)
+	for i := 0; i < 1000; i++ {
+		if oa, ob := a.Outcome(), b.Outcome(); oa != ob {
+			t.Fatalf("outcome %d diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+}

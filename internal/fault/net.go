@@ -15,6 +15,16 @@ type NetOutcome struct {
 	// Hold delays the message past the next one sent on the link — the
 	// minimal reordering a window of in-flight batches must survive.
 	Hold bool
+	// HalfClose kills this direction of the connection from here on: the
+	// message, and every later one sent the same way, silently vanishes
+	// while the opposite direction keeps flowing — a half-closed socket
+	// whose peer will only notice through missing acks. Interpreted by
+	// connection-shaped transports (fault.Conn); message links ignore it.
+	HalfClose bool
+	// Stall wedges the sender: the transport blocks the send until its
+	// write deadline expires or the connection is closed — a peer that
+	// stopped draining its receive buffer. Interpreted by fault.Conn.
+	Stall bool
 }
 
 // NetStats counts what the injector did, for test reconciliation.
@@ -24,6 +34,8 @@ type NetStats struct {
 	Duplicated int64
 	Held       int64
 	Partitions int64 // partition episodes started
+	HalfCloses int64 // half-close episodes triggered
+	Stalls     int64 // stall episodes triggered
 }
 
 // NetInjector is a seeded fault model for an in-process replication link:
@@ -31,11 +43,13 @@ type NetStats struct {
 // partitions that eat every message until healed (or for a bounded count,
 // so seeded sweeps stay deterministic). Safe for concurrent use.
 type NetInjector struct {
-	mu   sync.Mutex
-	rng  *rand.Rand
-	drop float64
-	dup  float64
-	hold float64
+	mu        sync.Mutex
+	rng       *rand.Rand
+	drop      float64
+	dup       float64
+	hold      float64
+	halfClose float64
+	stall     float64
 
 	partitioned   bool
 	partitionLeft int64 // when >0, drop this many more messages then heal
@@ -64,6 +78,26 @@ func (n *NetInjector) SetRates(drop, dup, hold float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.drop, n.dup, n.hold = clamp(drop), clamp(dup), clamp(hold)
+}
+
+// SetConnFaults programs the per-message probabilities of the two
+// connection-shaped faults: half-closing the sender's direction and
+// stalling the sender indefinitely. They only have an effect on
+// transports that interpret them (fault.Conn); rates outside [0,1] are
+// clamped.
+func (n *NetInjector) SetConnFaults(halfClose, stall float64) {
+	clamp := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.halfClose, n.stall = clamp(halfClose), clamp(stall)
 }
 
 // Partition starts dropping every message until Heal.
@@ -134,6 +168,12 @@ func (n *NetInjector) Outcome() NetOutcome {
 	case p < n.drop+n.dup+n.hold:
 		n.stats.Held++
 		return NetOutcome{Hold: true}
+	case p < n.drop+n.dup+n.hold+n.halfClose:
+		n.stats.HalfCloses++
+		return NetOutcome{HalfClose: true}
+	case p < n.drop+n.dup+n.hold+n.halfClose+n.stall:
+		n.stats.Stalls++
+		return NetOutcome{Stall: true}
 	}
 	return NetOutcome{}
 }

@@ -1,0 +1,95 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"costperf/internal/fault"
+	"costperf/internal/wire/frame"
+)
+
+// Byte codec for the ship link's messages, built on the shared
+// length-prefixed CRC framing (internal/wire/frame) that the client-facing
+// wire protocol uses too. Link runs every frame and ack through it, so the
+// replication suites — including the failover chaos soak — exercise the
+// exact serialization a socket transport would carry.
+//
+// Encoded ship-frame payload layout (inside one frame.Append envelope):
+//
+//	epoch(8) from(8) to(8) durable(8) crc(4) payload...
+//
+// Encoded ack payload layout:
+//
+//	epoch(8) applied(8) ok(1) reason...
+const (
+	shipFrameHeader = 8 + 8 + 8 + 8 + 4
+	ackHeader       = 8 + 8 + 1
+)
+
+// ErrBadMessage reports an envelope that decoded cleanly but whose inner
+// payload is malformed — corrupt-class, like every framing error.
+var ErrBadMessage = fmt.Errorf("repl: malformed link message (%w)", fault.ErrCorrupt)
+
+// EncodeFrame serializes a ship frame into one framed message.
+func EncodeFrame(f Frame) []byte {
+	inner := make([]byte, shipFrameHeader, shipFrameHeader+len(f.Payload))
+	binary.BigEndian.PutUint64(inner[0:8], f.Epoch)
+	binary.BigEndian.PutUint64(inner[8:16], uint64(f.From))
+	binary.BigEndian.PutUint64(inner[16:24], uint64(f.To))
+	binary.BigEndian.PutUint64(inner[24:32], uint64(f.Durable))
+	binary.BigEndian.PutUint32(inner[32:36], f.CRC)
+	inner = append(inner, f.Payload...)
+	return frame.Append(nil, inner)
+}
+
+// DecodeShipFrame decodes one framed ship-frame message. Truncated,
+// bit-flipped, or oversized inputs yield typed corrupt-class errors.
+func DecodeShipFrame(b []byte) (Frame, error) {
+	inner, rest, err := frame.Decode(b, 0)
+	if err != nil {
+		return Frame{}, err
+	}
+	if len(rest) != 0 || len(inner) < shipFrameHeader {
+		return Frame{}, ErrBadMessage
+	}
+	f := Frame{
+		Epoch:   binary.BigEndian.Uint64(inner[0:8]),
+		From:    int64(binary.BigEndian.Uint64(inner[8:16])),
+		To:      int64(binary.BigEndian.Uint64(inner[16:24])),
+		Durable: int64(binary.BigEndian.Uint64(inner[24:32])),
+		CRC:     binary.BigEndian.Uint32(inner[32:36]),
+	}
+	if n := len(inner) - shipFrameHeader; n > 0 {
+		f.Payload = append([]byte(nil), inner[shipFrameHeader:]...)
+	}
+	return f, nil
+}
+
+// EncodeAck serializes an ack into one framed message.
+func EncodeAck(a Ack) []byte {
+	inner := make([]byte, ackHeader, ackHeader+len(a.Reason))
+	binary.BigEndian.PutUint64(inner[0:8], a.Epoch)
+	binary.BigEndian.PutUint64(inner[8:16], uint64(a.Applied))
+	if a.OK {
+		inner[16] = 1
+	}
+	inner = append(inner, a.Reason...)
+	return frame.Append(nil, inner)
+}
+
+// DecodeAck decodes one framed ack message.
+func DecodeAck(b []byte) (Ack, error) {
+	inner, rest, err := frame.Decode(b, 0)
+	if err != nil {
+		return Ack{}, err
+	}
+	if len(rest) != 0 || len(inner) < ackHeader || inner[16] > 1 {
+		return Ack{}, ErrBadMessage
+	}
+	return Ack{
+		Epoch:   binary.BigEndian.Uint64(inner[0:8]),
+		Applied: int64(binary.BigEndian.Uint64(inner[8:16])),
+		OK:      inner[16] == 1,
+		Reason:  string(inner[ackHeader:]),
+	}, nil
+}

@@ -75,7 +75,16 @@ func (l *Link) outcome() fault.NetOutcome {
 }
 
 // SendFrame ships a frame toward the standby, subject to network faults.
+// The frame crosses the link as bytes: it is serialized through the shared
+// framing codec (internal/wire/frame) and decoded on the way in, exactly
+// as a socket transport would carry it, so every replication test also
+// exercises the codec.
 func (l *Link) SendFrame(f Frame) {
+	g, err := DecodeShipFrame(EncodeFrame(f))
+	if err != nil {
+		return // undecodable on arrival: the network ate a torn message
+	}
+	f = g
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -101,8 +110,14 @@ func (l *Link) SendFrame(f Frame) {
 	}
 }
 
-// SendAck ships an ack toward the shipper, subject to the same faults.
+// SendAck ships an ack toward the shipper, subject to the same faults and
+// the same byte-level round trip as SendFrame.
 func (l *Link) SendAck(a Ack) {
+	b, err := DecodeAck(EncodeAck(a))
+	if err != nil {
+		return
+	}
+	a = b
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {

@@ -1,0 +1,537 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costperf/internal/engine"
+	"costperf/internal/metrics"
+	"costperf/internal/wire/frame"
+)
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Dial opens a connection to the server (required). It is called for
+	// the first connection and after every connection failure.
+	Dial func() (net.Conn, error)
+	// ClientID is the stable idempotency identity presented to the
+	// server's dedup window; it must survive reconnects. 0 derives one
+	// from Seed; to opt out of deduplication set DisableDedup.
+	ClientID uint64
+	// DisableDedup sends a zero client ID, opting out of server-side
+	// write deduplication.
+	DisableDedup bool
+	// Seed seeds retry jitter and the derived ClientID (default 1).
+	Seed int64
+	// MaxInFlight bounds pipelined requests in flight (default 32).
+	MaxInFlight int
+	// AttemptTimeout bounds one request attempt: past it the attempt is
+	// presumed lost (dropped frame, dead peer) and retried (default 1s).
+	AttemptTimeout time.Duration
+	// MaxRetries bounds retries per operation — with the exponential
+	// backoff this is what keeps a retry storm's amplification bounded
+	// (default 8).
+	MaxRetries int
+	// RetryBase/RetryMax shape the jittered exponential backoff between
+	// retries, the same [d/2, d] half-jitter the engine's breaker probes
+	// use (defaults 2ms / 250ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HedgeAfter, when >0, sends a duplicate of a read still unanswered
+	// after this long — but only when the remaining deadline leaves room
+	// for the hedge to matter. Writes are never hedged; the dedup window
+	// would absorb them anyway, but reads are where tail latency hides.
+	HedgeAfter time.Duration
+	// ConsecTimeouts is the run of attempt timeouts on one connection
+	// that makes the client presume it dead and reconnect (default 3).
+	ConsecTimeouts int
+}
+
+func (c *ClientConfig) setDefaults() error {
+	if c.Dial == nil {
+		return errors.New("wire: nil dial func")
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ClientID == 0 && !c.DisableDedup {
+		// Derive a stable nonzero identity from the seed (splitmix64).
+		z := uint64(c.Seed) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		c.ClientID = z ^ (z >> 31)
+		if c.ClientID == 0 {
+			c.ClientID = 1
+		}
+	}
+	if c.DisableDedup {
+		c.ClientID = 0
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 32
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 250 * time.Millisecond
+	}
+	if c.RetryMax < c.RetryBase {
+		c.RetryMax = c.RetryBase
+	}
+	if c.ConsecTimeouts <= 0 {
+		c.ConsecTimeouts = 3
+	}
+	return nil
+}
+
+// ClientStats meters the client; Sent/Ops is the retry amplification the
+// chaos harness bounds.
+type ClientStats struct {
+	// Ops counts logical operations started; Sent counts request frames
+	// written (first attempts + retries + hedges).
+	Ops  metrics.Counter
+	Sent metrics.Counter
+	// Retries counts re-sent attempts; Hedges counts duplicate reads sent
+	// for tail latency; Reconnects counts re-dials after the first.
+	Retries    metrics.Counter
+	Hedges     metrics.Counter
+	Reconnects metrics.Counter
+	// AttemptTimeouts counts attempts presumed lost; Overloads counts
+	// StatusOverload responses (each retried with backoff).
+	AttemptTimeouts metrics.Counter
+	Overloads       metrics.Counter
+}
+
+// String renders the counters for experiment logs.
+func (s *ClientStats) String() string {
+	return fmt.Sprintf("ops=%d sent=%d retries=%d hedges=%d reconnects=%d timeouts=%d overloads=%d",
+		s.Ops.Value(), s.Sent.Value(), s.Retries.Value(), s.Hedges.Value(),
+		s.Reconnects.Value(), s.AttemptTimeouts.Value(), s.Overloads.Value())
+}
+
+// Client is a resilient connection to a wire server: pipelined requests,
+// reconnects with jittered exponential backoff, idempotent retries, and
+// deadline-aware hedged reads. All methods are safe for concurrent use.
+type Client struct {
+	cfg   ClientConfig
+	stats ClientStats
+
+	seq    atomic.Uint64
+	window chan struct{}
+
+	mu     sync.Mutex // guards cc, rng, dialed
+	cc     *clientConn
+	rng    *rand.Rand
+	dialed bool
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewClient creates a client; no connection is made until the first
+// operation.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:    cfg,
+		window: make(chan struct{}, cfg.MaxInFlight),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// Stats returns the client's counters.
+func (c *Client) Stats() *ClientStats { return &c.stats }
+
+// Get returns the value for key.
+func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	body, err := c.do(ctx, request{Op: opGet, Key: key}, true)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(body) < 1 || body[0] > 1 {
+		return nil, false, ErrBadMessage
+	}
+	if body[0] == 0 {
+		return nil, false, nil
+	}
+	return body[1:], true, nil
+}
+
+// Put upserts key -> val. Retries are exactly-once: the server's dedup
+// window answers a retry of an acked Put without re-applying it.
+func (c *Client) Put(ctx context.Context, key, val []byte) error {
+	_, err := c.do(ctx, request{Op: opPut, Key: key, Val: val}, false)
+	return err
+}
+
+// Delete removes key, with the same exactly-once retry contract as Put.
+func (c *Client) Delete(ctx context.Context, key []byte) error {
+	_, err := c.do(ctx, request{Op: opDelete, Key: key}, false)
+	return err
+}
+
+// Scan visits pairs with key >= start in order until fn returns false or
+// limit pairs are visited. The server bounds one response's size; a
+// truncated scan simply ends early, like a short read.
+func (c *Client) Scan(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
+	body, err := c.do(ctx, request{Op: opScan, Key: start, Limit: limit}, true)
+	if err != nil {
+		return err
+	}
+	pairs, _, err := decodeScanBody(body)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		if !fn(p.K, p.V) {
+			break
+		}
+	}
+	return nil
+}
+
+// Ping round-trips an empty request, establishing the connection.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.do(ctx, request{Op: opPing}, false)
+	return err
+}
+
+// Close fails in-flight operations and releases the connection. After
+// Close returns no client goroutines remain.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.mu.Lock()
+	if c.cc != nil {
+		c.cc.fail(ErrClientClosed)
+		c.cc = nil
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return nil
+}
+
+// do runs one logical operation: acquire a window slot, then attempt,
+// retry with jittered exponential backoff on transport failures and
+// overload, and (for reads) hedge the tail.
+func (c *Client) do(ctx context.Context, req request, isRead bool) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-c.closed:
+		return nil, ErrClientClosed
+	default:
+	}
+	c.stats.Ops.Inc()
+	select {
+	case c.window <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.closed:
+		return nil, ErrClientClosed
+	}
+	defer func() { <-c.window }()
+
+	req.ClientID = c.cfg.ClientID
+	req.Seq = c.seq.Add(1)
+	lastErr := error(nil)
+
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries.Inc()
+			if err := c.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		body, retry, err := c.attempt(ctx, req, isRead)
+		if err == nil {
+			return body, nil
+		}
+		if !retry {
+			return nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %w", ErrUnavailable, c.cfg.MaxRetries+1, lastErr)
+}
+
+// attempt sends the request once (plus at most one hedge) and waits for
+// its response, the attempt timeout, or a dead connection. retry=true
+// means the failure is transient and the caller's budget decides.
+func (c *Client) attempt(ctx context.Context, req request, isRead bool) (body []byte, retry bool, err error) {
+	cc, err := c.conn()
+	if err != nil {
+		return nil, true, err
+	}
+
+	// The attempt deadline is the response-loss detector; the request
+	// carries the tighter of it and the caller's deadline so the server
+	// stops burning work the moment we stop waiting.
+	attemptDl := time.Now().Add(c.cfg.AttemptTimeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(attemptDl) {
+		attemptDl = dl
+	}
+	req.Deadline = time.Until(attemptDl)
+	if req.Deadline <= 0 {
+		return nil, false, ctx.Err()
+	}
+
+	call := cc.register(req.Seq)
+	defer cc.unregister(req.Seq)
+	payload := encodeRequest(nil, req)
+	if err := cc.send(payload, attemptDl); err != nil {
+		cc.fail(err)
+		return nil, true, err
+	}
+	c.stats.Sent.Inc()
+
+	timer := time.NewTimer(time.Until(attemptDl))
+	defer timer.Stop()
+	var hedge <-chan time.Time
+	if isRead && c.cfg.HedgeAfter > 0 && time.Until(attemptDl) > 2*c.cfg.HedgeAfter {
+		ht := time.NewTimer(c.cfg.HedgeAfter)
+		defer ht.Stop()
+		hedge = ht.C
+	}
+
+	for {
+		select {
+		case <-call.done:
+			cc.consecTO.Store(0)
+			return c.settleStatus(call)
+		case <-hedge:
+			// Tail-latency hedge: same seq, same connection — a duplicate
+			// response is ignored, a duplicate write would be deduped, but
+			// only reads hedge.
+			hedge = nil
+			c.stats.Hedges.Inc()
+			if err := cc.send(payload, attemptDl); err == nil {
+				c.stats.Sent.Inc()
+			}
+		case <-timer.C:
+			c.stats.AttemptTimeouts.Inc()
+			if cc.consecTO.Add(1) >= int64(c.cfg.ConsecTimeouts) {
+				// The connection has eaten several attempts in a row:
+				// presume it half-dead and rebuild it.
+				cc.fail(fmt.Errorf("wire: %d consecutive attempt timeouts", c.cfg.ConsecTimeouts))
+			}
+			return nil, true, fmt.Errorf("wire: attempt timed out after %v", c.cfg.AttemptTimeout)
+		case <-cc.broken:
+			return nil, true, cc.brokenErr()
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-c.closed:
+			return nil, false, ErrClientClosed
+		}
+	}
+}
+
+// settleStatus turns a completed call into the operation's result.
+func (c *Client) settleStatus(call *call) ([]byte, bool, error) {
+	switch call.status {
+	case StatusOK:
+		return call.body, false, nil
+	case StatusOverload:
+		// The server shed us: retry after backoff, within budget.
+		c.stats.Overloads.Inc()
+		return nil, true, errFromStatus(call.status, "")
+	case StatusDraining:
+		// The server is going away: drop the connection so the next
+		// attempt re-dials (after failover/restart), and retry.
+		c.dropConn()
+		return nil, true, ErrDraining
+	default:
+		return nil, false, errFromStatus(call.status, string(call.body))
+	}
+}
+
+// backoff sleeps the jittered exponential interval for the given attempt
+// number: d = min(base<<(attempt-1), max), drawn uniformly from [d/2, d].
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.RetryBase << (attempt - 1)
+	if d > c.cfg.RetryMax || d <= 0 {
+		d = c.cfg.RetryMax
+	}
+	half := d / 2
+	c.mu.Lock()
+	jittered := half + time.Duration(c.rng.Int63n(int64(half)+1))
+	c.mu.Unlock()
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.closed:
+		return ErrClientClosed
+	}
+}
+
+// conn returns the live connection, dialing a fresh one if needed.
+func (c *Client) conn() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cc != nil {
+		select {
+		case <-c.cc.broken:
+			c.cc = nil
+		default:
+			return c.cc, nil
+		}
+	}
+	select {
+	case <-c.closed:
+		return nil, ErrClientClosed
+	default:
+	}
+	raw, err := c.cfg.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	if c.dialed {
+		c.stats.Reconnects.Inc()
+	}
+	c.dialed = true
+	cc := &clientConn{
+		c:       raw,
+		pending: make(map[uint64]*call),
+		broken:  make(chan struct{}),
+	}
+	c.cc = cc
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		cc.receive()
+	}()
+	return cc, nil
+}
+
+// dropConn discards the current connection (e.g. on StatusDraining) so
+// the next attempt re-dials.
+func (c *Client) dropConn() {
+	c.mu.Lock()
+	if c.cc != nil {
+		c.cc.fail(ErrDraining)
+		c.cc = nil
+	}
+	c.mu.Unlock()
+}
+
+// clientConn is one dialed connection with its pending-call table.
+type clientConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	err     error
+
+	broken   chan struct{}
+	failOnce sync.Once
+	consecTO atomic.Int64
+}
+
+// call is one in-flight request registration.
+type call struct {
+	done   chan struct{}
+	status Status
+	body   []byte
+}
+
+func (cc *clientConn) register(seq uint64) *call {
+	cl := &call{done: make(chan struct{})}
+	cc.mu.Lock()
+	cc.pending[seq] = cl
+	cc.mu.Unlock()
+	return cl
+}
+
+func (cc *clientConn) unregister(seq uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, seq)
+	cc.mu.Unlock()
+}
+
+// send writes one framed request as a single Write with the attempt
+// deadline as the write deadline, so a stalled connection surfaces as a
+// failed attempt rather than a wedged goroutine.
+func (cc *clientConn) send(payload []byte, deadline time.Time) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	cc.c.SetWriteDeadline(deadline)
+	return frame.Write(cc.c, payload)
+}
+
+// receive decodes responses and settles pending calls until the
+// connection dies.
+func (cc *clientConn) receive() {
+	for {
+		payload, err := frame.Read(cc.c, frame.MaxBytes)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		seq, st, body, err := decodeResponse(payload)
+		if err != nil {
+			continue // damaged response frame: the attempt timer recovers
+		}
+		cc.mu.Lock()
+		cl := cc.pending[seq]
+		delete(cc.pending, seq)
+		cc.mu.Unlock()
+		if cl == nil {
+			continue // duplicate or hedged response already settled
+		}
+		cl.status, cl.body = st, body
+		close(cl.done)
+	}
+}
+
+// fail marks the connection dead and wakes everyone waiting on it.
+func (cc *clientConn) fail(err error) {
+	cc.failOnce.Do(func() {
+		cc.mu.Lock()
+		cc.err = err
+		cc.mu.Unlock()
+		close(cc.broken)
+		cc.c.Close()
+	})
+}
+
+func (cc *clientConn) brokenErr() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err == nil {
+		return errors.New("wire: connection failed")
+	}
+	return cc.err
+}
+
+// Unavailable reports whether err is the client's gave-up error (every
+// retry exhausted), as opposed to a typed server status.
+func Unavailable(err error) bool { return errors.Is(err, ErrUnavailable) }
+
+// Overloaded reports whether err is the server's typed overload status
+// crossing the wire.
+func Overloaded(err error) bool { return errors.Is(err, engine.ErrOverload) }

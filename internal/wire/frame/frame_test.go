@@ -1,0 +1,141 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"costperf/internal/fault"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var buf bytes.Buffer
+	var payloads [][]byte
+	for i := 0; i < 50; i++ {
+		p := make([]byte, rng.Intn(512))
+		rng.Read(p)
+		payloads = append(payloads, p)
+		if err := Write(&buf, p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := Read(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, err := Read(&buf, 0); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRest(t *testing.T) {
+	b := Append(nil, []byte("one"))
+	b = Append(b, []byte("two"))
+	p1, rest, err := Decode(b, 0)
+	if err != nil || string(p1) != "one" {
+		t.Fatalf("first: %q %v", p1, err)
+	}
+	p2, rest, err := Decode(rest, 0)
+	if err != nil || string(p2) != "two" {
+		t.Fatalf("second: %q %v", p2, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest: %d bytes left", len(rest))
+	}
+}
+
+// TestCorruptionMatrix is the property test shared (by construction) with
+// every user of the codec: truncations, bit flips, and oversized length
+// fields of a valid encoding must yield typed ErrCorrupt-class errors —
+// never a panic, a hang, or a silently wrong payload.
+func TestCorruptionMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		payload := make([]byte, 1+rng.Intn(256))
+		rng.Read(payload)
+		enc := Append(nil, payload)
+
+		// Truncation at every boundary class.
+		cut := rng.Intn(len(enc)) // strictly shorter
+		if _, _, err := Decode(enc[:cut], 0); !errors.Is(err, fault.ErrCorrupt) {
+			t.Fatalf("truncate@%d: got %v, want corrupt-class", cut, err)
+		}
+		if cut > 0 { // stream variant: mid-frame EOF
+			_, err := Read(bytes.NewReader(enc[:cut]), 0)
+			if !errors.Is(err, fault.ErrCorrupt) {
+				t.Fatalf("stream truncate@%d: got %v, want corrupt-class", cut, err)
+			}
+		}
+
+		// Single bit flip anywhere in the frame.
+		flipped := append([]byte(nil), enc...)
+		bit := rng.Intn(len(flipped) * 8)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		p, _, err := Decode(flipped, 0)
+		if err == nil && !bytes.Equal(p, payload) {
+			t.Fatalf("bitflip@%d: silently wrong payload", bit)
+		}
+		if err != nil && !errors.Is(err, fault.ErrCorrupt) {
+			t.Fatalf("bitflip@%d: got %v, want corrupt-class", bit, err)
+		}
+
+		// Oversized announced length must refuse before allocating.
+		huge := append([]byte(nil), enc...)
+		huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
+		if _, _, err := Decode(huge, 0); !errors.Is(err, ErrTooBig) {
+			t.Fatalf("oversize: got %v, want ErrTooBig", err)
+		}
+		if _, err := Read(bytes.NewReader(huge), 0); !errors.Is(err, ErrTooBig) {
+			t.Fatalf("stream oversize: got %v, want ErrTooBig", err)
+		}
+	}
+}
+
+func TestMaxBound(t *testing.T) {
+	enc := Append(nil, make([]byte, 128))
+	if _, _, err := Decode(enc, 64); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("tight bound: got %v, want ErrTooBig", err)
+	}
+	if _, _, err := Decode(enc, 128); err != nil {
+		t.Fatalf("exact bound: %v", err)
+	}
+}
+
+// FuzzDecode drives the buffer decoder with arbitrary bytes: any outcome
+// is acceptable except a panic or an out-of-bounds read.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Append(nil, []byte("seed")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payload, rest, err := Decode(b, 0)
+		if err == nil {
+			if len(payload)+HeaderLen+len(rest) != len(b) {
+				t.Fatalf("decode accounting: %d+%d+%d != %d",
+					len(payload), HeaderLen, len(rest), len(b))
+			}
+		}
+	})
+}
+
+// FuzzRead drives the stream decoder with arbitrary bytes.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Append(nil, []byte("seed")))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := bytes.NewReader(b)
+		for {
+			if _, err := Read(r, 0); err != nil {
+				break
+			}
+		}
+	})
+}

@@ -22,6 +22,13 @@
 # crashes, forced promotions, and PITR verification against a MassTree
 # oracle, with a hard watchdog timeout so a wedged drain fails the run
 # instead of hanging it.
+#
+# Set CHECK_WIRE=1 for the full 50-seed network chaos sweep under the race
+# detector: wire clients and server over real connections through
+# fault.Conn (drops, dups, reorders, half-closes, stalls, a mid-run
+# partition-driven retry storm), asserting exactly-once retried writes,
+# zero lost acked writes, bounded retry amplification, graceful drain, and
+# no leaked goroutines — again with a hard watchdog.
 set -eux
 
 SHORT=""
@@ -45,6 +52,7 @@ else
         ./internal/metrics \
         ./internal/engine \
         ./internal/repl \
+        ./internal/wire/... \
         ./internal/integration
 fi
 if [ -n "${CHECK_SCRUB:-}" ]; then
@@ -55,4 +63,8 @@ fi
 if [ -n "${CHECK_FAILOVER:-}" ]; then
     go test -race -run 'TestFailoverChaosSweep' -count=1 -timeout 15m \
         ./internal/integration -failover.full=true
+fi
+if [ -n "${CHECK_WIRE:-}" ]; then
+    go test -race -run 'TestWireChaosSweep' -count=1 -timeout 15m \
+        ./internal/integration -wire.full=true
 fi
