@@ -26,6 +26,15 @@
 //	kvbench -standby -keys 20000 -ops 50000 -net-loss 0.05
 //	kvbench -standby -failover -ops 50000            # promote at midpoint
 //	kvbench -standby -pitr-lsn 0 -obs                # PITR to the midpoint checkpoint
+//
+// With -shards N the keyspace is hash-partitioned across N independent
+// engine+TC fault domains (internal/shard) and the report includes the
+// fleet-level $/op roll-up from per-shard cost snapshots. -migrate
+// live-migrates one shard to a new owner at the run's midpoint while the
+// load continues:
+//
+//	kvbench -shards 4 -keys 50000 -ops 100000
+//	kvbench -shards 4 -migrate                       # cutover under load
 package main
 
 import (
@@ -98,8 +107,12 @@ func main() {
 		"drive the workload against a wire server at this address; \"self\" starts one in-process")
 	conns := flag.Int("conns", 4, "wire mode: client connections")
 	pipelineDepth := flag.Int("pipeline", 16, "wire mode: per-connection in-flight depth")
-	benchOut := flag.String("bench-out", "BENCH_wire.json",
-		"wire mode: write the JSON benchmark snapshot here (empty = skip)")
+	shards := flag.Int("shards", 0,
+		"partition the keyspace across N independent shard fault domains (internal/shard) and report the fleet $/op roll-up (0 = off)")
+	migrateShard := flag.Bool("migrate", false,
+		"with -shards, live-migrate one shard to a new owner at the run's midpoint while the load continues")
+	benchOut := flag.String("bench-out", "auto",
+		"write the JSON benchmark snapshot here (\"auto\" = BENCH_<mode>.json, empty = skip)")
 	netLoss := flag.Float64("net-loss", 0,
 		"with -standby, drop/duplicate/reorder each shipped frame with this probability (seeded by -seed)")
 	flag.Parse()
@@ -118,6 +131,16 @@ func main() {
 			wcfg.addr = *connectAddr
 			runWireLoad(wcfg)
 		}
+		return
+	}
+
+	if *shards > 0 {
+		runShardMode(shardModeConfig{
+			shards: *shards, migrate: *migrateShard,
+			keys: *keys, ops: *ops, valueSize: *valueSize,
+			mix: *mixName, dist: *distName, seed: *seed,
+			concurrency: *concurrency, benchOut: *benchOut,
+		})
 		return
 	}
 

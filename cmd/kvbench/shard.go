@@ -1,0 +1,227 @@
+// Shard mode: drive the workload across a hash-partitioned fleet
+// (internal/shard) — N engine+TC instances, each its own fault domain —
+// and report the fleet-level cost roll-up: per-shard CostSnapshots folded
+// into one ops-weighted $/op. With -migrate a live shard migration runs
+// at the midpoint while the load continues, exercising the fence/drain/
+// cutover path under real traffic.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"costperf/internal/core"
+	"costperf/internal/metrics"
+	"costperf/internal/obs"
+	"costperf/internal/shard"
+	"costperf/internal/workload"
+)
+
+// shardModeConfig drives -shards N [-migrate].
+type shardModeConfig struct {
+	shards         int
+	migrate        bool
+	keys           uint64
+	ops, valueSize int
+	mix, dist      string
+	seed           int64
+	concurrency    int
+	benchOut       string
+}
+
+// shardBenchSnapshot is the persisted BENCH_shard.json results block.
+type shardBenchSnapshot struct {
+	Shards    int     `json:"shards"`
+	Ops       int     `json:"ops"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	Completed int64 `json:"completed"`
+	Errors    int64 `json:"errors"`
+
+	// Router-level cutover accounting.
+	MovedRetries    int64 `json:"moved_retries"`
+	CutoverTimeouts int64 `json:"cutover_timeouts"`
+	PartialScans    int64 `json:"partial_scans"`
+	Fences          int64 `json:"fences"`
+	Migrations      int64 `json:"migrations"`
+
+	Migration *shardMigrationResult `json:"migration,omitempty"`
+
+	// Fleet-level $/op (ops-weighted across shards) plus attribution rows.
+	FleetDollarPerMop float64        `json:"fleet_dollar_per_mop"`
+	FleetOps          int64          `json:"fleet_ops"`
+	PerShard          []shardCostRow `json:"per_shard"`
+}
+
+type shardMigrationResult struct {
+	Shard     int     `json:"shard"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	ShipBytes int64   `json:"ship_bytes"`
+	Resends   int64   `json:"resends"`
+}
+
+type shardCostRow struct {
+	Store        string  `json:"store"`
+	Ops          int64   `json:"ops"`
+	Errors       int64   `json:"errors"`
+	Shed         int64   `json:"shed"`
+	DeviceReads  int64   `json:"device_reads"`
+	DeviceWrites int64   `json:"device_writes"`
+	DollarPerMop float64 `json:"dollar_per_mop"`
+}
+
+// runShardMode partitions the keyspace across cfg.shards fault domains
+// and drives the workload through the router with concurrent workers.
+// Observability is always on here: the fleet $/op roll-up is the result.
+func runShardMode(cfg shardModeConfig) {
+	if cfg.concurrency <= 0 {
+		cfg.concurrency = 4
+	}
+	reg := obs.NewRegistry()
+	r, err := shard.New(shard.Config{
+		Shards:   cfg.shards,
+		Registry: reg,
+		Seed:     cfg.seed,
+	})
+	check(err)
+	defer r.Close()
+
+	ctx := context.Background()
+	fmt.Printf("loading %d keys across %d shards...\n", cfg.keys, cfg.shards)
+	for i := uint64(0); i < cfg.keys; i++ {
+		check(r.Put(ctx, workload.Key(i), workload.ValueFor(i, cfg.valueSize)))
+	}
+	reg.ResetAll() // measure the run, not the load
+
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Keys: cfg.keys, ValueSize: cfg.valueSize,
+		Mix: pickMix(cfg.mix), Chooser: pickChooser(cfg.dist, cfg.seed), Seed: cfg.seed,
+	})
+	check(err)
+	ops := make([]workload.Op, 0, cfg.ops)
+	for i := 0; i < cfg.ops; i++ {
+		ops = append(ops, gen.Next())
+	}
+
+	fmt.Printf("running %d ops (%s / %s) over %d shards with %d workers",
+		len(ops), cfg.mix, cfg.dist, cfg.shards, cfg.concurrency)
+	if cfg.migrate {
+		fmt.Print(", live migration at midpoint")
+	}
+	fmt.Println("...")
+
+	var (
+		completed, failed metrics.Counter
+		opCh              = make(chan workload.Op)
+		wg                sync.WaitGroup
+	)
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := range opCh {
+				var err error
+				switch op.Kind {
+				case workload.OpRead:
+					_, _, err = r.Get(ctx, op.Key)
+				case workload.OpUpdate, workload.OpInsert, workload.OpBlindWrite:
+					err = r.Put(ctx, op.Key, op.Value)
+				case workload.OpScan:
+					err = r.Scan(ctx, op.Key, op.ScanLen, func(_, _ []byte) bool { return true })
+					// A partial scan still delivered the surviving shards'
+					// data; count it completed, the router metered it.
+					if errors.Is(err, shard.ErrPartialScan) {
+						err = nil
+					}
+				case workload.OpDelete:
+					err = r.Delete(ctx, op.Key)
+				}
+				if err == nil {
+					completed.Inc()
+				} else {
+					failed.Inc()
+				}
+			}
+		}()
+	}
+
+	var migRes *shardMigrationResult
+	start := time.Now()
+	half := len(ops) / 2
+	for _, op := range ops[:half] {
+		opCh <- op
+	}
+	if cfg.migrate {
+		moving := int(cfg.seed) % cfg.shards
+		if moving < 0 {
+			moving += cfg.shards
+		}
+		fmt.Printf("  migrating shard %d under load...\n", moving)
+		m, err := r.Migrate(shard.MigrateConfig{Shard: moving})
+		check(err)
+		t0 := time.Now()
+		check(m.Run(ctx))
+		migRes = &shardMigrationResult{
+			Shard:     moving,
+			ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+			ShipBytes: m.Stats().BytesShipped.Value(),
+			Resends:   m.Stats().Resends.Value(),
+		}
+		fmt.Printf("  cutover done in %.1fms (%dB shipped)\n", migRes.ElapsedMS, migRes.ShipBytes)
+	}
+	for _, op := range ops[half:] {
+		opCh <- op
+	}
+	close(opCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	base := core.PaperCosts()
+	snaps := r.Snapshots()
+	fleet := shard.Rollup(snaps, base)
+
+	rs := r.Stats()
+	snap := shardBenchSnapshot{
+		Shards: cfg.shards, Ops: len(ops),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		OpsPerSec: float64(len(ops)) / elapsed.Seconds(),
+		Completed: completed.Value(), Errors: failed.Value(),
+		MovedRetries:    rs.MovedRetries.Value(),
+		CutoverTimeouts: rs.CutoverTimeouts.Value(),
+		PartialScans:    rs.PartialScans.Value(),
+		Fences:          rs.Fences.Value(),
+		Migrations:      rs.Migrations.Value(),
+		Migration:       migRes,
+
+		FleetDollarPerMop: 1e6 * fleet.DollarPerOp,
+		FleetOps:          fleet.Ops,
+	}
+	for _, s := range fleet.PerShard {
+		row := shardCostRow{
+			Store: s.Store, Ops: s.Ops, Errors: s.Errors, Shed: s.Shed,
+			DeviceReads: s.DeviceReads, DeviceWrites: s.DeviceWrites,
+		}
+		if s.Ops > 0 {
+			row.DollarPerMop = 1e6 * s.DollarPerOp(base)
+		}
+		snap.PerShard = append(snap.PerShard, row)
+	}
+
+	fmt.Println("\nresults (shard mode, wall-clock):")
+	fmt.Printf("  elapsed: %v  (%.0f ops/sec)\n", elapsed.Round(time.Microsecond), snap.OpsPerSec)
+	fmt.Printf("  completed=%d errors=%d\n", snap.Completed, snap.Errors)
+	fmt.Printf("  router: moved-retries=%d cutover-timeouts=%d partial-scans=%d fences=%d migrations=%d\n",
+		snap.MovedRetries, snap.CutoverTimeouts, snap.PartialScans, snap.Fences, snap.Migrations)
+	fmt.Println("\nfleet cost roll-up (measured per-shard model inputs, paper rates):")
+	fmt.Print(fleet.Table(base))
+
+	writeBenchSnapshot(benchOutPath(cfg.benchOut, "shard"), "shard", "tc", map[string]any{
+		"shards": cfg.shards, "migrate": cfg.migrate,
+		"keys": cfg.keys, "ops": cfg.ops, "mix": cfg.mix, "dist": cfg.dist,
+		"value_size": cfg.valueSize, "seed": cfg.seed, "concurrency": cfg.concurrency,
+	}, snap)
+}

@@ -1,0 +1,84 @@
+// Benchmark snapshot persistence: every BENCH_*.json kvbench emits shares
+// one meta header (git commit, UTC timestamp, toolchain, mode, store,
+// flattened config) so results from different PRs and machines are
+// comparable without archaeology. Modes contribute only their results
+// struct; the envelope is written here.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// benchMeta is the shared header of every benchmark snapshot.
+type benchMeta struct {
+	// GitCommit is the vcs revision baked into the binary by the go
+	// toolchain ("unknown" for a non-vcs build, e.g. go run from a
+	// tarball); GitDirty marks uncommitted changes at build time.
+	GitCommit string `json:"git_commit"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+	// TimestampUTC is the wall-clock moment the snapshot was written.
+	TimestampUTC string `json:"timestamp_utc"`
+	GoVersion    string `json:"go_version"`
+	// Mode names the kvbench mode ("wire", "shard", ...); Store the
+	// backing store under test; Config the mode's relevant flag values.
+	Mode   string         `json:"mode"`
+	Store  string         `json:"store"`
+	Config map[string]any `json:"config,omitempty"`
+}
+
+// benchSnapshot is the on-disk envelope: {"meta": ..., "results": ...}.
+type benchSnapshot struct {
+	Meta    benchMeta `json:"meta"`
+	Results any       `json:"results"`
+}
+
+// buildMeta assembles the header from the binary's build info.
+func buildMeta(mode, store string, config map[string]any) benchMeta {
+	m := benchMeta{
+		GitCommit:    "unknown",
+		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		Mode:         mode,
+		Store:        store,
+		Config:       config,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitCommit = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// benchOutPath resolves the -bench-out flag for a mode: "auto" names the
+// snapshot after the mode (BENCH_wire.json, BENCH_shard.json, ...) and
+// empty disables persistence.
+func benchOutPath(flagVal, mode string) string {
+	if flagVal == "auto" {
+		return fmt.Sprintf("BENCH_%s.json", mode)
+	}
+	return flagVal
+}
+
+// writeBenchSnapshot persists one mode's results under the shared meta
+// envelope. A failure to persist is fatal like any other kvbench error:
+// a benchmark that silently lost its numbers did not run.
+func writeBenchSnapshot(path, mode, store string, config map[string]any, results any) {
+	if path == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(benchSnapshot{Meta: buildMeta(mode, store, config), Results: results}, "", "  ")
+	check(err)
+	check(os.WriteFile(path, append(buf, '\n'), 0o644))
+	fmt.Printf("  snapshot: %s\n", path)
+}

@@ -9,9 +9,9 @@ import (
 
 	"costperf/internal/core"
 	"costperf/internal/fault"
-	"costperf/internal/masstree"
 	"costperf/internal/obs"
 	"costperf/internal/repl"
+	"costperf/internal/shard"
 	"costperf/internal/ssd"
 	"costperf/internal/workload"
 )
@@ -28,29 +28,6 @@ type standbyModeConfig struct {
 	pitrLSN        int64   // -1 off; 0 = midpoint checkpoint; >0 explicit LSN
 	netLoss        float64 // drop/dup/reorder probability on the ship link
 	obs            bool
-}
-
-// mtReplica adapts a MassTree to tc.DataComponent so both cluster replicas
-// run a real main-memory index as their data component.
-type mtReplica struct{ t *masstree.Tree }
-
-func newMtReplica() *mtReplica { return &mtReplica{t: masstree.New(nil)} }
-
-func (d *mtReplica) Get(key []byte) ([]byte, bool, error) {
-	v, ok := d.t.Get(key)
-	return v, ok, nil
-}
-func (d *mtReplica) BlindWrite(key, val []byte) error { d.t.Put(key, val); return nil }
-func (d *mtReplica) Delete(key []byte) error          { d.t.Delete(key); return nil }
-func (d *mtReplica) Scan(start []byte, limit int, fn func(key, val []byte) bool) error {
-	d.t.Scan(start, limit, fn)
-	return nil
-}
-
-func (d *mtReplica) count() int {
-	n := 0
-	d.t.Scan(nil, 0, func(_, _ []byte) bool { n++; return true })
-	return n
 }
 
 // runStandbyMode drives the workload through a replicated pair and reports
@@ -83,8 +60,8 @@ func runStandbyMode(cfg standbyModeConfig) {
 	}
 
 	cluster, err := repl.NewCluster(repl.ClusterConfig{
-		PrimaryDC: newMtReplica(), PrimaryLog: primaryLog,
-		StandbyDC: newMtReplica(), StandbyLog: standbyLog,
+		PrimaryDC: shard.NewMassDC(), PrimaryLog: primaryLog,
+		StandbyDC: shard.NewMassDC(), StandbyLog: standbyLog,
 		Net:        net,
 		CommitWait: 2 * time.Second,
 		AckTimeout: 5 * time.Millisecond,
@@ -186,14 +163,14 @@ func runStandbyMode(cfg standbyModeConfig) {
 		if target == 0 {
 			target = ck.LSN
 		}
-		dst := newMtReplica()
+		dst := shard.NewMassDC()
 		res, err := cluster.Standby().PITRToLSN(target, dst)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kvbench: PITR to LSN %d: %v\n", target, err)
 			os.Exit(1)
 		}
 		fmt.Printf("  PITR: replayed %d records to LSN %d (max commit ts %d), reconstructed %d keys\n",
-			res.Applied, res.Replay.TruncatedAt, res.MaxTS, dst.count())
+			res.Applied, res.Replay.TruncatedAt, res.MaxTS, dst.Len())
 	}
 
 	if reg != nil {

@@ -6,7 +6,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -293,10 +292,9 @@ func runWireLoad(cfg wireModeConfig) {
 			snap.Server.Evicted, snap.Server.BadFrames, snap.Server.InFlightPeak)
 	}
 
-	if cfg.benchOut != "" {
-		buf, err := json.MarshalIndent(snap, "", "  ")
-		check(err)
-		check(os.WriteFile(cfg.benchOut, append(buf, '\n'), 0o644))
-		fmt.Printf("  snapshot: %s\n", cfg.benchOut)
-	}
+	writeBenchSnapshot(benchOutPath(cfg.benchOut, "wire"), "wire", cfg.store, map[string]any{
+		"keys": cfg.keys, "ops": cfg.ops, "mix": cfg.mix, "dist": cfg.dist,
+		"value_size": cfg.valueSize, "seed": cfg.seed,
+		"conns": cfg.conns, "pipeline": cfg.pipeline,
+	}, snap)
 }

@@ -1,0 +1,25 @@
+package fault
+
+import "net"
+
+// WrapDial subjects a dial function to the injector, closing the gap a
+// plain WrapConn leaves: a connection dialed *after* a partition starts
+// must not escape it. The returned dialer refuses with ErrPartitioned
+// while the injector is partitioned, and wraps every successful
+// connection in a Conn so the injector's message-granular faults (and
+// any later partition) apply to it from the first byte.
+func WrapDial(dial func() (net.Conn, error), inj *NetInjector) func() (net.Conn, error) {
+	if inj == nil {
+		return dial
+	}
+	return func() (net.Conn, error) {
+		if err := inj.DialErr(); err != nil {
+			return nil, err
+		}
+		c, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return WrapConn(c, inj), nil
+	}
+}

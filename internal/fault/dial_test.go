@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestPartitionRefusesFreshDials is the regression test for the chaos
+// loophole where a partition only applied to already-established
+// connections: a component could dodge migration-link chaos by dialing a
+// fresh connection mid-partition. Dials made while partitioned must be
+// refused, and a connection dialed after healing must still honor a
+// later partition.
+func TestPartitionRefusesFreshDials(t *testing.T) {
+	inj := NewNetInjector(1)
+	dialed := 0
+	var serverEnd net.Conn
+	dial := WrapDial(func() (net.Conn, error) {
+		dialed++
+		c, s := net.Pipe()
+		serverEnd = s
+		return c, nil
+	}, inj)
+
+	inj.Partition()
+	if _, err := dial(); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial during partition: got %v, want ErrPartitioned", err)
+	}
+	if dialed != 0 {
+		t.Fatalf("underlying dial ran %d times during the partition", dialed)
+	}
+	if got := inj.Stats().DialsRefused; got != 1 {
+		t.Fatalf("DialsRefused = %d, want 1", got)
+	}
+
+	inj.Heal()
+	c, err := dial()
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if _, ok := c.(*Conn); !ok {
+		t.Fatalf("healed dial returned %T, want *fault.Conn (faults must apply to fresh connections)", c)
+	}
+
+	// The freshly dialed connection is already subject to the injector: a
+	// partition starting after the dial eats its writes.
+	inj.Partition()
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 16)
+		serverEnd.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, _ := serverEnd.Read(buf)
+		got <- n
+	}()
+	if _, err := c.Write([]byte("frame-1")); err != nil {
+		t.Fatalf("write during partition: %v", err)
+	}
+	if n := <-got; n != 0 {
+		t.Fatalf("peer received %d bytes through a partition", n)
+	}
+
+	// DialErr itself must not consume a bounded partition's message
+	// budget: refused SYNs are not delivered messages.
+	inj.Heal()
+	inj.PartitionFor(2)
+	for i := 0; i < 10; i++ {
+		if _, err := dial(); !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("dial %d during bounded partition: got %v, want ErrPartitioned", i, err)
+		}
+	}
+	if !inj.Partitioned() {
+		t.Fatal("bounded partition healed by refused dials alone")
+	}
+	inj.Outcome()
+	inj.Outcome()
+	if inj.Partitioned() {
+		t.Fatal("bounded partition did not heal after its message budget")
+	}
+	if _, err := dial(); err != nil {
+		t.Fatalf("dial after bounded partition healed: %v", err)
+	}
+}
+
+func TestWrapDialNilInjector(t *testing.T) {
+	dial := WrapDial(func() (net.Conn, error) {
+		c, _ := net.Pipe()
+		return c, nil
+	}, nil)
+	c, err := dial()
+	if err != nil {
+		t.Fatalf("nil-injector dial: %v", err)
+	}
+	if _, ok := c.(*Conn); ok {
+		t.Fatal("nil-injector dial wrapped the connection for no reason")
+	}
+}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 )
@@ -29,13 +30,14 @@ type NetOutcome struct {
 
 // NetStats counts what the injector did, for test reconciliation.
 type NetStats struct {
-	Messages   int64 // outcomes issued
-	Dropped    int64 // includes messages eaten by a partition
-	Duplicated int64
-	Held       int64
-	Partitions int64 // partition episodes started
-	HalfCloses int64 // half-close episodes triggered
-	Stalls     int64 // stall episodes triggered
+	Messages     int64 // outcomes issued
+	Dropped      int64 // includes messages eaten by a partition
+	Duplicated   int64
+	Held         int64
+	Partitions   int64 // partition episodes started
+	HalfCloses   int64 // half-close episodes triggered
+	Stalls       int64 // stall episodes triggered
+	DialsRefused int64 // connection attempts refused by a partition
 }
 
 // NetInjector is a seeded fault model for an in-process replication link:
@@ -139,6 +141,28 @@ func (n *NetInjector) Partitioned() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.partitioned
+}
+
+// ErrPartitioned refuses a connection attempt made while the injector is
+// partitioned: a real partition eats SYNs just like established traffic,
+// so chaos must not be dodgeable by a fresh dial.
+var ErrPartitioned = errors.New("fault: network partitioned")
+
+// DialErr is the dial-time gate: non-nil (ErrPartitioned) while a
+// partition is in effect. Every transport that establishes connections
+// under this injector must consult it before succeeding a dial — a
+// partition applies to connections dialed after it starts, not only to
+// messages on connections that already exist. Refused dials are counted
+// but never consume a bounded partition's message budget (a refused SYN
+// is not a delivered message).
+func (n *NetInjector) DialErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partitioned {
+		n.stats.DialsRefused++
+		return ErrPartitioned
+	}
+	return nil
 }
 
 // Outcome decides the fate of one message. A partition wins over the

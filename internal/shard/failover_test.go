@@ -1,0 +1,182 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"costperf/internal/core"
+	"costperf/internal/fault"
+	"costperf/internal/obs"
+	"costperf/internal/ssd"
+)
+
+// TestPerShardFaultDomainFailover runs every shard as a replicated
+// cluster and kills ONE shard's primary log. Only that shard fails over;
+// the other shards never notice — the definition of a per-shard fault
+// domain.
+func TestPerShardFaultDomainFailover(t *testing.T) {
+	const n, keys = 3, 150
+	logs := map[string]ssd.Dev{}
+	r, err := New(Config{
+		Shards:     n,
+		Standby:    true,
+		CommitWait: 50 * time.Millisecond,
+		Seed:       11,
+		NewLog: func(name string) ssd.Dev {
+			d := ssd.New(ssd.Config{Name: name, MaxIOPS: 1e6, LatencySec: 20e-6})
+			logs[name] = d
+			return d
+		},
+	})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	defer r.Close()
+	loadRouter(t, r, keys)
+
+	const bad = 1
+	plog := logs[fmt.Sprintf("shard%d-primary-log.1", bad)]
+	if plog == nil {
+		t.Fatalf("primary log for shard %d not captured (have %d logs)", bad, len(logs))
+	}
+	inj := fault.NewInjector(1)
+	plog.SetFaultInjector(inj)
+	inj.FailNextWrites(1<<30, fault.ClassPersistent)
+
+	// Poke the failing shard until its cluster promotes the standby. Some
+	// writes may fail during the transition; the cluster's watcher
+	// promotes on the degraded latch.
+	ctx := testCtx()
+	deadline := time.Now().Add(5 * time.Second)
+	for !r.Cluster(bad).Promoted() {
+		if time.Now().After(deadline) {
+			t.Fatal("shard never failed over")
+		}
+		_ = r.Put(ctx, pickKeyFor(bad, n), []byte("poke"))
+		time.Sleep(time.Millisecond)
+	}
+
+	// The failed-over shard serves writes again, from its promoted standby.
+	wdeadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := r.Put(ctx, pickKeyFor(bad, n), []byte("recovered")); err == nil {
+			break
+		} else if time.Now().After(wdeadline) {
+			t.Fatalf("failed-over shard still rejecting writes: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The fault stayed inside its domain: every other shard took writes
+	// throughout and never promoted.
+	for s := 0; s < n; s++ {
+		if s == bad {
+			continue
+		}
+		if r.Cluster(s).Promoted() {
+			t.Fatalf("healthy shard %d promoted its standby", s)
+		}
+		if err := r.Put(ctx, pickKeyFor(s, n), []byte("untouched")); err != nil {
+			t.Fatalf("healthy shard %d write failed during neighbor failover: %v", s, err)
+		}
+	}
+	// Pre-fault data survives the promotion (acked writes were replicated
+	// semi-synchronously).
+	missing := 0
+	for i := 0; i < keys; i++ {
+		if SlotOf(key(i), n) != bad {
+			continue
+		}
+		if _, ok, err := r.Get(ctx, key(i)); err != nil || !ok {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d acked keys missing from shard %d after failover", missing, bad)
+	}
+}
+
+func TestRollupFleetCost(t *testing.T) {
+	base := core.PaperCosts()
+	snaps := []obs.CostSnapshot{
+		{Store: "shard0", Ops: 300, Errors: 2, DeviceReads: 40, DeviceWrites: 60, BytesRead: 4096, BytesWritten: 8192, F: 0.1, ShipBytes: 100},
+		{Store: "shard1", Ops: 100, Shed: 5, DeviceReads: 10, DeviceWrites: 20, F: 0.5},
+		{Store: "shard2"}, // idle shard: contributes nothing to the weighted mean
+	}
+	f := Rollup(snaps, base)
+	if f.Shards != 3 || f.Ops != 400 || f.Errors != 2 || f.Shed != 5 {
+		t.Fatalf("rollup sums wrong: %+v", f)
+	}
+	if f.DeviceReads != 50 || f.DeviceWrites != 80 || f.BytesRead != 4096 || f.BytesWritten != 8192 || f.ShipBytes != 100 {
+		t.Fatalf("device sums wrong: %+v", f)
+	}
+	want := (300*snaps[0].DollarPerOp(base) + 100*snaps[1].DollarPerOp(base)) / 400
+	if diff := f.DollarPerOp - want; diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("fleet $/op = %g, want ops-weighted %g", f.DollarPerOp, want)
+	}
+	// A busier expensive shard must pull the fleet mean toward itself.
+	if f.DollarPerOp <= snaps[0].DollarPerOp(base) {
+		t.Fatalf("weighted mean %g not above the cheap shard's %g", f.DollarPerOp, snaps[0].DollarPerOp(base))
+	}
+
+	tbl := f.Table(base)
+	for _, want := range []string{"shard0", "shard1", "shard2", "fleet", "$/Mop"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if lines := strings.Count(tbl, "\n"); lines != 5 { // header + 3 shards + fleet
+		t.Fatalf("table has %d lines, want 5:\n%s", lines, tbl)
+	}
+
+	// Empty fleet: no division by zero.
+	if z := Rollup(nil, base); z.DollarPerOp != 0 || z.Ops != 0 {
+		t.Fatalf("empty rollup = %+v", z)
+	}
+}
+
+// TestRouterSnapshotsPerShard proves the obs wiring: with a registry,
+// every shard reports its own tracer and traffic lands in the right row.
+func TestRouterSnapshotsPerShard(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := newTestRouter(t, 3, func(c *Config) { c.Registry = reg })
+	loadRouter(t, r, 90)
+	for i := 0; i < 3; i++ { // push buffered log tails to the devices
+		if err := r.slots[i].cur.Load().tc.Flush(); err != nil {
+			t.Fatalf("flush shard %d: %v", i, err)
+		}
+	}
+
+	snaps := r.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	byName := map[string]obs.CostSnapshot{}
+	var total int64
+	for _, s := range snaps {
+		byName[s.Store] = s
+		total += s.Ops
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("no snapshot named %q", name)
+		}
+		if s.Ops == 0 {
+			t.Fatalf("shard %d tracer saw no ops", i)
+		}
+		if s.DeviceWrites == 0 {
+			t.Fatalf("shard %d log device I/O not attributed to its tracer", i)
+		}
+	}
+	if total < 90 {
+		t.Fatalf("tracers saw %d ops for 90 puts", total)
+	}
+	f := Rollup(snaps, core.PaperCosts())
+	if f.Ops != total || f.Shards != 3 {
+		t.Fatalf("rollup of live snapshots: %+v", f)
+	}
+}

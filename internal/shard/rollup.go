@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+
+	"costperf/internal/core"
+	"costperf/internal/obs"
+)
+
+// FleetCost aggregates per-shard CostSnapshots into the fleet-level view:
+// what the whole sharded service costs per operation, with the per-shard
+// rows kept for attribution. The paper's $/op model (Section 3.2) is
+// evaluated per shard with its own measured F, R, and ROPS; the fleet
+// number is the ops-weighted mean, so a cold or degraded shard moves the
+// fleet cost in proportion to the traffic it actually carried.
+type FleetCost struct {
+	Shards int
+
+	// Summed span-level accounting across shards.
+	Ops, Errors, Shed int64
+	// Summed physical accounting.
+	DeviceReads, DeviceWrites int64
+	BytesRead, BytesWritten   int64
+	ShipBytes                 int64
+
+	// DollarPerOp is the ops-weighted mean of the per-shard live $/op
+	// (zero when no shard completed an operation).
+	DollarPerOp float64
+
+	// PerShard keeps the inputs for attribution, in input order.
+	PerShard []obs.CostSnapshot
+}
+
+// Rollup folds per-shard snapshots into the fleet view under base costs.
+func Rollup(snaps []obs.CostSnapshot, base core.Costs) FleetCost {
+	f := FleetCost{Shards: len(snaps), PerShard: snaps}
+	var weighted float64
+	for _, s := range snaps {
+		f.Ops += s.Ops
+		f.Errors += s.Errors
+		f.Shed += s.Shed
+		f.DeviceReads += s.DeviceReads
+		f.DeviceWrites += s.DeviceWrites
+		f.BytesRead += s.BytesRead
+		f.BytesWritten += s.BytesWritten
+		f.ShipBytes += s.ShipBytes
+		if s.Ops > 0 {
+			weighted += float64(s.Ops) * s.DollarPerOp(base)
+		}
+	}
+	if f.Ops > 0 {
+		f.DollarPerOp = weighted / float64(f.Ops)
+	}
+	return f
+}
+
+// Table renders the per-shard rows plus the fleet total line.
+func (f FleetCost) Table(base core.Costs) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %8s %8s %10s %10s %12s\n",
+		"shard", "ops", "errors", "shed", "dev-reads", "dev-writes", "$/Mop")
+	for _, s := range f.PerShard {
+		dpm := 0.0
+		if s.Ops > 0 {
+			dpm = 1e6 * s.DollarPerOp(base)
+		}
+		fmt.Fprintf(&b, "%-10s %10d %8d %8d %10d %10d %12.3f\n",
+			s.Store, s.Ops, s.Errors, s.Shed, s.DeviceReads, s.DeviceWrites, dpm)
+	}
+	fmt.Fprintf(&b, "%-10s %10d %8d %8d %10d %10d %12.3f\n",
+		"fleet", f.Ops, f.Errors, f.Shed, f.DeviceReads, f.DeviceWrites, 1e6*f.DollarPerOp)
+	return b.String()
+}

@@ -1,0 +1,437 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costperf/internal/engine"
+	"costperf/internal/fault"
+	"costperf/internal/metrics"
+	"costperf/internal/obs"
+	"costperf/internal/repl"
+	"costperf/internal/ssd"
+	"costperf/internal/tc"
+)
+
+// Config builds a Router.
+type Config struct {
+	// Shards is the number of hash partitions (required, >= 1). The count
+	// is fixed for the router's lifetime; migration moves a shard to a
+	// new owner, it does not resize the map.
+	Shards int
+
+	// NewDC builds a fresh data component for one shard replica. Nil
+	// defaults to NewMassDC. It is called once per plain shard, twice per
+	// replicated shard (primary + standby), and once per migration target.
+	NewDC func(shard int) tc.DataComponent
+	// NewLog builds a fresh recovery-log device with the given name. Nil
+	// defaults to a fast plain ssd.Device; pass a constructor returning
+	// an ssd.Mirror to give every shard log self-healing redundancy.
+	NewLog func(name string) ssd.Dev
+
+	// Standby, when set, runs every shard as a repl.Cluster: a warm
+	// standby continuously applies the shard's shipped log, writes are
+	// semi-synchronous, and a latched-degraded primary fails over
+	// automatically — per-shard, without touching the other shards.
+	Standby bool
+	// Net supplies the ship-link fault injector for a replicated shard
+	// (nil shard injector = perfect link). Ignored without Standby.
+	Net func(shard int) *fault.NetInjector
+	// CommitWait bounds each replicated shard's semi-synchronous ack wait
+	// (default per repl.ClusterConfig).
+	CommitWait time.Duration
+
+	// MaxConcurrent / MaxQueue / DefaultTimeout configure each shard's
+	// engine front-end (per-shard admission control and breaker; zero
+	// values take the engine defaults).
+	MaxConcurrent  int
+	MaxQueue       int
+	DefaultTimeout time.Duration
+
+	// CutoverWait bounds how long an operation that hit a fenced owner
+	// waits for the new owner to install before ErrMoved escapes to the
+	// caller (default 2s).
+	CutoverWait time.Duration
+	// FailFastScans makes scatter-gather scans return the first shard
+	// failure instead of merging the survivors and reporting a
+	// *PartialScanError.
+	FailFastScans bool
+
+	// Registry, when non-nil, traces every shard into its own named
+	// tracer ("shard0".."shardN-1"): per-shard CostSnapshots that
+	// Rollup folds into a fleet-level $/op table. Each shard's log
+	// devices report their physical I/O to the same tracer.
+	Registry *obs.Registry
+
+	// LogBufferBytes passes through to each shard's TC (0 = tc default).
+	LogBufferBytes int
+	// Seed seeds per-shard jitter (breaker probes, ship backoff).
+	Seed int64
+}
+
+// Stats counts router-level events; per-shard operation counts live in
+// the shards' engines and tracers.
+type Stats struct {
+	// MovedRetries counts operations that hit a fenced owner and were
+	// re-run against the newly installed one.
+	MovedRetries metrics.Counter
+	// CutoverTimeouts counts operations that gave up waiting for a new
+	// owner (ErrMoved escaped to the caller).
+	CutoverTimeouts metrics.Counter
+	// PartialScans counts scatter-gather scans that returned a
+	// *PartialScanError.
+	PartialScans metrics.Counter
+	// Fences counts owners fenced by migrations; Migrations counts
+	// completed cutovers.
+	Fences     metrics.Counter
+	Migrations metrics.Counter
+}
+
+// owner is one shard's current backing instance. A migration builds a new
+// owner at gen+1 and atomically replaces the old one, whose fenced flag
+// stays set forever — its generation can never become current again.
+type owner struct {
+	shard int
+	gen   uint64
+
+	eng     *engine.Engine
+	tc      *tc.TC        // plain shards (migration source/target)
+	cluster *repl.Cluster // replicated shards
+	log     ssd.Dev       // plain shards: the recovery-log device
+
+	fenced atomic.Bool
+	// inflight counts writes in progress on this owner. Reads never
+	// count: they don't touch the log, so a migration drain only has to
+	// wait out the writes that slipped past the gate before the fence.
+	inflight atomic.Int64
+}
+
+// gate is the owner's commit gate: installed into its TC, consulted at
+// the start of every commit, so a stale owner cannot acknowledge writes
+// after the fence — the same mechanism repl uses to fence demoted
+// primaries.
+func (o *owner) gate() error {
+	if o.fenced.Load() {
+		return fmt.Errorf("shard %d owner gen %d fenced: %w", o.shard, o.gen, ErrMoved)
+	}
+	return nil
+}
+
+// health returns the owner's store-level health latch.
+func (o *owner) health() *metrics.Health {
+	if o.cluster != nil {
+		return o.cluster.Health()
+	}
+	return &o.tc.Stats().Health
+}
+
+// slot is one entry of the shard map.
+type slot struct {
+	cur  atomic.Pointer[owner]
+	wake chan struct{} // closed+replaced on install (guarded by Router.mu)
+}
+
+// Router hash-partitions keys across independent shards. It satisfies
+// engine.Store (and therefore wire.Backend), so everything that fronts a
+// single store can front a fleet unchanged.
+type Router struct {
+	cfg   Config
+	slots []*slot
+
+	mu        sync.Mutex
+	retired   []*owner     // fenced ex-owners kept alive for audits; closed on Close
+	migrating map[int]bool // shards with a migration in flight
+	closed    bool
+
+	mapEpoch atomic.Uint64 // bumped on every install; crosses the wire in MOVED
+	stats    Stats
+	health   metrics.Health // router-level: latches only if every shard is degraded
+}
+
+// New builds the router and its shards.
+func New(cfg Config) (*Router, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.NewDC == nil {
+		cfg.NewDC = func(int) tc.DataComponent { return NewMassDC() }
+	}
+	if cfg.NewLog == nil {
+		cfg.NewLog = func(name string) ssd.Dev {
+			return ssd.New(ssd.Config{Name: name, MaxIOPS: 1e6, LatencySec: 20e-6})
+		}
+	}
+	if cfg.CutoverWait <= 0 {
+		cfg.CutoverWait = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	r := &Router{cfg: cfg, migrating: map[int]bool{}}
+	r.slots = make([]*slot, cfg.Shards)
+	for i := range r.slots {
+		r.slots[i] = &slot{wake: make(chan struct{})}
+		o, err := r.newOwner(i, 1)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				r.slots[j].cur.Load().eng.Close()
+			}
+			return nil, err
+		}
+		r.slots[i].cur.Store(o)
+	}
+	return r, nil
+}
+
+// tracer returns the shard's named tracer, or nil without a registry.
+func (r *Router) tracer(shard int) *obs.Tracer {
+	if r.cfg.Registry == nil {
+		return nil
+	}
+	return r.cfg.Registry.Tracer(fmt.Sprintf("shard%d", shard))
+}
+
+// newOwner builds a fresh owner for a shard at the given generation:
+// either a plain gated TC or a replicated cluster, behind its own engine
+// front-end.
+func (r *Router) newOwner(shard int, gen uint64) (*owner, error) {
+	tr := r.tracer(shard)
+	o := &owner{shard: shard, gen: gen}
+	var store engine.Store
+	if r.cfg.Standby {
+		var net *fault.NetInjector
+		if r.cfg.Net != nil {
+			net = r.cfg.Net(shard)
+		}
+		plog := r.cfg.NewLog(fmt.Sprintf("shard%d-primary-log.%d", shard, gen))
+		slog := r.cfg.NewLog(fmt.Sprintf("shard%d-standby-log.%d", shard, gen))
+		if tr != nil {
+			plog.SetObserver(tr)
+			slog.SetObserver(tr)
+		}
+		cl, err := repl.NewCluster(repl.ClusterConfig{
+			PrimaryDC: r.cfg.NewDC(shard), PrimaryLog: plog,
+			StandbyDC: r.cfg.NewDC(shard), StandbyLog: slog,
+			Net:          net,
+			CommitWait:   r.cfg.CommitWait,
+			AutoFailover: true,
+			AckTimeout:   5 * time.Millisecond,
+			RetryBase:    200 * time.Microsecond,
+			RetryMax:     5 * time.Millisecond,
+			Poll:         50 * time.Microsecond,
+			Window:       8,
+			Seed:         r.cfg.Seed + int64(shard),
+			Obs:          tr,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d cluster: %w", shard, err)
+		}
+		o.cluster = cl
+		store = cl
+	} else {
+		log := r.cfg.NewLog(fmt.Sprintf("shard%d-log.%d", shard, gen))
+		if tr != nil {
+			log.SetObserver(tr)
+		}
+		t, err := tc.New(tc.Config{
+			DC: r.cfg.NewDC(shard), LogDevice: log,
+			LogBufferBytes: r.cfg.LogBufferBytes,
+			CommitGate:     o.gate,
+			Obs:            tr,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d tc: %w", shard, err)
+		}
+		o.tc = t
+		o.log = log
+		store = engine.WrapTC(t)
+	}
+	eng, err := engine.New(engine.Config{
+		Store:           store,
+		MaxConcurrent:   r.cfg.MaxConcurrent,
+		MaxQueue:        r.cfg.MaxQueue,
+		DefaultTimeout:  r.cfg.DefaultTimeout,
+		ProbeJitterSeed: r.cfg.Seed + int64(shard),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard %d engine: %w", shard, err)
+	}
+	o.eng = eng
+	return o, nil
+}
+
+// Shards reports the shard count; MapEpoch the installs so far. Together
+// they are the shard map a MOVED response teaches wire clients.
+func (r *Router) Shards() int      { return len(r.slots) }
+func (r *Router) MapEpoch() uint64 { return r.mapEpoch.Load() }
+func (r *Router) Stats() *Stats    { return &r.stats }
+
+// ShardMap implements the optional wire ShardMapper capability: the
+// server attaches (epoch, shards) to every MOVED status so clients learn
+// the new map without an extra round trip.
+func (r *Router) ShardMap() (epoch uint64, shards int) {
+	return r.mapEpoch.Load(), len(r.slots)
+}
+
+// ShardHealth returns the health latch of one shard's current owner —
+// the per-shard fault-domain view (a degraded shard is 1/N of the keys).
+func (r *Router) ShardHealth(shard int) *metrics.Health {
+	return r.slots[shard].cur.Load().health()
+}
+
+// Engine exposes one shard's engine front-end (stats, direct access for
+// harnesses that fault a single shard).
+func (r *Router) Engine(shard int) *engine.Engine {
+	return r.slots[shard].cur.Load().eng
+}
+
+// Cluster exposes one shard's replicated cluster (nil for plain shards).
+func (r *Router) Cluster(shard int) *repl.Cluster {
+	return r.slots[shard].cur.Load().cluster
+}
+
+// Health implements engine.Store. The router's own latch never trips —
+// partial availability is the point — so it reports healthy as long as
+// the router is open; per-shard state is in ShardHealth.
+func (r *Router) Health() *metrics.Health { return &r.health }
+
+// cur returns a shard's current owner.
+func (r *Router) cur(shard int) *owner { return r.slots[shard].cur.Load() }
+
+// awaitInstall blocks until the shard's owner generation passes gen, the
+// cutover wait elapses, or ctx ends.
+func (r *Router) awaitInstall(ctx context.Context, shard int, gen uint64) error {
+	timer := time.NewTimer(r.cfg.CutoverWait)
+	defer timer.Stop()
+	for {
+		s := r.slots[shard]
+		r.mu.Lock()
+		wake := s.wake
+		r.mu.Unlock()
+		if s.cur.Load().gen > gen {
+			return nil
+		}
+		select {
+		case <-wake:
+		case <-timer.C:
+			r.stats.CutoverTimeouts.Inc()
+			return fmt.Errorf("shard %d cutover not installed within %v: %w",
+				shard, r.cfg.CutoverWait, ErrMoved)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// do routes one operation to the key's shard and absorbs the two races a
+// live migration creates: a fenced owner rejecting the op with ErrMoved,
+// and a retired owner closed under the op. Both retry transparently
+// against the newly installed owner.
+func (r *Router) do(ctx context.Context, key []byte, write bool, op func(o *owner) error) error {
+	shard := SlotOf(key, len(r.slots))
+	for {
+		o := r.cur(shard)
+		if write {
+			o.inflight.Add(1)
+		}
+		err := op(o)
+		if write {
+			o.inflight.Add(-1)
+		}
+		switch {
+		case err == nil:
+			return nil
+		case errorsIsMovedOrRetired(err):
+			r.stats.MovedRetries.Inc()
+			if werr := r.awaitInstall(ctx, shard, o.gen); werr != nil {
+				return werr
+			}
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+// errorsIsMovedOrRetired classifies errors worth retrying on the next
+// owner: a fenced commit (ErrMoved) or an op that raced the retirement of
+// an already-replaced owner (engine/tc closed).
+func errorsIsMovedOrRetired(err error) bool {
+	return errors.Is(err, ErrMoved) || errors.Is(err, engine.ErrClosed) || errors.Is(err, tc.ErrClosed)
+}
+
+// Get implements engine.Store.
+func (r *Router) Get(ctx context.Context, key []byte) (val []byte, ok bool, err error) {
+	err = r.do(ctx, key, false, func(o *owner) error {
+		val, ok, err = o.eng.Get(ctx, key)
+		return err
+	})
+	return val, ok, err
+}
+
+// Put implements engine.Store.
+func (r *Router) Put(ctx context.Context, key, val []byte) error {
+	return r.do(ctx, key, true, func(o *owner) error { return o.eng.Put(ctx, key, val) })
+}
+
+// Delete implements engine.Store.
+func (r *Router) Delete(ctx context.Context, key []byte) error {
+	return r.do(ctx, key, true, func(o *owner) error { return o.eng.Delete(ctx, key) })
+}
+
+// install makes o the shard's current owner (the migration cutover) and
+// wakes every operation parked in awaitInstall. The replaced owner stays
+// fenced and alive — audits can still prove its commits are rejected —
+// until the router closes.
+func (r *Router) install(shard int, o *owner) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.slots[shard]
+	old := s.cur.Load()
+	r.retired = append(r.retired, old)
+	s.cur.Store(o)
+	close(s.wake)
+	s.wake = make(chan struct{})
+	r.mapEpoch.Add(1)
+	r.stats.Migrations.Inc()
+	delete(r.migrating, shard)
+}
+
+// Snapshots returns the per-shard cost snapshots (nil without a
+// registry); feed them to Rollup for the fleet-level $/op view.
+func (r *Router) Snapshots() []obs.CostSnapshot {
+	if r.cfg.Registry == nil {
+		return nil
+	}
+	return r.cfg.Registry.Snapshots()
+}
+
+// Close shuts every shard (current and retired owners) down.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	retired := r.retired
+	r.retired = nil
+	r.mu.Unlock()
+
+	var first error
+	for _, o := range retired {
+		if err := o.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range r.slots {
+		if err := s.cur.Load().eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ShardError names one shard a scatter-gather scan could not read.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+// PartialScanError reports a scatter-gather scan that completed with some
+// shards unavailable. The merged stream the caller already received is
+// the surviving shards' data in correct global order; Failed names the
+// holes. It unwraps to ErrPartialScan so errors.Is classifies it.
+type PartialScanError struct {
+	Failed []ShardError
+}
+
+// Error implements error.
+func (e *PartialScanError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v (%d shard%s down:", ErrPartialScan, len(e.Failed), plural(len(e.Failed)))
+	for _, f := range e.Failed {
+		fmt.Fprintf(&b, " %d: %v;", f.Shard, f.Err)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Unwrap lets errors.Is(err, ErrPartialScan) classify the typed error.
+func (e *PartialScanError) Unwrap() error { return ErrPartialScan }
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+// scanItem is one pair crossing from a shard scanner to the merger. Keys
+// and values are copied: the store's scan callbacks may reuse their
+// slices, and these cross goroutines.
+type scanItem struct{ k, v []byte }
+
+// Scan implements engine.Store with a scatter-gather merge: every shard
+// scans its range concurrently and the results interleave into one
+// globally ordered stream (the hash partitions are disjoint, so a plain
+// min-merge is exact). fn and limit mean what they mean on a single
+// store. When a shard cannot serve, the failure mode is the caller's
+// choice via Config.FailFastScans: fail on the first shard error, or
+// deliver the surviving shards' data and return a *PartialScanError.
+func (r *Router) Scan(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
+	n := len(r.slots)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	chans := make([]chan scanItem, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		chans[i] = make(chan scanItem, 32)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.scanShard(sctx, i, start, limit, chans[i])
+			close(chans[i])
+		}(i)
+	}
+	// settle unblocks and joins every shard goroutine — the errs slice is
+	// only safe to read after it returns.
+	settle := func() {
+		cancel()
+		for i := 0; i < n; i++ {
+			for range chans[i] {
+			}
+		}
+		wg.Wait()
+	}
+
+	// Min-merge the per-shard ordered streams.
+	heads := make([]*scanItem, n)
+	live := 0
+	for i := 0; i < n; i++ {
+		if it, ok := <-chans[i]; ok {
+			h := it
+			heads[i] = &h
+			live++
+		}
+	}
+	emitted := 0
+	stopped := false
+	for live > 0 && !stopped {
+		min := -1
+		for i, h := range heads {
+			if h != nil && (min < 0 || bytes.Compare(h.k, heads[min].k) < 0) {
+				min = i
+			}
+		}
+		if !fn(heads[min].k, heads[min].v) {
+			stopped = true
+			break
+		}
+		emitted++
+		if limit > 0 && emitted >= limit {
+			stopped = true
+			break
+		}
+		if it, ok := <-chans[min]; ok {
+			h := it
+			heads[min] = &h
+		} else {
+			heads[min] = nil
+			live--
+			// The channel close happens after the shard's error is
+			// recorded, so the read is safe; fail-fast callers abort the
+			// merge on the first shard that went down mid-scan.
+			if r.cfg.FailFastScans && errs[min] != nil && ctx.Err() == nil {
+				settle()
+				return fmt.Errorf("shard %d scan: %w", min, errs[min])
+			}
+		}
+	}
+	settle()
+
+	var failed []ShardError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		// Cancellation we caused by stopping early is not a shard failure.
+		if stopped && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		failed = append(failed, ShardError{Shard: i, Err: err})
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	if r.cfg.FailFastScans {
+		return fmt.Errorf("shard %d scan: %w", failed[0].Shard, failed[0].Err)
+	}
+	r.stats.PartialScans.Inc()
+	return &PartialScanError{Failed: failed}
+}
+
+// scanShard runs one shard's ordered scan, pushing copied pairs into out
+// until the shard range is exhausted, limit pairs have been sent, or ctx
+// ends. Failures racing a migration cutover retry on the new owner.
+func (r *Router) scanShard(ctx context.Context, shard int, start []byte, limit int, out chan<- scanItem) error {
+	for attempt := 0; ; attempt++ {
+		o := r.cur(shard)
+		sent := 0
+		err := o.eng.Scan(ctx, start, limit, func(k, v []byte) bool {
+			it := scanItem{k: append([]byte(nil), k...), v: append([]byte(nil), v...)}
+			select {
+			case out <- it:
+				sent++
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+		if err != nil && sent == 0 && attempt < 2 && errorsIsMovedOrRetired(err) {
+			continue
+		}
+		if err == nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+}

@@ -113,13 +113,16 @@ type ClientStats struct {
 	// StatusOverload responses (each retried with backoff).
 	AttemptTimeouts metrics.Counter
 	Overloads       metrics.Counter
+	// Moves counts StatusMoved responses: shard cutovers observed on the
+	// wire, each teaching the client the server's new shard map.
+	Moves metrics.Counter
 }
 
 // String renders the counters for experiment logs.
 func (s *ClientStats) String() string {
-	return fmt.Sprintf("ops=%d sent=%d retries=%d hedges=%d reconnects=%d timeouts=%d overloads=%d",
+	return fmt.Sprintf("ops=%d sent=%d retries=%d hedges=%d reconnects=%d timeouts=%d overloads=%d moves=%d",
 		s.Ops.Value(), s.Sent.Value(), s.Retries.Value(), s.Hedges.Value(),
-		s.Reconnects.Value(), s.AttemptTimeouts.Value(), s.Overloads.Value())
+		s.Reconnects.Value(), s.AttemptTimeouts.Value(), s.Overloads.Value(), s.Moves.Value())
 }
 
 // Client is a resilient connection to a wire server: pipelined requests,
@@ -131,6 +134,13 @@ type Client struct {
 
 	seq    atomic.Uint64
 	window chan struct{}
+
+	// Shard map learned from MOVED responses: packed epoch<<32 | shards,
+	// with a separate "learned anything" flag. Advisory — routing stays
+	// server-side — but it lets a fleet-aware caller observe cutovers.
+	shardEpoch atomic.Uint64
+	shardCount atomic.Int64
+	shardKnown atomic.Bool
 
 	mu     sync.Mutex // guards cc, rng, dialed
 	cc     *clientConn
@@ -158,6 +168,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 
 // Stats returns the client's counters.
 func (c *Client) Stats() *ClientStats { return &c.stats }
+
+// ShardMap returns the server's shard map as last taught by a MOVED
+// response; ok is false until the client has seen one.
+func (c *Client) ShardMap() (epoch uint64, shards int, ok bool) {
+	if !c.shardKnown.Load() {
+		return 0, 0, false
+	}
+	return c.shardEpoch.Load(), int(c.shardCount.Load()), true
+}
 
 // Get returns the value for key.
 func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
@@ -360,6 +379,17 @@ func (c *Client) settleStatus(call *call) ([]byte, bool, error) {
 		// attempt re-dials (after failover/restart), and retry.
 		c.dropConn()
 		return nil, true, ErrDraining
+	case StatusMoved:
+		// The key's shard cut over to a new owner mid-request. Learn the
+		// map the server attached, then retry: by the next attempt the
+		// router has installed the new owner.
+		c.stats.Moves.Inc()
+		if epoch, shards, ok := decodeMovedBody(call.body); ok {
+			c.shardEpoch.Store(epoch)
+			c.shardCount.Store(int64(shards))
+			c.shardKnown.Store(true)
+		}
+		return nil, true, errFromStatus(call.status, "")
 	default:
 		return nil, false, errFromStatus(call.status, string(call.body))
 	}

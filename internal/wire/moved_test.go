@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"costperf/internal/shard"
+)
+
+// movedBackend wraps a backend and fails each key's first Put with a
+// fenced-owner error — the stale-owner race surfacing at the wire layer.
+type movedBackend struct {
+	Backend
+	mapper *shard.Router
+	trip   atomic.Bool
+}
+
+func (b *movedBackend) Put(ctx context.Context, key, val []byte) error {
+	if b.trip.Swap(false) {
+		return shard.ErrMoved
+	}
+	return b.Backend.Put(ctx, key, val)
+}
+
+func (b *movedBackend) ShardMap() (uint64, int) { return b.mapper.ShardMap() }
+
+func TestMovedCrossesWireWithShardMap(t *testing.T) {
+	r, err := shard.New(shard.Config{Shards: 4, Seed: 3})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	mb := &movedBackend{Backend: r, mapper: r}
+	srv, err := NewServer(ServerConfig{Backend: mb})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl := pipeServer(t, srv, ClientConfig{Seed: 9, RetryBase: time.Millisecond})
+
+	ctx := context.Background()
+	// Move a shard first so the map the client learns is post-cutover.
+	m, err := r.Migrate(shard.MigrateConfig{Shard: 2})
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if err := m.Run(ctx); err != nil {
+		t.Fatalf("migration: %v", err)
+	}
+
+	if _, _, ok := cl.ShardMap(); ok {
+		t.Fatal("client claims a shard map before any MOVED")
+	}
+	mb.trip.Store(true)
+	if err := cl.Put(ctx, []byte("k1"), []byte("v1")); err != nil {
+		t.Fatalf("put through a MOVED: %v", err)
+	}
+	if got := cl.Stats().Moves.Value(); got != 1 {
+		t.Fatalf("client Moves = %d, want 1", got)
+	}
+	if got := srv.Stats().Moves.Value(); got != 1 {
+		t.Fatalf("server Moves = %d, want 1", got)
+	}
+	epoch, shards, ok := cl.ShardMap()
+	if !ok || epoch != 1 || shards != 4 {
+		t.Fatalf("client learned map (%d, %d, %v), want (1, 4, true)", epoch, shards, ok)
+	}
+	// The retried write landed.
+	v, found, err := cl.Get(ctx, []byte("k1"))
+	if err != nil || !found || string(v) != "v1" {
+		t.Fatalf("get after moved retry = %q/%v/%v", v, found, err)
+	}
+}
+
+// noMapperBackend rejects each key's first Put with ErrMoved but has no
+// ShardMap capability, so its MOVED responses carry an empty body.
+type noMapperBackend struct {
+	Backend
+	trip atomic.Bool
+}
+
+func (b *noMapperBackend) Put(ctx context.Context, key, val []byte) error {
+	if b.trip.Swap(false) {
+		return shard.ErrMoved
+	}
+	return b.Backend.Put(ctx, key, val)
+}
+
+// TestMovedWithoutMapperStillRetries: a MOVED from a backend without the
+// ShardMap capability has an empty body; the client retries but learns
+// nothing.
+func TestMovedWithoutMapperStillRetries(t *testing.T) {
+	nb := &noMapperBackend{Backend: newMemBackend()}
+	srv, err := NewServer(ServerConfig{Backend: nb})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl := pipeServer(t, srv, ClientConfig{Seed: 4, RetryBase: time.Millisecond})
+
+	ctx := context.Background()
+	nb.trip.Store(true)
+	if err := cl.Put(ctx, []byte("a"), []byte("b")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if _, _, ok := cl.ShardMap(); ok {
+		t.Fatal("client invented a shard map from an empty MOVED body")
+	}
+	if cl.Stats().Moves.Value() != 1 {
+		t.Fatalf("Moves = %d, want 1", cl.Stats().Moves.Value())
+	}
+}
+
+// TestMovedStatusCodec pins the wire behavior of the new status: it
+// decodes, renders, and survives the response codec with its map body.
+func TestMovedStatusCodec(t *testing.T) {
+	if StatusMoved != StatusInternal+1 {
+		t.Fatalf("StatusMoved = %d, must extend the taxonomy, not renumber it", StatusMoved)
+	}
+	if StatusMoved.String() != "moved" {
+		t.Fatalf("String = %q", StatusMoved.String())
+	}
+	buf := encodeResponse(nil, 42, StatusMoved, encodeMovedBody(7, 16))
+	seq, st, body, err := decodeResponse(buf)
+	if err != nil || seq != 42 || st != StatusMoved {
+		t.Fatalf("decode = %d/%v/%v", seq, st, err)
+	}
+	epoch, shards, ok := decodeMovedBody(body)
+	if !ok || epoch != 7 || shards != 16 {
+		t.Fatalf("moved body = (%d, %d, %v)", epoch, shards, ok)
+	}
+	if _, _, ok := decodeMovedBody(body[:5]); ok {
+		t.Fatal("truncated moved body decoded")
+	}
+	if !errors.Is(errFromStatus(StatusMoved, ""), shard.ErrMoved) {
+		t.Fatal("errFromStatus(StatusMoved) does not unwrap to shard.ErrMoved")
+	}
+	if st, _ := statusOf(shard.ErrMoved); st != StatusMoved {
+		t.Fatalf("statusOf(ErrMoved) = %v", st)
+	}
+	// One past the taxonomy still fails decode.
+	bad := encodeResponse(nil, 1, StatusMoved+1, nil)
+	if _, _, _, err := decodeResponse(bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("decode of status %d = %v, want ErrBadMessage", StatusMoved+1, err)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"costperf/internal/engine"
 	"costperf/internal/fault"
 	"costperf/internal/repl"
+	"costperf/internal/shard"
 	"costperf/internal/ssd"
 )
 
@@ -77,6 +78,13 @@ const (
 	StatusBadRequest
 	// StatusInternal: any other backend error (message attached).
 	StatusInternal
+	// StatusMoved: the key's shard changed owners mid-request (a live
+	// migration cut over and the cutover wait expired). When the backend
+	// exposes its shard map (ShardMapper), the response body carries
+	// epoch(8) shards(4) so the client learns the new map without an
+	// extra round trip. Appended after StatusInternal to keep the wire
+	// values of the original taxonomy stable.
+	StatusMoved
 )
 
 // String names the status for logs.
@@ -106,6 +114,8 @@ func (s Status) String() string {
 		return "bad-request"
 	case StatusInternal:
 		return "internal"
+	case StatusMoved:
+		return "moved"
 	}
 	return fmt.Sprintf("status(%d)", byte(s))
 }
@@ -148,6 +158,8 @@ func statusOf(err error) (Status, string) {
 		return StatusQuarantined, ""
 	case errors.Is(err, fault.ErrCorrupt):
 		return StatusCorrupt, ""
+	case errors.Is(err, shard.ErrMoved):
+		return StatusMoved, ""
 	case errors.Is(err, engine.ErrClosed):
 		return StatusDraining, ""
 	default:
@@ -182,6 +194,8 @@ func errFromStatus(s Status, msg string) error {
 		return ErrDraining
 	case StatusBadRequest:
 		return ErrBadMessage
+	case StatusMoved:
+		return fmt.Errorf("wire: %w", shard.ErrMoved)
 	default:
 		return fmt.Errorf("%w: %s", ErrRemote, msg)
 	}
@@ -304,11 +318,29 @@ func decodeResponse(b []byte) (seq uint64, s Status, body []byte, err error) {
 		return 0, 0, nil, ErrBadMessage
 	}
 	s = Status(b[0])
-	if s > StatusInternal {
+	if s > StatusMoved {
 		return 0, 0, nil, ErrBadMessage
 	}
 	seq = binary.BigEndian.Uint64(b[1:9])
 	return seq, s, b[respHeader:], nil
+}
+
+// A MOVED body is the server's shard map: epoch(8) shards(4). An empty
+// body is legal (backend without a ShardMapper); anything else malformed.
+const movedBodyLen = 8 + 4
+
+func encodeMovedBody(epoch uint64, shards int) []byte {
+	var b [movedBodyLen]byte
+	binary.BigEndian.PutUint64(b[:8], epoch)
+	binary.BigEndian.PutUint32(b[8:12], uint32(shards))
+	return b[:]
+}
+
+func decodeMovedBody(b []byte) (epoch uint64, shards int, ok bool) {
+	if len(b) != movedBodyLen {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(b[:8]), int(binary.BigEndian.Uint32(b[8:12])), true
 }
 
 // scanPair is one key/value pair crossing the wire in a scan response.

@@ -25,6 +25,14 @@ type Backend interface {
 	Scan(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error
 }
 
+// ShardMapper is the optional Backend capability a sharded backend
+// (shard.Router) exposes: the current shard-map epoch and shard count.
+// A server whose backend has it attaches the map to every StatusMoved
+// response, so one MOVED round trip teaches the client the new map.
+type ShardMapper interface {
+	ShardMap() (epoch uint64, shards int)
+}
+
 // ServerConfig configures a Server.
 type ServerConfig struct {
 	// Backend serves the requests (required).
@@ -94,6 +102,9 @@ type ServerStats struct {
 	BadFrames metrics.Counter
 	// DrainRejects counts requests refused with StatusDraining.
 	DrainRejects metrics.Counter
+	// Moves counts StatusMoved responses (shard cutovers that escaped the
+	// router's transparent retry and crossed the wire).
+	Moves metrics.Counter
 	// InFlight gauges currently executing requests; InFlightPeak is its
 	// high-water mark.
 	InFlight     metrics.Gauge
@@ -102,10 +113,10 @@ type ServerStats struct {
 
 // String renders the counters for experiment logs.
 func (s *ServerStats) String() string {
-	return fmt.Sprintf("accepted=%d cur=%d evicted=%d req=%d resp=%d dedup=%d bad=%d drained=%d peak=%d",
+	return fmt.Sprintf("accepted=%d cur=%d evicted=%d req=%d resp=%d dedup=%d bad=%d drained=%d moved=%d peak=%d",
 		s.Accepted.Value(), s.CurConns.Value(), s.Evicted.Value(), s.Requests.Value(),
 		s.Responses.Value(), s.DedupHits.Value(), s.BadFrames.Value(),
-		s.DrainRejects.Value(), s.InFlightPeak.Value())
+		s.DrainRejects.Value(), s.Moves.Value(), s.InFlightPeak.Value())
 }
 
 // Server fronts a Backend over framed connections. All methods are safe
@@ -125,7 +136,8 @@ type Server struct {
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 
-	dedup *dedupTable
+	dedup  *dedupTable
+	mapper ShardMapper // non-nil when the backend is sharded
 }
 
 // NewServer creates a server over the given backend.
@@ -134,6 +146,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	mapper, _ := cfg.Backend.(ShardMapper)
 	return &Server{
 		cfg:       cfg,
 		ctx:       ctx,
@@ -141,6 +154,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		conns:     make(map[*srvConn]struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		dedup:     newDedupTable(cfg.DedupWindow, cfg.MaxDedupClients),
+		mapper:    mapper,
 	}, nil
 }
 
@@ -487,6 +501,13 @@ func (sc *srvConn) handle(req request) {
 	}
 	if msg != "" {
 		body = []byte(msg)
+	}
+	if st == StatusMoved {
+		sc.s.stats.Moves.Inc()
+		if sc.s.mapper != nil {
+			epoch, shards := sc.s.mapper.ShardMap()
+			body = encodeMovedBody(epoch, shards)
+		}
 	}
 	sc.respond(req.Seq, st, body)
 }

@@ -23,6 +23,14 @@
 # oracle, with a hard watchdog timeout so a wedged drain fails the run
 # instead of hanging it.
 #
+# Set CHECK_SHARD=1 for the full 100-seed shard-migration soak under the
+# race detector: a live shard migration per seed with concurrent writers
+# on the moving shard, a lossy and periodically partitioned migration
+# link, and an injected crash at every phase boundary of the cutover
+# state machine, asserting zero lost acked writes, exactly-once
+# application against an acked-state oracle, and fenced stale owners —
+# with a hard watchdog timeout.
+#
 # Set CHECK_WIRE=1 for the full 50-seed network chaos sweep under the race
 # detector: wire clients and server over real connections through
 # fault.Conn (drops, dups, reorders, half-closes, stalls, a mid-run
@@ -63,6 +71,10 @@ fi
 if [ -n "${CHECK_FAILOVER:-}" ]; then
     go test -race -run 'TestFailoverChaosSweep' -count=1 -timeout 15m \
         ./internal/integration -failover.full=true
+fi
+if [ -n "${CHECK_SHARD:-}" ]; then
+    go test -race -run 'TestShardMigrationChaosSweep' -count=1 -timeout 15m \
+        ./internal/integration -shard.full=true
 fi
 if [ -n "${CHECK_WIRE:-}" ]; then
     go test -race -run 'TestWireChaosSweep' -count=1 -timeout 15m \
