@@ -1,0 +1,248 @@
+// Comparable rows and the regression contract. A benchmark snapshot
+// (any BENCH_*.json kvbench emits) flattens into rows of named metrics;
+// Diff matches rows across two snapshots by key and holds the new file
+// to the old one under per-metric-class thresholds. The logic lives here,
+// separate from flag parsing, so the contract is unit-testable.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Row is one comparable unit of a snapshot: a matrix cell, or the single
+// results block of a wire/shard run.
+type Row struct {
+	Key     string
+	Metrics map[string]float64
+}
+
+// direction says which way a metric regresses.
+type direction int
+
+const (
+	higherBetter direction = iota
+	lowerBetter
+)
+
+// metricSpec classifies a metric for thresholding. Class names the
+// threshold that governs it.
+type metricSpec struct {
+	dir   direction
+	class string // "throughput" | "latency" | "cost" | "count"
+}
+
+// metricOrder fixes the report's column order; metricSpecs the contract.
+var (
+	metricOrder = []string{"ops_per_sec", "p99_us", "dollar_per_mop", "errors", "shed"}
+	metricSpecs = map[string]metricSpec{
+		"ops_per_sec":    {higherBetter, "throughput"},
+		"p99_us":         {lowerBetter, "latency"},
+		"dollar_per_mop": {lowerBetter, "cost"},
+		"errors":         {lowerBetter, "count"},
+		"shed":           {lowerBetter, "count"},
+	}
+)
+
+// Thresholds is the allowed regression per metric class. Fractions are
+// relative to the old value; CountSlack is an absolute op count. A change
+// of exactly the threshold passes — only strictly worse breaches.
+type Thresholds struct {
+	Throughput float64 // allowed fractional ops/sec drop
+	Latency    float64 // allowed fractional p99 rise
+	Cost       float64 // allowed fractional $/op rise
+	CountSlack float64 // allowed absolute errors/shed rise
+}
+
+// DefaultThresholds is the gate kvbench's CI matrix runs under.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Throughput: 0.10, Latency: 0.25, Cost: 0.10, CountSlack: 0}
+}
+
+// Delta is one matched metric's comparison.
+type Delta struct {
+	Key, Metric string
+	Old, New    float64
+	Breach      bool
+}
+
+// Report is a full snapshot comparison.
+type Report struct {
+	Matched  []string // row keys present in both files
+	Missing  []string // rows the old file has and the new one lost
+	Added    []string // rows only the new file has
+	Deltas   []Delta  // matched (row, metric) comparisons, report order
+	Breaches int      // deltas beyond threshold
+}
+
+// relEps keeps float noise from turning an exactly-at-threshold change
+// into a breach: (0.55-0.5)/0.5 lands a few ulps above 0.10.
+const relEps = 1e-9
+
+// breaches reports whether new is worse than old beyond the allowed
+// threshold for the metric. Boundary contract: exactly-at-threshold
+// passes; only strictly beyond breaches. A missing old baseline (old <= 0
+// for relative metrics) never breaches — there is nothing to regress from.
+func breaches(spec metricSpec, old, new float64, th Thresholds) bool {
+	switch spec.class {
+	case "throughput":
+		return old > 0 && (old-new)/old > th.Throughput+relEps
+	case "latency":
+		return old > 0 && (new-old)/old > th.Latency+relEps
+	case "cost":
+		return old > 0 && (new-old)/old > th.Cost+relEps
+	case "count":
+		return new-old > th.CountSlack+relEps
+	}
+	return false
+}
+
+// Diff matches rows by key and compares every known metric present in
+// both sides. Rows the new file dropped land in Missing (the scenario
+// coverage contract); rows it added land in Added and are informational.
+func Diff(old, new []Row, th Thresholds) Report {
+	newByKey := make(map[string]Row, len(new))
+	for _, r := range new {
+		newByKey[r.Key] = r
+	}
+	oldKeys := make(map[string]bool, len(old))
+	var rep Report
+	for _, o := range old {
+		oldKeys[o.Key] = true
+		n, ok := newByKey[o.Key]
+		if !ok {
+			rep.Missing = append(rep.Missing, o.Key)
+			continue
+		}
+		rep.Matched = append(rep.Matched, o.Key)
+		for _, m := range metricOrder {
+			ov, haveOld := o.Metrics[m]
+			nv, haveNew := n.Metrics[m]
+			if !haveOld || !haveNew {
+				continue
+			}
+			d := Delta{Key: o.Key, Metric: m, Old: ov, New: nv,
+				Breach: breaches(metricSpecs[m], ov, nv, th)}
+			if d.Breach {
+				rep.Breaches++
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	for _, n := range new {
+		if !oldKeys[n.Key] {
+			rep.Added = append(rep.Added, n.Key)
+		}
+	}
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Added)
+	return rep
+}
+
+// InjectRegression degrades every row's metrics by frac — throughput
+// scaled down, latency/cost scaled up — in place. The CI gate uses it as
+// a self-test: a diff of a snapshot against its own degraded copy must
+// breach, proving the thresholds actually bite.
+func InjectRegression(rows []Row, frac float64) {
+	for _, r := range rows {
+		for m, v := range r.Metrics {
+			spec, ok := metricSpecs[m]
+			if !ok {
+				continue
+			}
+			if spec.dir == higherBetter {
+				r.Metrics[m] = v * (1 - frac)
+			} else if spec.class != "count" {
+				r.Metrics[m] = v * (1 + frac)
+			}
+		}
+	}
+}
+
+// snapshotFile is the shared BENCH_*.json envelope (cmd/kvbench/snapshot.go).
+type snapshotFile struct {
+	Meta struct {
+		Mode         string `json:"mode"`
+		Store        string `json:"store"`
+		GitCommit    string `json:"git_commit"`
+		TimestampUTC string `json:"timestamp_utc"`
+	} `json:"meta"`
+	Results json.RawMessage `json:"results"`
+}
+
+// LoadRows parses a benchmark snapshot into its meta header and
+// comparable rows.
+func LoadRows(path string) (snapshotFile, []Row, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return snapshotFile{}, nil, err
+	}
+	var sf snapshotFile
+	if err := json.Unmarshal(buf, &sf); err != nil {
+		return snapshotFile{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if sf.Results == nil {
+		return snapshotFile{}, nil, fmt.Errorf("%s: no results block (not a BENCH_*.json snapshot?)", path)
+	}
+	rows, err := extractRows(sf)
+	if err != nil {
+		return snapshotFile{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sf, rows, nil
+}
+
+// extractRows flattens the mode-specific results schema into rows.
+func extractRows(sf snapshotFile) ([]Row, error) {
+	if sf.Meta.Mode == "matrix" {
+		var res struct {
+			Cells []map[string]any `json:"cells"`
+		}
+		if err := json.Unmarshal(sf.Results, &res); err != nil {
+			return nil, err
+		}
+		if len(res.Cells) == 0 {
+			return nil, fmt.Errorf("matrix snapshot with no cells")
+		}
+		rows := make([]Row, 0, len(res.Cells))
+		for _, c := range res.Cells {
+			key, _ := c["key"].(string)
+			if key == "" {
+				return nil, fmt.Errorf("matrix cell without a key")
+			}
+			rows = append(rows, rowFromMap(key, c))
+		}
+		return rows, nil
+	}
+	// wire/shard (and future single-result modes): one row keyed by
+	// mode/store so cross-mode files never silently cross-match.
+	var m map[string]any
+	if err := json.Unmarshal(sf.Results, &m); err != nil {
+		return nil, err
+	}
+	return []Row{rowFromMap(sf.Meta.Mode+"/"+sf.Meta.Store, m)}, nil
+}
+
+// rowFromMap pulls the known metrics out of one results object. The live
+// cost fields come from the embedded obs cost block when present (matrix
+// cells, wire snapshots) or the flat fleet fields (shard snapshots).
+func rowFromMap(key string, m map[string]any) Row {
+	met := make(map[string]float64)
+	pick := func(src map[string]any, name, as string) {
+		if v, ok := src[name].(float64); ok {
+			met[as] = v
+		}
+	}
+	pick(m, "ops_per_sec", "ops_per_sec")
+	pick(m, "p99_us", "p99_us")
+	pick(m, "errors", "errors")
+	pick(m, "shed", "shed")
+	if c, ok := m["cost"].(map[string]any); ok {
+		pick(c, "dollar_per_mop", "dollar_per_mop")
+	} else {
+		pick(m, "dollar_per_mop", "dollar_per_mop")
+		pick(m, "fleet_dollar_per_mop", "dollar_per_mop")
+	}
+	return Row{Key: key, Metrics: met}
+}

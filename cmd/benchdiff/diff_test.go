@@ -1,0 +1,204 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func row(key string, metrics map[string]float64) Row {
+	return Row{Key: key, Metrics: metrics}
+}
+
+func TestDiffMatchedMissingAdded(t *testing.T) {
+	old := []Row{
+		row("a/lsm/c8", map[string]float64{"ops_per_sec": 100}),
+		row("b/lsm/c8", map[string]float64{"ops_per_sec": 100}),
+		row("gone/lsm/c8", map[string]float64{"ops_per_sec": 100}),
+	}
+	new := []Row{
+		row("a/lsm/c8", map[string]float64{"ops_per_sec": 100}),
+		row("b/lsm/c8", map[string]float64{"ops_per_sec": 100}),
+		row("fresh/lsm/c8", map[string]float64{"ops_per_sec": 100}),
+	}
+	rep := Diff(old, new, DefaultThresholds())
+	if len(rep.Matched) != 2 {
+		t.Errorf("Matched = %v, want 2 rows", rep.Matched)
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "gone/lsm/c8" {
+		t.Errorf("Missing = %v, want [gone/lsm/c8]", rep.Missing)
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "fresh/lsm/c8" {
+		t.Errorf("Added = %v, want [fresh/lsm/c8]", rep.Added)
+	}
+	if rep.Breaches != 0 {
+		t.Errorf("identical metrics produced %d breaches", rep.Breaches)
+	}
+}
+
+// TestThresholdBoundary pins the contract: a change of exactly the
+// threshold passes, one tick beyond breaches.
+func TestThresholdBoundary(t *testing.T) {
+	th := Thresholds{Throughput: 0.10, Latency: 0.25, Cost: 0.10, CountSlack: 2}
+	cases := []struct {
+		name   string
+		metric string
+		old    float64
+		new    float64
+		breach bool
+	}{
+		{"throughput exactly -10%", "ops_per_sec", 1000, 900, false},
+		{"throughput just beyond", "ops_per_sec", 1000, 899, true},
+		{"throughput improves", "ops_per_sec", 1000, 2000, false},
+		{"throughput zero baseline", "ops_per_sec", 0, 0, false},
+		{"latency exactly +25%", "p99_us", 100, 125, false},
+		{"latency just beyond", "p99_us", 100, 126, true},
+		{"latency improves", "p99_us", 100, 10, false},
+		{"cost exactly +10%", "dollar_per_mop", 0.5, 0.55, false},
+		{"cost well beyond", "dollar_per_mop", 0.5, 0.6, true},
+		{"cost zero baseline never breaches", "dollar_per_mop", 0, 5, false},
+		{"errors within slack", "errors", 0, 2, false},
+		{"errors beyond slack", "errors", 0, 3, true},
+		{"errors shrink", "errors", 5, 0, false},
+		{"shed beyond slack", "shed", 1, 4, true},
+	}
+	for _, tc := range cases {
+		rep := Diff(
+			[]Row{row("k", map[string]float64{tc.metric: tc.old})},
+			[]Row{row("k", map[string]float64{tc.metric: tc.new})},
+			th)
+		if got := rep.Breaches > 0; got != tc.breach {
+			t.Errorf("%s: breach = %v, want %v (old=%v new=%v)", tc.name, got, tc.breach, tc.old, tc.new)
+		}
+	}
+}
+
+func TestDiffSkipsMetricsMissingOnEitherSide(t *testing.T) {
+	rep := Diff(
+		[]Row{row("k", map[string]float64{"ops_per_sec": 100, "p99_us": 50})},
+		[]Row{row("k", map[string]float64{"ops_per_sec": 100})},
+		DefaultThresholds())
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Metric != "ops_per_sec" {
+		t.Fatalf("Deltas = %+v, want only ops_per_sec compared", rep.Deltas)
+	}
+}
+
+func TestInjectRegression(t *testing.T) {
+	rows := []Row{row("k", map[string]float64{
+		"ops_per_sec": 1000, "p99_us": 100, "dollar_per_mop": 0.5,
+		"errors": 4, "unknown_metric": 7,
+	})}
+	InjectRegression(rows, 0.5)
+	m := rows[0].Metrics
+	if m["ops_per_sec"] != 500 {
+		t.Errorf("throughput not degraded: %v", m["ops_per_sec"])
+	}
+	if m["p99_us"] != 150 || m["dollar_per_mop"] != 0.75 {
+		t.Errorf("latency/cost not inflated: p99=%v $/Mop=%v", m["p99_us"], m["dollar_per_mop"])
+	}
+	if m["errors"] != 4 {
+		t.Errorf("count metric should be left alone, got %v", m["errors"])
+	}
+	if m["unknown_metric"] != 7 {
+		t.Errorf("unknown metric should be left alone, got %v", m["unknown_metric"])
+	}
+	// The injected copy must actually fail the default gate.
+	clean := []Row{row("k", map[string]float64{"ops_per_sec": 1000, "p99_us": 100, "dollar_per_mop": 0.5})}
+	if rep := Diff(clean, rows[:1], DefaultThresholds()); rep.Breaches == 0 {
+		t.Error("injected regression did not breach the default thresholds")
+	}
+}
+
+const matrixJSON = `{
+  "meta": {"mode": "matrix", "store": "masstree,lsm", "git_commit": "abc", "timestamp_utc": "2026-08-08T00:00:00Z"},
+  "results": {
+    "cells": [
+      {"key": "hot-zipf/lsm/c8", "ops_per_sec": 1000, "p99_us": 80, "errors": 0, "shed": 2,
+       "cost": {"dollar_per_mop": 0.4, "breakeven_s": 300}},
+      {"key": "hot-zipf/masstree/c8", "ops_per_sec": 2000, "p99_us": 40, "errors": 0, "shed": 0,
+       "cost": {"dollar_per_mop": 0.2, "breakeven_s": 500}}
+    ]
+  }
+}`
+
+const wireJSON = `{
+  "meta": {"mode": "wire", "store": "masstree", "git_commit": "abc", "timestamp_utc": "2026-08-08T00:00:00Z"},
+  "results": {"ops_per_sec": 5000, "p99_us": 90, "errors": 1,
+              "cost": {"dollar_per_mop": 0.3}}
+}`
+
+const shardJSON = `{
+  "meta": {"mode": "shard", "store": "bwtree", "git_commit": "abc", "timestamp_utc": "2026-08-08T00:00:00Z"},
+  "results": {"ops_per_sec": 7000, "p99_us": 60, "fleet_dollar_per_mop": 0.9}
+}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRowsMatrix(t *testing.T) {
+	sf, rows, err := LoadRows(writeTemp(t, "m.json", matrixJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Meta.Mode != "matrix" {
+		t.Errorf("meta mode = %q", sf.Meta.Mode)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	r := rows[0]
+	if r.Key != "hot-zipf/lsm/c8" {
+		t.Errorf("key = %q", r.Key)
+	}
+	want := map[string]float64{"ops_per_sec": 1000, "p99_us": 80, "errors": 0, "shed": 2, "dollar_per_mop": 0.4}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Errorf("metric %s = %v, want %v", k, r.Metrics[k], v)
+		}
+	}
+}
+
+func TestLoadRowsSingleResultModes(t *testing.T) {
+	_, rows, err := LoadRows(writeTemp(t, "w.json", wireJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Key != "wire/masstree" {
+		t.Fatalf("wire rows = %+v, want one row keyed wire/masstree", rows)
+	}
+	if rows[0].Metrics["dollar_per_mop"] != 0.3 {
+		t.Errorf("wire nested cost not picked up: %v", rows[0].Metrics)
+	}
+
+	_, rows, err = LoadRows(writeTemp(t, "s.json", shardJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Key != "shard/bwtree" {
+		t.Fatalf("shard rows = %+v, want one row keyed shard/bwtree", rows)
+	}
+	if rows[0].Metrics["dollar_per_mop"] != 0.9 {
+		t.Errorf("shard fleet_dollar_per_mop not mapped: %v", rows[0].Metrics)
+	}
+}
+
+func TestLoadRowsRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadRows(writeTemp(t, "bad.json", `{"not": "a snapshot"}`)); err == nil {
+		t.Error("envelope without results accepted")
+	}
+	if _, _, err := LoadRows(writeTemp(t, "empty.json", `{"meta":{"mode":"matrix"},"results":{"cells":[]}}`)); err == nil {
+		t.Error("matrix snapshot with no cells accepted")
+	}
+	if _, _, err := LoadRows(writeTemp(t, "nokey.json", `{"meta":{"mode":"matrix"},"results":{"cells":[{"ops_per_sec":1}]}}`)); err == nil {
+		t.Error("matrix cell without key accepted")
+	}
+	if _, _, err := LoadRows(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("unreadable file accepted")
+	}
+}

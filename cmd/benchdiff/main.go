@@ -1,0 +1,150 @@
+// Command benchdiff compares two kvbench benchmark snapshots
+// (BENCH_*.json) and enforces regression thresholds, turning the repo's
+// persisted perf trajectory into a gate: "measurably faster" means this
+// tool, run against the previous snapshot, stays green.
+//
+// Usage:
+//
+//	benchdiff [flags] OLD.json NEW.json
+//
+//	benchdiff BENCH_matrix.json BENCH_matrix.new.json
+//	benchdiff -throughput 0.05 -latency 0.10 old.json new.json
+//	benchdiff -report-only BENCH_matrix.json BENCH_matrix.ci.json
+//	benchdiff -inject-regression 0.5 snap.json snap.json   # gate self-test
+//
+// Rows (matrix cells, or a wire/shard run's single result) are matched by
+// key; per-metric deltas are compared under per-class thresholds: allowed
+// fractional throughput drop (-throughput), p99 rise (-latency), $/op
+// rise (-cost), and absolute errors/shed rise (-error-slack). A change of
+// exactly the threshold passes; only strictly worse breaches.
+//
+// Exit code contract (the CI gate depends on it):
+//
+//	0  all matched rows within thresholds, no rows lost
+//	1  at least one regression beyond threshold, or a row the old
+//	   snapshot has is missing from the new one (coverage loss)
+//	2  usage error, unreadable file, or unrecognized snapshot schema
+//
+// -report-only relaxes the metric thresholds (deltas are printed, not
+// enforced) but still fails on missing rows: trajectory reporting may be
+// advisory across machines, scenario coverage is not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	def := DefaultThresholds()
+	throughput := fs.Float64("throughput", def.Throughput,
+		"allowed fractional ops/sec drop per row (0.10 = 10%)")
+	latency := fs.Float64("latency", def.Latency,
+		"allowed fractional p99 latency rise per row")
+	cost := fs.Float64("cost", def.Cost,
+		"allowed fractional $/op rise per row")
+	slack := fs.Float64("error-slack", def.CountSlack,
+		"allowed absolute rise in errors/shed counts per row")
+	reportOnly := fs.Bool("report-only", false,
+		"print deltas without enforcing metric thresholds (missing rows still fail)")
+	allowMissing := fs.Bool("allow-missing", false,
+		"tolerate rows the new snapshot dropped (scenario removed on purpose)")
+	inject := fs.Float64("inject-regression", 0,
+		"self-test: degrade the NEW snapshot's metrics by this fraction before diffing, proving the thresholds bite")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	oldSF, oldRows, err := LoadRows(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newSF, newRows, err := LoadRows(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if *inject > 0 {
+		InjectRegression(newRows, *inject)
+		fmt.Fprintf(stdout, "self-test: injected a %.0f%% regression into %s\n", 100**inject, fs.Arg(1))
+	}
+
+	th := Thresholds{Throughput: *throughput, Latency: *latency, Cost: *cost, CountSlack: *slack}
+	rep := Diff(oldRows, newRows, th)
+
+	fmt.Fprintf(stdout, "old: %s  (mode=%s commit=%.12s at %s)\n",
+		fs.Arg(0), oldSF.Meta.Mode, oldSF.Meta.GitCommit, oldSF.Meta.TimestampUTC)
+	fmt.Fprintf(stdout, "new: %s  (mode=%s commit=%.12s at %s)\n",
+		fs.Arg(1), newSF.Meta.Mode, newSF.Meta.GitCommit, newSF.Meta.TimestampUTC)
+	printDeltas(stdout, rep)
+	for _, k := range rep.Missing {
+		fmt.Fprintf(stdout, "  MISSING  %s (in old, not in new)\n", k)
+	}
+	for _, k := range rep.Added {
+		fmt.Fprintf(stdout, "  new row  %s\n", k)
+	}
+	fmt.Fprintf(stdout, "%d rows compared, %d regressions, %d missing, %d added\n",
+		len(rep.Matched), rep.Breaches, len(rep.Missing), len(rep.Added))
+
+	if len(rep.Missing) > 0 && !*allowMissing {
+		fmt.Fprintln(stderr, "benchdiff: FAIL (coverage: new snapshot lost rows)")
+		return 1
+	}
+	if rep.Breaches > 0 && !*reportOnly {
+		fmt.Fprintln(stderr, "benchdiff: FAIL (regression beyond threshold)")
+		return 1
+	}
+	return 0
+}
+
+// printDeltas renders one line per matched row with every compared
+// metric's old -> new movement, marking breaches.
+func printDeltas(w io.Writer, rep Report) {
+	byKey := make(map[string][]Delta)
+	for _, d := range rep.Deltas {
+		byKey[d.Key] = append(byKey[d.Key], d)
+	}
+	for _, key := range rep.Matched {
+		fmt.Fprintf(w, "  %-32s", key)
+		for _, d := range byKey[key] {
+			mark := ""
+			if d.Breach {
+				mark = " REGRESSION"
+			}
+			fmt.Fprintf(w, "  %s %s%s", d.Metric, movement(d.Old, d.New), mark)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// movement formats "old -> new (+x%)" compactly.
+func movement(old, new float64) string {
+	s := fmt.Sprintf("%s -> %s", compact(old), compact(new))
+	if old > 0 {
+		s += fmt.Sprintf(" (%+.1f%%)", 100*(new-old)/old)
+	}
+	return s
+}
+
+// compact trims trailing noise from float rendering.
+func compact(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The exit-code contract (0 pass / 1 regression or coverage loss /
+// 2 usage) is what scripts/check.sh's CHECK_MATRIX gate builds on; these
+// tests drive run() exactly the way the shell does.
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunIdentityDiffPasses(t *testing.T) {
+	p := writeTemp(t, "m.json", matrixJSON)
+	code, out, _ := runDiff(t, p, p)
+	if code != 0 {
+		t.Fatalf("identity diff exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "2 rows compared, 0 regressions") {
+		t.Errorf("summary line missing: %s", out)
+	}
+}
+
+func TestRunInjectedRegressionFails(t *testing.T) {
+	p := writeTemp(t, "m.json", matrixJSON)
+	code, out, errOut := runDiff(t, "-inject-regression", "0.5", p, p)
+	if code != 1 {
+		t.Fatalf("injected regression exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("report does not mark the regression: %s", out)
+	}
+	if !strings.Contains(errOut, "regression beyond threshold") {
+		t.Errorf("stderr verdict missing: %s", errOut)
+	}
+}
+
+func TestRunReportOnlyRelaxesMetricsNotCoverage(t *testing.T) {
+	p := writeTemp(t, "m.json", matrixJSON)
+	// Metric regressions: advisory under -report-only.
+	if code, out, _ := runDiff(t, "-report-only", "-inject-regression", "0.5", p, p); code != 0 {
+		t.Fatalf("-report-only metric regression exit = %d, want 0\n%s", code, out)
+	}
+	// Coverage loss: still fatal under -report-only.
+	one := writeTemp(t, "one.json", `{
+  "meta": {"mode": "matrix", "store": "lsm", "git_commit": "abc", "timestamp_utc": "t"},
+  "results": {"cells": [
+    {"key": "hot-zipf/lsm/c8", "ops_per_sec": 1000, "p99_us": 80, "errors": 0, "shed": 2,
+     "cost": {"dollar_per_mop": 0.4}}
+  ]}
+}`)
+	code, _, errOut := runDiff(t, "-report-only", p, one)
+	if code != 1 {
+		t.Fatalf("-report-only coverage loss exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "coverage") {
+		t.Errorf("stderr verdict missing: %s", errOut)
+	}
+	// -allow-missing tolerates it.
+	if code, _, _ := runDiff(t, "-allow-missing", p, one); code != 0 {
+		t.Fatalf("-allow-missing exit = %d, want 0", code)
+	}
+}
+
+func TestRunNewRowsAreInformational(t *testing.T) {
+	// Old snapshot has a subset; new snapshot grew a scenario. That is
+	// progress, not a regression.
+	sub := `{
+  "meta": {"mode": "matrix", "store": "lsm", "git_commit": "abc", "timestamp_utc": "t"},
+  "results": {"cells": [
+    {"key": "hot-zipf/lsm/c8", "ops_per_sec": 1000, "p99_us": 80, "errors": 0, "shed": 2,
+     "cost": {"dollar_per_mop": 0.4}}
+  ]}
+}`
+	code, out, _ := runDiff(t, writeTemp(t, "old.json", sub), writeTemp(t, "new.json", matrixJSON))
+	if code != 0 {
+		t.Fatalf("grown snapshot exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "new row  hot-zipf/masstree/c8") {
+		t.Errorf("added row not reported: %s", out)
+	}
+}
+
+func TestRunCustomThresholds(t *testing.T) {
+	oldJSON := `{
+  "meta": {"mode": "wire", "store": "m", "git_commit": "a", "timestamp_utc": "t"},
+  "results": {"ops_per_sec": 1000}
+}`
+	newJSON := strings.Replace(oldJSON, "1000", "930", 1) // 7% drop
+	oldP, newP := writeTemp(t, "o.json", oldJSON), writeTemp(t, "n.json", newJSON)
+	if code, _, _ := runDiff(t, oldP, newP); code != 0 {
+		t.Fatal("7% drop should pass the default 10% gate")
+	}
+	if code, _, _ := runDiff(t, "-throughput", "0.05", oldP, newP); code != 1 {
+		t.Fatal("7% drop should fail a 5% gate")
+	}
+	if code, _, _ := runDiff(t, "-throughput", "0.07", oldP, newP); code != 0 {
+		t.Fatal("exactly-at-threshold must pass")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	p := writeTemp(t, "m.json", matrixJSON)
+	if code, _, _ := runDiff(t); code != 2 {
+		t.Error("no args should exit 2")
+	}
+	if code, _, _ := runDiff(t, p); code != 2 {
+		t.Error("one arg should exit 2")
+	}
+	if code, _, _ := runDiff(t, "-bogus-flag", p, p); code != 2 {
+		t.Error("unknown flag should exit 2")
+	}
+	if code, _, _ := runDiff(t, writeTemp(t, "junk.json", "not json"), p); code != 2 {
+		t.Error("unparseable old file should exit 2")
+	}
+	if code, _, _ := runDiff(t, p, writeTemp(t, "junk2.json", `{"x":1}`)); code != 2 {
+		t.Error("schema-less new file should exit 2")
+	}
+}

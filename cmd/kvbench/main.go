@@ -35,6 +35,16 @@
 //
 //	kvbench -shards 4 -keys 50000 -ops 100000
 //	kvbench -shards 4 -migrate                       # cutover under load
+//
+// With -matrix the named scenario matrix (internal/workload.Scenarios)
+// runs scenario x store x concurrency cells through the engine front-end
+// and persists one BENCH_matrix.json: throughput, latency percentiles,
+// shed/error counts, and the live $/op + five-minute-rule breakeven per
+// cell. cmd/benchdiff compares two snapshots and enforces regression
+// thresholds — the repo's standing performance record:
+//
+//	kvbench -matrix all
+//	kvbench -matrix hot-zipf,scan-heavy -matrix-stores masstree,lsm,btree -matrix-conc 4,16
 package main
 
 import (
@@ -115,7 +125,33 @@ func main() {
 		"write the JSON benchmark snapshot here (\"auto\" = BENCH_<mode>.json, empty = skip)")
 	netLoss := flag.Float64("net-loss", 0,
 		"with -standby, drop/duplicate/reorder each shipped frame with this probability (seeded by -seed)")
+	matrixList := flag.String("matrix", "",
+		"run the named scenario matrix through the engine front-end and write BENCH_matrix.json: comma-separated scenario names, or \"all\" for the full built-in set (see internal/workload.Scenarios)")
+	matrixStores := flag.String("matrix-stores", "masstree,lsm",
+		"matrix mode: comma-separated stores forming the matrix columns")
+	matrixConc := flag.String("matrix-conc", "8",
+		"matrix mode: comma-separated worker counts; each adds a grid dimension")
 	flag.Parse()
+
+	if *matrixList != "" {
+		// Matrix cells are many small runs: unless the user sized the run
+		// explicitly, use per-cell defaults far below the single-run ones.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		mk, mo := *keys, *ops
+		if !explicit["keys"] {
+			mk = 20000
+		}
+		if !explicit["ops"] {
+			mo = 30000
+		}
+		runMatrixMode(matrixModeConfig{
+			scenarios: *matrixList, stores: *matrixStores, concs: *matrixConc,
+			keys: mk, ops: mo, valueSize: *valueSize, pool: *pool, seed: *seed,
+			benchOut: *benchOut,
+		})
+		return
+	}
 
 	if *serveAddr != "" || *connectAddr != "" {
 		wcfg := wireModeConfig{
@@ -438,35 +474,7 @@ func runEngineMode(cfg engineModeConfig) {
 			tr.FoldMirror(mir.MirrorStats())
 		}
 	}
-	var es engine.Store
-	switch cfg.store {
-	case "bwtree":
-		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20,
-			Obs: regTracer(reg, "log")})
-		check(err)
-		tree, err := bwtree.New(bwtree.Config{Store: st, Obs: tr})
-		check(err)
-		tr.FoldRetries(&tree.Stats().Retry)
-		tr.FoldHealth(&tree.Stats().Health)
-		es = engine.WrapBwTree(tree)
-	case "masstree":
-		mt := masstree.New(nil)
-		mt.SetObs(tr)
-		es = engine.WrapMassTree(mt)
-	case "lsm":
-		tree, err := lsm.New(lsm.Config{Device: dev, Obs: tr})
-		check(err)
-		tr.FoldRetries(&tree.Stats().Retry)
-		tr.FoldHealth(&tree.Stats().Health)
-		es = engine.WrapLSM(tree)
-	case "btree":
-		tree, err := btree.New(btree.Config{Device: dev, PoolPages: cfg.pool, Obs: tr})
-		check(err)
-		es = engine.WrapBTree(tree)
-	default:
-		fmt.Fprintf(os.Stderr, "kvbench: unknown store %q\n", cfg.store)
-		os.Exit(2)
-	}
+	es := buildEngineStore(cfg.store, cfg.pool, dev, reg, tr)
 
 	// Load sequentially and clean, as in direct mode.
 	fmt.Printf("loading %d keys into %s...\n", cfg.keys, cfg.store)
@@ -507,14 +515,84 @@ func runEngineMode(cfg engineModeConfig) {
 	}
 	fmt.Println("...")
 
-	var (
-		latency                          metrics.Histogram // client-observed, microseconds
-		completed, shed, timeouts, fails metrics.Counter
-		opCh                             = make(chan workload.Op)
-		wg                               sync.WaitGroup
-	)
+	rs := driveEngine(eng, ops, cfg.concurrency)
+
+	st := eng.Stats()
+	lat := rs.latency.Snapshot()
+	fmt.Println("\nresults (engine mode, wall-clock):")
+	fmt.Printf("  elapsed: %v  (%.0f ops/sec)\n", rs.elapsed.Round(time.Microsecond),
+		float64(len(ops))/rs.elapsed.Seconds())
+	fmt.Printf("  completed=%d shed=%d timeouts=%d errors=%d\n",
+		rs.completed.Value(), rs.shed.Value(), rs.timeouts.Value(), rs.fails.Value())
+	fmt.Printf("  latency (us): p50=%.0f p95=%.0f p99=%.0f max=%.0f\n", lat.P50, lat.P95, lat.P99, lat.Max)
+	qw := st.WaitMicros.Snapshot()
+	if qw.Count > 0 {
+		fmt.Printf("  queue wait (us): n=%d p50=%.0f p95=%.0f p99=%.0f peak depth=%d\n",
+			qw.Count, qw.P50, qw.P95, qw.P99, st.QueuePeak.Value())
+	}
+	fmt.Printf("  engine: %s\n", st.String())
+	fmt.Printf("  device: %s\n", dev.Stats().String())
+	if mir != nil {
+		fmt.Printf("  mirror: %s\n", mir.MirrorStats().String())
+	}
+	printObsTable(reg)
+	check(eng.Close())
+}
+
+// buildEngineStore constructs the named store on dev behind the engine
+// front-end's Store interface, wiring tr (nil-safe, nil = tracing off)
+// into the store and, for bwtree, a "log" tracer into its logstore.
+// Engine, wire, and matrix modes all build their backends here.
+func buildEngineStore(name string, pool int, dev ssd.Dev, reg *obs.Registry, tr *obs.Tracer) engine.Store {
+	switch name {
+	case "bwtree":
+		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20,
+			Obs: regTracer(reg, "log")})
+		check(err)
+		tree, err := bwtree.New(bwtree.Config{Store: st, Obs: tr})
+		check(err)
+		tr.FoldRetries(&tree.Stats().Retry)
+		tr.FoldHealth(&tree.Stats().Health)
+		return engine.WrapBwTree(tree)
+	case "masstree":
+		mt := masstree.New(nil)
+		mt.SetObs(tr)
+		return engine.WrapMassTree(mt)
+	case "lsm":
+		tree, err := lsm.New(lsm.Config{Device: dev, Obs: tr})
+		check(err)
+		tr.FoldRetries(&tree.Stats().Retry)
+		tr.FoldHealth(&tree.Stats().Health)
+		return engine.WrapLSM(tree)
+	case "btree":
+		tree, err := btree.New(btree.Config{Device: dev, PoolPages: pool, Obs: tr})
+		check(err)
+		return engine.WrapBTree(tree)
+	default:
+		fmt.Fprintf(os.Stderr, "kvbench: unknown store %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}
+
+// engineRunStats is a worker-pool run's client-side measurement: per-op
+// wall-clock latency and outcome classification.
+type engineRunStats struct {
+	latency                          metrics.Histogram // microseconds
+	completed, shed, timeouts, fails metrics.Counter
+	elapsed                          time.Duration
+}
+
+// driveEngine pushes ops through eng with the given number of worker
+// goroutines, timing every op and classifying its outcome. Engine mode
+// and matrix mode share this loop so their numbers are comparable.
+func driveEngine(eng *engine.Engine, ops []workload.Op, workers int) *engineRunStats {
+	rs := &engineRunStats{}
+	bg := context.Background()
+	opCh := make(chan workload.Op)
+	var wg sync.WaitGroup
 	start := time.Now()
-	for w := 0; w < cfg.concurrency; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -531,16 +609,16 @@ func runEngineMode(cfg engineModeConfig) {
 				case workload.OpDelete:
 					err = eng.Delete(bg, op.Key)
 				}
-				latency.Observe(float64(time.Since(t0).Microseconds()))
+				rs.latency.Observe(float64(time.Since(t0).Microseconds()))
 				switch {
 				case err == nil:
-					completed.Inc()
+					rs.completed.Inc()
 				case errors.Is(err, engine.ErrOverload):
-					shed.Inc()
+					rs.shed.Inc()
 				case errors.Is(err, context.DeadlineExceeded):
-					timeouts.Inc()
+					rs.timeouts.Inc()
 				default:
-					fails.Inc()
+					rs.fails.Inc()
 				}
 			}
 		}()
@@ -550,28 +628,8 @@ func runEngineMode(cfg engineModeConfig) {
 	}
 	close(opCh)
 	wg.Wait()
-	elapsed := time.Since(start)
-
-	st := eng.Stats()
-	lat := latency.Snapshot()
-	fmt.Println("\nresults (engine mode, wall-clock):")
-	fmt.Printf("  elapsed: %v  (%.0f ops/sec)\n", elapsed.Round(time.Microsecond),
-		float64(len(ops))/elapsed.Seconds())
-	fmt.Printf("  completed=%d shed=%d timeouts=%d errors=%d\n",
-		completed.Value(), shed.Value(), timeouts.Value(), fails.Value())
-	fmt.Printf("  latency (us): p50=%.0f p95=%.0f p99=%.0f max=%.0f\n", lat.P50, lat.P95, lat.P99, lat.Max)
-	qw := st.WaitMicros.Snapshot()
-	if qw.Count > 0 {
-		fmt.Printf("  queue wait (us): n=%d p50=%.0f p95=%.0f p99=%.0f peak depth=%d\n",
-			qw.Count, qw.P50, qw.P95, qw.P99, st.QueuePeak.Value())
-	}
-	fmt.Printf("  engine: %s\n", st.String())
-	fmt.Printf("  device: %s\n", dev.Stats().String())
-	if mir != nil {
-		fmt.Printf("  mirror: %s\n", mir.MirrorStats().String())
-	}
-	printObsTable(reg)
-	check(eng.Close())
+	rs.elapsed = time.Since(start)
+	return rs
 }
 
 // collectOps materialises the op stream so workers can consume it

@@ -51,8 +51,11 @@ type shardBenchSnapshot struct {
 
 	Migration *shardMigrationResult `json:"migration,omitempty"`
 
-	// Fleet-level $/op (ops-weighted across shards) plus attribution rows.
+	// Fleet-level $/op and five-minute-rule breakeven (both ops-weighted
+	// across shards) plus attribution rows — the same live cost fields
+	// the matrix and wire snapshots carry, so all BENCH files compare.
 	FleetDollarPerMop float64        `json:"fleet_dollar_per_mop"`
+	FleetBreakevenSec float64        `json:"fleet_breakeven_s"`
 	FleetOps          int64          `json:"fleet_ops"`
 	PerShard          []shardCostRow `json:"per_shard"`
 }
@@ -72,6 +75,7 @@ type shardCostRow struct {
 	DeviceReads  int64   `json:"device_reads"`
 	DeviceWrites int64   `json:"device_writes"`
 	DollarPerMop float64 `json:"dollar_per_mop"`
+	BreakevenSec float64 `json:"breakeven_s"`
 }
 
 // runShardMode partitions the keyspace across cfg.shards fault domains
@@ -200,6 +204,7 @@ func runShardMode(cfg shardModeConfig) {
 		FleetDollarPerMop: 1e6 * fleet.DollarPerOp,
 		FleetOps:          fleet.Ops,
 	}
+	var beWeighted float64
 	for _, s := range fleet.PerShard {
 		row := shardCostRow{
 			Store: s.Store, Ops: s.Ops, Errors: s.Errors, Shed: s.Shed,
@@ -207,8 +212,13 @@ func runShardMode(cfg shardModeConfig) {
 		}
 		if s.Ops > 0 {
 			row.DollarPerMop = 1e6 * s.DollarPerOp(base)
+			row.BreakevenSec = s.BreakevenInterval(base)
+			beWeighted += float64(s.Ops) * row.BreakevenSec
 		}
 		snap.PerShard = append(snap.PerShard, row)
+	}
+	if fleet.Ops > 0 {
+		snap.FleetBreakevenSec = beWeighted / float64(fleet.Ops)
 	}
 
 	fmt.Println("\nresults (shard mode, wall-clock):")

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"costperf/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestBuildMetaCompleteness(t *testing.T) {
+	cfg := map[string]any{"keys": uint64(100), "ops": 200}
+	m := buildMeta("matrix", "masstree,lsm", cfg)
+
+	if m.Mode != "matrix" || m.Store != "masstree,lsm" {
+		t.Fatalf("mode/store not carried: %+v", m)
+	}
+	if m.GoVersion == "" {
+		t.Error("meta missing go version")
+	}
+	if m.GitCommit == "" {
+		t.Error("meta git commit empty (want a revision or \"unknown\")")
+	}
+	ts, err := time.Parse(time.RFC3339, m.TimestampUTC)
+	if err != nil {
+		t.Fatalf("timestamp %q is not RFC3339: %v", m.TimestampUTC, err)
+	}
+	if ts.Location() != time.UTC {
+		t.Errorf("timestamp %q not UTC", m.TimestampUTC)
+	}
+	if m.Config["ops"] != 200 {
+		t.Errorf("config not carried: %+v", m.Config)
+	}
+}
+
+func TestBenchOutPath(t *testing.T) {
+	cases := []struct{ flagVal, mode, want string }{
+		{"auto", "matrix", "BENCH_matrix.json"},
+		{"auto", "wire", "BENCH_wire.json"},
+		{"", "matrix", ""},
+		{"/tmp/out.json", "shard", "/tmp/out.json"},
+	}
+	for _, tc := range cases {
+		if got := benchOutPath(tc.flagVal, tc.mode); got != tc.want {
+			t.Errorf("benchOutPath(%q, %q) = %q, want %q", tc.flagVal, tc.mode, got, tc.want)
+		}
+	}
+}
+
+func TestWriteBenchSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	results := matrixBenchResults{Cells: []matrixCell{{
+		Key: "hot-zipf/lsm/c8", Scenario: "hot-zipf", Store: "lsm", Concurrency: 8,
+		Ops: 1000, OpsPerSec: 12345.6, P99Micros: 250,
+		Cost: obs.SnapshotExport{Store: "lsm", Ops: 1000, DollarPerMop: 0.5, BreakevenSec: 300},
+	}}}
+	writeBenchSnapshot(path, "matrix", "lsm", map[string]any{"seed": int64(1)}, results)
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf, []byte("}\n")) {
+		t.Error("snapshot missing trailing newline")
+	}
+	if !bytes.Contains(buf, []byte("\n  \"meta\"")) {
+		t.Error("snapshot not two-space indented")
+	}
+
+	var sf struct {
+		Meta    benchMeta `json:"meta"`
+		Results struct {
+			Cells []matrixCell `json:"cells"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &sf); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if sf.Meta.Mode != "matrix" || sf.Meta.Store != "lsm" {
+		t.Fatalf("meta mangled: %+v", sf.Meta)
+	}
+	if len(sf.Results.Cells) != 1 || sf.Results.Cells[0].Key != "hot-zipf/lsm/c8" {
+		t.Fatalf("results mangled: %+v", sf.Results)
+	}
+	if sf.Results.Cells[0].Cost.BreakevenSec != 300 {
+		t.Fatalf("nested cost block mangled: %+v", sf.Results.Cells[0].Cost)
+	}
+
+	// writeBenchSnapshot with an empty path is a no-op, not an error.
+	writeBenchSnapshot("", "matrix", "lsm", nil, results)
+}
+
+// TestSnapshotGolden pins the exact on-disk shape of a matrix snapshot —
+// field names, nesting, indentation — with a fixed meta header so the
+// bytes are stable. cmd/benchdiff and external tooling parse this format;
+// run with -update after an intentional schema change.
+func TestSnapshotGolden(t *testing.T) {
+	snap := benchSnapshot{
+		Meta: benchMeta{
+			GitCommit:    "0123456789abcdef0123456789abcdef01234567",
+			TimestampUTC: "2026-08-08T00:00:00Z",
+			GoVersion:    "go1.X",
+			Mode:         "matrix",
+			Store:        "masstree,lsm",
+			Config: map[string]any{
+				"concurrency": []int{8},
+				"keys":        20000,
+				"ops":         30000,
+				"scenarios":   []string{"hot-zipf", "scan-heavy"},
+				"seed":        1,
+			},
+		},
+		Results: matrixBenchResults{
+			Cells: []matrixCell{
+				{
+					Key: "hot-zipf/masstree/c8", Scenario: "hot-zipf", Store: "masstree", Concurrency: 8,
+					Ops: 30000, ElapsedMS: 120.5, OpsPerSec: 248962.66,
+					P50Micros: 12, P95Micros: 40, P99Micros: 85, MaxMicros: 900,
+					Completed: 30000,
+					Cost: obs.SnapshotExport{
+						Store: "masstree", Ops: 30000, F: 0.02, R: 4.1,
+						ROPS: 1.2e6, IOPS: 820.4,
+						P50Micros: 12, P95Micros: 40, P99Micros: 85,
+						DeviceReads: 120, DeviceWrites: 45,
+						DollarPerMop: 0.0875, BreakevenSec: 281.4,
+					},
+				},
+				{
+					Key: "scan-heavy/lsm/c8", Scenario: "scan-heavy", Store: "lsm", Concurrency: 8,
+					Ops: 30000, ElapsedMS: 310.2, OpsPerSec: 96712.44,
+					P50Micros: 30, P95Micros: 120, P99Micros: 410, MaxMicros: 2200,
+					Completed: 29990, Shed: 10,
+					Cost: obs.SnapshotExport{
+						Store: "lsm", Ops: 30000, Shed: 10, F: 0.31, R: 9.7,
+						ROPS: 4.4e5, IOPS: 30210.9,
+						P50Micros: 30, P95Micros: 120, P99Micros: 410,
+						DeviceReads: 9300, DeviceWrites: 71,
+						DollarPerMop: 0.412, BreakevenSec: 95.2,
+					},
+				},
+			},
+		},
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(buf, '\n')
+
+	golden := filepath.Join("testdata", "matrix_snapshot.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./cmd/kvbench -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("snapshot bytes drifted from golden file %s\n--- got ---\n%s", golden, diffFirstLine(got, want))
+	}
+}
+
+// diffFirstLine points at the first line where two byte slices diverge.
+func diffFirstLine(got, want []byte) string {
+	gl, wl := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			return fmt.Sprintf("line %d: got %q want %q", i+1, gl[i], wl[i])
+		}
+	}
+	return "length differs"
+}

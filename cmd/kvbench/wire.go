@@ -15,13 +15,10 @@ import (
 	"syscall"
 	"time"
 
-	"costperf/internal/btree"
-	"costperf/internal/bwtree"
+	"costperf/internal/core"
 	"costperf/internal/engine"
-	"costperf/internal/llama/logstore"
-	"costperf/internal/lsm"
-	"costperf/internal/masstree"
 	"costperf/internal/metrics"
+	"costperf/internal/obs"
 	"costperf/internal/ssd"
 	"costperf/internal/wire"
 	"costperf/internal/workload"
@@ -50,53 +47,40 @@ type wireModeConfig struct {
 
 // newWireEngine builds the chosen store behind the engine front-end, the
 // backend both wire modes serve. The device runs clean: wire mode measures
-// the connection path, not injected device faults.
-func newWireEngine(cfg wireModeConfig) *engine.Engine {
+// the connection path, not injected device faults. The store is traced
+// (internal/obs) so the persisted snapshot carries the live $/op and
+// breakeven the matrix snapshots get — one comparable schema.
+func newWireEngine(cfg wireModeConfig) (*engine.Engine, *obs.Registry) {
 	dev := ssd.New(ssd.Config{Name: "dev", MaxIOPS: 1e6, LatencySec: 20e-6})
-	var es engine.Store
-	switch cfg.store {
-	case "bwtree":
-		st, err := logstore.Open(logstore.Config{Device: dev, BufferBytes: 1 << 20, SegmentBytes: 4 << 20})
-		check(err)
-		tree, err := bwtree.New(bwtree.Config{Store: st})
-		check(err)
-		es = engine.WrapBwTree(tree)
-	case "masstree":
-		es = engine.WrapMassTree(masstree.New(nil))
-	case "lsm":
-		tree, err := lsm.New(lsm.Config{Device: dev})
-		check(err)
-		es = engine.WrapLSM(tree)
-	case "btree":
-		tree, err := btree.New(btree.Config{Device: dev, PoolPages: cfg.pool})
-		check(err)
-		es = engine.WrapBTree(tree)
-	default:
-		fmt.Fprintf(os.Stderr, "kvbench: unknown store %q\n", cfg.store)
-		os.Exit(2)
-	}
+	reg := obs.NewRegistry()
+	tr := reg.Tracer(cfg.store)
+	dev.SetObserver(tr)
+	es := buildEngineStore(cfg.store, cfg.pool, dev, reg, tr)
 
 	fmt.Printf("loading %d keys into %s...\n", cfg.keys, cfg.store)
 	bg := context.Background()
 	for i := uint64(0); i < cfg.keys; i++ {
 		check(es.Put(bg, workload.Key(i), workload.ValueFor(i, cfg.valueSize)))
 	}
+	dev.Stats().Reset()
+	reg.ResetAll() // measure the served run, not the load
 
 	eng, err := engine.New(engine.Config{
 		Store:          es,
 		MaxConcurrent:  cfg.concurrency,
 		MaxQueue:       cfg.queue,
 		DefaultTimeout: cfg.deadline,
+		Obs:            regTracer(reg, "engine"),
 	})
 	check(err)
-	return eng
+	return eng, reg
 }
 
 // runWireServe listens on cfg.addr and serves the store until SIGINT/TERM,
 // then drains gracefully: in-flight requests finish and ack before the
 // connections close.
 func runWireServe(cfg wireModeConfig) {
-	eng := newWireEngine(cfg)
+	eng, _ := newWireEngine(cfg)
 	srv, err := wire.NewServer(wire.ServerConfig{Backend: eng, MaxInFlight: cfg.pipeline})
 	check(err)
 	l, err := net.Listen("tcp", cfg.addr)
@@ -149,6 +133,12 @@ type wireBenchSnapshot struct {
 	AttemptTimeouts int64 `json:"attempt_timeouts"`
 
 	Server *wireServerSnapshot `json:"server,omitempty"`
+
+	// Cost is the backing store's traced CostSnapshot priced at paper
+	// rates — present when the server ran in-process (-connect self),
+	// absent against a remote server whose device we cannot observe.
+	// Shared with the matrix and shard snapshots (internal/obs).
+	Cost *obs.SnapshotExport `json:"cost,omitempty"`
 }
 
 // wireServerSnapshot is attached when the server runs in-process
@@ -170,8 +160,9 @@ func runWireLoad(cfg wireModeConfig) {
 	addr := cfg.addr
 	var srv *wire.Server
 	var eng *engine.Engine
+	var reg *obs.Registry
 	if addr == "self" {
-		eng = newWireEngine(cfg)
+		eng, reg = newWireEngine(cfg)
 		var err error
 		srv, err = wire.NewServer(wire.ServerConfig{Backend: eng, MaxInFlight: cfg.pipeline})
 		check(err)
@@ -276,6 +267,8 @@ func runWireLoad(cfg wireModeConfig) {
 			DedupHits: st.DedupHits.Value(), Evicted: st.Evicted.Value(),
 			BadFrames: st.BadFrames.Value(), InFlightPeak: st.InFlightPeak.Value(),
 		}
+		cost := reg.Tracer(cfg.store).Snapshot().Export(core.PaperCosts())
+		snap.Cost = &cost
 		check(srv.Close())
 		check(eng.Close())
 	}
@@ -290,6 +283,10 @@ func runWireLoad(cfg wireModeConfig) {
 		fmt.Printf("  server: req=%d resp=%d dedup=%d evicted=%d bad=%d peak=%d\n",
 			snap.Server.Requests, snap.Server.Responses, snap.Server.DedupHits,
 			snap.Server.Evicted, snap.Server.BadFrames, snap.Server.InFlightPeak)
+	}
+	if snap.Cost != nil {
+		fmt.Printf("  cost: $/Mop=%.3f breakeven=%.0fs (F=%.4f R=%.1f)\n",
+			snap.Cost.DollarPerMop, snap.Cost.BreakevenSec, snap.Cost.F, snap.Cost.R)
 	}
 
 	writeBenchSnapshot(benchOutPath(cfg.benchOut, "wire"), "wire", cfg.store, map[string]any{

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"time"
+
+	"costperf/internal/core"
+)
+
+// SnapshotExport is the JSON-stable, comparable slice of a CostSnapshot
+// priced against a base cost model. Every BENCH_*.json kvbench emits
+// embeds this block (matrix cells one each, wire/shard one per run), so
+// cmd/benchdiff can compare $/op and breakeven across snapshots from
+// different modes and PRs without schema archaeology.
+type SnapshotExport struct {
+	Store    string `json:"store"`
+	Ops      int64  `json:"ops"`
+	Errors   int64  `json:"errors"`
+	Shed     int64  `json:"shed"`
+	Timeouts int64  `json:"timeouts"`
+
+	// Measured model inputs (paper Eq. 1-8): cache-miss fraction F,
+	// SS/MM latency ratio R, main-memory op rate ROPS, device IOPS.
+	F    float64 `json:"f"`
+	R    float64 `json:"r,omitempty"`
+	ROPS float64 `json:"rops,omitempty"`
+	IOPS float64 `json:"iops,omitempty"`
+
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	P99Micros float64 `json:"p99_us"`
+
+	DeviceReads  int64 `json:"device_reads"`
+	DeviceWrites int64 `json:"device_writes"`
+
+	// Redundancy configuration folded into the live model: mirrored
+	// stores pay two flash legs, replicated ones a standby's copy.
+	Mirrored   bool `json:"mirrored,omitempty"`
+	Replicated bool `json:"replicated,omitempty"`
+
+	// DollarPerMop is the live execution cost per million operations and
+	// BreakevenSec the live five-minute-rule breakeven, both from the
+	// measured inputs above substituted into the base model.
+	DollarPerMop float64 `json:"dollar_per_mop"`
+	BreakevenSec float64 `json:"breakeven_s"`
+}
+
+// Export prices the snapshot against base and returns its JSON-stable form.
+func (s CostSnapshot) Export(base core.Costs) SnapshotExport {
+	return SnapshotExport{
+		Store:    s.Store,
+		Ops:      s.Ops,
+		Errors:   s.Errors,
+		Shed:     s.Shed,
+		Timeouts: s.Timeouts,
+
+		F:    s.F,
+		R:    s.R,
+		ROPS: s.ROPS,
+		IOPS: s.IOPS,
+
+		P50Micros: micros(s.P50),
+		P95Micros: micros(s.P95),
+		P99Micros: micros(s.P99),
+
+		DeviceReads:  s.DeviceReads,
+		DeviceWrites: s.DeviceWrites,
+
+		Mirrored:   s.Mirrored,
+		Replicated: s.Replicated,
+
+		DollarPerMop: 1e6 * s.DollarPerOp(base),
+		BreakevenSec: s.BreakevenInterval(base),
+	}
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

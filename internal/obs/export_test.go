@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"costperf/internal/core"
+)
+
+func TestSnapshotExportFields(t *testing.T) {
+	s := CostSnapshot{
+		Store: "lsm", Ops: 1000, Errors: 3, Shed: 5, Timeouts: 2,
+		F: 0.25, R: 8, ROPS: 2e6, IOPS: 1500,
+		P50: 40 * time.Microsecond, P95: 90 * time.Microsecond, P99: 250 * time.Microsecond,
+		DeviceReads: 111, DeviceWrites: 222,
+		Mirrored: true,
+	}
+	base := core.PaperCosts()
+	e := s.Export(base)
+
+	if e.Store != "lsm" || e.Ops != 1000 || e.Errors != 3 || e.Shed != 5 || e.Timeouts != 2 {
+		t.Fatalf("operation counters mangled: %+v", e)
+	}
+	if e.F != 0.25 || e.R != 8 || e.ROPS != 2e6 || e.IOPS != 1500 {
+		t.Fatalf("model inputs mangled: %+v", e)
+	}
+	if e.P50Micros != 40 || e.P95Micros != 90 || e.P99Micros != 250 {
+		t.Fatalf("latency micros wrong: p50=%v p95=%v p99=%v", e.P50Micros, e.P95Micros, e.P99Micros)
+	}
+	if e.DeviceReads != 111 || e.DeviceWrites != 222 {
+		t.Fatalf("device counters mangled: %+v", e)
+	}
+	if !e.Mirrored || e.Replicated {
+		t.Fatalf("redundancy flags mangled: %+v", e)
+	}
+	if want := 1e6 * s.DollarPerOp(base); e.DollarPerMop != want {
+		t.Fatalf("DollarPerMop = %v, want %v", e.DollarPerMop, want)
+	}
+	if want := s.BreakevenInterval(base); e.BreakevenSec != want {
+		t.Fatalf("BreakevenSec = %v, want %v", e.BreakevenSec, want)
+	}
+}
+
+// The JSON field names are the cross-snapshot schema cmd/benchdiff keys
+// on; renaming one must fail here before it silently breaks the diff.
+func TestSnapshotExportJSONSchema(t *testing.T) {
+	e := CostSnapshot{Store: "x", Ops: 1}.Export(core.PaperCosts())
+	buf, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"store", "ops", "errors", "shed", "timeouts", "f",
+		"p50_us", "p95_us", "p99_us", "device_reads", "device_writes",
+		"dollar_per_mop", "breakeven_s",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("export JSON missing %q (keys: %v)", key, keysOf(m))
+		}
+	}
+}
+
+func keysOf(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

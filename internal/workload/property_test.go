@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property and fuzz coverage for the generator layer: the scenario matrix
+// (and every BENCH_matrix.json diff) rests on three invariants — same
+// seed means byte-identical op stream, mixes normalize from any
+// non-negative weights, and choosers never step outside the keyspace.
+
+// traceBytes serializes an op stream with the trace codec, giving a
+// byte-exact fingerprint of generator output.
+func traceBytes(t *testing.T, ops []Op) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := tw.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGeneratorDeterminismProperty(t *testing.T) {
+	prop := func(seed int64, keysRaw uint16, theta float64) bool {
+		keys := uint64(keysRaw%5000) + 2
+		theta = math.Mod(math.Abs(theta), 0.98) + 0.01 // (0,1)
+		gen := func() []Op {
+			g, err := NewGenerator(GeneratorConfig{
+				Keys: keys, ValueSize: 24,
+				Mix:     Mix{Read: 0.4, Update: 0.2, Insert: 0.2, Scan: 0.1, Delete: 0.1},
+				Chooser: NewZipfian(seed, theta), Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := make([]Op, 0, 500)
+			for i := 0; i < 500; i++ {
+				ops = append(ops, g.Next())
+			}
+			return ops
+		}
+		return bytes.Equal(traceBytes(t, gen()), traceBytes(t, gen()))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioDeterminismProperty(t *testing.T) {
+	prop := func(seed int64, pick uint8) bool {
+		scs := Scenarios()
+		sc := scs[int(pick)%len(scs)]
+		cfg := ScenarioConfig{Keys: 400, ValueSize: 16, Ops: 600, Seed: seed}
+		a, err := GenerateScenario(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateScenario(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Equal(traceBytes(t, a), traceBytes(t, b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixNormalizationProperty(t *testing.T) {
+	// Any non-negative weights with positive total normalize: generated
+	// op-kind frequencies track weight/total regardless of scale.
+	prop := func(r, u, i, bw uint8) bool {
+		mix := Mix{Read: float64(r), Update: float64(u), Insert: float64(i), BlindWrite: float64(bw)}
+		total := mix.total()
+		if total == 0 {
+			return mix.Validate() != nil // all-zero must be rejected
+		}
+		g, err := NewGenerator(GeneratorConfig{
+			Keys: 100, Mix: mix, Chooser: NewUniform(1), Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 4000
+		counts := map[OpKind]float64{}
+		for j := 0; j < n; j++ {
+			counts[g.Next().Kind]++
+		}
+		for kind, want := range map[OpKind]float64{
+			OpRead: float64(r), OpUpdate: float64(u),
+			OpInsert: float64(i), OpBlindWrite: float64(bw),
+		} {
+			if got, want := counts[kind]/n, want/total; math.Abs(got-want) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixZeroAndNegativeWeights(t *testing.T) {
+	if err := (Mix{}).Validate(); err == nil {
+		t.Error("zero mix accepted")
+	}
+	if err := (Mix{Read: -1, Update: 2}).Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	// Unnormalized weights are fine: 300/100 is 75%/25%.
+	g, err := NewGenerator(GeneratorConfig{
+		Keys: 10, Mix: Mix{Read: 300, Update: 100}, Chooser: NewUniform(1), Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("unnormalized mix rejected: %v", err)
+	}
+	reads := 0
+	for i := 0; i < 2000; i++ {
+		if g.Next().Kind == OpRead {
+			reads++
+		}
+	}
+	if f := float64(reads) / 2000; f < 0.70 || f > 0.80 {
+		t.Errorf("read fraction %.3f, want ~0.75 from 300:100 weights", f)
+	}
+}
+
+func TestZipfianBoundsProperty(t *testing.T) {
+	prop := func(seed int64, theta float64, nRaw uint32) bool {
+		theta = math.Mod(math.Abs(theta), 0.98) + 0.01 // (0,1)
+		n := uint64(nRaw%100000) + 1
+		z := NewZipfian(seed, theta)
+		for i := 0; i < 200; i++ {
+			if z.Next(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooserBoundsProperty(t *testing.T) {
+	// Every chooser kind, including rotated wrappers, stays inside [0, n)
+	// even while n grows between calls (inserts grow the keyspace).
+	specs := []DistSpec{
+		{Kind: "uniform"},
+		{Kind: "zipfian", Theta: 0.99},
+		{Kind: "hotcold", HotFrac: 0.05, HotProb: 0.95},
+		{Kind: "sequential"},
+		{Kind: "zipfian", Theta: 0.6, RotateFrac: 0.5},
+		{Kind: "hotcold", RotateFrac: 0.9},
+	}
+	prop := func(seed int64, nRaw uint16) bool {
+		// Modest keyspace: the zipfian chooser recomputes its zeta cache
+		// for every new n, and this property grows n on each call.
+		n := uint64(nRaw%2000) + 1
+		for _, d := range specs {
+			c, err := d.Chooser(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := n
+			for i := 0; i < 100; i++ {
+				if c.Next(m) >= m {
+					return false
+				}
+				m++ // grow like inserts do
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzZipfianBounds(f *testing.F) {
+	f.Add(int64(1), 0.99, uint32(1000))
+	f.Add(int64(-7), 0.5, uint32(1))
+	f.Add(int64(42), 0.01, uint32(2))
+	f.Fuzz(func(t *testing.T, seed int64, theta float64, n uint32) {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return
+		}
+		theta = math.Mod(math.Abs(theta), 0.98) + 0.01
+		keyspace := uint64(n%1000000) + 1
+		z := NewZipfian(seed, theta)
+		for i := 0; i < 64; i++ {
+			if k := z.Next(keyspace); k >= keyspace {
+				t.Fatalf("Next(%d) = %d out of range (theta=%v)", keyspace, k, theta)
+			}
+		}
+	})
+}
+
+func FuzzScenarioGen(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint16(50), uint8(0))
+	f.Add(int64(99), uint16(3), uint16(1), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, keys, ops uint16, pick uint8) {
+		scs := Scenarios()
+		sc := scs[int(pick)%len(scs)]
+		cfg := ScenarioConfig{
+			Keys: uint64(keys) + 1, ValueSize: 8, Ops: int(ops) + 1, Seed: seed,
+		}
+		got, err := GenerateScenario(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != cfg.Ops {
+			t.Fatalf("%s: %d ops, want %d", sc.Name, len(got), cfg.Ops)
+		}
+		// Keys must stay inside the (growing) keyspace: inserts extend it
+		// by at most one per op.
+		limit := cfg.Keys + uint64(cfg.Ops)
+		for _, op := range got {
+			if id := KeyID(op.Key); id >= limit {
+				t.Fatalf("%s: key %d outside keyspace bound %d", sc.Name, id, limit)
+			}
+		}
+	})
+}
+
+// Guard rand import: HotCold's hot-set boundary behaviour under extreme
+// rotation is covered above; this pins the uniform path's determinism.
+func TestUniformDeterministic(t *testing.T) {
+	a, b := NewUniform(5), NewUniform(5)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		n := uint64(r.Intn(1000) + 1)
+		if x, y := a.Next(n), b.Next(n); x != y {
+			t.Fatalf("uniform choosers with same seed diverged: %d vs %d", x, y)
+		}
+	}
+}

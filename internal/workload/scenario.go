@@ -1,0 +1,437 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+)
+
+// Scenarios are the named, composable workload shapes behind kvbench's
+// -matrix mode: every PR runs the same matrix, so the persisted
+// BENCH_matrix.json trajectory compares like with like. A scenario is a
+// sequence of phases (contiguous fractions of the run), each interleaving
+// one or more tenants — a (mix, distribution) pair — on the same store.
+// Everything is deterministic per seed and self-describing: the scenario
+// definition itself is embedded in the benchmark snapshot.
+
+// DistSpec is a declarative, JSON-stable description of a key-popularity
+// distribution. Unlike a live KeyChooser it can be embedded in scenario
+// definitions and benchmark snapshots; Chooser instantiates it.
+type DistSpec struct {
+	// Kind is "uniform", "zipfian", "hotcold", or "sequential".
+	Kind string `json:"kind"`
+	// Theta is the zipfian skew in (0,1); 0 means the YCSB default 0.99.
+	Theta float64 `json:"theta,omitempty"`
+	// HotFrac/HotProb parameterize hotcold; zero means the 0.1/0.9 default.
+	HotFrac float64 `json:"hot_frac,omitempty"`
+	HotProb float64 `json:"hot_prob,omitempty"`
+	// RotateFrac shifts every chosen key by this fraction of the keyspace
+	// (mod n). Phases that agree on Kind but differ in RotateFrac model a
+	// flash crowd: the popularity *shape* persists while the hot set moves.
+	RotateFrac float64 `json:"rotate_frac,omitempty"`
+}
+
+// Validate reports whether the spec describes a constructible chooser.
+func (d DistSpec) Validate() error {
+	switch d.Kind {
+	case "uniform", "sequential":
+	case "zipfian":
+		if d.Theta != 0 && (d.Theta <= 0 || d.Theta >= 1) {
+			return fmt.Errorf("workload: zipfian theta %v out of (0,1)", d.Theta)
+		}
+	case "hotcold":
+		if d.HotFrac < 0 || d.HotFrac > 1 {
+			return fmt.Errorf("workload: hotcold hotFrac %v out of [0,1]", d.HotFrac)
+		}
+		if d.HotProb < 0 || d.HotProb > 1 {
+			return fmt.Errorf("workload: hotcold hotProb %v out of [0,1]", d.HotProb)
+		}
+	default:
+		return fmt.Errorf("workload: unknown distribution kind %q", d.Kind)
+	}
+	if d.RotateFrac < 0 || d.RotateFrac >= 1 {
+		return fmt.Errorf("workload: rotateFrac %v out of [0,1)", d.RotateFrac)
+	}
+	return nil
+}
+
+// Chooser instantiates the spec with the given seed.
+func (d DistSpec) Chooser(seed int64) (KeyChooser, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	var c KeyChooser
+	switch d.Kind {
+	case "uniform":
+		c = NewUniform(seed)
+	case "zipfian":
+		theta := d.Theta
+		if theta == 0 {
+			theta = 0.99
+		}
+		c = NewZipfian(seed, theta)
+	case "hotcold":
+		hf, hp := d.HotFrac, d.HotProb
+		if hf == 0 && hp == 0 {
+			hf, hp = 0.1, 0.9
+		}
+		c = NewHotCold(seed, hf, hp)
+	case "sequential":
+		c = NewSequential()
+	}
+	if d.RotateFrac > 0 {
+		c = rotated{inner: c, frac: d.RotateFrac}
+	}
+	return c, nil
+}
+
+// String renders the spec compactly, e.g. "zipfian(0.99)+rot33%".
+func (d DistSpec) String() string {
+	var b strings.Builder
+	switch d.Kind {
+	case "zipfian":
+		theta := d.Theta
+		if theta == 0 {
+			theta = 0.99
+		}
+		fmt.Fprintf(&b, "zipfian(%.2f)", theta)
+	case "hotcold":
+		hf, hp := d.HotFrac, d.HotProb
+		if hf == 0 && hp == 0 {
+			hf, hp = 0.1, 0.9
+		}
+		fmt.Fprintf(&b, "hotcold(%.2f/%.2f)", hf, hp)
+	default:
+		b.WriteString(d.Kind)
+	}
+	if d.RotateFrac > 0 {
+		fmt.Fprintf(&b, "+rot%.0f%%", 100*d.RotateFrac)
+	}
+	return b.String()
+}
+
+// rotated shifts every chosen key by a fixed fraction of the keyspace.
+type rotated struct {
+	inner KeyChooser
+	frac  float64
+}
+
+// Next implements KeyChooser.
+func (r rotated) Next(n uint64) uint64 {
+	return (r.inner.Next(n) + uint64(float64(n)*r.frac)) % n
+}
+
+// Tenant is one (mix, distribution) pair sharing the store with the other
+// tenants of its phase; Weight is its share of the phase's operations.
+type Tenant struct {
+	Name   string   `json:"name"`
+	Weight float64  `json:"weight"`
+	Mix    Mix      `json:"mix"`
+	Dist   DistSpec `json:"dist"`
+}
+
+// Phase is a contiguous fraction of a scenario's operations.
+type Phase struct {
+	Name string `json:"name"`
+	// Frac is the phase's share of the run; phase fracs are normalized.
+	Frac    float64  `json:"frac"`
+	Tenants []Tenant `json:"tenants"`
+}
+
+// Scenario is a named workload shape: an ordered sequence of phases.
+type Scenario struct {
+	Name   string  `json:"name"`
+	Desc   string  `json:"desc"`
+	Phases []Phase `json:"phases"`
+}
+
+// Validate checks the scenario is runnable.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: scenario without a name")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("workload: scenario %q has no phases", s.Name)
+	}
+	var frac float64
+	for _, p := range s.Phases {
+		if p.Frac <= 0 {
+			return fmt.Errorf("workload: scenario %q phase %q frac %v <= 0", s.Name, p.Name, p.Frac)
+		}
+		frac += p.Frac
+		if len(p.Tenants) == 0 {
+			return fmt.Errorf("workload: scenario %q phase %q has no tenants", s.Name, p.Name)
+		}
+		var w float64
+		for _, tn := range p.Tenants {
+			if tn.Weight <= 0 {
+				return fmt.Errorf("workload: scenario %q tenant %q weight %v <= 0", s.Name, tn.Name, tn.Weight)
+			}
+			w += tn.Weight
+			if err := tn.Mix.Validate(); err != nil {
+				return fmt.Errorf("scenario %q tenant %q: %w", s.Name, tn.Name, err)
+			}
+			if err := tn.Dist.Validate(); err != nil {
+				return fmt.Errorf("scenario %q tenant %q: %w", s.Name, tn.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Describe renders a one-line, self-describing summary of the scenario.
+func (s Scenario) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Name)
+	for i, p := range s.Phases {
+		if i > 0 {
+			b.WriteString(" |")
+		}
+		fmt.Fprintf(&b, " %s[", p.Name)
+		for j, tn := range p.Tenants {
+			if j > 0 {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%s/%s", tn.Name, tn.Dist)
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// ScenarioConfig sizes a scenario run.
+type ScenarioConfig struct {
+	// Keys is the initial keyspace size (records 0..Keys-1 assumed loaded).
+	Keys uint64
+	// ValueSize is the payload size for generated writes.
+	ValueSize int
+	// Ops is the total operation count across all phases.
+	Ops int
+	// Seed drives every random choice; same seed, same op stream.
+	Seed int64
+}
+
+// ScenarioGen generates a scenario's operation stream: phase by phase, each
+// op drawn from a deterministically chosen tenant's generator. The whole
+// stream is a pure function of (scenario, config) — kvbench relies on this
+// so every store in a matrix column sees the identical workload.
+type ScenarioGen struct {
+	total   int
+	emitted int
+	cur     int
+	phases  []genPhase
+}
+
+type genPhase struct {
+	ops  int // ops allotted to this phase
+	done int
+	rng  *rand.Rand // tenant selection
+	cum  []float64  // cumulative normalized tenant weights
+	gens []*Generator
+}
+
+// deriveSeed mixes the run seed with a stable hash of the location parts,
+// so each phase/tenant generator gets an independent but reproducible
+// stream regardless of how other phases evolve.
+func deriveSeed(seed int64, parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return seed ^ int64(h.Sum64())
+}
+
+// NewScenarioGen validates and instantiates the scenario.
+func NewScenarioGen(s Scenario, cfg ScenarioConfig) (*ScenarioGen, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ops <= 0 {
+		return nil, fmt.Errorf("workload: scenario %q with %d ops", s.Name, cfg.Ops)
+	}
+	if cfg.Keys == 0 {
+		return nil, fmt.Errorf("workload: scenario %q with zero keyspace", s.Name)
+	}
+	var totalFrac float64
+	for _, p := range s.Phases {
+		totalFrac += p.Frac
+	}
+	g := &ScenarioGen{total: cfg.Ops}
+	allotted := 0
+	for i, p := range s.Phases {
+		gp := genPhase{
+			ops: int(float64(cfg.Ops) * p.Frac / totalFrac),
+			rng: rand.New(rand.NewSource(deriveSeed(cfg.Seed, s.Name, p.Name, fmt.Sprint(i)))),
+		}
+		if i == len(s.Phases)-1 {
+			gp.ops = cfg.Ops - allotted // rounding remainder lands in the tail
+		}
+		allotted += gp.ops
+		var wTotal float64
+		for _, tn := range p.Tenants {
+			wTotal += tn.Weight
+		}
+		acc := 0.0
+		for j, tn := range p.Tenants {
+			tseed := deriveSeed(cfg.Seed, s.Name, p.Name, tn.Name, fmt.Sprint(i, j))
+			chooser, err := tn.Dist.Chooser(tseed)
+			if err != nil {
+				return nil, err
+			}
+			gen, err := NewGenerator(GeneratorConfig{
+				Keys: cfg.Keys, ValueSize: cfg.ValueSize,
+				Mix: tn.Mix, Chooser: chooser, Seed: tseed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			acc += tn.Weight / wTotal
+			gp.cum = append(gp.cum, acc)
+			gp.gens = append(gp.gens, gen)
+		}
+		gp.cum[len(gp.cum)-1] = 1 // guard against FP drift
+		g.phases = append(g.phases, gp)
+	}
+	return g, nil
+}
+
+// Next returns the next operation, or ok=false when the scenario's Ops
+// have all been emitted.
+func (g *ScenarioGen) Next() (op Op, ok bool) {
+	if g.emitted >= g.total {
+		return Op{}, false
+	}
+	for g.cur < len(g.phases)-1 && g.phases[g.cur].done >= g.phases[g.cur].ops {
+		g.cur++
+	}
+	p := &g.phases[g.cur]
+	idx := len(p.cum) - 1
+	u := p.rng.Float64()
+	for i, c := range p.cum {
+		if u <= c {
+			idx = i
+			break
+		}
+	}
+	p.done++
+	g.emitted++
+	return p.gens[idx].Next(), true
+}
+
+// Remaining returns how many operations the generator will still emit.
+func (g *ScenarioGen) Remaining() int { return g.total - g.emitted }
+
+// GenerateScenario materialises the full op stream of a scenario run.
+func GenerateScenario(s Scenario, cfg ScenarioConfig) ([]Op, error) {
+	g, err := NewScenarioGen(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]Op, 0, cfg.Ops)
+	for {
+		op, ok := g.Next()
+		if !ok {
+			return ops, nil
+		}
+		ops = append(ops, op)
+	}
+}
+
+// one wraps a single-tenant phase: the common case.
+func one(name string, frac float64, mix Mix, dist DistSpec) Phase {
+	return Phase{Name: name, Frac: frac, Tenants: []Tenant{{Name: name, Weight: 1, Mix: mix, Dist: dist}}}
+}
+
+// builtinScenarios is the standing matrix: the access spectra of the
+// paper's Figures 2, 3, and 8 (skew, hot-set drift) plus the structural
+// shapes (scans, churn, growth, multi-tenancy) the related benchmark
+// suites sweep. Names are stable: BENCH_matrix.json keys and the CI
+// regression gate match on them.
+var builtinScenarios = []Scenario{
+	{
+		Name: "hot-zipf",
+		Desc: "YCSB-B point ops under zipfian hot keys (theta 0.99): the paper's skewed-access baseline",
+		Phases: []Phase{
+			one("steady", 1, ReadMostly, DistSpec{Kind: "zipfian", Theta: 0.99}),
+		},
+	},
+	{
+		Name: "skew-sweep",
+		Desc: "update-heavy mix swept across rising zipfian skew (theta 0.60 -> 0.80 -> 0.99), the Fig 2/3 access spectrum",
+		Phases: []Phase{
+			one("theta60", 1, UpdateHeavy, DistSpec{Kind: "zipfian", Theta: 0.60}),
+			one("theta80", 1, UpdateHeavy, DistSpec{Kind: "zipfian", Theta: 0.80}),
+			one("theta99", 1, UpdateHeavy, DistSpec{Kind: "zipfian", Theta: 0.99}),
+		},
+	},
+	{
+		Name: "flash-crowd",
+		Desc: "read-mostly traffic whose 5% hot set absorbs 95% of accesses and rotates to a new key range each phase",
+		Phases: []Phase{
+			one("crowd1", 1, ReadMostly, DistSpec{Kind: "hotcold", HotFrac: 0.05, HotProb: 0.95}),
+			one("crowd2", 1, ReadMostly, DistSpec{Kind: "hotcold", HotFrac: 0.05, HotProb: 0.95, RotateFrac: 0.33}),
+			one("crowd3", 1, ReadMostly, DistSpec{Kind: "hotcold", HotFrac: 0.05, HotProb: 0.95, RotateFrac: 0.66}),
+		},
+	},
+	{
+		Name: "scan-heavy",
+		Desc: "range-scan dominated mix over uniform keys: the ordered-store (range query) column of the index benchmarks",
+		Phases: []Phase{
+			one("steady", 1, Mix{Read: 0.3, Update: 0.1, Scan: 0.6}, DistSpec{Kind: "uniform"}),
+		},
+	},
+	{
+		Name: "churn",
+		Desc: "delete/TTL churn: inserts and deletes dominate, the live set turns over continuously",
+		Phases: []Phase{
+			one("steady", 1, Mix{Read: 0.2, Insert: 0.4, Delete: 0.4}, DistSpec{Kind: "uniform"}),
+		},
+	},
+	{
+		Name: "insert-grow",
+		Desc: "insert-only append growth: the bulk-load / dataset-growth column of the index benchmarks",
+		Phases: []Phase{
+			one("grow", 1, Mix{Insert: 1}, DistSpec{Kind: "sequential"}),
+		},
+	},
+	{
+		Name: "mixed-tenant",
+		Desc: "two tenants interleaved on one store: a zipfian read-mostly OLTP tenant and a uniform blind-write batch tenant",
+		Phases: []Phase{
+			{
+				Name: "steady", Frac: 1,
+				Tenants: []Tenant{
+					{Name: "oltp", Weight: 0.7, Mix: ReadMostly, Dist: DistSpec{Kind: "zipfian", Theta: 0.99}},
+					{Name: "batch", Weight: 0.3, Mix: BlindWriteHeavy, Dist: DistSpec{Kind: "uniform"}},
+				},
+			},
+		},
+	},
+}
+
+// Scenarios returns the built-in scenario matrix (a copy; callers may
+// reorder or extend freely).
+func Scenarios() []Scenario {
+	return append([]Scenario(nil), builtinScenarios...)
+}
+
+// ScenarioNames lists the built-in scenario names in matrix order.
+func ScenarioNames() []string {
+	names := make([]string, len(builtinScenarios))
+	for i, s := range builtinScenarios {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ScenarioByName looks up a built-in scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range builtinScenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

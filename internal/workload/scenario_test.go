@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinScenariosValidate(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 6 {
+		t.Fatalf("built-in matrix has %d scenarios, want >= 6", len(scs))
+	}
+	seen := map[string]bool{}
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %q: %v", sc.Name, err)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Desc == "" {
+			t.Errorf("scenario %q has no description", sc.Name)
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		sc, ok := ScenarioByName(name)
+		if !ok || sc.Name != name {
+			t.Fatalf("ScenarioByName(%q) = %v, %v", name, sc.Name, ok)
+		}
+	}
+	if _, ok := ScenarioByName("no-such-scenario"); ok {
+		t.Fatal("ScenarioByName accepted an unknown name")
+	}
+}
+
+func TestScenarioValidateRejects(t *testing.T) {
+	valid := Tenant{Name: "t", Weight: 1, Mix: ReadOnly, Dist: DistSpec{Kind: "uniform"}}
+	cases := []struct {
+		name string
+		sc   Scenario
+		want string
+	}{
+		{"no name", Scenario{Phases: []Phase{{Name: "p", Frac: 1, Tenants: []Tenant{valid}}}}, "without a name"},
+		{"no phases", Scenario{Name: "s"}, "no phases"},
+		{"zero frac", Scenario{Name: "s", Phases: []Phase{{Name: "p", Frac: 0, Tenants: []Tenant{valid}}}}, "frac"},
+		{"no tenants", Scenario{Name: "s", Phases: []Phase{{Name: "p", Frac: 1}}}, "no tenants"},
+		{"zero weight", Scenario{Name: "s", Phases: []Phase{{Name: "p", Frac: 1,
+			Tenants: []Tenant{{Name: "t", Weight: 0, Mix: ReadOnly, Dist: DistSpec{Kind: "uniform"}}}}}}, "weight"},
+		{"bad mix", Scenario{Name: "s", Phases: []Phase{{Name: "p", Frac: 1,
+			Tenants: []Tenant{{Name: "t", Weight: 1, Mix: Mix{}, Dist: DistSpec{Kind: "uniform"}}}}}}, "zero total weight"},
+		{"bad dist", Scenario{Name: "s", Phases: []Phase{{Name: "p", Frac: 1,
+			Tenants: []Tenant{{Name: "t", Weight: 1, Mix: ReadOnly, Dist: DistSpec{Kind: "nope"}}}}}}, "unknown distribution"},
+	}
+	for _, tc := range cases {
+		err := tc.sc.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDistSpecValidate(t *testing.T) {
+	good := []DistSpec{
+		{Kind: "uniform"},
+		{Kind: "sequential"},
+		{Kind: "zipfian"},
+		{Kind: "zipfian", Theta: 0.5},
+		{Kind: "hotcold"},
+		{Kind: "hotcold", HotFrac: 0.2, HotProb: 0.8},
+		{Kind: "uniform", RotateFrac: 0.5},
+	}
+	for _, d := range good {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", d, err)
+		}
+		if _, err := d.Chooser(1); err != nil {
+			t.Errorf("%v: Chooser: %v", d, err)
+		}
+	}
+	bad := []DistSpec{
+		{Kind: "weird"},
+		{Kind: "zipfian", Theta: 1.5},
+		{Kind: "zipfian", Theta: -0.1},
+		{Kind: "hotcold", HotFrac: 2},
+		{Kind: "hotcold", HotProb: -1},
+		{Kind: "uniform", RotateFrac: 1},
+		{Kind: "uniform", RotateFrac: -0.1},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%v: Validate accepted an invalid spec", d)
+		}
+		if _, err := d.Chooser(1); err == nil {
+			t.Errorf("%v: Chooser accepted an invalid spec", d)
+		}
+	}
+}
+
+func TestScenarioGenEmitsExactOps(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, ops := range []int{1, 7, 100, 1000} {
+			got, err := GenerateScenario(sc, ScenarioConfig{Keys: 500, ValueSize: 16, Ops: ops, Seed: 3})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", sc.Name, ops, err)
+			}
+			if len(got) != ops {
+				t.Fatalf("%s: generated %d ops, want %d", sc.Name, len(got), ops)
+			}
+		}
+	}
+}
+
+func TestScenarioGenDeterministic(t *testing.T) {
+	cfg := ScenarioConfig{Keys: 1000, ValueSize: 32, Ops: 2000, Seed: 42}
+	for _, sc := range Scenarios() {
+		a, err := GenerateScenario(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateScenario(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opsEqual(a, b) {
+			t.Errorf("scenario %q: same seed produced different op streams", sc.Name)
+		}
+		if sc.Name == "insert-grow" {
+			continue // pure append: the stream is seed-independent by design
+		}
+		cfg2 := cfg
+		cfg2.Seed = 43
+		c, err := GenerateScenario(sc, cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opsEqual(a, c) {
+			t.Errorf("scenario %q: different seeds produced identical op streams", sc.Name)
+		}
+	}
+}
+
+func TestFlashCrowdRotatesHotSet(t *testing.T) {
+	sc, ok := ScenarioByName("flash-crowd")
+	if !ok {
+		t.Fatal("flash-crowd scenario missing")
+	}
+	const keys, ops = 10000, 30000
+	all, err := GenerateScenario(sc, ScenarioConfig{Keys: keys, ValueSize: 16, Ops: ops, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hottest key of the first phase should not be hot in the last:
+	// the 5% hot set moved by RotateFrac of the keyspace.
+	hot := func(ops []Op) uint64 {
+		counts := map[uint64]int{}
+		for _, op := range ops {
+			counts[KeyID(op.Key)]++
+		}
+		var best uint64
+		for k, n := range counts {
+			if n > counts[best] {
+				best = k
+			}
+		}
+		return best
+	}
+	first, last := all[:ops/3], all[2*ops/3:]
+	h1, h3 := hot(first), hot(last)
+	if d := int64(h3) - int64(h1); d > -1000 && d < 1000 {
+		t.Errorf("hot set did not rotate: phase1 hottest %d, phase3 hottest %d", h1, h3)
+	}
+}
+
+func TestMixedTenantInterleaves(t *testing.T) {
+	sc, ok := ScenarioByName("mixed-tenant")
+	if !ok {
+		t.Fatal("mixed-tenant scenario missing")
+	}
+	ops, err := GenerateScenario(sc, ScenarioConfig{Keys: 5000, ValueSize: 16, Ops: 20000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blind, read int
+	for _, op := range ops {
+		switch op.Kind {
+		case OpBlindWrite:
+			blind++
+		case OpRead:
+			read++
+		}
+	}
+	// The batch tenant (30% weight, 80% blind writes) should contribute
+	// roughly 24% blind writes; the oltp tenant most of the reads.
+	if frac := float64(blind) / float64(len(ops)); frac < 0.15 || frac > 0.35 {
+		t.Errorf("blind-write fraction %.3f outside mixed-tenant expectation [0.15, 0.35]", frac)
+	}
+	if frac := float64(read) / float64(len(ops)); frac < 0.55 {
+		t.Errorf("read fraction %.3f too low for a 70%% read-mostly tenant", frac)
+	}
+}
+
+func TestRotatedChooserStaysInRange(t *testing.T) {
+	d := DistSpec{Kind: "hotcold", HotFrac: 0.05, HotProb: 0.95, RotateFrac: 0.9}
+	c, err := d.Chooser(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if k := c.Next(777); k >= 777 {
+			t.Fatalf("rotated chooser returned %d >= 777", k)
+		}
+	}
+}
+
+func TestScenarioDescribeAndJSON(t *testing.T) {
+	sc, _ := ScenarioByName("flash-crowd")
+	desc := sc.Describe()
+	for _, want := range []string{"flash-crowd:", "hotcold(0.05/0.95)", "rot33%"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe() = %q, missing %q", desc, want)
+		}
+	}
+	// Scenario definitions are embedded in BENCH_matrix.json: they must
+	// round-trip through JSON unchanged.
+	buf, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != sc.Name || len(back.Phases) != len(sc.Phases) {
+		t.Fatalf("JSON round trip mangled the scenario: %+v", back)
+	}
+	if back.Phases[1].Tenants[0].Dist.RotateFrac != 0.33 {
+		t.Fatalf("JSON round trip lost RotateFrac: %+v", back.Phases[1].Tenants[0].Dist)
+	}
+}
+
+func TestScenarioGenConfigErrors(t *testing.T) {
+	sc, _ := ScenarioByName("hot-zipf")
+	if _, err := NewScenarioGen(sc, ScenarioConfig{Keys: 0, Ops: 10}); err == nil {
+		t.Error("zero keyspace accepted")
+	}
+	if _, err := NewScenarioGen(sc, ScenarioConfig{Keys: 10, Ops: 0}); err == nil {
+		t.Error("zero ops accepted")
+	}
+	if _, err := NewScenarioGen(Scenario{}, ScenarioConfig{Keys: 10, Ops: 10}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func opsEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].ScanLen != b[i].ScanLen ||
+			string(a[i].Key) != string(b[i].Key) || string(a[i].Value) != string(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}

@@ -37,6 +37,13 @@
 # partition-driven retry storm), asserting exactly-once retried writes,
 # zero lost acked writes, bounded retry amplification, graceful drain, and
 # no leaked goroutines — again with a hard watchdog.
+#
+# Set CHECK_MATRIX=1 for the perf-trajectory gate: run the full scenario
+# matrix (kvbench -matrix all) at a CI-sized workload, then hold benchdiff
+# to its exit-code contract — the identity diff must pass, an injected
+# 50% regression must fail, and a -report-only diff against the committed
+# BENCH_matrix.json must prove the scenario coverage never shrinks
+# (absolute numbers across machines are advisory; coverage is not).
 set -eux
 
 SHORT=""
@@ -79,4 +86,21 @@ fi
 if [ -n "${CHECK_WIRE:-}" ]; then
     go test -race -run 'TestWireChaosSweep' -count=1 -timeout 15m \
         ./internal/integration -wire.full=true
+fi
+if [ -n "${CHECK_MATRIX:-}" ]; then
+    go build -o /tmp/kvbench ./cmd/kvbench
+    go build -o /tmp/benchdiff ./cmd/benchdiff
+    /tmp/kvbench -matrix all -matrix-stores masstree,lsm -matrix-conc 8 \
+        -keys 5000 -ops 8000 -bench-out /tmp/BENCH_matrix.ci.json
+    # Identity diff must pass (exit 0)...
+    /tmp/benchdiff /tmp/BENCH_matrix.ci.json /tmp/BENCH_matrix.ci.json
+    # ...and an injected regression must fail (exit 1), proving the gate bites.
+    if /tmp/benchdiff -inject-regression 0.5 \
+        /tmp/BENCH_matrix.ci.json /tmp/BENCH_matrix.ci.json; then
+        echo "CHECK_MATRIX: injected regression was not caught" >&2
+        exit 1
+    fi
+    # Committed trajectory: metric deltas across machines are advisory
+    # (-report-only), but every committed scenario cell must still exist.
+    /tmp/benchdiff -report-only BENCH_matrix.json /tmp/BENCH_matrix.ci.json
 fi
