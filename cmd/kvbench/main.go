@@ -35,6 +35,8 @@
 //
 //	kvbench -shards 4 -keys 50000 -ops 100000
 //	kvbench -shards 4 -migrate                       # cutover under load
+//	kvbench -shards 4 -resize                        # split at 1/3, merge back at 2/3
+//	kvbench -shards 4 -rebalance                     # $/op-driven split/merge decisions
 //
 // With -matrix the named scenario matrix (internal/workload.Scenarios)
 // runs scenario x store x concurrency cells through the engine front-end
@@ -121,6 +123,10 @@ func main() {
 		"partition the keyspace across N independent shard fault domains (internal/shard) and report the fleet $/op roll-up (0 = off)")
 	migrateShard := flag.Bool("migrate", false,
 		"with -shards, live-migrate one shard to a new owner at the run's midpoint while the load continues")
+	resizeShards := flag.Bool("resize", false,
+		"with -shards, split the hottest shard at 1/3 of the run and merge the children back at 2/3, all under load")
+	rebalanceShards := flag.Bool("rebalance", false,
+		"with -shards, run the $/op-share rebalancer: step at 1/3 and 2/3 and let it split/merge on its own signal")
 	benchOut := flag.String("bench-out", "auto",
 		"write the JSON benchmark snapshot here (\"auto\" = BENCH_<mode>.json, empty = skip)")
 	netLoss := flag.Float64("net-loss", 0,
@@ -173,6 +179,7 @@ func main() {
 	if *shards > 0 {
 		runShardMode(shardModeConfig{
 			shards: *shards, migrate: *migrateShard,
+			resize: *resizeShards, rebalance: *rebalanceShards,
 			keys: *keys, ops: *ops, valueSize: *valueSize,
 			mix: *mixName, dist: *distName, seed: *seed,
 			concurrency: *concurrency, benchOut: *benchOut,

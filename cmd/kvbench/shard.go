@@ -20,10 +20,12 @@ import (
 	"costperf/internal/workload"
 )
 
-// shardModeConfig drives -shards N [-migrate].
+// shardModeConfig drives -shards N [-migrate] [-resize] [-rebalance].
 type shardModeConfig struct {
 	shards         int
 	migrate        bool
+	resize         bool
+	rebalance      bool
 	keys           uint64
 	ops, valueSize int
 	mix, dist      string
@@ -48,8 +50,16 @@ type shardBenchSnapshot struct {
 	PartialScans    int64 `json:"partial_scans"`
 	Fences          int64 `json:"fences"`
 	Migrations      int64 `json:"migrations"`
+	Splits          int64 `json:"splits"`
+	Merges          int64 `json:"merges"`
+
+	// MapEpoch is the placement-map version after the run: 0 means the
+	// fleet never resized.
+	MapEpoch uint64 `json:"map_epoch"`
 
 	Migration *shardMigrationResult `json:"migration,omitempty"`
+	Resize    *shardResizeResult    `json:"resize,omitempty"`
+	Rebalance []shardRebalanceStep  `json:"rebalance,omitempty"`
 
 	// Fleet-level $/op and five-minute-rule breakeven (both ops-weighted
 	// across shards) plus attribution rows — the same live cost fields
@@ -65,6 +75,28 @@ type shardMigrationResult struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	ShipBytes int64   `json:"ship_bytes"`
 	Resends   int64   `json:"resends"`
+}
+
+// shardResizeResult records the -resize arc: split the hottest shard at
+// 1/3 of the run, merge the children back at 2/3, all under load.
+type shardResizeResult struct {
+	SplitSlot int     `json:"split_slot"`
+	SplitLow  int     `json:"split_low"`
+	SplitHigh int     `json:"split_high"`
+	SplitMS   float64 `json:"split_ms"`
+	MergedTo  int     `json:"merged_to"`
+	MergeMS   float64 `json:"merge_ms"`
+}
+
+// shardRebalanceStep records one -rebalance Step that acted.
+type shardRebalanceStep struct {
+	AtOp   int     `json:"at_op"`
+	Kind   string  `json:"kind"`
+	Slot   int     `json:"slot"`
+	With   int     `json:"with"`
+	Share  float64 `json:"share"`
+	Fair   float64 `json:"fair"`
+	Reason string  `json:"reason"`
 }
 
 type shardCostRow struct {
@@ -116,6 +148,12 @@ func runShardMode(cfg shardModeConfig) {
 	if cfg.migrate {
 		fmt.Print(", live migration at midpoint")
 	}
+	if cfg.resize {
+		fmt.Print(", split at 1/3 + merge at 2/3")
+	}
+	if cfg.rebalance {
+		fmt.Print(", cost-share rebalancer stepping at 1/3 and 2/3")
+	}
 	fmt.Println("...")
 
 	var (
@@ -153,33 +191,109 @@ func runShardMode(cfg shardModeConfig) {
 		}()
 	}
 
-	var migRes *shardMigrationResult
-	start := time.Now()
-	half := len(ops) / 2
-	for _, op := range ops[:half] {
-		opCh <- op
+	var reb *shard.Rebalancer
+	if cfg.rebalance {
+		var err error
+		reb, err = r.NewRebalancer(shard.RebalanceConfig{Base: core.PaperCosts()})
+		check(err)
+		// Seed the spend window: the first real Step sees the run's
+		// traffic, not the load phase (the registry was just reset).
+		_, err = reb.Step(ctx)
+		check(err)
 	}
-	if cfg.migrate {
-		moving := int(cfg.seed) % cfg.shards
-		if moving < 0 {
-			moving += cfg.shards
+
+	var (
+		migRes   *shardMigrationResult
+		resRes   *shardResizeResult
+		rebSteps []shardRebalanceStep
+	)
+	stepRebalancer := func(atOp int) {
+		act, err := reb.Step(ctx)
+		check(err)
+		if act == nil {
+			fmt.Printf("  rebalancer at op %d: inside the band, no action\n", atOp)
+			return
 		}
-		fmt.Printf("  migrating shard %d under load...\n", moving)
-		m, err := r.Migrate(shard.MigrateConfig{Shard: moving})
+		fmt.Printf("  rebalancer at op %d: %s\n", atOp, act.Reason)
+		rebSteps = append(rebSteps, shardRebalanceStep{
+			AtOp: atOp, Kind: act.Kind, Slot: act.Slot, With: act.With,
+			Share: act.Share, Fair: act.Fair, Reason: act.Reason,
+		})
+	}
+	send := func(lo, hi int) {
+		for _, op := range ops[lo:hi] {
+			opCh <- op
+		}
+	}
+	start := time.Now()
+	third, half, twoThird := len(ops)/3, len(ops)/2, 2*len(ops)/3
+
+	send(0, third)
+	if cfg.resize {
+		// Split the shard that carried the most traffic so far.
+		hot, hotOps := -1, int64(-1)
+		m := r.Map()
+		for i, s := range r.LiveSnapshots() {
+			if s.Ops > hotOps {
+				hot, hotOps = m.Entries[i].Slot, s.Ops
+			}
+		}
+		fmt.Printf("  splitting hottest shard %d under load...\n", hot)
+		s, err := r.Split(shard.SplitConfig{Shard: hot})
 		check(err)
 		t0 := time.Now()
-		check(m.Run(ctx))
+		check(s.Run(ctx))
+		low, high := s.Slots()
+		resRes = &shardResizeResult{
+			SplitSlot: hot, SplitLow: low, SplitHigh: high,
+			SplitMS: float64(time.Since(t0).Microseconds()) / 1000,
+		}
+		fmt.Printf("  split done in %.1fms (children %d, %d)\n", resRes.SplitMS, low, high)
+	}
+	if cfg.rebalance {
+		stepRebalancer(third)
+	}
+
+	send(third, half)
+	if cfg.migrate {
+		// Pick a live slot off the current map: with -resize the original
+		// slot numbers may already be retired.
+		m := r.Map()
+		idx := int(cfg.seed) % len(m.Entries)
+		if idx < 0 {
+			idx += len(m.Entries)
+		}
+		moving := m.Entries[idx].Slot
+		fmt.Printf("  migrating shard %d under load...\n", moving)
+		mg, err := r.Migrate(shard.MigrateConfig{Shard: moving})
+		check(err)
+		t0 := time.Now()
+		check(mg.Run(ctx))
 		migRes = &shardMigrationResult{
 			Shard:     moving,
 			ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
-			ShipBytes: m.Stats().BytesShipped.Value(),
-			Resends:   m.Stats().Resends.Value(),
+			ShipBytes: mg.Stats().BytesShipped.Value(),
+			Resends:   mg.Stats().Resends.Value(),
 		}
 		fmt.Printf("  cutover done in %.1fms (%dB shipped)\n", migRes.ElapsedMS, migRes.ShipBytes)
 	}
-	for _, op := range ops[half:] {
-		opCh <- op
+
+	send(half, twoThird)
+	if cfg.resize {
+		fmt.Printf("  merging shards %d+%d back under load...\n", resRes.SplitLow, resRes.SplitHigh)
+		mg, err := r.Merge(shard.MergeConfig{Left: resRes.SplitLow, Right: resRes.SplitHigh})
+		check(err)
+		t0 := time.Now()
+		check(mg.Run(ctx))
+		resRes.MergedTo = mg.Slot()
+		resRes.MergeMS = float64(time.Since(t0).Microseconds()) / 1000
+		fmt.Printf("  merge done in %.1fms (slot %d)\n", resRes.MergeMS, resRes.MergedTo)
 	}
+	if cfg.rebalance {
+		stepRebalancer(twoThird)
+	}
+
+	send(twoThird, len(ops))
 	close(opCh)
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -199,38 +313,43 @@ func runShardMode(cfg shardModeConfig) {
 		PartialScans:    rs.PartialScans.Value(),
 		Fences:          rs.Fences.Value(),
 		Migrations:      rs.Migrations.Value(),
+		Splits:          rs.Splits.Value(),
+		Merges:          rs.Merges.Value(),
+		MapEpoch:        r.MapEpoch(),
 		Migration:       migRes,
+		Resize:          resRes,
+		Rebalance:       rebSteps,
 
 		FleetDollarPerMop: 1e6 * fleet.DollarPerOp,
+		FleetBreakevenSec: fleet.BreakevenSec,
 		FleetOps:          fleet.Ops,
 	}
-	var beWeighted float64
 	for _, s := range fleet.PerShard {
 		row := shardCostRow{
 			Store: s.Store, Ops: s.Ops, Errors: s.Errors, Shed: s.Shed,
 			DeviceReads: s.DeviceReads, DeviceWrites: s.DeviceWrites,
 		}
+		// Per-op ratios are undefined for a zero-ops shard (a freshly
+		// split child that saw no traffic); leave its row's rates zero.
 		if s.Ops > 0 {
 			row.DollarPerMop = 1e6 * s.DollarPerOp(base)
 			row.BreakevenSec = s.BreakevenInterval(base)
-			beWeighted += float64(s.Ops) * row.BreakevenSec
 		}
 		snap.PerShard = append(snap.PerShard, row)
-	}
-	if fleet.Ops > 0 {
-		snap.FleetBreakevenSec = beWeighted / float64(fleet.Ops)
 	}
 
 	fmt.Println("\nresults (shard mode, wall-clock):")
 	fmt.Printf("  elapsed: %v  (%.0f ops/sec)\n", elapsed.Round(time.Microsecond), snap.OpsPerSec)
 	fmt.Printf("  completed=%d errors=%d\n", snap.Completed, snap.Errors)
-	fmt.Printf("  router: moved-retries=%d cutover-timeouts=%d partial-scans=%d fences=%d migrations=%d\n",
-		snap.MovedRetries, snap.CutoverTimeouts, snap.PartialScans, snap.Fences, snap.Migrations)
+	fmt.Printf("  router: moved-retries=%d cutover-timeouts=%d partial-scans=%d fences=%d migrations=%d splits=%d merges=%d epoch=%d\n",
+		snap.MovedRetries, snap.CutoverTimeouts, snap.PartialScans, snap.Fences,
+		snap.Migrations, snap.Splits, snap.Merges, snap.MapEpoch)
 	fmt.Println("\nfleet cost roll-up (measured per-shard model inputs, paper rates):")
 	fmt.Print(fleet.Table(base))
 
 	writeBenchSnapshot(benchOutPath(cfg.benchOut, "shard"), "shard", "tc", map[string]any{
 		"shards": cfg.shards, "migrate": cfg.migrate,
+		"resize": cfg.resize, "rebalance": cfg.rebalance,
 		"keys": cfg.keys, "ops": cfg.ops, "mix": cfg.mix, "dist": cfg.dist,
 		"value_size": cfg.valueSize, "seed": cfg.seed, "concurrency": cfg.concurrency,
 	}, snap)

@@ -1,0 +1,349 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"costperf/internal/engine"
+	"costperf/internal/fault"
+	"costperf/internal/shard"
+	"costperf/internal/tc"
+)
+
+// resizeFull runs the full 100-seed resize soak (scripts/check.sh sets
+// it under the CHECK_RESIZE=1 gate); the default keeps tier-1 runs quick.
+var resizeFull = flag.Bool("resize.full", false, "run the full 100-seed shard-resize soak")
+
+// resizeChaos selects what a seed throws at the resize arc. Each run is
+// a split followed by a merge of the children; a seed crashes one of the
+// two state machines at one of its five crashable phase boundaries
+// (prepare..seal — a crash after install is a completed resize), or runs
+// crash-free. Every seed also runs a lossy, periodically partitioned
+// stream link and concurrent writers hitting the resizing range.
+type resizeChaos struct {
+	splitCrash shard.Phase // boundary to die at during the split; -1 = none
+	mergeCrash shard.Phase // boundary to die at during the merge; -1 = none
+}
+
+func (c resizeChaos) String() string {
+	switch {
+	case c.splitCrash >= 0:
+		return "split-crash-" + c.splitCrash.String()
+	case c.mergeCrash >= 0:
+		return "merge-crash-" + c.mergeCrash.String()
+	default:
+		return "nocrash"
+	}
+}
+
+// resizeChaosForSeed cycles 5 split boundaries + 5 merge boundaries + 1
+// crash-free control, so a 100-seed sweep hits every boundary ~9x.
+func resizeChaosForSeed(seed int64) resizeChaos {
+	switch k := seed % 11; {
+	case k < 5:
+		return resizeChaos{splitCrash: shard.Phase(k), mergeCrash: -1}
+	case k < 10:
+		return resizeChaos{splitCrash: -1, mergeCrash: shard.Phase(k - 5)}
+	default:
+		return resizeChaos{splitCrash: -1, mergeCrash: -1}
+	}
+}
+
+// TestShardResizeChaosSweep is the acceptance soak for elastic resize:
+// a seeded sweep where every run splits one shard and merges the
+// children back while concurrent writers keep hitting the moving range,
+// the stream link drops, duplicates, reorders, and periodically
+// partitions, and most seeds kill one of the two state machines at a
+// phase boundary and resume it blind. After the arc it asserts
+//
+//   - zero lost acked writes: every write the router acknowledged reads
+//     back byte-identical,
+//   - exactly-once application: the full scatter-gather dump equals the
+//     acked-state oracle exactly, in global order,
+//   - every stale owner is fenced: the split source and both merge
+//     sources reject commits with ErrMoved forever,
+//   - bounded movement: a hash moves owner between map epochs iff it
+//     lies inside the split range — the ~1/N fraction the map promises,
+//   - writers only ever failed with the moved-class family, and only on
+//     keys inside the resizing range.
+//
+// CHECK_RESIZE=1 in scripts/check.sh runs the full 100 seeds under
+// -race; plain `go test` runs an 11-seed slice (3 in -short).
+func TestShardResizeChaosSweep(t *testing.T) {
+	seeds := 11
+	if testing.Short() {
+		seeds = 3
+	}
+	if *resizeFull {
+		seeds = 100
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		chaos := resizeChaosForSeed(seed)
+		t.Run(fmt.Sprintf("seed%03d-%s", seed, chaos), func(t *testing.T) {
+			t.Parallel()
+			runShardResizeSeed(t, seed, chaos)
+		})
+	}
+}
+
+const resizeShards = 4
+
+// driveResize pushes one resumable resize state machine to completion
+// through injected crashes and partition-refused dials.
+func driveResize(t *testing.T, ctx context.Context, label string,
+	run func(context.Context) error, done func() bool) {
+	t.Helper()
+	var lastErr error
+	for attempt := 0; attempt < 200 && !done(); attempt++ {
+		if lastErr = run(ctx); lastErr != nil {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if !done() {
+		t.Fatalf("%s never completed; last error: %v", label, lastErr)
+	}
+}
+
+func runShardResizeSeed(t *testing.T, seed int64, chaos resizeChaos) {
+	rng := rand.New(rand.NewSource(seed))
+	r, err := shard.New(shard.Config{Shards: resizeShards, Seed: seed})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+
+	// oracle records only acknowledged state.
+	oracle := map[string][]byte{}
+	var omu sync.Mutex
+	for i := 0; i < 200; i++ {
+		k, v := []byte(fmt.Sprintf("init%04d", i)), []byte(fmt.Sprintf("seed%d-v%d", seed, i))
+		if err := r.Put(ctx, k, v); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+		oracle[string(k)] = v
+	}
+
+	// The resizing range: the source shard's slice of the hash space.
+	// The split moves exactly this range to the children and the merge
+	// moves it back to one slot, so it bounds both operations' blast
+	// radius for the whole run.
+	srcSlot := int(seed) % resizeShards
+	before := r.Map()
+	srcIdx := -1
+	for i, e := range before.Entries {
+		if e.Slot == srcSlot {
+			srcIdx = i
+		}
+	}
+	lo, hi := before.Range(srcIdx)
+
+	// Writers own disjoint key slices and write monotonically increasing
+	// versions. A write may fail only with the fenced-owner family — and
+	// only when its key hashes into the resizing range; those writes are
+	// guaranteed un-committed, so the oracle keeps the prior version.
+	const writers = 3
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed*1000 + int64(w)))
+			for version := 0; !stop.Load(); version++ {
+				key := []byte(fmt.Sprintf("w%d-k%02d", w, wrng.Intn(40)))
+				val := []byte(fmt.Sprintf("w%d-s%d-v%06d", w, seed, version))
+				err := r.Put(ctx, key, val)
+				if err == nil {
+					omu.Lock()
+					oracle[string(key)] = val
+					omu.Unlock()
+					continue
+				}
+				if !errors.Is(err, shard.ErrMoved) && !errors.Is(err, engine.ErrClosed) && !errors.Is(err, tc.ErrClosed) {
+					errCh <- fmt.Errorf("writer %d key %s: unexpected error %w", w, key, err)
+					return
+				}
+				if !shard.InRange(shard.Hash(key), lo, hi) {
+					errCh <- fmt.Errorf("writer %d: error %v on key %s outside the resizing range", w, err, key)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Every seed streams over a lossy link that partitions in bounded,
+	// healed episodes while either state machine is in flight.
+	link := fault.NewNetInjector(seed)
+	link.SetRates(0.05*rng.Float64(), 0.05*rng.Float64(), 0.05*rng.Float64())
+	errCrash := errors.New("injected crash")
+	partition := func(done func() bool) <-chan struct{} {
+		ch := make(chan struct{})
+		go func() {
+			defer close(ch)
+			prng := rand.New(rand.NewSource(seed ^ 0x5eed))
+			for !done() {
+				time.Sleep(time.Duration(1+prng.Intn(3)) * time.Millisecond)
+				link.Partition()
+				time.Sleep(time.Duration(1+prng.Intn(2)) * time.Millisecond)
+				link.Heal()
+			}
+			link.Heal()
+		}()
+		return ch
+	}
+
+	// ---- Split, crashed and resumed blind. ----
+	var splitCrashed atomic.Bool
+	s, err := r.Split(shard.SplitConfig{
+		Shard: srcSlot,
+		Net:   link,
+		OnPhase: func(ph shard.Phase) error {
+			if chaos.splitCrash >= 0 && ph == chaos.splitCrash && !splitCrashed.Swap(true) {
+				return errCrash
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	partDone := partition(s.Done)
+	driveResize(t, ctx, "split", s.Run, s.Done)
+	<-partDone
+	if chaos.splitCrash >= 0 && !splitCrashed.Load() {
+		t.Fatalf("split crash at %v never fired", chaos.splitCrash)
+	}
+	low, high := s.Slots()
+
+	// Bounded movement: between the epoch-0 and epoch-1 maps, a hash
+	// changes owner iff it lies in the split range — so the moved
+	// fraction is exactly the range's share of the space, ≈1/N.
+	after := r.Map()
+	if after.Epoch != 1 {
+		t.Fatalf("post-split epoch = %d, want 1", after.Epoch)
+	}
+	for i := 0; i < 1<<14; i++ {
+		h := uint64(i) << 50
+		moved := before.Slot(h) != after.Slot(h)
+		if moved != shard.InRange(h, lo, hi) {
+			t.Fatalf("hash %#x: moved=%v, inside split range=%v", h, moved, shard.InRange(h, lo, hi))
+		}
+	}
+
+	// ---- Merge the children back, crashed and resumed blind. ----
+	var mergeCrashed atomic.Bool
+	m, err := r.Merge(shard.MergeConfig{
+		Left:  low,
+		Right: high,
+		Net:   link,
+		OnPhase: func(ph shard.Phase) error {
+			if chaos.mergeCrash >= 0 && ph == chaos.mergeCrash && !mergeCrashed.Swap(true) {
+				return errCrash
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	partDone = partition(m.Done)
+	driveResize(t, ctx, "merge", m.Run, m.Done)
+	<-partDone
+	if chaos.mergeCrash >= 0 && !mergeCrashed.Load() {
+		t.Fatalf("merge crash at %v never fired", chaos.mergeCrash)
+	}
+
+	// Let the writers land a few post-resize versions, then stop them.
+	time.Sleep(5 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if got := r.MapEpoch(); got != 2 {
+		t.Fatalf("map epoch = %d, want 2", got)
+	}
+	if got := r.Stats().Splits.Value(); got != 1 {
+		t.Fatalf("splits = %d, want 1", got)
+	}
+	if got := r.Stats().Merges.Value(); got != 1 {
+		t.Fatalf("merges = %d, want 1", got)
+	}
+	if got := r.Shards(); got != resizeShards {
+		t.Fatalf("shards = %d, want %d", got, resizeShards)
+	}
+
+	// Every stale owner is fenced forever: the split source and both
+	// merge sources reject commits with ErrMoved.
+	lt, rt := m.SourceTCs()
+	for name, src := range map[string]*tc.TC{
+		"split-source": s.SourceTC(), "merge-left": lt, "merge-right": rt,
+	} {
+		tx, err := src.Begin()
+		if err != nil {
+			t.Fatalf("begin on fenced %s: %v", name, err)
+		}
+		if err := tx.Write([]byte("zombie"), []byte("write")); err != nil {
+			t.Fatalf("stage write on fenced %s: %v", name, err)
+		}
+		if err := tx.Commit(); !errors.Is(err, shard.ErrMoved) {
+			t.Fatalf("commit on fenced %s = %v, want ErrMoved", name, err)
+		}
+	}
+
+	// Zero lost acked writes: every acknowledged key reads back
+	// byte-identical through the router.
+	omu.Lock()
+	defer omu.Unlock()
+	for k, want := range oracle {
+		got, ok, err := r.Get(ctx, []byte(k))
+		if err != nil || !ok {
+			t.Fatalf("acked key %s unreadable after resize: ok=%v err=%v", k, ok, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("acked key %s = %q, want %q", k, got, want)
+		}
+	}
+
+	// Exactly-once application: the full scatter-gather dump matches the
+	// oracle exactly — nothing extra, nothing stale, globally ordered.
+	dump := map[string][]byte{}
+	var prev []byte
+	err = r.Scan(ctx, nil, 0, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Errorf("scan order violated: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		dump[string(k)] = append([]byte(nil), v...)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("full scan after resize: %v", err)
+	}
+	if len(dump) != len(oracle) {
+		t.Fatalf("store holds %d keys, oracle %d", len(dump), len(oracle))
+	}
+	for k, want := range oracle {
+		if !bytes.Equal(dump[k], want) {
+			t.Fatalf("dumped key %s = %q, want %q", k, dump[k], want)
+		}
+	}
+}

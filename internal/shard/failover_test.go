@@ -144,7 +144,7 @@ func TestRouterSnapshotsPerShard(t *testing.T) {
 	r := newTestRouter(t, 3, func(c *Config) { c.Registry = reg })
 	loadRouter(t, r, 90)
 	for i := 0; i < 3; i++ { // push buffered log tails to the devices
-		if err := r.slots[i].cur.Load().tc.Flush(); err != nil {
+		if err := r.tab.Load().owners[i].tc.Flush(); err != nil {
 			t.Fatalf("flush shard %d: %v", i, err)
 		}
 	}

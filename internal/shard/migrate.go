@@ -115,10 +115,11 @@ type Migration struct {
 // returns the handle; call Run to drive it. One migration per shard at a
 // time; replicated shards are refused (their mobility is failover).
 func (r *Router) Migrate(cfg MigrateConfig) (*Migration, error) {
-	if cfg.Shard < 0 || cfg.Shard >= len(r.slots) {
-		return nil, fmt.Errorf("shard: no shard %d (have %d)", cfg.Shard, len(r.slots))
+	t := r.tab.Load()
+	src := t.owners[cfg.Shard]
+	if src == nil {
+		return nil, fmt.Errorf("shard %d: %w", cfg.Shard, ErrNoShard)
 	}
-	src := r.slots[cfg.Shard].cur.Load()
 	if src.cluster != nil {
 		return nil, fmt.Errorf("shard %d: %w", cfg.Shard, ErrReplicatedShard)
 	}
@@ -145,10 +146,10 @@ func (r *Router) Migrate(cfg MigrateConfig) (*Migration, error) {
 	if r.closed {
 		return nil, ErrClosed
 	}
-	if r.migrating[cfg.Shard] {
+	if r.resizing[cfg.Shard] {
 		return nil, fmt.Errorf("shard %d: %w", cfg.Shard, ErrMigrating)
 	}
-	r.migrating[cfg.Shard] = true
+	r.resizing[cfg.Shard] = true
 	return &Migration{r: r, cfg: cfg, src: src}, nil
 }
 
@@ -269,7 +270,7 @@ func (m *Migration) step(ctx context.Context, ph Phase) error {
 	case PhaseSeal:
 		return m.seal()
 	case PhaseInstall:
-		m.r.install(m.cfg.Shard, m.newOwn)
+		m.r.installOwner(m.cfg.Shard, m.newOwn)
 		return nil
 	}
 	return fmt.Errorf("unknown phase %v", ph)

@@ -276,7 +276,7 @@ func TestMigratedShardContinuesLogInPlace(t *testing.T) {
 	if err := r.Put(ctx, []byte("after"), []byte("move")); err != nil {
 		t.Fatalf("put after move: %v", err)
 	}
-	newTC := r.slots[0].cur.Load().tc
+	newTC := r.tab.Load().owners[0].tc
 	if err := newTC.Flush(); err != nil {
 		t.Fatalf("flush: %v", err)
 	}

@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"costperf/internal/core"
+	"costperf/internal/obs"
+)
+
+// withRegistry is the router mutator every rebalancer test needs.
+func withRegistry(c *Config) { c.Registry = obs.NewRegistry() }
+
+// hammer drives `rounds` reads over every loaded key owned by slot,
+// skewing the window's spend toward it.
+func hammer(t *testing.T, r *Router, slot, keys, rounds int) {
+	t.Helper()
+	ctx := testCtx()
+	hit := 0
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < keys; i++ {
+			if r.SlotOfKey(key(i)) != slot {
+				continue
+			}
+			if _, ok, err := r.Get(ctx, key(i)); err != nil || !ok {
+				t.Fatalf("hammer get %d: %v/%v", i, ok, err)
+			}
+			hit++
+		}
+	}
+	if hit == 0 {
+		t.Fatalf("no loaded keys route to slot %d", slot)
+	}
+}
+
+// hammerN drives exactly n reads at one key owned by slot.
+func hammerN(t *testing.T, r *Router, slot, keys, n int) {
+	t.Helper()
+	ctx := testCtx()
+	for i := 0; i < keys; i++ {
+		if r.SlotOfKey(key(i)) != slot {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if _, ok, err := r.Get(ctx, key(i)); err != nil || !ok {
+				t.Fatalf("hammerN get %d: %v/%v", i, ok, err)
+			}
+		}
+		return
+	}
+	t.Fatalf("no loaded key routes to slot %d", slot)
+}
+
+// calmWindow drives traffic that equalizes SPEND (not ops) across the
+// live slots: each shard's measured $/op differs, so equal op counts do
+// not make equal shares. Targeting ops_i ~ 1/dpo_i flattens the shares
+// well inside any reasonable band.
+func calmWindow(t *testing.T, r *Router, keys int, base core.Costs) {
+	t.Helper()
+	m := r.Map()
+	snaps := r.LiveSnapshots()
+	maxDpo := 0.0
+	for _, s := range snaps {
+		if d := s.DollarPerOp(base); d > maxDpo && !math.IsNaN(d) && !math.IsInf(d, 0) {
+			maxDpo = d
+		}
+	}
+	for i, s := range snaps {
+		n := 300
+		if d := s.DollarPerOp(base); d > 0 && maxDpo > 0 {
+			if n = int(300 * maxDpo / d); n < 50 {
+				n = 50
+			} else if n > 3000 {
+				n = 3000
+			}
+		}
+		hammerN(t, r, m.Entries[i].Slot, keys, n)
+	}
+}
+
+// TestRebalancerSplitsHotShard: one shard carrying an outsized spend
+// share is split at its midpoint; then the trigger disarms, cools down,
+// re-arms on a calm window, and can fire again.
+func TestRebalancerSplitsHotShard(t *testing.T) {
+	const keys = 200
+	base := core.PaperCosts()
+	r := newTestRouter(t, 4, withRegistry)
+	ctx := testCtx()
+
+	b, err := r.NewRebalancer(RebalanceConfig{
+		Base: base, HighFactor: 2.0, LowFactor: 1.9,
+	})
+	if err != nil {
+		t.Fatalf("NewRebalancer: %v", err)
+	}
+	// Seed the window baseline before any traffic exists.
+	if act, err := b.Step(ctx); err != nil || act != nil {
+		t.Fatalf("seed step = (%+v, %v), want (nil, nil)", act, err)
+	}
+
+	loadKeys(t, r, keys)
+	hammer(t, r, 1, keys, 100)
+	act, err := b.Step(ctx)
+	if err != nil {
+		t.Fatalf("hot step: %v", err)
+	}
+	if act == nil || act.Kind != "split" || act.Slot != 1 || act.With != -1 {
+		t.Fatalf("hot step action = %+v, want split of shard 1", act)
+	}
+	if act.Share <= act.Fair*b.cfg.HighFactor {
+		t.Fatalf("action share %.3f not past the band %.3f", act.Share, act.Fair*b.cfg.HighFactor)
+	}
+	if r.Shards() != 5 || r.MapEpoch() != 1 {
+		t.Fatalf("post-split shards=%d epoch=%d", r.Shards(), r.MapEpoch())
+	}
+	if b.armed {
+		t.Fatal("trigger still armed right after a split")
+	}
+
+	// Default cooldown is 2 steps: even sustained heat does nothing yet.
+	hammer(t, r, 0, keys, 30)
+	for i := 0; i < 2; i++ {
+		if act, err := b.Step(ctx); err != nil || act != nil {
+			t.Fatalf("cooldown step %d = (%+v, %v), want (nil, nil)", i, act, err)
+		}
+	}
+	// Out of cooldown but disarmed: a calm window re-arms without acting.
+	calmWindow(t, r, keys, base)
+	if act, err := b.Step(ctx); err != nil || act != nil {
+		t.Fatalf("disarmed step = (%+v, %v), want (nil, nil)", act, err)
+	}
+	if !b.armed {
+		t.Fatal("calm window did not re-arm the trigger")
+	}
+	// Armed again: a window where only shard 0 spends must split it.
+	hammer(t, r, 0, keys, 30)
+	act, err = b.Step(ctx)
+	if err != nil || act == nil || act.Kind != "split" || act.Slot != 0 {
+		t.Fatalf("re-armed hot step = (%+v, %v), want split of shard 0", act, err)
+	}
+}
+
+// TestRebalancerMergesColdPairWithSeenGuard: after a split, the
+// zero-traffic children become merge candidates only once observed for a
+// full window — never merged back on sight.
+func TestRebalancerMergesColdPairWithSeenGuard(t *testing.T) {
+	const keys = 200
+	r := newTestRouter(t, 2, withRegistry)
+	ctx := testCtx()
+
+	b, err := r.NewRebalancer(RebalanceConfig{
+		Base:     core.PaperCosts(),
+		Cooldown: -1, // disable: this test isolates the seen guard
+	})
+	if err != nil {
+		t.Fatalf("NewRebalancer: %v", err)
+	}
+	if act, err := b.Step(ctx); err != nil || act != nil {
+		t.Fatalf("seed step = (%+v, %v)", act, err)
+	}
+
+	loadKeys(t, r, keys)
+	hammer(t, r, 1, keys, 100)
+	act, err := b.Step(ctx)
+	if err != nil || act == nil || act.Kind != "split" || act.Slot != 1 {
+		t.Fatalf("hot step = (%+v, %v), want split of shard 1", act, err)
+	}
+	low, high := 2, 3 // slots minted by the split of a 2-shard router
+
+	// Window 1 after the split: only shard 0 spends, so the children's
+	// combined share is 0 — but they are unseen, so no merge yet.
+	hammer(t, r, 0, keys, 5)
+	if act, err := b.Step(ctx); err != nil || act != nil {
+		t.Fatalf("unseen-children step = (%+v, %v), want (nil, nil)", act, err)
+	}
+
+	// Window 2: the children have now been observed for a full window;
+	// the same cold signal merges them back.
+	hammer(t, r, 0, keys, 5)
+	act, err = b.Step(ctx)
+	if err != nil {
+		t.Fatalf("cold step: %v", err)
+	}
+	if act == nil || act.Kind != "merge" || act.Slot != low || act.With != high {
+		t.Fatalf("cold step action = %+v, want merge of %d+%d", act, low, high)
+	}
+	if r.Shards() != 2 || r.MapEpoch() != 2 {
+		t.Fatalf("post-merge shards=%d epoch=%d", r.Shards(), r.MapEpoch())
+	}
+}
+
+// TestRollupSkipsZeroOpsShards: a freshly split shard with no traffic
+// contributes neither weight nor a divide-by-zero to the fleet $/op and
+// breakeven means.
+func TestRollupSkipsZeroOpsShards(t *testing.T) {
+	base := core.PaperCosts()
+	busy := obs.CostSnapshot{Store: "shard0", Ops: 1000, Hits: 900, Misses: 100,
+		F: 0.1, ROPS: 50, DeviceReads: 100, BytesRead: 4096}
+	idle := obs.CostSnapshot{Store: "shard7"} // zero ops, zero everything
+	fleet := Rollup([]obs.CostSnapshot{busy, idle}, base)
+
+	if fleet.Shards != 2 || fleet.Ops != 1000 {
+		t.Fatalf("fleet shards=%d ops=%d", fleet.Shards, fleet.Ops)
+	}
+	if math.IsNaN(fleet.DollarPerOp) || math.IsInf(fleet.DollarPerOp, 0) {
+		t.Fatalf("fleet $/op = %v", fleet.DollarPerOp)
+	}
+	if math.IsNaN(fleet.BreakevenSec) || math.IsInf(fleet.BreakevenSec, 0) {
+		t.Fatalf("fleet breakeven = %v", fleet.BreakevenSec)
+	}
+	// The zero-ops shard must not dilute the weighted means: the fleet
+	// numbers equal the busy shard's own.
+	if want := busy.DollarPerOp(base); fleet.DollarPerOp != want {
+		t.Fatalf("fleet $/op %v diluted from %v by a zero-ops shard", fleet.DollarPerOp, want)
+	}
+	if want := busy.BreakevenInterval(base); fleet.BreakevenSec != want {
+		t.Fatalf("fleet breakeven %v diluted from %v", fleet.BreakevenSec, want)
+	}
+
+	// All-idle fleet: defined zeros, no NaN.
+	empty := Rollup([]obs.CostSnapshot{idle, {Store: "shard8"}}, base)
+	if empty.DollarPerOp != 0 || empty.BreakevenSec != 0 {
+		t.Fatalf("idle fleet = %v/%v, want zeros", empty.DollarPerOp, empty.BreakevenSec)
+	}
+	// The rendered table guards the same way per row.
+	_ = fleet.Table(base)
+	_ = empty.Table(base)
+}

@@ -27,6 +27,12 @@ type FleetCost struct {
 	// DollarPerOp is the ops-weighted mean of the per-shard live $/op
 	// (zero when no shard completed an operation).
 	DollarPerOp float64
+	// BreakevenSec is the ops-weighted mean of the per-shard five-minute-
+	// rule breakeven interval, over the shards that completed operations.
+	// A zero-ops shard — freshly split, no traffic yet — contributes
+	// neither weight nor value: its per-op ratios are undefined, and
+	// folding it in as zero would skew the fleet toward "cache nothing".
+	BreakevenSec float64
 
 	// PerShard keeps the inputs for attribution, in input order.
 	PerShard []obs.CostSnapshot
@@ -35,7 +41,8 @@ type FleetCost struct {
 // Rollup folds per-shard snapshots into the fleet view under base costs.
 func Rollup(snaps []obs.CostSnapshot, base core.Costs) FleetCost {
 	f := FleetCost{Shards: len(snaps), PerShard: snaps}
-	var weighted float64
+	var weighted, beWeighted float64
+	var rated int64
 	for _, s := range snaps {
 		f.Ops += s.Ops
 		f.Errors += s.Errors
@@ -45,12 +52,18 @@ func Rollup(snaps []obs.CostSnapshot, base core.Costs) FleetCost {
 		f.BytesRead += s.BytesRead
 		f.BytesWritten += s.BytesWritten
 		f.ShipBytes += s.ShipBytes
+		// Per-op ratios are only defined for shards that completed
+		// operations; the Ops > 0 guard keeps a zero-ops shard from
+		// dividing by zero or dragging the weighted means.
 		if s.Ops > 0 {
 			weighted += float64(s.Ops) * s.DollarPerOp(base)
+			beWeighted += float64(s.Ops) * s.BreakevenInterval(base)
+			rated += s.Ops
 		}
 	}
-	if f.Ops > 0 {
-		f.DollarPerOp = weighted / float64(f.Ops)
+	if rated > 0 {
+		f.DollarPerOp = weighted / float64(rated)
+		f.BreakevenSec = beWeighted / float64(rated)
 	}
 	return f
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,14 +20,15 @@ import (
 
 // Config builds a Router.
 type Config struct {
-	// Shards is the number of hash partitions (required, >= 1). The count
-	// is fixed for the router's lifetime; migration moves a shard to a
-	// new owner, it does not resize the map.
+	// Shards is the number of initial hash-range partitions (required,
+	// >= 1). The count is elastic for the router's lifetime: Split and
+	// Merge resize the map, Migrate moves one shard to a new owner.
 	Shards int
 
 	// NewDC builds a fresh data component for one shard replica. Nil
 	// defaults to NewMassDC. It is called once per plain shard, twice per
-	// replicated shard (primary + standby), and once per migration target.
+	// replicated shard (primary + standby), and once per migration or
+	// resize target.
 	NewDC func(shard int) tc.DataComponent
 	// NewLog builds a fresh recovery-log device with the given name. Nil
 	// defaults to a fast plain ssd.Device; pass a constructor returning
@@ -56,20 +58,29 @@ type Config struct {
 	// waits for the new owner to install before ErrMoved escapes to the
 	// caller (default 2s).
 	CutoverWait time.Duration
+	// MovedRetryBase/MovedRetryMax shape the jittered exponential backoff
+	// between a moved operation's re-dispatches — the same
+	// d = min(base<<n, max), uniform [d/2, d] shape the engine's breaker
+	// probes and the wire client use, so a cutover waking hundreds of
+	// parked writers does not re-dispatch them as one thundering herd
+	// (defaults 100us / 5ms).
+	MovedRetryBase time.Duration
+	MovedRetryMax  time.Duration
 	// FailFastScans makes scatter-gather scans return the first shard
 	// failure instead of merging the survivors and reporting a
 	// *PartialScanError.
 	FailFastScans bool
 
 	// Registry, when non-nil, traces every shard into its own named
-	// tracer ("shard0".."shardN-1"): per-shard CostSnapshots that
-	// Rollup folds into a fleet-level $/op table. Each shard's log
-	// devices report their physical I/O to the same tracer.
+	// tracer ("shard<slot>"): per-shard CostSnapshots that Rollup folds
+	// into a fleet-level $/op table. Each shard's log devices report
+	// their physical I/O to the same tracer.
 	Registry *obs.Registry
 
 	// LogBufferBytes passes through to each shard's TC (0 = tc default).
 	LogBufferBytes int
-	// Seed seeds per-shard jitter (breaker probes, ship backoff).
+	// Seed seeds per-shard jitter (breaker probes, ship backoff, moved
+	// re-dispatch).
 	Seed int64
 }
 
@@ -85,21 +96,26 @@ type Stats struct {
 	// PartialScans counts scatter-gather scans that returned a
 	// *PartialScanError.
 	PartialScans metrics.Counter
-	// Fences counts owners fenced by migrations; Migrations counts
-	// completed cutovers.
+	// Fences counts owners fenced by migrations and resizes; Migrations
+	// counts completed single-shard cutovers; Splits and Merges count
+	// completed resizes.
 	Fences     metrics.Counter
 	Migrations metrics.Counter
+	Splits     metrics.Counter
+	Merges     metrics.Counter
 }
 
 // owner is one shard's current backing instance. A migration builds a new
-// owner at gen+1 and atomically replaces the old one, whose fenced flag
-// stays set forever — its generation can never become current again.
+// owner at gen+1 and atomically replaces the old one; a resize retires
+// the source owners entirely and mints fresh slots. Either way the
+// replaced owner's fenced flag stays set forever — its generation can
+// never become current again.
 type owner struct {
 	shard int
 	gen   uint64
 
 	eng     *engine.Engine
-	tc      *tc.TC        // plain shards (migration source/target)
+	tc      *tc.TC        // plain shards (migration/resize source/target)
 	cluster *repl.Cluster // replicated shards
 	log     ssd.Dev       // plain shards: the recovery-log device
 
@@ -129,30 +145,47 @@ func (o *owner) health() *metrics.Health {
 	return &o.tc.Stats().Health
 }
 
-// slot is one entry of the shard map.
-type slot struct {
-	cur  atomic.Pointer[owner]
-	wake chan struct{} // closed+replaced on install (guarded by Router.mu)
+// table is one immutable routing state: the placement map plus the live
+// owner of every slot the map names. Installs build a new table and swap
+// the pointer; readers route through whatever table they loaded without
+// locks.
+type table struct {
+	m      *Map
+	owners map[int]*owner
 }
 
-// Router hash-partitions keys across independent shards. It satisfies
-// engine.Store (and therefore wire.Backend), so everything that fronts a
-// single store can front a fleet unchanged.
+// clone copies the table for mutation at epoch+1.
+func (t *table) clone(m *Map) *table {
+	owners := make(map[int]*owner, len(t.owners))
+	for id, o := range t.owners {
+		owners[id] = o
+	}
+	return &table{m: m, owners: owners}
+}
+
+// Router hash-partitions keys across independent shards by an
+// epoch-versioned range map. It satisfies engine.Store (and therefore
+// wire.Backend), so everything that fronts a single store can front a
+// fleet unchanged — and the fleet can change shape underneath it.
 type Router struct {
-	cfg   Config
-	slots []*slot
+	cfg Config
+	tab atomic.Pointer[table]
 
-	mu        sync.Mutex
-	retired   []*owner     // fenced ex-owners kept alive for audits; closed on Close
-	migrating map[int]bool // shards with a migration in flight
-	closed    bool
+	mu       sync.Mutex
+	wake     chan struct{} // closed+replaced on every install
+	retired  []*owner      // fenced ex-owners kept alive for audits; closed on Close
+	resizing map[int]bool  // slots with a migration or resize in flight
+	nextSlot int           // next fresh slot number a resize mints
+	closed   bool
 
-	mapEpoch atomic.Uint64 // bumped on every install; crosses the wire in MOVED
-	stats    Stats
-	health   metrics.Health // router-level: latches only if every shard is degraded
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stats  Stats
+	health metrics.Health // router-level: latches only if every shard is degraded
 }
 
-// New builds the router and its shards.
+// New builds the router and its shards under the even epoch-0 map.
 func New(cfg Config) (*Router, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", cfg.Shards)
@@ -168,22 +201,37 @@ func New(cfg Config) (*Router, error) {
 	if cfg.CutoverWait <= 0 {
 		cfg.CutoverWait = 2 * time.Second
 	}
+	if cfg.MovedRetryBase <= 0 {
+		cfg.MovedRetryBase = 100 * time.Microsecond
+	}
+	if cfg.MovedRetryMax < cfg.MovedRetryBase {
+		cfg.MovedRetryMax = 5 * time.Millisecond
+		if cfg.MovedRetryMax < cfg.MovedRetryBase {
+			cfg.MovedRetryMax = cfg.MovedRetryBase
+		}
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	r := &Router{cfg: cfg, migrating: map[int]bool{}}
-	r.slots = make([]*slot, cfg.Shards)
-	for i := range r.slots {
-		r.slots[i] = &slot{wake: make(chan struct{})}
+	r := &Router{
+		cfg:      cfg,
+		wake:     make(chan struct{}),
+		resizing: map[int]bool{},
+		nextSlot: cfg.Shards,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x7e1a57)),
+	}
+	t := &table{m: NewEvenMap(cfg.Shards), owners: make(map[int]*owner, cfg.Shards)}
+	for i := 0; i < cfg.Shards; i++ {
 		o, err := r.newOwner(i, 1)
 		if err != nil {
-			for j := 0; j < i; j++ {
-				r.slots[j].cur.Load().eng.Close()
+			for _, built := range t.owners {
+				built.eng.Close()
 			}
 			return nil, err
 		}
-		r.slots[i].cur.Store(o)
+		t.owners[i] = o
 	}
+	r.tab.Store(t)
 	return r, nil
 }
 
@@ -264,34 +312,67 @@ func (r *Router) newOwner(shard int, gen uint64) (*owner, error) {
 	return o, nil
 }
 
-// Shards reports the shard count; MapEpoch the installs so far. Together
-// they are the shard map a MOVED response teaches wire clients.
-func (r *Router) Shards() int      { return len(r.slots) }
-func (r *Router) MapEpoch() uint64 { return r.mapEpoch.Load() }
+// Shards reports the live shard count (elastic: splits grow it, merges
+// shrink it); MapEpoch the map version. Together with the placement
+// table they are what a MOVED response teaches wire clients.
+func (r *Router) Shards() int      { return len(r.tab.Load().m.Entries) }
+func (r *Router) MapEpoch() uint64 { return r.tab.Load().m.Epoch }
 func (r *Router) Stats() *Stats    { return &r.stats }
 
+// Map returns the live placement map. The map is immutable; callers may
+// hold it, encode it, or diff it against a later one to measure key
+// movement.
+func (r *Router) Map() *Map { return r.tab.Load().m }
+
 // ShardMap implements the optional wire ShardMapper capability: the
-// server attaches (epoch, shards) to every MOVED status so clients learn
-// the new map without an extra round trip.
-func (r *Router) ShardMap() (epoch uint64, shards int) {
-	return r.mapEpoch.Load(), len(r.slots)
-}
+// server attaches the full epoch-numbered placement table to every MOVED
+// status so clients re-learn the map mid-resize without an extra round
+// trip.
+func (r *Router) ShardMap() *Map { return r.tab.Load().m }
+
+// SlotOfKey routes a key under the live map (tests and fleet-aware
+// callers; SlotOf covers the static pre-resize placement).
+func (r *Router) SlotOfKey(key []byte) int { return r.tab.Load().m.SlotOfKey(key) }
 
 // ShardHealth returns the health latch of one shard's current owner —
-// the per-shard fault-domain view (a degraded shard is 1/N of the keys).
+// the per-shard fault-domain view — or nil if the slot is not in the
+// live map.
 func (r *Router) ShardHealth(shard int) *metrics.Health {
-	return r.slots[shard].cur.Load().health()
+	if o := r.tab.Load().owners[shard]; o != nil {
+		return o.health()
+	}
+	return nil
 }
 
 // Engine exposes one shard's engine front-end (stats, direct access for
-// harnesses that fault a single shard).
+// harnesses that fault a single shard); nil if the slot is not live.
 func (r *Router) Engine(shard int) *engine.Engine {
-	return r.slots[shard].cur.Load().eng
+	if o := r.tab.Load().owners[shard]; o != nil {
+		return o.eng
+	}
+	return nil
 }
 
-// Cluster exposes one shard's replicated cluster (nil for plain shards).
+// Cluster exposes one shard's replicated cluster (nil for plain shards
+// and slots not in the live map).
 func (r *Router) Cluster(shard int) *repl.Cluster {
-	return r.slots[shard].cur.Load().cluster
+	if o := r.tab.Load().owners[shard]; o != nil {
+		return o.cluster
+	}
+	return nil
+}
+
+// ShardSnapshot returns one live shard's cost snapshot (zero, false
+// without a registry or for a slot not in the map). The rebalancer polls
+// these into its decision window.
+func (r *Router) ShardSnapshot(shard int) (obs.CostSnapshot, bool) {
+	if r.cfg.Registry == nil {
+		return obs.CostSnapshot{}, false
+	}
+	if !r.tab.Load().m.HasSlot(shard) {
+		return obs.CostSnapshot{}, false
+	}
+	return r.tracer(shard).Snapshot(), true
 }
 
 // Health implements engine.Store. The router's own latch never trips —
@@ -299,42 +380,63 @@ func (r *Router) Cluster(shard int) *repl.Cluster {
 // the router is open; per-shard state is in ShardHealth.
 func (r *Router) Health() *metrics.Health { return &r.health }
 
-// cur returns a shard's current owner.
-func (r *Router) cur(shard int) *owner { return r.slots[shard].cur.Load() }
-
-// awaitInstall blocks until the shard's owner generation passes gen, the
-// cutover wait elapses, or ctx ends.
-func (r *Router) awaitInstall(ctx context.Context, shard int, gen uint64) error {
+// awaitInstall blocks until the map epoch passes the one the caller
+// routed under, the cutover wait elapses, or ctx ends.
+func (r *Router) awaitInstall(ctx context.Context, epoch uint64) error {
 	timer := time.NewTimer(r.cfg.CutoverWait)
 	defer timer.Stop()
 	for {
-		s := r.slots[shard]
 		r.mu.Lock()
-		wake := s.wake
+		wake := r.wake
 		r.mu.Unlock()
-		if s.cur.Load().gen > gen {
+		if r.tab.Load().m.Epoch > epoch {
 			return nil
 		}
 		select {
 		case <-wake:
 		case <-timer.C:
 			r.stats.CutoverTimeouts.Inc()
-			return fmt.Errorf("shard %d cutover not installed within %v: %w",
-				shard, r.cfg.CutoverWait, ErrMoved)
+			return fmt.Errorf("cutover not installed within %v: %w",
+				r.cfg.CutoverWait, ErrMoved)
 		case <-ctx.Done():
 			return ctx.Err()
 		}
 	}
 }
 
-// do routes one operation to the key's shard and absorbs the two races a
-// live migration creates: a fenced owner rejecting the op with ErrMoved,
-// and a retired owner closed under the op. Both retry transparently
-// against the newly installed owner.
+// movedBackoff sleeps the jittered exponential interval before a moved
+// operation re-dispatches: d = min(base<<(attempt-1), max), drawn
+// uniformly from [d/2, d] — the shape the engine's breaker probes and
+// the wire client already use.
+func (r *Router) movedBackoff(ctx context.Context, attempt int) error {
+	d := r.cfg.MovedRetryBase << (attempt - 1)
+	if d <= 0 || d > r.cfg.MovedRetryMax {
+		d = r.cfg.MovedRetryMax
+	}
+	half := d / 2
+	r.rngMu.Lock()
+	jittered := half + time.Duration(r.rng.Int63n(int64(half)+1))
+	r.rngMu.Unlock()
+	timer := time.NewTimer(jittered)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do routes one operation to the key's shard and absorbs the races a
+// live migration or resize creates: a fenced owner rejecting the op with
+// ErrMoved, and a retired owner closed under the op. Both wait for the
+// next map install and retry against the new placement, with jittered
+// exponential backoff between re-dispatches.
 func (r *Router) do(ctx context.Context, key []byte, write bool, op func(o *owner) error) error {
-	shard := SlotOf(key, len(r.slots))
-	for {
-		o := r.cur(shard)
+	h := Hash(key)
+	for attempt := 1; ; attempt++ {
+		t := r.tab.Load()
+		o := t.owners[t.m.Slot(h)]
 		if write {
 			o.inflight.Add(1)
 		}
@@ -347,8 +449,11 @@ func (r *Router) do(ctx context.Context, key []byte, write bool, op func(o *owne
 			return nil
 		case errorsIsMovedOrRetired(err):
 			r.stats.MovedRetries.Inc()
-			if werr := r.awaitInstall(ctx, shard, o.gen); werr != nil {
+			if werr := r.awaitInstall(ctx, t.m.Epoch); werr != nil {
 				return werr
+			}
+			if berr := r.movedBackoff(ctx, attempt); berr != nil {
+				return berr
 			}
 			continue
 		default:
@@ -383,31 +488,90 @@ func (r *Router) Delete(ctx context.Context, key []byte) error {
 	return r.do(ctx, key, true, func(o *owner) error { return o.eng.Delete(ctx, key) })
 }
 
-// install makes o the shard's current owner (the migration cutover) and
-// wakes every operation parked in awaitInstall. The replaced owner stays
-// fenced and alive — audits can still prove its commits are rejected —
-// until the router closes.
-func (r *Router) install(shard int, o *owner) {
+// finishInstall publishes the new table and wakes every operation parked
+// in awaitInstall. Callers hold r.mu. Replaced owners stay fenced and
+// alive — audits can still prove their commits are rejected — until the
+// router closes.
+func (r *Router) finishInstall(t *table, retire ...*owner) {
+	r.retired = append(r.retired, retire...)
+	r.tab.Store(t)
+	close(r.wake)
+	r.wake = make(chan struct{})
+}
+
+// installOwner is the migration cutover: same slot, new owner generation,
+// epoch+1.
+func (r *Router) installOwner(slot int, o *owner) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := r.slots[shard]
-	old := s.cur.Load()
-	r.retired = append(r.retired, old)
-	s.cur.Store(o)
-	close(s.wake)
-	s.wake = make(chan struct{})
-	r.mapEpoch.Add(1)
+	cur := r.tab.Load()
+	t := cur.clone(cur.m.withEpochBump())
+	old := t.owners[slot]
+	t.owners[slot] = o
+	r.finishInstall(t, old)
 	r.stats.Migrations.Inc()
-	delete(r.migrating, shard)
+	delete(r.resizing, slot)
+}
+
+// installSplit is the split cutover: the source slot's entry becomes two
+// entries owned by the freshly minted low/high slots, the source owner is
+// retired, epoch+1.
+func (r *Router) installSplit(srcSlot int, at uint64, low, high *owner) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.tab.Load()
+	t := cur.clone(cur.m.withSplit(srcSlot, at, low.shard, high.shard))
+	old := t.owners[srcSlot]
+	delete(t.owners, srcSlot)
+	t.owners[low.shard] = low
+	t.owners[high.shard] = high
+	r.finishInstall(t, old)
+	r.stats.Splits.Inc()
+	delete(r.resizing, srcSlot)
+}
+
+// installMerge is the merge cutover: the two adjacent source entries
+// become one entry owned by the freshly minted slot, both source owners
+// are retired, epoch+1.
+func (r *Router) installMerge(leftSlot, rightSlot int, merged *owner) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.tab.Load()
+	t := cur.clone(cur.m.withMerge(leftSlot, rightSlot, merged.shard))
+	left, right := t.owners[leftSlot], t.owners[rightSlot]
+	delete(t.owners, leftSlot)
+	delete(t.owners, rightSlot)
+	t.owners[merged.shard] = merged
+	r.finishInstall(t, left, right)
+	r.stats.Merges.Inc()
+	delete(r.resizing, leftSlot)
+	delete(r.resizing, rightSlot)
 }
 
 // Snapshots returns the per-shard cost snapshots (nil without a
-// registry); feed them to Rollup for the fleet-level $/op view.
+// registry); feed them to Rollup for the fleet-level $/op view. The
+// registry accumulates tracers across resizes, so retired slots' rows
+// remain until the registry is reset.
 func (r *Router) Snapshots() []obs.CostSnapshot {
 	if r.cfg.Registry == nil {
 		return nil
 	}
 	return r.cfg.Registry.Snapshots()
+}
+
+// LiveSnapshots returns cost snapshots for the live slots only, in hash
+// order — the rebalancer's view (retired slots can no longer be acted
+// on).
+func (r *Router) LiveSnapshots() []obs.CostSnapshot {
+	if r.cfg.Registry == nil {
+		return nil
+	}
+	t := r.tab.Load()
+	out := make([]obs.CostSnapshot, 0, len(t.m.Entries))
+	for _, e := range t.m.Entries {
+		out = append(out, r.tracer(e.Slot).Snapshot())
+	}
+	return out
 }
 
 // Close shuts every shard (current and retired owners) down.
@@ -428,8 +592,8 @@ func (r *Router) Close() error {
 			first = err
 		}
 	}
-	for _, s := range r.slots {
-		if err := s.cur.Load().eng.Close(); err != nil && first == nil {
+	for _, o := range r.tab.Load().owners {
+		if err := o.eng.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

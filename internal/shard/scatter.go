@@ -57,7 +57,14 @@ type scanItem struct{ k, v []byte }
 // choice via Config.FailFastScans: fail on the first shard error, or
 // deliver the surviving shards' data and return a *PartialScanError.
 func (r *Router) Scan(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
-	n := len(r.slots)
+	// Snapshot the routing table: the scan's unit of work is one hash
+	// range of THIS map, not a slot number. A resize installing mid-scan
+	// cannot make a range disappear — its snapshot owner stays alive
+	// (retired owners close only with the router), and a range whose
+	// owner does go away retries against whichever current owner covers
+	// it, or reports the range in the *PartialScanError.
+	t := r.tab.Load()
+	n := len(t.m.Entries)
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -69,7 +76,7 @@ func (r *Router) Scan(ctx context.Context, start []byte, limit int, fn func(k, v
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = r.scanShard(sctx, i, start, limit, chans[i])
+			errs[i] = r.scanEntry(sctx, t, i, start, limit, chans[i])
 			close(chans[i])
 		}(i)
 	}
@@ -123,7 +130,7 @@ func (r *Router) Scan(ctx context.Context, start []byte, limit int, fn func(k, v
 			// merge on the first shard that went down mid-scan.
 			if r.cfg.FailFastScans && errs[min] != nil && ctx.Err() == nil {
 				settle()
-				return fmt.Errorf("shard %d scan: %w", min, errs[min])
+				return fmt.Errorf("shard %d scan: %w", t.m.Entries[min].Slot, errs[min])
 			}
 		}
 	}
@@ -141,7 +148,7 @@ func (r *Router) Scan(ctx context.Context, start []byte, limit int, fn func(k, v
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		failed = append(failed, ShardError{Shard: i, Err: err})
+		failed = append(failed, ShardError{Shard: t.m.Entries[i].Slot, Err: err})
 	}
 	if len(failed) == 0 {
 		return nil
@@ -153,24 +160,49 @@ func (r *Router) Scan(ctx context.Context, start []byte, limit int, fn func(k, v
 	return &PartialScanError{Failed: failed}
 }
 
-// scanShard runs one shard's ordered scan, pushing copied pairs into out
-// until the shard range is exhausted, limit pairs have been sent, or ctx
-// ends. Failures racing a migration cutover retry on the new owner.
-func (r *Router) scanShard(ctx context.Context, shard int, start []byte, limit int, out chan<- scanItem) error {
+// scanEntry runs one hash range's ordered scan, pushing copied pairs
+// into out until the range is exhausted, limit pairs have been sent, or
+// ctx ends. The first attempt reads the range's owner under the
+// snapshotted table; a failure racing a migration or resize re-resolves
+// the SAME hash range against the current table — on the slot's new
+// owner, or on a merged owner covering a superset (filtered back down to
+// the range) — so a resize can delay a range's data but never silently
+// drop it. A range a split has since divided across two new owners
+// cannot be served by one ordered stream; it surfaces as that range's
+// ShardError inside the typed *PartialScanError.
+func (r *Router) scanEntry(ctx context.Context, t *table, idx int, start []byte, limit int, out chan<- scanItem) error {
+	lo, hi := t.m.Range(idx)
+	o := t.owners[t.m.Entries[idx].Slot]
+	exact := true // owner's range is exactly [lo, hi)
 	for attempt := 0; ; attempt++ {
-		o := r.cur(shard)
 		sent := 0
-		err := o.eng.Scan(ctx, start, limit, func(k, v []byte) bool {
+		eff := limit
+		if !exact {
+			// A superset owner: its engine-level limit would count keys
+			// outside [lo, hi), so the cap moves into the callback.
+			eff = 0
+		}
+		err := o.eng.Scan(ctx, start, eff, func(k, v []byte) bool {
+			if !InRange(Hash(k), lo, hi) {
+				return true
+			}
 			it := scanItem{k: append([]byte(nil), k...), v: append([]byte(nil), v...)}
 			select {
 			case out <- it:
 				sent++
-				return true
+				return limit <= 0 || sent < limit
 			case <-ctx.Done():
 				return false
 			}
 		})
 		if err != nil && sent == 0 && attempt < 2 && errorsIsMovedOrRetired(err) {
+			cur := r.tab.Load()
+			no, cover := coveringOwner(cur, lo, hi)
+			if no == nil {
+				return fmt.Errorf("hash range [%#x, %#x) now split across new owners, rescan under map epoch %d: %w",
+					lo, hi, cur.m.Epoch, ErrMoved)
+			}
+			o, exact = no, cover
 			continue
 		}
 		if err == nil && ctx.Err() != nil {
@@ -178,4 +210,16 @@ func (r *Router) scanShard(ctx context.Context, shard int, start []byte, limit i
 		}
 		return err
 	}
+}
+
+// coveringOwner resolves the current owner whose range contains all of
+// [lo, hi), reporting whether the cover is exact. Nil when the range now
+// spans more than one owner (it was split).
+func coveringOwner(t *table, lo, hi uint64) (o *owner, exact bool) {
+	i := t.m.EntryIndex(lo)
+	elo, ehi := t.m.Range(i)
+	if elo > lo || (ehi != 0 && (hi == 0 || hi > ehi)) {
+		return nil, false
+	}
+	return t.owners[t.m.Entries[i].Slot], elo == lo && ehi == hi
 }

@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectEntry drains one scanEntry call into a map, returning the
+// entry's error.
+func collectEntry(r *Router, t *table, idx int) (map[string]string, error) {
+	ch := make(chan scanItem, 64)
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer close(ch)
+		err = r.scanEntry(context.Background(), t, idx, nil, 0, ch)
+	}()
+	out := map[string]string{}
+	for it := range ch {
+		out[string(it.k)] = string(it.v)
+	}
+	<-done
+	return out, err
+}
+
+// TestScanEntryRetriesOnMergedCover: a scan holding a pre-merge table
+// loses its owner mid-flight; the retry resolves the merged slot — a
+// SUPERSET of the stale range — and filters it back down to exactly the
+// stale entry's hash range. No duplicates, no leakage from the sibling.
+func TestScanEntryRetriesOnMergedCover(t *testing.T) {
+	r := newTestRouter(t, 4, nil)
+	want := loadKeys(t, r, 300)
+	ctx := testCtx()
+
+	s, err := r.Split(SplitConfig{Shard: 1})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if err := s.Run(ctx); err != nil {
+		t.Fatalf("split run: %v", err)
+	}
+	low, high := s.Slots()
+
+	stale := r.tab.Load() // post-split table: children live
+	m, err := r.Merge(MergeConfig{Left: low, Right: high})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := m.Run(ctx); err != nil {
+		t.Fatalf("merge run: %v", err)
+	}
+	// Simulate the stale owners dying under the scan (a crashed process
+	// would take them with it; in-process they are merely retired).
+	stale.owners[low].eng.Close()
+	stale.owners[high].eng.Close()
+
+	idx := stale.m.indexOfSlot(low)
+	lo, hi := stale.m.Range(idx)
+	got, err := collectEntry(r, stale, idx)
+	if err != nil {
+		t.Fatalf("scanEntry over merged cover: %v", err)
+	}
+	expect := map[string]string{}
+	for k, v := range want {
+		if InRange(Hash([]byte(k)), lo, hi) {
+			expect[k] = v
+		}
+	}
+	if len(expect) == 0 {
+		t.Fatal("no keys hash into the stale child's range; test is vacuous")
+	}
+	sameKV(t, got, expect, "merged-cover retry")
+}
+
+// TestScanEntrySplitRangeReportsTyped: when the stale entry's range is
+// now SPLIT across new owners, no single engine covers it; the entry
+// must fail with an ErrMoved-classified error naming the range — never
+// return a silently truncated stream.
+func TestScanEntrySplitRangeReportsTyped(t *testing.T) {
+	r := newTestRouter(t, 4, nil)
+	loadKeys(t, r, 200)
+	ctx := testCtx()
+
+	stale := r.tab.Load() // epoch-0 table
+	s, err := r.Split(SplitConfig{Shard: 1})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if err := s.Run(ctx); err != nil {
+		t.Fatalf("split run: %v", err)
+	}
+	stale.owners[1].eng.Close() // the parent died with its process
+
+	idx := stale.m.indexOfSlot(1)
+	got, err := collectEntry(r, stale, idx)
+	if !errors.Is(err, ErrMoved) {
+		t.Fatalf("scanEntry over split range = %v, want ErrMoved classification", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("split-range entry leaked %d items before failing", len(got))
+	}
+}
+
+// TestScanRacingResizeNeverDropsSilently hammers full scatter scans
+// while a split and a merge install new maps underneath. Every scan must
+// either fail loudly (a classified error) or deliver the complete,
+// correct key set — a quietly truncated result is the one forbidden
+// outcome.
+func TestScanRacingResizeNeverDropsSilently(t *testing.T) {
+	const keys = 200
+	r := newTestRouter(t, 4, nil)
+	want := loadKeys(t, r, keys)
+	ctx := testCtx()
+
+	var (
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+		scans atomic.Int64
+	)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				got := map[string]string{}
+				err := r.Scan(ctx, nil, 0, func(k, v []byte) bool {
+					got[string(k)] = string(v)
+					return true
+				})
+				if err != nil {
+					var pse *PartialScanError
+					if !errors.As(err, &pse) && !errorsIsMovedOrRetired(err) {
+						t.Errorf("scan failed unclassified: %v", err)
+						return
+					}
+					continue // loud failure: allowed
+				}
+				scans.Add(1)
+				if len(got) != keys {
+					t.Errorf("silent drop: scan returned %d keys, want %d", len(got), keys)
+					return
+				}
+				for k, v := range want {
+					if got[k] != v {
+						t.Errorf("scan returned %q=%q, want %q", k, got[k], v)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	s, err := r.Split(SplitConfig{Shard: 2})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if err := s.Run(ctx); err != nil {
+		t.Fatalf("split run: %v", err)
+	}
+	low, high := s.Slots()
+	m, err := r.Merge(MergeConfig{Left: low, Right: high})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := m.Run(ctx); err != nil {
+		t.Fatalf("merge run: %v", err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if scans.Load() == 0 {
+		t.Fatal("no scan completed during the resize window")
+	}
+}
+
+// TestMovedBackoffShape pins the jittered exponential: attempt k draws
+// uniformly from [d/2, d] with d = min(base<<(k-1), max), and a
+// canceled context aborts the wait immediately.
+func TestMovedBackoffShape(t *testing.T) {
+	base, max := 20*time.Millisecond, 40*time.Millisecond
+	r := newTestRouter(t, 1, func(c *Config) {
+		c.MovedRetryBase = base
+		c.MovedRetryMax = max
+	})
+	for attempt, d := range map[int]time.Duration{1: base, 2: max, 3: max, 50: max} {
+		start := time.Now()
+		if err := r.movedBackoff(context.Background(), attempt); err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		el := time.Since(start)
+		if el < d/2 {
+			t.Fatalf("attempt %d slept %v, below the %v floor", attempt, el, d/2)
+		}
+		if el > d+200*time.Millisecond {
+			t.Fatalf("attempt %d slept %v, far above the %v ceiling", attempt, el, d)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.movedBackoff(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled backoff = %v, want context.Canceled", err)
+	}
+}

@@ -62,6 +62,17 @@ var (
 	ErrCatchup = errors.New("shard: migration target failed to catch up")
 	// ErrClosed is returned by operations on a closed router.
 	ErrClosed = errors.New("shard: router closed")
+	// ErrBadMap reports a shard map (typically a wire MOVED body) that
+	// failed structural validation: wrong length, unsorted ranges,
+	// duplicate slots. A damaged map is refused, never routed with.
+	ErrBadMap = errors.New("shard: malformed shard map")
+	// ErrNotAdjacent rejects a merge of two shards whose hash ranges are
+	// not contiguous — only neighbors in the placement table can merge
+	// into one range.
+	ErrNotAdjacent = errors.New("shard: shards are not hash-adjacent")
+	// ErrNoShard reports an operation naming a slot the current map does
+	// not place (retired by a resize, or never existed).
+	ErrNoShard = errors.New("shard: no such shard in the current map")
 )
 
 // fnv64 offset/prime (FNV-1a), inlined so routing needs no allocation.
@@ -70,25 +81,15 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
-// slotOf routes a key to a shard: FNV-1a over the key, mod N. The hash is
-// stable across processes and releases — the wire client and server must
-// agree on it for MOVED-style map teaching to mean anything.
-func slotOf(key []byte, n int) int {
-	h := uint64(fnvOffset64)
-	for _, b := range key {
-		h ^= uint64(b)
-		h *= fnvPrime64
-	}
-	return int(h % uint64(n))
-}
-
-// SlotOf exposes the routing hash (shard index of key among n shards) for
-// tests, benchmarks, and wire clients that want to pre-route.
+// SlotOf routes a key under the default n-shard placement: the even
+// range map an n-shard router is born with (shardmap.go). Tests,
+// benchmarks, and wire clients that pre-route use it; a router that has
+// been resized routes by its live map instead (Router.SlotOfKey).
 func SlotOf(key []byte, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	return slotOf(key, n)
+	return NewEvenMap(n).SlotOfKey(key)
 }
 
 // MassDC adapts a main-memory MassTree to tc.DataComponent (and

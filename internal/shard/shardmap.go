@@ -1,0 +1,273 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// This file is the elastic shard map: a versioned, epoch-numbered
+// placement table over the 64-bit FNV-1a hash space. Placement is by
+// range over hash values — entry i owns [Entries[i].Start,
+// Entries[i+1].Start) and the last entry runs to the top of the space —
+// so a split moves only the upper half of ONE shard's range (~1/2N of
+// the keys) and a merge moves only the two ranges it unites. The old
+// FNV-modulo placement would have reshuffled nearly every key on any
+// change of shard count; the range map is what makes resizing affordable
+// (bounded movement) and teachable (the whole table fits in a MOVED
+// response body).
+//
+// Slot numbers are stable identities, not positions: a split retires the
+// parent's slot and mints two fresh ones, a merge retires both parents
+// and mints one. A slot number therefore never changes meaning across
+// the map's history — exactly like an owner generation, it can be fenced
+// forever.
+
+// Hash is the routing hash: FNV-1a over the key, finished with a 64-bit
+// avalanche mix. Raw FNV-1a concentrates its entropy in the low bits —
+// short sequential keys land in one range of a range-partitioned map —
+// so the finalizer (the murmur3 fmix64 constants) spreads it across all
+// 64 bits before range comparison. Stable across processes and releases:
+// the wire client and server must agree on it for MOVED map teaching to
+// mean anything.
+func Hash(key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Entry is one contiguous hash range of the map: the slot owns
+// [Start, nextEntry.Start), and the last entry owns [Start, 2^64).
+type Entry struct {
+	Start uint64
+	Slot  int
+}
+
+// Map is an immutable placement table at one epoch. Mutations return new
+// maps at a higher epoch; readers hold a loaded map without locks.
+type Map struct {
+	Epoch   uint64
+	Entries []Entry
+}
+
+// MaxMapEntries bounds a decoded map's size: far above any real fleet,
+// low enough that a hostile MOVED body cannot make the client allocate
+// unbounded memory.
+const MaxMapEntries = 4096
+
+// NewEvenMap builds the epoch-0 map: n even ranges owned by slots 0..n-1.
+func NewEvenMap(n int) *Map {
+	m := &Map{Entries: make([]Entry, n)}
+	for i := 0; i < n; i++ {
+		// Start_i = floor(i * 2^64 / n), computed without overflow.
+		q, _ := bits.Div64(uint64(i), 0, uint64(n))
+		m.Entries[i] = Entry{Start: q, Slot: i}
+	}
+	return m
+}
+
+// EntryIndex returns the index of the entry owning hash h.
+func (m *Map) EntryIndex(h uint64) int {
+	// First entry with Start > h, minus one. Entries[0].Start is 0, so
+	// the result is always in range.
+	i := sort.Search(len(m.Entries), func(i int) bool { return m.Entries[i].Start > h }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Slot returns the slot owning hash h.
+func (m *Map) Slot(h uint64) int { return m.Entries[m.EntryIndex(h)].Slot }
+
+// SlotOfKey routes a key: Slot(Hash(key)).
+func (m *Map) SlotOfKey(key []byte) int { return m.Slot(Hash(key)) }
+
+// Range returns entry i's hash range [lo, hi). hi == 0 means the range
+// runs to the top of the 64-bit space (the last entry, or a map of one).
+func (m *Map) Range(i int) (lo, hi uint64) {
+	lo = m.Entries[i].Start
+	if i+1 < len(m.Entries) {
+		hi = m.Entries[i+1].Start
+	}
+	return lo, hi
+}
+
+// InRange reports whether h falls in [lo, hi), where hi == 0 means the
+// top of the hash space.
+func InRange(h, lo, hi uint64) bool {
+	return h >= lo && (hi == 0 || h < hi)
+}
+
+// RangeFrac returns the fraction of the hash space [lo, hi) covers —
+// the bounded-movement claim in measurable form.
+func RangeFrac(lo, hi uint64) float64 {
+	const full = float64(1<<63) * 2
+	if hi == 0 {
+		return (full - float64(lo)) / full
+	}
+	return float64(hi-lo) / full
+}
+
+// indexOfSlot returns the entry index owned by slot, or -1.
+func (m *Map) indexOfSlot(slot int) int {
+	for i, e := range m.Entries {
+		if e.Slot == slot {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasSlot reports whether the map has an entry owned by slot.
+func (m *Map) HasSlot(slot int) bool { return m.indexOfSlot(slot) >= 0 }
+
+// Slots returns the live slot numbers in hash order.
+func (m *Map) Slots() []int {
+	out := make([]int, len(m.Entries))
+	for i, e := range m.Entries {
+		out[i] = e.Slot
+	}
+	return out
+}
+
+// midpoint returns the hash midpoint of [lo, hi) (hi == 0 meaning 2^64).
+func midpoint(lo, hi uint64) uint64 {
+	// hi-lo is the range width even when hi == 0: 0-lo wraps to 2^64-lo.
+	return lo + (hi-lo)/2
+}
+
+// withEpochBump returns a copy at epoch+1 with the same placement (a
+// migration: same slot, new owner generation).
+func (m *Map) withEpochBump() *Map {
+	return &Map{Epoch: m.Epoch + 1, Entries: m.Entries}
+}
+
+// withSplit returns a copy at epoch+1 where the entry owned by srcSlot is
+// replaced by two entries: [lo, at) owned by lowSlot and [at, hi) owned
+// by highSlot.
+func (m *Map) withSplit(srcSlot int, at uint64, lowSlot, highSlot int) *Map {
+	idx := m.indexOfSlot(srcSlot)
+	entries := make([]Entry, 0, len(m.Entries)+1)
+	for i, e := range m.Entries {
+		if i == idx {
+			entries = append(entries, Entry{Start: e.Start, Slot: lowSlot})
+			entries = append(entries, Entry{Start: at, Slot: highSlot})
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return &Map{Epoch: m.Epoch + 1, Entries: entries}
+}
+
+// withMerge returns a copy at epoch+1 where the adjacent entries owned by
+// leftSlot and rightSlot are replaced by one entry owned by mergedSlot.
+func (m *Map) withMerge(leftSlot, rightSlot, mergedSlot int) *Map {
+	idx := m.indexOfSlot(leftSlot)
+	entries := make([]Entry, 0, len(m.Entries)-1)
+	for i, e := range m.Entries {
+		switch i {
+		case idx:
+			entries = append(entries, Entry{Start: e.Start, Slot: mergedSlot})
+		case idx + 1:
+			// rightSlot's entry, absorbed into the merged one.
+			_ = rightSlot
+		default:
+			entries = append(entries, e)
+		}
+	}
+	return &Map{Epoch: m.Epoch + 1, Entries: entries}
+}
+
+// Validate checks the map invariants: at least one entry, the first
+// starting at 0, strictly ascending starts, and unique non-negative
+// slots. Decode enforces it, so a map learned over the wire is always
+// routable.
+func (m *Map) Validate() error {
+	if len(m.Entries) == 0 {
+		return fmt.Errorf("%w: empty placement table", ErrBadMap)
+	}
+	if len(m.Entries) > MaxMapEntries {
+		return fmt.Errorf("%w: %d entries (max %d)", ErrBadMap, len(m.Entries), MaxMapEntries)
+	}
+	if m.Entries[0].Start != 0 {
+		return fmt.Errorf("%w: first range starts at %d, not 0", ErrBadMap, m.Entries[0].Start)
+	}
+	seen := make(map[int]bool, len(m.Entries))
+	for i, e := range m.Entries {
+		if i > 0 && e.Start <= m.Entries[i-1].Start {
+			return fmt.Errorf("%w: range starts not strictly ascending at entry %d", ErrBadMap, i)
+		}
+		if e.Slot < 0 {
+			return fmt.Errorf("%w: negative slot %d", ErrBadMap, e.Slot)
+		}
+		if seen[e.Slot] {
+			return fmt.Errorf("%w: slot %d owns two ranges", ErrBadMap, e.Slot)
+		}
+		seen[e.Slot] = true
+	}
+	return nil
+}
+
+// Map codec: the body of a wire MOVED response. Layout:
+//
+//	epoch(8) count(4) then count x (start(8) slot(4))
+//
+// Slots are encoded as uint32: a slot number past 2^31-1 would mean
+// billions of resizes; Decode refuses anything that does not round-trip
+// through int.
+const mapEntryLen = 8 + 4
+
+// EncodeMap serializes the map for the wire.
+func EncodeMap(m *Map) []byte {
+	b := make([]byte, 12, 12+len(m.Entries)*mapEntryLen)
+	binary.BigEndian.PutUint64(b[:8], m.Epoch)
+	binary.BigEndian.PutUint32(b[8:12], uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		var eb [mapEntryLen]byte
+		binary.BigEndian.PutUint64(eb[:8], e.Start)
+		binary.BigEndian.PutUint32(eb[8:12], uint32(e.Slot))
+		b = append(b, eb[:]...)
+	}
+	return b
+}
+
+// DecodeMap parses and validates a wire shard map. Every failure wraps
+// ErrBadMap, so a damaged MOVED body is classified, never trusted.
+func DecodeMap(b []byte) (*Map, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("%w: %d-byte body", ErrBadMap, len(b))
+	}
+	count := int(binary.BigEndian.Uint32(b[8:12]))
+	if count < 1 || count > MaxMapEntries {
+		return nil, fmt.Errorf("%w: %d entries", ErrBadMap, count)
+	}
+	if len(b) != 12+count*mapEntryLen {
+		return nil, fmt.Errorf("%w: %d bytes for %d entries", ErrBadMap, len(b), count)
+	}
+	m := &Map{Epoch: binary.BigEndian.Uint64(b[:8]), Entries: make([]Entry, count)}
+	for i := 0; i < count; i++ {
+		off := 12 + i*mapEntryLen
+		slot := binary.BigEndian.Uint32(b[off+8 : off+12])
+		if slot > 1<<31-1 {
+			return nil, fmt.Errorf("%w: slot %d out of range", ErrBadMap, slot)
+		}
+		m.Entries[i] = Entry{
+			Start: binary.BigEndian.Uint64(b[off : off+8]),
+			Slot:  int(slot),
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

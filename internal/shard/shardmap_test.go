@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestEvenMapRouting pins the epoch-0 contract: SlotOf and the even map
+// agree, every slot gets traffic, and range lookups match a brute-force
+// scan of the entries.
+func TestEvenMapRouting(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		m := NewEvenMap(n)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("even map %d invalid: %v", n, err)
+		}
+		if m.Epoch != 0 {
+			t.Fatalf("even map %d born at epoch %d", n, m.Epoch)
+		}
+		counts := make([]int, n)
+		for i := 0; i < 500; i++ {
+			k := []byte(fmt.Sprintf("key%05d", i))
+			s := m.SlotOfKey(k)
+			if got := SlotOf(k, n); got != s {
+				t.Fatalf("n=%d key %s: SlotOf=%d map=%d", n, k, got, s)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if c == 0 && n <= 16 {
+				t.Fatalf("n=%d slot %d got no keys of 500", n, s)
+			}
+			_ = s
+		}
+	}
+}
+
+// TestMapRangeGeometry checks Range/InRange/RangeFrac around the wrap at
+// the top of the hash space.
+func TestMapRangeGeometry(t *testing.T) {
+	m := NewEvenMap(4)
+	var covered float64
+	for i := range m.Entries {
+		lo, hi := m.Range(i)
+		covered += RangeFrac(lo, hi)
+		if !InRange(lo, lo, hi) {
+			t.Fatalf("entry %d: lo not in own range", i)
+		}
+		if hi != 0 && InRange(hi, lo, hi) {
+			t.Fatalf("entry %d: hi inside half-open range", i)
+		}
+	}
+	if math.Abs(covered-1) > 1e-9 {
+		t.Fatalf("ranges cover %.12f of the space, want 1", covered)
+	}
+	lo, hi := m.Range(len(m.Entries) - 1)
+	if hi != 0 {
+		t.Fatalf("last range hi = %#x, want 0 (top of space)", hi)
+	}
+	if !InRange(math.MaxUint64, lo, hi) {
+		t.Fatal("top hash value not in the last range")
+	}
+	if mid := midpoint(lo, hi); !InRange(mid, lo, hi) || mid == lo {
+		t.Fatalf("midpoint %#x of wrap range [%#x, 0) unusable", mid, lo)
+	}
+}
+
+// TestMapSplitMerge walks a split and the reversing merge, checking
+// epochs, slot identity, and that only the split range changed owners.
+func TestMapSplitMerge(t *testing.T) {
+	m := NewEvenMap(4)
+	lo, hi := m.Range(2)
+	at := midpoint(lo, hi)
+	sm := m.withSplit(2, at, 4, 5)
+	if err := sm.Validate(); err != nil {
+		t.Fatalf("split map invalid: %v", err)
+	}
+	if sm.Epoch != 1 || len(sm.Entries) != 5 {
+		t.Fatalf("split map epoch %d entries %d", sm.Epoch, len(sm.Entries))
+	}
+	if sm.HasSlot(2) {
+		t.Fatal("split map still places the retired parent slot")
+	}
+	// Movement is bounded to the parent's range: every hash outside
+	// [lo, hi) routes exactly as before.
+	for h := uint64(0); h < math.MaxUint64-1e15; h += 1e15 {
+		before, after := m.Slot(h), sm.Slot(h)
+		switch {
+		case !InRange(h, lo, hi):
+			if before != after {
+				t.Fatalf("hash %#x outside the split range moved %d→%d", h, before, after)
+			}
+		case InRange(h, lo, at):
+			if after != 4 {
+				t.Fatalf("hash %#x in low half owned by %d, want 4", h, after)
+			}
+		default:
+			if after != 5 {
+				t.Fatalf("hash %#x in high half owned by %d, want 5", h, after)
+			}
+		}
+	}
+
+	mm := sm.withMerge(4, 5, 6)
+	if err := mm.Validate(); err != nil {
+		t.Fatalf("merge map invalid: %v", err)
+	}
+	if mm.Epoch != 2 || len(mm.Entries) != 4 {
+		t.Fatalf("merge map epoch %d entries %d", mm.Epoch, len(mm.Entries))
+	}
+	if mm.HasSlot(4) || mm.HasSlot(5) {
+		t.Fatal("merge map still places a retired child slot")
+	}
+	mlo, mhi := mm.Range(mm.indexOfSlot(6))
+	if mlo != lo || mhi != hi {
+		t.Fatalf("merged range [%#x, %#x), want the original [%#x, %#x)", mlo, mhi, lo, hi)
+	}
+}
+
+// TestMapValidate enumerates the rejection cases.
+func TestMapValidate(t *testing.T) {
+	bad := []*Map{
+		{},
+		{Entries: []Entry{{Start: 5, Slot: 0}}},
+		{Entries: []Entry{{Start: 0, Slot: 0}, {Start: 0, Slot: 1}}},
+		{Entries: []Entry{{Start: 0, Slot: 0}, {Start: 9, Slot: 3}, {Start: 4, Slot: 1}}},
+		{Entries: []Entry{{Start: 0, Slot: 1}, {Start: 4, Slot: 1}}},
+		{Entries: []Entry{{Start: 0, Slot: -2}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); !errors.Is(err, ErrBadMap) {
+			t.Fatalf("case %d: Validate = %v, want ErrBadMap", i, err)
+		}
+	}
+}
+
+// TestMapCodecRoundTrip pins the wire layout and the decode rejections.
+func TestMapCodecRoundTrip(t *testing.T) {
+	m := NewEvenMap(6).withSplit(3, midpointOfSlot(t, NewEvenMap(6), 3), 6, 7)
+	b := EncodeMap(m)
+	if len(b) != 12+len(m.Entries)*mapEntryLen {
+		t.Fatalf("encoded %d bytes, want %d", len(b), 12+len(m.Entries)*mapEntryLen)
+	}
+	got, err := DecodeMap(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Epoch != m.Epoch || len(got.Entries) != len(m.Entries) {
+		t.Fatalf("round trip = %+v, want %+v", got, m)
+	}
+	for i := range got.Entries {
+		if got.Entries[i] != m.Entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got.Entries[i], m.Entries[i])
+		}
+	}
+	for name, mut := range map[string][]byte{
+		"empty":     {},
+		"short":     b[:8],
+		"truncated": b[:len(b)-1],
+		"padded":    append(append([]byte(nil), b...), 0),
+	} {
+		if _, err := DecodeMap(mut); !errors.Is(err, ErrBadMap) {
+			t.Fatalf("%s body: decode = %v, want ErrBadMap", name, err)
+		}
+	}
+	// A structurally valid buffer whose map breaks invariants is refused.
+	zero := EncodeMap(&Map{Entries: []Entry{{Start: 0, Slot: 0}, {Start: 0, Slot: 1}}})
+	if _, err := DecodeMap(zero); !errors.Is(err, ErrBadMap) {
+		t.Fatalf("duplicate-start map decoded: %v", err)
+	}
+}
+
+func midpointOfSlot(t *testing.T, m *Map, slot int) uint64 {
+	t.Helper()
+	lo, hi := m.Range(m.indexOfSlot(slot))
+	return midpoint(lo, hi)
+}
+
+// FuzzMapCodec fuzzes the shard-map codec the same way the frame fuzzers
+// cover the wire framing: any byte string either fails to decode with
+// ErrBadMap or round-trips byte-identically — a hostile MOVED body can
+// never produce a map the encoder would not have written.
+func FuzzMapCodec(f *testing.F) {
+	f.Add(EncodeMap(NewEvenMap(1)))
+	f.Add(EncodeMap(NewEvenMap(4)))
+	m := NewEvenMap(3)
+	lo, hi := m.Range(1)
+	f.Add(EncodeMap(m.withSplit(1, midpoint(lo, hi), 3, 4)))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMap(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadMap) {
+				t.Fatalf("decode error %v does not wrap ErrBadMap", err)
+			}
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("decoded map fails validation: %v", verr)
+		}
+		re := EncodeMap(m)
+		if string(re) != string(b) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", b, re)
+		}
+		// A decoded map must be routable: every lookup lands on an entry
+		// whose range contains the hash.
+		for _, h := range []uint64{0, 1, math.MaxUint64, 1 << 63} {
+			i := m.EntryIndex(h)
+			lo, hi := m.Range(i)
+			if !InRange(h, lo, hi) {
+				t.Fatalf("hash %#x routed to entry %d range [%#x, %#x)", h, i, lo, hi)
+			}
+		}
+	})
+}

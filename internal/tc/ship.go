@@ -30,6 +30,12 @@ func (tc *TC) DurableLSN() int64 {
 // batches straight off it).
 func (tc *TC) LogDevice() ssd.Dev { return tc.cfg.LogDevice }
 
+// Clock returns the current commit-timestamp clock value. A shard resize
+// that builds a TC continuing one source's log while folding in another
+// source's state seeds the new InitialClock from the max of both clocks,
+// so the merged timeline stays monotonic.
+func (tc *TC) Clock() uint64 { return tc.clock.Load() }
+
 // ReadLogBatch reads a record-aligned batch of durable recovery-log bytes
 // for shipping: starting at the record boundary from, it returns complete
 // frames totalling at most maxBytes (but always at least one frame, so a

@@ -12,6 +12,7 @@ import (
 
 	"costperf/internal/engine"
 	"costperf/internal/metrics"
+	"costperf/internal/shard"
 	"costperf/internal/wire/frame"
 )
 
@@ -135,12 +136,11 @@ type Client struct {
 	seq    atomic.Uint64
 	window chan struct{}
 
-	// Shard map learned from MOVED responses: packed epoch<<32 | shards,
-	// with a separate "learned anything" flag. Advisory — routing stays
-	// server-side — but it lets a fleet-aware caller observe cutovers.
-	shardEpoch atomic.Uint64
-	shardCount atomic.Int64
-	shardKnown atomic.Bool
+	// Shard map learned from MOVED responses: the full epoch-numbered
+	// placement table. Advisory — routing stays server-side — but it lets
+	// a fleet-aware caller observe cutovers and resizes. A stale-epoch
+	// MOVED body never regresses the learned map.
+	shardMap atomic.Pointer[shard.Map]
 
 	mu     sync.Mutex // guards cc, rng, dialed
 	cc     *clientConn
@@ -169,14 +169,20 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 // Stats returns the client's counters.
 func (c *Client) Stats() *ClientStats { return &c.stats }
 
-// ShardMap returns the server's shard map as last taught by a MOVED
+// ShardMap summarizes the server's shard map as last taught by a MOVED
 // response; ok is false until the client has seen one.
 func (c *Client) ShardMap() (epoch uint64, shards int, ok bool) {
-	if !c.shardKnown.Load() {
+	m := c.shardMap.Load()
+	if m == nil {
 		return 0, 0, false
 	}
-	return c.shardEpoch.Load(), int(c.shardCount.Load()), true
+	return m.Epoch, len(m.Entries), true
 }
+
+// Map returns the full placement table last taught by a MOVED response
+// (nil until one arrives). The map is immutable; callers may route with
+// it, diff it, or re-encode it.
+func (c *Client) Map() *shard.Map { return c.shardMap.Load() }
 
 // Get returns the value for key.
 func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
@@ -384,10 +390,16 @@ func (c *Client) settleStatus(call *call) ([]byte, bool, error) {
 		// map the server attached, then retry: by the next attempt the
 		// router has installed the new owner.
 		c.stats.Moves.Inc()
-		if epoch, shards, ok := decodeMovedBody(call.body); ok {
-			c.shardEpoch.Store(epoch)
-			c.shardCount.Store(int64(shards))
-			c.shardKnown.Store(true)
+		if m, ok := decodeMovedBody(call.body); ok {
+			for {
+				old := c.shardMap.Load()
+				if old != nil && old.Epoch >= m.Epoch {
+					break
+				}
+				if c.shardMap.CompareAndSwap(old, m) {
+					break
+				}
+			}
 		}
 		return nil, true, errFromStatus(call.status, "")
 	default:

@@ -25,7 +25,7 @@ func (b *movedBackend) Put(ctx context.Context, key, val []byte) error {
 	return b.Backend.Put(ctx, key, val)
 }
 
-func (b *movedBackend) ShardMap() (uint64, int) { return b.mapper.ShardMap() }
+func (b *movedBackend) ShardMap() *shard.Map { return b.mapper.ShardMap() }
 
 func TestMovedCrossesWireWithShardMap(t *testing.T) {
 	r, err := shard.New(shard.Config{Shards: 4, Seed: 3})
@@ -67,6 +67,17 @@ func TestMovedCrossesWireWithShardMap(t *testing.T) {
 	epoch, shards, ok := cl.ShardMap()
 	if !ok || epoch != 1 || shards != 4 {
 		t.Fatalf("client learned map (%d, %d, %v), want (1, 4, true)", epoch, shards, ok)
+	}
+	// The learned map is the full placement table, and it routes exactly
+	// like the server's.
+	cm := cl.Map()
+	if cm == nil || cm.Validate() != nil {
+		t.Fatalf("client Map() = %+v, want a valid placement table", cm)
+	}
+	for _, k := range [][]byte{[]byte("k1"), []byte("another"), []byte("zz")} {
+		if got, want := cm.SlotOfKey(k), r.SlotOfKey(k); got != want {
+			t.Fatalf("client map routes %q to %d, server to %d", k, got, want)
+		}
 	}
 	// The retried write landed.
 	v, found, err := cl.Get(ctx, []byte("k1"))
@@ -123,17 +134,30 @@ func TestMovedStatusCodec(t *testing.T) {
 	if StatusMoved.String() != "moved" {
 		t.Fatalf("String = %q", StatusMoved.String())
 	}
-	buf := encodeResponse(nil, 42, StatusMoved, encodeMovedBody(7, 16))
+	want := shard.NewEvenMap(16)
+	want.Epoch = 7
+	buf := encodeResponse(nil, 42, StatusMoved, encodeMovedBody(want))
 	seq, st, body, err := decodeResponse(buf)
 	if err != nil || seq != 42 || st != StatusMoved {
 		t.Fatalf("decode = %d/%v/%v", seq, st, err)
 	}
-	epoch, shards, ok := decodeMovedBody(body)
-	if !ok || epoch != 7 || shards != 16 {
-		t.Fatalf("moved body = (%d, %d, %v)", epoch, shards, ok)
+	m, ok := decodeMovedBody(body)
+	if !ok || m.Epoch != 7 || len(m.Entries) != 16 {
+		t.Fatalf("moved body = (%+v, %v)", m, ok)
 	}
-	if _, _, ok := decodeMovedBody(body[:5]); ok {
+	for i, e := range m.Entries {
+		if e != want.Entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, want.Entries[i])
+		}
+	}
+	if _, ok := decodeMovedBody(body[:5]); ok {
 		t.Fatal("truncated moved body decoded")
+	}
+	if _, ok := decodeMovedBody(body[:len(body)-3]); ok {
+		t.Fatal("short moved body decoded")
+	}
+	if encodeMovedBody(nil) != nil {
+		t.Fatal("nil map encoded to a non-empty body")
 	}
 	if !errors.Is(errFromStatus(StatusMoved, ""), shard.ErrMoved) {
 		t.Fatal("errFromStatus(StatusMoved) does not unwrap to shard.ErrMoved")

@@ -325,22 +325,26 @@ func decodeResponse(b []byte) (seq uint64, s Status, body []byte, err error) {
 	return seq, s, b[respHeader:], nil
 }
 
-// A MOVED body is the server's shard map: epoch(8) shards(4). An empty
-// body is legal (backend without a ShardMapper); anything else malformed.
-const movedBodyLen = 8 + 4
-
-func encodeMovedBody(epoch uint64, shards int) []byte {
-	var b [movedBodyLen]byte
-	binary.BigEndian.PutUint64(b[:8], epoch)
-	binary.BigEndian.PutUint32(b[8:12], uint32(shards))
-	return b[:]
+// A MOVED body is the server's full epoch-numbered shard map
+// (shard.EncodeMap): epoch(8) count(4) then count × (start(8) slot(4)).
+// Carrying the placement table — not just the epoch and a shard count —
+// is what lets a client keep routing knowledge through a resize, where
+// the count changes AND the ranges move. An empty body is legal (backend
+// without a ShardMapper); anything else must validate as a map, or the
+// client learns nothing.
+func encodeMovedBody(m *shard.Map) []byte {
+	if m == nil {
+		return nil
+	}
+	return shard.EncodeMap(m)
 }
 
-func decodeMovedBody(b []byte) (epoch uint64, shards int, ok bool) {
-	if len(b) != movedBodyLen {
-		return 0, 0, false
+func decodeMovedBody(b []byte) (*shard.Map, bool) {
+	m, err := shard.DecodeMap(b)
+	if err != nil {
+		return nil, false
 	}
-	return binary.BigEndian.Uint64(b[:8]), int(binary.BigEndian.Uint32(b[8:12])), true
+	return m, true
 }
 
 // scanPair is one key/value pair crossing the wire in a scan response.

@@ -12,6 +12,7 @@ import (
 
 	"costperf/internal/fault"
 	"costperf/internal/metrics"
+	"costperf/internal/shard"
 	"costperf/internal/wire/frame"
 )
 
@@ -26,11 +27,12 @@ type Backend interface {
 }
 
 // ShardMapper is the optional Backend capability a sharded backend
-// (shard.Router) exposes: the current shard-map epoch and shard count.
-// A server whose backend has it attaches the map to every StatusMoved
-// response, so one MOVED round trip teaches the client the new map.
+// (shard.Router) exposes: the current epoch-numbered placement map. A
+// server whose backend has it attaches the full map to every StatusMoved
+// response, so one MOVED round trip teaches the client the new placement
+// — epoch, shard count, and range boundaries — even mid-resize.
 type ShardMapper interface {
-	ShardMap() (epoch uint64, shards int)
+	ShardMap() *shard.Map
 }
 
 // ServerConfig configures a Server.
@@ -505,8 +507,7 @@ func (sc *srvConn) handle(req request) {
 	if st == StatusMoved {
 		sc.s.stats.Moves.Inc()
 		if sc.s.mapper != nil {
-			epoch, shards := sc.s.mapper.ShardMap()
-			body = encodeMovedBody(epoch, shards)
+			body = encodeMovedBody(sc.s.mapper.ShardMap())
 		}
 	}
 	sc.respond(req.Seq, st, body)

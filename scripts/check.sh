@@ -31,6 +31,16 @@
 # application against an acked-state oracle, and fenced stale owners —
 # with a hard watchdog timeout.
 #
+# Set CHECK_RESIZE=1 for the full 100-seed elastic-resize soak under the
+# race detector: every seed splits a shard and merges the children back
+# while concurrent writers hit the resizing range over a lossy,
+# periodically partitioned stream link, with an injected crash at every
+# phase boundary of the split and merge state machines, asserting zero
+# lost acked writes, a byte-identical final state against the acked-state
+# oracle, fenced stale owners (split source and both merge sources), and
+# bounded key movement (a hash moves owner iff it lies in the split
+# range) — with a hard watchdog timeout.
+#
 # Set CHECK_WIRE=1 for the full 50-seed network chaos sweep under the race
 # detector: wire clients and server over real connections through
 # fault.Conn (drops, dups, reorders, half-closes, stalls, a mid-run
@@ -67,6 +77,7 @@ else
         ./internal/metrics \
         ./internal/engine \
         ./internal/repl \
+        ./internal/shard \
         ./internal/wire/... \
         ./internal/integration
 fi
@@ -82,6 +93,10 @@ fi
 if [ -n "${CHECK_SHARD:-}" ]; then
     go test -race -run 'TestShardMigrationChaosSweep' -count=1 -timeout 15m \
         ./internal/integration -shard.full=true
+fi
+if [ -n "${CHECK_RESIZE:-}" ]; then
+    go test -race -run 'TestShardResizeChaosSweep' -count=1 -timeout 15m \
+        ./internal/integration -resize.full=true
 fi
 if [ -n "${CHECK_WIRE:-}" ]; then
     go test -race -run 'TestWireChaosSweep' -count=1 -timeout 15m \
