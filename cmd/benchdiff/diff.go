@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Row is one comparable unit of a snapshot: a matrix cell, or the single
@@ -36,13 +37,16 @@ type metricSpec struct {
 
 // metricOrder fixes the report's column order; metricSpecs the contract.
 var (
-	metricOrder = []string{"ops_per_sec", "p99_us", "dollar_per_mop", "errors", "shed"}
+	metricOrder = []string{"ops_per_sec", "p99_us", "dollar_per_mop", "errors", "shed", "reconvergence"}
 	metricSpecs = map[string]metricSpec{
 		"ops_per_sec":    {higherBetter, "throughput"},
 		"p99_us":         {lowerBetter, "latency"},
 		"dollar_per_mop": {lowerBetter, "cost"},
 		"errors":         {lowerBetter, "count"},
 		"shed":           {lowerBetter, "count"},
+		// reconvergence (overload summary rows): recovery throughput over
+		// baseline throughput. Dropping it is a throughput regression.
+		"reconvergence": {higherBetter, "throughput"},
 	}
 )
 
@@ -54,11 +58,24 @@ type Thresholds struct {
 	Latency    float64 // allowed fractional p99 rise
 	Cost       float64 // allowed fractional $/op rise
 	CountSlack float64 // allowed absolute errors/shed rise
+	// ShedFrac is the allowed fractional shed-count rise on overload rows
+	// only (keys with the "overload/" prefix). Overload runs shed by
+	// design — driving the limiter into brownout is the run's whole point
+	// — and the absolute count scales with machine speed, so the zero
+	// CountSlack that pins ordinary rows would make the overload snapshot
+	// undiffable across hosts. The effective slack for such rows is
+	// max(ShedFrac * old, minOverloadShedSlack); everything else keeps
+	// the absolute CountSlack.
+	ShedFrac float64
 }
+
+// minOverloadShedSlack is the absolute floor under ShedFrac: a tiny old
+// shed count (say 3) must not pin the new run to ±1 op.
+const minOverloadShedSlack = 10
 
 // DefaultThresholds is the gate kvbench's CI matrix runs under.
 func DefaultThresholds() Thresholds {
-	return Thresholds{Throughput: 0.10, Latency: 0.25, Cost: 0.10, CountSlack: 0}
+	return Thresholds{Throughput: 0.10, Latency: 0.25, Cost: 0.10, CountSlack: 0, ShedFrac: 0.25}
 }
 
 // Delta is one matched metric's comparison.
@@ -85,7 +102,9 @@ const relEps = 1e-9
 // threshold for the metric. Boundary contract: exactly-at-threshold
 // passes; only strictly beyond breaches. A missing old baseline (old <= 0
 // for relative metrics) never breaches — there is nothing to regress from.
-func breaches(spec metricSpec, old, new float64, th Thresholds) bool {
+// The row key participates only for the shed metric: overload rows get
+// the relative ShedFrac tolerance instead of the absolute CountSlack.
+func breaches(metric, key string, spec metricSpec, old, new float64, th Thresholds) bool {
 	switch spec.class {
 	case "throughput":
 		return old > 0 && (old-new)/old > th.Throughput+relEps
@@ -94,7 +113,16 @@ func breaches(spec metricSpec, old, new float64, th Thresholds) bool {
 	case "cost":
 		return old > 0 && (new-old)/old > th.Cost+relEps
 	case "count":
-		return new-old > th.CountSlack+relEps
+		slack := th.CountSlack
+		if metric == "shed" && strings.HasPrefix(key, "overload/") {
+			if s := th.ShedFrac * old; s > slack {
+				slack = s
+			}
+			if slack < minOverloadShedSlack {
+				slack = minOverloadShedSlack
+			}
+		}
+		return new-old > slack+relEps
 	}
 	return false
 }
@@ -124,7 +152,7 @@ func Diff(old, new []Row, th Thresholds) Report {
 				continue
 			}
 			d := Delta{Key: o.Key, Metric: m, Old: ov, New: nv,
-				Breach: breaches(metricSpecs[m], ov, nv, th)}
+				Breach: breaches(m, o.Key, metricSpecs[m], ov, nv, th)}
 			if d.Breach {
 				rep.Breaches++
 			}
@@ -215,6 +243,33 @@ func extractRows(sf snapshotFile) ([]Row, error) {
 		}
 		return rows, nil
 	}
+	if sf.Meta.Mode == "overload" {
+		// One row per flash-crowd phase plus a summary row carrying the
+		// re-convergence ratio. The "overload/" key prefix is load-bearing:
+		// breaches() keys the relative shed tolerance off it.
+		var res struct {
+			Phases []map[string]any `json:"phases"`
+		}
+		if err := json.Unmarshal(sf.Results, &res); err != nil {
+			return nil, err
+		}
+		if len(res.Phases) == 0 {
+			return nil, fmt.Errorf("overload snapshot with no phases")
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sf.Results, &m); err != nil {
+			return nil, err
+		}
+		rows := []Row{rowFromMap("overload/"+sf.Meta.Store, m)}
+		for _, p := range res.Phases {
+			name, _ := p["name"].(string)
+			if name == "" {
+				return nil, fmt.Errorf("overload phase without a name")
+			}
+			rows = append(rows, rowFromMap(fmt.Sprintf("overload/%s/%s", sf.Meta.Store, name), p))
+		}
+		return rows, nil
+	}
 	// wire/shard (and future single-result modes): one row keyed by
 	// mode/store so cross-mode files never silently cross-match.
 	var m map[string]any
@@ -238,6 +293,7 @@ func rowFromMap(key string, m map[string]any) Row {
 	pick(m, "p99_us", "p99_us")
 	pick(m, "errors", "errors")
 	pick(m, "shed", "shed")
+	pick(m, "reconvergence", "reconvergence")
 	if c, ok := m["cost"].(map[string]any); ok {
 		pick(c, "dollar_per_mop", "dollar_per_mop")
 	} else {

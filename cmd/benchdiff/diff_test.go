@@ -202,3 +202,112 @@ func TestLoadRowsRejectsGarbage(t *testing.T) {
 		t.Error("unreadable file accepted")
 	}
 }
+
+// TestOverloadShedTolerance pins the overload-row shed contract: rows
+// keyed under "overload/" breach only past max(ShedFrac*old, 10) while
+// ordinary rows keep the absolute CountSlack.
+func TestOverloadShedTolerance(t *testing.T) {
+	th := Thresholds{Throughput: 0.10, Latency: 0.25, Cost: 0.10, CountSlack: 0, ShedFrac: 0.25}
+	cases := []struct {
+		name   string
+		key    string
+		old    float64
+		new    float64
+		breach bool
+	}{
+		{"overload within frac", "overload/bwtree/storm", 1000, 1250, false},
+		{"overload just beyond frac", "overload/bwtree/storm", 1000, 1251, true},
+		{"overload shrinks", "overload/bwtree/storm", 1000, 0, false},
+		{"overload small old uses absolute floor", "overload/bwtree/storm", 3, 13, false},
+		{"overload beyond absolute floor", "overload/bwtree/storm", 3, 14, true},
+		{"overload zero old within floor", "overload/bwtree/baseline", 0, 10, false},
+		{"overload zero old beyond floor", "overload/bwtree/baseline", 0, 11, true},
+		{"matrix row keeps zero slack", "hot-zipf/lsm/c8", 1000, 1001, true},
+		{"summary row gets the tolerance too", "overload/bwtree", 100, 120, false},
+	}
+	for _, tc := range cases {
+		rep := Diff(
+			[]Row{row(tc.key, map[string]float64{"shed": tc.old})},
+			[]Row{row(tc.key, map[string]float64{"shed": tc.new})},
+			th)
+		if got := rep.Breaches > 0; got != tc.breach {
+			t.Errorf("%s: breach = %v, want %v (old=%v new=%v)", tc.name, got, tc.breach, tc.old, tc.new)
+		}
+	}
+	// Errors never get the relative tolerance, even on overload rows.
+	rep := Diff(
+		[]Row{row("overload/bwtree/storm", map[string]float64{"errors": 0})},
+		[]Row{row("overload/bwtree/storm", map[string]float64{"errors": 1})},
+		th)
+	if rep.Breaches == 0 {
+		t.Error("errors on an overload row should keep the absolute slack")
+	}
+}
+
+// TestReconvergenceGate pins that the overload summary's re-convergence
+// ratio is compared as a throughput-class metric.
+func TestReconvergenceGate(t *testing.T) {
+	th := DefaultThresholds()
+	rep := Diff(
+		[]Row{row("overload/bwtree", map[string]float64{"reconvergence": 0.95})},
+		[]Row{row("overload/bwtree", map[string]float64{"reconvergence": 0.80})},
+		th)
+	if rep.Breaches == 0 {
+		t.Error("a 16% reconvergence drop should breach the 10% throughput threshold")
+	}
+	rep = Diff(
+		[]Row{row("overload/bwtree", map[string]float64{"reconvergence": 0.95})},
+		[]Row{row("overload/bwtree", map[string]float64{"reconvergence": 0.90})},
+		th)
+	if rep.Breaches != 0 {
+		t.Error("a 5% reconvergence drop should pass")
+	}
+}
+
+const overloadJSON = `{
+  "meta": {"mode": "overload", "store": "bwtree", "git_commit": "abc", "timestamp_utc": "2026-08-08T00:00:00Z"},
+  "results": {
+    "adaptive": true,
+    "reconvergence": 0.95,
+    "phases": [
+      {"name": "baseline", "ops_per_sec": 3300, "p99_us": 4800, "shed": 0, "errors": 0},
+      {"name": "storm", "ops_per_sec": 19000, "p99_us": 18000, "shed": 20220, "errors": 0},
+      {"name": "recovery", "ops_per_sec": 3100, "p99_us": 11000, "shed": 0, "errors": 0}
+    ],
+    "cost": {"dollar_per_mop": 0.4}
+  }
+}`
+
+func TestLoadRowsOverload(t *testing.T) {
+	sf, rows, err := LoadRows(writeTemp(t, "o.json", overloadJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Meta.Mode != "overload" {
+		t.Errorf("meta mode = %q", sf.Meta.Mode)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want summary + 3 phases", len(rows))
+	}
+	if rows[0].Key != "overload/bwtree" {
+		t.Errorf("summary key = %q", rows[0].Key)
+	}
+	if rows[0].Metrics["reconvergence"] != 0.95 {
+		t.Errorf("summary reconvergence = %v", rows[0].Metrics["reconvergence"])
+	}
+	if rows[0].Metrics["dollar_per_mop"] != 0.4 {
+		t.Errorf("summary cost = %v", rows[0].Metrics["dollar_per_mop"])
+	}
+	storm := rows[2]
+	if storm.Key != "overload/bwtree/storm" || storm.Metrics["shed"] != 20220 {
+		t.Errorf("storm row = %+v", storm)
+	}
+	if _, _, err := LoadRows(writeTemp(t, "nophase.json",
+		`{"meta":{"mode":"overload","store":"x"},"results":{"phases":[]}}`)); err == nil {
+		t.Error("overload snapshot with no phases accepted")
+	}
+	if _, _, err := LoadRows(writeTemp(t, "noname.json",
+		`{"meta":{"mode":"overload","store":"x"},"results":{"phases":[{"shed":1}]}}`)); err == nil {
+		t.Error("overload phase without a name accepted")
+	}
+}

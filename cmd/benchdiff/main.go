@@ -54,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"allowed fractional $/op rise per row")
 	slack := fs.Float64("error-slack", def.CountSlack,
 		"allowed absolute rise in errors/shed counts per row")
+	shedFrac := fs.Float64("shed-frac", def.ShedFrac,
+		"allowed fractional shed rise on overload rows only (they shed by design; effective slack is max(frac*old, 10))")
 	reportOnly := fs.Bool("report-only", false,
 		"print deltas without enforcing metric thresholds (missing rows still fail)")
 	allowMissing := fs.Bool("allow-missing", false,
@@ -84,7 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "self-test: injected a %.0f%% regression into %s\n", 100**inject, fs.Arg(1))
 	}
 
-	th := Thresholds{Throughput: *throughput, Latency: *latency, Cost: *cost, CountSlack: *slack}
+	th := Thresholds{Throughput: *throughput, Latency: *latency, Cost: *cost,
+		CountSlack: *slack, ShedFrac: *shedFrac}
 	rep := Diff(oldRows, newRows, th)
 
 	fmt.Fprintf(stdout, "old: %s  (mode=%s commit=%.12s at %s)\n",

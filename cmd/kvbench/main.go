@@ -137,6 +137,12 @@ func main() {
 		"matrix mode: comma-separated stores forming the matrix columns")
 	matrixConc := flag.String("matrix-conc", "8",
 		"matrix mode: comma-separated worker counts; each adds a grid dimension")
+	overloadRun := flag.Bool("overload", false,
+		"run the three-phase flash-crowd (baseline -> storm -> recovery) through the adaptive engine and write BENCH_overload.json")
+	overloadStatic := flag.Bool("overload-static", false,
+		"overload mode: use the fixed-limit engine instead of the adaptive limiter (the comparison the adaptive one exists to win)")
+	overloadService := flag.Duration("overload-service", 150*time.Microsecond,
+		"overload mode: paced-store per-op service time; the store services 4 ops at once and queues the rest, so in-store latency inflates under pressure (0 = raw store)")
 	flag.Parse()
 
 	if *matrixList != "" {
@@ -155,6 +161,29 @@ func main() {
 			scenarios: *matrixList, stores: *matrixStores, concs: *matrixConc,
 			keys: mk, ops: mo, valueSize: *valueSize, pool: *pool, seed: *seed,
 			benchOut: *benchOut,
+		})
+		return
+	}
+
+	if *overloadRun {
+		// Like matrix cells, the overload run defaults to a small sizing
+		// unless the user asked for more.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		ok, oo, olim := *keys, *ops, *concurrency
+		if !explicit["keys"] {
+			ok = 20000
+		}
+		if !explicit["ops"] {
+			oo = 60000
+		}
+		if olim <= 0 {
+			olim = 16
+		}
+		runOverloadMode(overloadModeConfig{
+			store: *storeName, keys: ok, ops: oo, valueSize: *valueSize,
+			pool: *pool, seed: *seed, limit: olim, queue: *queue,
+			static: *overloadStatic, service: *overloadService, benchOut: *benchOut,
 		})
 		return
 	}

@@ -1,0 +1,154 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestIntervalSchedule pins the deterministic half: doubling from Base,
+// monotone non-decreasing, capped at Max, and overflow-safe for absurd
+// attempt numbers.
+func TestIntervalSchedule(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Interval(i + 1); got != w {
+			t.Fatalf("Interval(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Monotone: the schedule never shrinks as attempts grow.
+	prev := time.Duration(0)
+	for a := 1; a <= 200; a++ {
+		d := p.Interval(a)
+		if d < prev {
+			t.Fatalf("Interval(%d) = %v < Interval(%d) = %v; schedule must be monotone", a, d, a-1, prev)
+		}
+		if d > p.Max {
+			t.Fatalf("Interval(%d) = %v exceeds Max %v", a, d, p.Max)
+		}
+		prev = d
+	}
+	// Overflow: shifts past 63 bits and wrapped-negative products clamp
+	// to Max instead of going negative or huge.
+	for _, a := range []int{40, 63, 64, 100, 1 << 20} {
+		if got := p.Interval(a); got != p.Max {
+			t.Fatalf("Interval(%d) = %v, want Max %v", a, got, p.Max)
+		}
+	}
+	// Attempt numbers at or below 1 all mean "first attempt".
+	for _, a := range []int{-5, 0, 1} {
+		if got := p.Interval(a); got != p.Base {
+			t.Fatalf("Interval(%d) = %v, want Base %v", a, got, p.Base)
+		}
+	}
+}
+
+// TestPolicyNormalization pins the zero-value guards: a zero Base gets a
+// sane default, and Max below Base is raised to Base.
+func TestPolicyNormalization(t *testing.T) {
+	p := Policy{}.normalized()
+	if p.Base <= 0 || p.Max < p.Base {
+		t.Fatalf("normalized zero policy = %+v, want positive Base <= Max", p)
+	}
+	p = Policy{Base: 50 * time.Millisecond, Max: time.Millisecond}.normalized()
+	if p.Max != p.Base {
+		t.Fatalf("Max below Base normalized to %v, want %v", p.Max, p.Base)
+	}
+}
+
+// TestJitterBounds is the property test for the random half: every draw
+// lies in [d/2, d], the draws vary, and both halves of the range are
+// actually reachable (the distribution is not collapsed onto an edge).
+func TestJitterBounds(t *testing.T) {
+	s := New(Policy{Base: time.Millisecond, Max: time.Second}, 42)
+	const d = 80 * time.Millisecond
+	lowHalf, highHalf := 0, 0
+	var first time.Duration
+	distinct := false
+	for i := 0; i < 5000; i++ {
+		j := s.Jitter(d)
+		if j < d/2 || j > d {
+			t.Fatalf("Jitter(%v) draw %d = %v, want within [%v, %v]", d, i, j, d/2, d)
+		}
+		if j < d/2+d/4 {
+			lowHalf++
+		} else {
+			highHalf++
+		}
+		if i == 0 {
+			first = j
+		} else if j != first {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("jitter returned the same interval 5000 times; peers would synchronize")
+	}
+	// Uniform over [d/2, d]: each half of the range should see roughly
+	// half the draws. A 35% floor is far outside what a uniform draw can
+	// miss over 5000 samples but catches an off-by-one collapsing the
+	// range.
+	if lowHalf < 1750 || highHalf < 1750 {
+		t.Fatalf("jitter distribution skewed: %d draws in [d/2, 3d/4), %d in [3d/4, d]", lowHalf, highHalf)
+	}
+	if s.Jitter(0) != 0 || s.Jitter(-time.Second) != 0 {
+		t.Fatal("non-positive intervals must jitter to 0")
+	}
+}
+
+// TestSeedDeterminism pins reproducibility: the same seed replays the
+// same schedule, a different seed diverges.
+func TestSeedDeterminism(t *testing.T) {
+	p := Policy{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
+	a, b, c := New(p, 7), New(p, 7), New(p, 8)
+	same := true
+	for attempt := 1; attempt <= 64; attempt++ {
+		av, bv, cv := a.Next(attempt), b.Next(attempt), c.Next(attempt)
+		if av != bv {
+			t.Fatalf("attempt %d: same seed drew %v and %v", attempt, av, bv)
+		}
+		if av != cv {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-draw schedules")
+	}
+}
+
+// TestNextHonorsSchedule ties the two halves together: every jittered
+// draw for attempt n lies in [Interval(n)/2, Interval(n)].
+func TestNextHonorsSchedule(t *testing.T) {
+	p := Policy{Base: 4 * time.Millisecond, Max: 64 * time.Millisecond}
+	s := New(p, 3)
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := p.Interval(attempt)
+		for i := 0; i < 100; i++ {
+			if j := s.Next(attempt); j < d/2 || j > d {
+				t.Fatalf("Next(%d) = %v, want within [%v, %v]", attempt, j, d/2, d)
+			}
+		}
+	}
+}
+
+// TestSleepCancel pins the ctx contract: a canceled context cuts the
+// sleep short with its error, and a live one sleeps through.
+func TestSleepCancel(t *testing.T) {
+	s := New(Policy{Base: time.Hour, Max: time.Hour}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Sleep(ctx, 1); err != context.Canceled {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	fast := New(Policy{Base: time.Microsecond, Max: time.Microsecond}, 1)
+	if err := fast.Sleep(context.Background(), 1); err != nil {
+		t.Fatalf("Sleep = %v, want nil", err)
+	}
+}

@@ -11,11 +11,19 @@
 //     charger into SSD waits and retry backoffs, so an abandoned request
 //     stops burning the IOPS the cost model meters.
 //
-//   - Admission control. At most MaxConcurrent operations run in the
-//     store at once; up to MaxQueue more wait. Beyond that the engine
-//     fails fast with ErrOverload instead of letting latency collapse —
-//     shedding is observable via Stats.Shed, queue depth, and wait-time
-//     histograms.
+//   - Admission control. Concurrency in the store is bounded by an
+//     internal/overload limiter: MaxConcurrent operations run at once
+//     (or, with Adaptive set, a gradient-controlled limit that tracks
+//     the store's latency knee), and up to MaxQueue more wait in a
+//     priority-ordered queue. Beyond each priority class's queue bound
+//     the engine fails fast with ErrOverload instead of letting latency
+//     collapse — shedding is observable via Stats.Shed, the limiter's
+//     per-class counters, queue depth, and wait-time histograms.
+//     Operations carry a priority class in their context
+//     (overload.WithClass); scans default to the first-shed class,
+//     point ops to normal, and the breaker's half-open probes bypass
+//     admission entirely so sustained overload can never starve the
+//     probe that would prove recovery.
 //
 //   - Circuit breaking. A store whose own Health has latched degraded is
 //     read-only: writes fail fast with ErrReadOnly. Independently, a run
@@ -32,14 +40,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"costperf/internal/backoff"
 	"costperf/internal/fault"
 	"costperf/internal/metrics"
 	"costperf/internal/obs"
+	"costperf/internal/overload"
 )
 
 // Typed front-end errors.
@@ -61,12 +70,33 @@ var (
 type Config struct {
 	// Store is the wrapped store (required).
 	Store Store
-	// MaxConcurrent bounds in-store concurrency (default 64).
+	// MaxConcurrent bounds in-store concurrency (default 64). With
+	// Adaptive set it is only the starting point — the live limit moves
+	// within [AdaptiveMin, AdaptiveMax] as the limiter tracks the store's
+	// observed latency.
 	MaxConcurrent int
-	// MaxQueue bounds the admission wait queue; a request arriving with
-	// MaxQueue waiters already queued is shed with ErrOverload
+	// MaxQueue bounds the admission wait queue for the highest priority
+	// class; lower classes may only occupy a prefix of it (scans a
+	// quarter, low-priority ops half — see overload.Class), so under
+	// pressure the engine sheds strictly lowest-class-first. A request
+	// past its class's bound is shed with ErrOverload
 	// (default 2*MaxConcurrent).
 	MaxQueue int
+	// Adaptive enables the gradient concurrency limiter: instead of a
+	// fixed MaxConcurrent, the engine measures each operation's in-store
+	// latency and moves the limit toward the knee of the store's
+	// latency/concurrency curve — down multiplicatively when latency
+	// inflates past tolerance, up by a sqrt probe when it sits at the
+	// floor. See internal/overload for the controller.
+	Adaptive bool
+	// AdaptiveMin/AdaptiveMax clamp the adaptive limit (defaults 2 and
+	// 4*MaxConcurrent). Ignored unless Adaptive.
+	AdaptiveMin int
+	AdaptiveMax int
+	// LimitWindow is the number of latency samples per gradient update
+	// (default 64). Smaller windows converge faster at the cost of noise.
+	// Ignored unless Adaptive.
+	LimitWindow int
 	// DefaultTimeout is applied to operations whose context carries no
 	// deadline (0 = no default deadline).
 	DefaultTimeout time.Duration
@@ -160,10 +190,9 @@ func (s *Stats) String() string {
 // use.
 type Engine struct {
 	cfg   Config
-	sem   chan struct{}
+	lim   *overload.Limiter
 	stats Stats
 
-	waiters    atomic.Int64
 	consecFail atomic.Int64 // consecutive persistent write failures
 	closed     atomic.Bool
 
@@ -174,7 +203,7 @@ type Engine struct {
 	probeAt   atomic.Int64
 	probeMu   sync.Mutex
 	probeWait time.Duration
-	probeRNG  *rand.Rand
+	probeSrc  *backoff.Source
 }
 
 // New creates an engine over the given store.
@@ -182,24 +211,48 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	return &Engine{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxConcurrent),
-		probeRNG: rand.New(rand.NewSource(cfg.ProbeJitterSeed)),
-	}, nil
+	e := &Engine{
+		cfg: cfg,
+		probeSrc: backoff.New(backoff.Policy{
+			Base: cfg.ProbeBackoff,
+			Max:  cfg.ProbeMaxBackoff,
+		}, cfg.ProbeJitterSeed),
+	}
+	e.lim = overload.NewLimiter(overload.Config{
+		Initial:    cfg.MaxConcurrent,
+		Min:        cfg.AdaptiveMin,
+		Max:        cfg.AdaptiveMax,
+		MaxQueue:   cfg.MaxQueue,
+		Static:     !cfg.Adaptive,
+		Window:     cfg.LimitWindow,
+		DepthGauge: &e.stats.QueueDepth,
+		PeakGauge:  &e.stats.QueuePeak,
+	})
+	cfg.Obs.FoldLimiter(e.lim.Stats())
+	return e, nil
 }
 
 // Stats returns the engine's counters.
 func (e *Engine) Stats() *Stats { return &e.stats }
 
+// Limiter exposes the admission limiter: the shard router consults it
+// for fail-fast scatter decisions (WouldShed) and the wire server for
+// retry-after hints; obs folds its stats into cost snapshots.
+func (e *Engine) Limiter() *overload.Limiter { return e.lim }
+
+// RetryAfterHint is the advisory backoff a shed caller should wait
+// before retrying, derived from the limiter's live backlog (the wire
+// server forwards it inside StatusOverload responses).
+func (e *Engine) RetryAfterHint() time.Duration { return e.lim.RetryAfter() }
+
 // Store returns the wrapped store (for harnesses that need direct access,
 // e.g. to force a checkpoint).
 func (e *Engine) Store() Store { return e.cfg.Store }
 
-// admit acquires an execution slot, applying the default deadline. The
-// returned done func releases the slot and must be called exactly once
-// when err is nil.
-func (e *Engine) admit(parent context.Context) (ctx context.Context, done func(), err error) {
+// admit acquires an execution slot at the given priority class, applying
+// the default deadline. The returned done func releases the slot and must
+// be called exactly once when err is nil.
+func (e *Engine) admit(parent context.Context, class overload.Class) (ctx context.Context, done func(), err error) {
 	if e.closed.Load() {
 		return nil, nil, ErrClosed
 	}
@@ -213,47 +266,58 @@ func (e *Engine) admit(parent context.Context) (ctx context.Context, done func()
 			ctx, cancel = context.WithTimeout(parent, e.cfg.DefaultTimeout)
 		}
 	}
-	select {
-	case e.sem <- struct{}{}:
-		// Fast path: a slot was free.
-	default:
-		// Queue, bounded: the request is shed rather than waiting behind
-		// more than MaxQueue others — bounded queues keep shed requests
-		// cheap and waiting requests' latency bounded.
-		n := e.waiters.Add(1)
-		if n > int64(e.cfg.MaxQueue) {
-			e.waiters.Add(-1)
+	tk, aerr := e.lim.Acquire(ctx, class)
+	if aerr != nil {
+		cancel()
+		if errors.Is(aerr, overload.ErrShed) {
+			// Past this class's queue bound: shed rather than waiting —
+			// bounded queues keep shed requests cheap and waiting requests'
+			// latency bounded.
 			e.stats.Shed.Inc()
-			cancel()
 			return nil, nil, ErrOverload
 		}
-		e.stats.QueueDepth.Set(n)
-		e.stats.QueuePeak.Max(n)
-		start := time.Now()
-		select {
-		case e.sem <- struct{}{}:
-			e.stats.QueueDepth.Set(e.waiters.Add(-1))
-			e.stats.WaitMicros.Observe(float64(time.Since(start).Microseconds()))
-		case <-ctx.Done():
-			e.stats.QueueDepth.Set(e.waiters.Add(-1))
-			cerr := ctx.Err()
-			e.noteAbort(cerr)
-			cancel()
-			// Wrap rather than fold into ErrOverload: the caller's clock
-			// ran out while queued, which is a deadline/cancel outcome, and
-			// front-ends that translate errors into status codes (the wire
-			// server) must report it as such, not as load shedding.
-			return nil, nil, fmt.Errorf("engine: admission wait aborted: %w", cerr)
-		}
+		e.noteAbort(aerr)
+		// Wrap rather than fold into ErrOverload: the caller's clock
+		// ran out while queued, which is a deadline/cancel outcome, and
+		// front-ends that translate errors into status codes (the wire
+		// server) must report it as such, not as load shedding.
+		return nil, nil, fmt.Errorf("engine: admission wait aborted: %w", aerr)
+	}
+	if queued, wait := tk.Queued(); queued {
+		e.stats.WaitMicros.Observe(float64(wait.Microseconds()))
 	}
 	e.stats.Admitted.Inc()
 	opStart := time.Now()
 	done = func() {
-		<-e.sem
+		// Release feeds the op's in-store latency to the gradient
+		// controller — the signal the adaptive limit steers by.
+		e.lim.Release(tk, true)
 		e.stats.OpMicros.Observe(float64(time.Since(opStart).Microseconds()))
 		cancel()
 	}
 	return ctx, done, nil
+}
+
+// admitWrite admits a gated write. An ordinary write carries the class
+// its context declares (normal by default); the breaker's half-open
+// probe is admitted at ClassProbe, which bypasses both the limit and the
+// queue — under sustained overload the admission queue used to be able
+// to shed the probe, leaving the breaker latched probing with no verdict
+// ever coming (the bug this exemption fixes). If probe admission still
+// fails (the engine closed underneath it), the half-open slot is
+// returned to the open state and the probe re-armed, so the breaker
+// cannot leak its single probe token.
+func (e *Engine) admitWrite(parent context.Context, probe bool) (context.Context, func(), error) {
+	class := overload.ClassFrom(parent, overload.ClassNormal)
+	if probe {
+		class = overload.ClassProbe
+	}
+	ctx, done, err := e.admit(parent, class)
+	if err != nil && probe {
+		e.stats.Breaker.Degrade("probe aborted in admission")
+		e.rearmProbe()
+	}
+	return ctx, done, err
 }
 
 // noteAbort meters a context-terminated operation.
@@ -292,13 +356,9 @@ func (e *Engine) gateWrite() (probe bool, err error) {
 // jitter draws a probe interval uniformly from [d/2, d] — the full-period
 // half-jitter that keeps a fleet of breakers over the same flapping store
 // from probing in lockstep while still honoring the backoff's order of
-// magnitude. Caller holds probeMu.
+// magnitude (see internal/backoff, which owns the draw).
 func (e *Engine) jitter(d time.Duration) time.Duration {
-	if d <= 0 {
-		return 0
-	}
-	half := d / 2
-	return half + time.Duration(e.probeRNG.Int63n(int64(half)+1))
+	return e.probeSrc.Jitter(d)
 }
 
 // armProbe schedules the breaker's next half-open probe. A fresh trip
@@ -383,7 +443,7 @@ func endSpan(sp *obs.Span, err error) {
 // Get returns the value for key.
 func (e *Engine) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	sp := e.cfg.Obs.Start(obs.OpGet)
-	ctx, done, err := e.admit(ctx)
+	ctx, done, err := e.admit(ctx, overload.ClassFrom(ctx, overload.ClassNormal))
 	if err != nil {
 		endSpan(&sp, err)
 		return nil, false, err
@@ -400,17 +460,19 @@ func (e *Engine) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 // Put upserts key -> val.
 func (e *Engine) Put(ctx context.Context, key, val []byte) error {
 	sp := e.cfg.Obs.Start(obs.OpPut)
-	ctx, done, err := e.admit(ctx)
+	probe, err := e.gateWrite()
+	if err != nil {
+		// Gating runs before admission: a rejected write fails fast
+		// without consuming queue room from requests that can be served.
+		endSpan(&sp, err)
+		return err
+	}
+	ctx, done, err := e.admitWrite(ctx, probe)
 	if err != nil {
 		endSpan(&sp, err)
 		return err
 	}
 	defer done()
-	probe, err := e.gateWrite()
-	if err != nil {
-		endSpan(&sp, err)
-		return err
-	}
 	err = e.cfg.Store.Put(ctx, key, val)
 	e.noteWrite(err, probe)
 	if err != nil {
@@ -423,17 +485,17 @@ func (e *Engine) Put(ctx context.Context, key, val []byte) error {
 // Delete removes key.
 func (e *Engine) Delete(ctx context.Context, key []byte) error {
 	sp := e.cfg.Obs.Start(obs.OpDelete)
-	ctx, done, err := e.admit(ctx)
-	if err != nil {
-		endSpan(&sp, err)
-		return err
-	}
-	defer done()
 	probe, err := e.gateWrite()
 	if err != nil {
 		endSpan(&sp, err)
 		return err
 	}
+	ctx, done, err := e.admitWrite(ctx, probe)
+	if err != nil {
+		endSpan(&sp, err)
+		return err
+	}
+	defer done()
 	err = e.cfg.Store.Delete(ctx, key)
 	e.noteWrite(err, probe)
 	if err != nil {
@@ -447,7 +509,9 @@ func (e *Engine) Delete(ctx context.Context, key []byte) error {
 // or limit pairs are visited (limit <= 0 means unlimited).
 func (e *Engine) Scan(ctx context.Context, start []byte, limit int, fn func(k, v []byte) bool) error {
 	sp := e.cfg.Obs.Start(obs.OpScan)
-	ctx, done, err := e.admit(ctx)
+	// Scans default to the first-shed class: a brownout drops batch reads
+	// before it drops anyone's writes.
+	ctx, done, err := e.admit(ctx, overload.ClassFrom(ctx, overload.ClassScan))
 	if err != nil {
 		endSpan(&sp, err)
 		return err

@@ -1,0 +1,55 @@
+package metrics
+
+import "fmt"
+
+// LimiterStats meters an adaptive concurrency limiter (internal/overload):
+// the live limit the gradient controller converged on, its latency-floor
+// estimate, the advisory retry-after hint, and shedding broken down by
+// priority class — the brownout ladder made observable. It lives in this
+// package (rather than in overload) so internal/obs can fold it into
+// CostSnapshots without importing the limiter, mirroring how
+// MirrorStats/ReplStats/Health are shared. All counters are cumulative;
+// the zero value is ready to use.
+type LimiterStats struct {
+	// Limit is the current concurrency limit; Inflight the operations
+	// holding a slot right now.
+	Limit    Gauge
+	Inflight Gauge
+	// Admitted counts operations granted a slot (fast path or after
+	// queueing).
+	Admitted Counter
+	// LimitUps/LimitDowns count gradient updates that raised/lowered the
+	// limit — the controller's activity, not its position.
+	LimitUps   Counter
+	LimitDowns Counter
+	// FloorMicros is the limiter's current estimate of the store's
+	// no-queue latency floor, in microseconds (the vegas-style baseline
+	// the gradient compares against).
+	FloorMicros Gauge
+	// RetryAfterMicros is the advisory backoff the limiter currently
+	// hands to shed callers (the wire server forwards it inside
+	// StatusOverload responses).
+	RetryAfterMicros Gauge
+	// Shed by priority class, lowest first: the brownout ladder says
+	// ShedScan fills first, ShedHigh only when everything below it is
+	// already shedding, and probes are never shed at all (there is
+	// deliberately no ShedProbe counter to increment).
+	ShedScan   Counter
+	ShedLow    Counter
+	ShedNormal Counter
+	ShedHigh   Counter
+}
+
+// ShedTotal sums shedding across every class.
+func (l *LimiterStats) ShedTotal() int64 {
+	return l.ShedScan.Value() + l.ShedLow.Value() + l.ShedNormal.Value() + l.ShedHigh.Value()
+}
+
+// String renders the stats for experiment logs.
+func (l *LimiterStats) String() string {
+	return fmt.Sprintf("limit=%d inflight=%d admitted=%d ups=%d downs=%d floor=%dus retryafter=%dus shed[scan=%d low=%d normal=%d high=%d]",
+		l.Limit.Value(), l.Inflight.Value(), l.Admitted.Value(),
+		l.LimitUps.Value(), l.LimitDowns.Value(),
+		l.FloorMicros.Value(), l.RetryAfterMicros.Value(),
+		l.ShedScan.Value(), l.ShedLow.Value(), l.ShedNormal.Value(), l.ShedHigh.Value())
+}

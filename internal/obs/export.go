@@ -37,6 +37,18 @@ type SnapshotExport struct {
 	Mirrored   bool `json:"mirrored,omitempty"`
 	Replicated bool `json:"replicated,omitempty"`
 
+	// Adaptive-admission accounting (internal/overload), absent for
+	// stores without a folded limiter. Limit is the live concurrency
+	// limit; the shed breakdown is per priority class, so a diff can
+	// tell a healthy brownout (scans first) from an indiscriminate one.
+	Limited      bool  `json:"limited,omitempty"`
+	Limit        int64 `json:"limit,omitempty"`
+	LimitChanges int64 `json:"limit_changes,omitempty"`
+	ShedScan     int64 `json:"shed_scan,omitempty"`
+	ShedLow      int64 `json:"shed_low,omitempty"`
+	ShedNormal   int64 `json:"shed_normal,omitempty"`
+	ShedHigh     int64 `json:"shed_high,omitempty"`
+
 	// DollarPerMop is the live execution cost per million operations and
 	// BreakevenSec the live five-minute-rule breakeven, both from the
 	// measured inputs above substituted into the base model.
@@ -67,6 +79,14 @@ func (s CostSnapshot) Export(base core.Costs) SnapshotExport {
 
 		Mirrored:   s.Mirrored,
 		Replicated: s.Replicated,
+
+		Limited:      s.Limited,
+		Limit:        s.Limit,
+		LimitChanges: s.LimitChanges,
+		ShedScan:     s.ShedByScan,
+		ShedLow:      s.ShedByLow,
+		ShedNormal:   s.ShedByNormal,
+		ShedHigh:     s.ShedByHigh,
 
 		DollarPerMop: 1e6 * s.DollarPerOp(base),
 		BreakevenSec: s.BreakevenInterval(base),

@@ -107,12 +107,13 @@ type Tracer struct {
 
 	io ioMeter
 
-	mu      sync.Mutex
-	ioStats []*metrics.IOStats
-	retries []*metrics.RetryStats
-	healths []*metrics.Health
-	mirrors []*metrics.MirrorStats
-	repls   []*metrics.ReplStats
+	mu       sync.Mutex
+	ioStats  []*metrics.IOStats
+	retries  []*metrics.RetryStats
+	healths  []*metrics.Health
+	mirrors  []*metrics.MirrorStats
+	repls    []*metrics.ReplStats
+	limiters []*metrics.LimiterStats
 }
 
 // NewTracer returns a standalone tracer. Prefer Registry.Tracer so snapshots
@@ -341,6 +342,19 @@ func (t *Tracer) FoldRepl(r *metrics.ReplStats) {
 	}
 	t.mu.Lock()
 	t.repls = append(t.repls, r)
+	t.mu.Unlock()
+}
+
+// FoldLimiter attaches an admission limiter's meters (internal/overload)
+// to fold into snapshots: the live learned concurrency limit, gradient
+// adjustment counts, and the per-priority-class shed breakdown that makes
+// a brownout episode's shape visible in cost tables.
+func (t *Tracer) FoldLimiter(l *metrics.LimiterStats) {
+	if t == nil || l == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limiters = append(t.limiters, l)
 	t.mu.Unlock()
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -447,5 +448,49 @@ func TestRegistryFoldsReplStats(t *testing.T) {
 	live = s.LiveCosts(base)
 	if live.FlashPerByte != 3*base.FlashPerByte {
 		t.Fatalf("mirror+standby legs: FlashPerByte=%v, want tripled", live.FlashPerByte)
+	}
+}
+
+// TestRegistryFoldsLimiterStats pins the adaptive-admission fold: the live
+// limit, gradient adjustment count, per-class shed breakdown, and
+// retry-after hint surface in the snapshot, in the narrator line, and in
+// the JSON export benchdiff compares.
+func TestRegistryFoldsLimiterStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := reg.Tracer("adaptive")
+	var ls metrics.LimiterStats
+	ls.Limit.Set(24)
+	ls.Inflight.Set(5)
+	ls.LimitUps.Add(4)
+	ls.LimitDowns.Add(6)
+	ls.ShedScan.Add(40)
+	ls.ShedLow.Add(7)
+	ls.ShedNormal.Add(2)
+	ls.RetryAfterMicros.Set(1500)
+	tr.FoldLimiter(&ls)
+
+	s := reg.Snapshots()[0]
+	if !s.Limited {
+		t.Fatal("snapshot not marked Limited")
+	}
+	if s.Limit != 24 || s.LimitChanges != 10 {
+		t.Fatalf("limit fold = limit=%d changes=%d", s.Limit, s.LimitChanges)
+	}
+	if s.ShedByScan != 40 || s.ShedByLow != 7 || s.ShedByNormal != 2 || s.ShedByHigh != 0 {
+		t.Fatalf("shed fold = %d/%d/%d/%d", s.ShedByScan, s.ShedByLow, s.ShedByNormal, s.ShedByHigh)
+	}
+	if s.RetryAfterMicros != 1500 {
+		t.Fatalf("retry-after fold = %d", s.RetryAfterMicros)
+	}
+
+	base := core.PaperCosts()
+	line := s.Line(base)
+	if !strings.Contains(line, "limit=24") || !strings.Contains(line, "shed[s/l/n/h]=40/7/2/0") {
+		t.Fatalf("narrator line missing limiter fields: %s", line)
+	}
+	exp := s.Export(base)
+	if !exp.Limited || exp.Limit != 24 || exp.ShedScan != 40 || exp.ShedLow != 7 ||
+		exp.ShedNormal != 2 || exp.ShedHigh != 0 || exp.LimitChanges != 10 {
+		t.Fatalf("export missing limiter fields: %+v", exp)
 	}
 }

@@ -143,6 +143,21 @@ type CostSnapshot struct {
 	Promotions   int64 // standby promotions (failovers)
 	FencedWrites int64 // stale-primary commits rejected by the epoch gate
 
+	// Folded adaptive-admission accounting (internal/overload). Limited
+	// reports a limiter is attached; Limit is the live (learned or
+	// static) concurrency limit and LimitChanges the gradient's up+down
+	// adjustments. The ShedBy* fields break shed admissions down by
+	// priority class — the brownout ladder's footprint: a healthy
+	// degradation sheds scans long before it sheds normal traffic.
+	Limited          bool
+	Limit            int64
+	LimitChanges     int64
+	ShedByScan       int64
+	ShedByLow        int64
+	ShedByNormal     int64
+	ShedByHigh       int64
+	RetryAfterMicros int64
+
 	Health string
 }
 
@@ -214,6 +229,7 @@ func (t *Tracer) Snapshot() CostSnapshot {
 	healths := append([]*metrics.Health(nil), t.healths...)
 	mirrors := append([]*metrics.MirrorStats(nil), t.mirrors...)
 	repls := append([]*metrics.ReplStats(nil), t.repls...)
+	limiters := append([]*metrics.LimiterStats(nil), t.limiters...)
 	t.mu.Unlock()
 
 	if s.DeviceReads+s.DeviceWrites+s.FailedIOs == 0 {
@@ -247,6 +263,18 @@ func (t *Tracer) Snapshot() CostSnapshot {
 		s.ReplLagBytes += rp.LagBytes()
 		s.Promotions += rp.Promotions.Value()
 		s.FencedWrites += rp.FencedWrites.Value()
+	}
+	for _, l := range limiters {
+		s.Limited = true
+		s.Limit += l.Limit.Value()
+		s.LimitChanges += l.LimitUps.Value() + l.LimitDowns.Value()
+		s.ShedByScan += l.ShedScan.Value()
+		s.ShedByLow += l.ShedLow.Value()
+		s.ShedByNormal += l.ShedNormal.Value()
+		s.ShedByHigh += l.ShedHigh.Value()
+		if ra := l.RetryAfterMicros.Value(); ra > s.RetryAfterMicros {
+			s.RetryAfterMicros = ra
+		}
 	}
 	s.Health = "healthy"
 	for _, h := range healths {
@@ -315,6 +343,13 @@ func (s CostSnapshot) Line(base core.Costs) string {
 	}
 	fmt.Fprintf(&b, " p50=%s p99=%s io=%.0f/s util=%.0f%%", s.P50, s.P99, s.IOPS, 100*s.Utilization)
 	fmt.Fprintf(&b, " $/Mop=%.3f be=%.0fs", 1e6*s.DollarPerOp(base), s.BreakevenInterval(base))
+	if s.Limited {
+		fmt.Fprintf(&b, " limit=%d", s.Limit)
+		if shed := s.ShedByScan + s.ShedByLow + s.ShedByNormal + s.ShedByHigh; shed > 0 {
+			fmt.Fprintf(&b, " shed[s/l/n/h]=%d/%d/%d/%d",
+				s.ShedByScan, s.ShedByLow, s.ShedByNormal, s.ShedByHigh)
+		}
+	}
 	if s.Mirrored {
 		fmt.Fprintf(&b, " repair=%d quar=%d", s.ReadRepairs+s.ScrubRepairs, s.Quarantined)
 	}
@@ -344,6 +379,11 @@ func (r *Registry) Table(base core.Costs) string {
 			s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
 			s.F, s.R, s.ROPS, s.IOPS, 100*s.Utilization,
 			1e6*s.DollarPerOp(base), s.BreakevenInterval(base))
+		if s.Limited {
+			fmt.Fprintf(&b, "  [limiter: limit=%d adj=%d shed scan=%d low=%d normal=%d high=%d retry-after=%dus]",
+				s.Limit, s.LimitChanges,
+				s.ShedByScan, s.ShedByLow, s.ShedByNormal, s.ShedByHigh, s.RetryAfterMicros)
+		}
 		if s.Mirrored {
 			// The mirrored $/Mop and breakeven above already include the
 			// doubled SS rent (LiveCosts applies WithReplication(2)).

@@ -1,0 +1,87 @@
+package overload
+
+import "context"
+
+// Class is an operation's priority class: the currency of the brownout
+// ladder. Classes are ordered — under pressure the limiter sheds the
+// lowest class first and walks upward, so a value's position in this
+// enum IS its shedding priority. ClassProbe sits above everything and is
+// never shed: the circuit breaker's half-open probes are how a degraded
+// store proves it recovered, and an admission queue that can starve them
+// leaves the breaker stuck open forever.
+type Class uint8
+
+const (
+	// ClassScan: range scans and other batch reads — the first rung shed
+	// in a brownout (a missing scan is an inconvenience; a missing write
+	// is an outage).
+	ClassScan Class = iota
+	// ClassLow: best-effort point ops (background tenants, bulk loads).
+	ClassLow
+	// ClassNormal: the default for interactive point ops.
+	ClassNormal
+	// ClassHigh: latency-sensitive tenants; shed only when the queue is
+	// saturated outright.
+	ClassHigh
+	// ClassProbe: health and breaker probes. Never queued, never shed.
+	// The wire layer refuses to accept this class from remote clients —
+	// probes originate inside the process that owns the breaker.
+	ClassProbe
+
+	numClasses = int(ClassProbe) + 1
+)
+
+// String names the class for logs and snapshots.
+func (c Class) String() string {
+	switch c {
+	case ClassScan:
+		return "scan"
+	case ClassLow:
+		return "low"
+	case ClassNormal:
+		return "normal"
+	case ClassHigh:
+		return "high"
+	case ClassProbe:
+		return "probe"
+	}
+	return "class?"
+}
+
+// ParseClass maps a declared class name (e.g. workload.Tenant.Class)
+// onto its Class; ok is false for unknown names and the empty string.
+// ClassProbe is deliberately not parseable: probes cannot be declared
+// by configuration, only originated by the breaker.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "scan":
+		return ClassScan, true
+	case "low":
+		return ClassLow, true
+	case "normal":
+		return ClassNormal, true
+	case "high":
+		return ClassHigh, true
+	}
+	return ClassNormal, false
+}
+
+type classKey struct{}
+
+// WithClass tags ctx with a priority class; everything downstream that
+// admits work (the engine, and through it every shard's limiter) sheds
+// by it.
+func WithClass(ctx context.Context, c Class) context.Context {
+	return context.WithValue(ctx, classKey{}, c)
+}
+
+// ClassFrom returns the class ctx carries, or def when it carries none.
+func ClassFrom(ctx context.Context, def Class) Class {
+	if ctx == nil {
+		return def
+	}
+	if c, ok := ctx.Value(classKey{}).(Class); ok {
+		return c
+	}
+	return def
+}

@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"costperf/internal/backoff"
 	"costperf/internal/engine"
 	"costperf/internal/fault"
 	"costperf/internal/metrics"
@@ -53,6 +53,17 @@ type Config struct {
 	MaxConcurrent  int
 	MaxQueue       int
 	DefaultTimeout time.Duration
+
+	// Adaptive switches every shard engine's admission limiter from the
+	// static MaxConcurrent semaphore to the gradient limiter, with
+	// AdaptiveMin/AdaptiveMax bounding the learned limit and LimitWindow
+	// the samples per adjustment (zero values take the engine defaults).
+	// Each shard learns its own limit: a slow shard sheds while its
+	// siblings keep serving.
+	Adaptive    bool
+	AdaptiveMin int
+	AdaptiveMax int
+	LimitWindow int
 
 	// CutoverWait bounds how long an operation that hit a fenced owner
 	// waits for the new owner to install before ErrMoved escapes to the
@@ -178,8 +189,7 @@ type Router struct {
 	nextSlot int           // next fresh slot number a resize mints
 	closed   bool
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	moved *backoff.Source // jittered backoff between moved re-dispatches
 
 	stats  Stats
 	health metrics.Health // router-level: latches only if every shard is degraded
@@ -218,7 +228,9 @@ func New(cfg Config) (*Router, error) {
 		wake:     make(chan struct{}),
 		resizing: map[int]bool{},
 		nextSlot: cfg.Shards,
-		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x7e1a57)),
+		moved: backoff.New(backoff.Policy{
+			Base: cfg.MovedRetryBase, Max: cfg.MovedRetryMax,
+		}, cfg.Seed^0x7e1a57),
 	}
 	t := &table{m: NewEvenMap(cfg.Shards), owners: make(map[int]*owner, cfg.Shards)}
 	for i := 0; i < cfg.Shards; i++ {
@@ -304,11 +316,18 @@ func (r *Router) newOwner(shard int, gen uint64) (*owner, error) {
 		MaxQueue:        r.cfg.MaxQueue,
 		DefaultTimeout:  r.cfg.DefaultTimeout,
 		ProbeJitterSeed: r.cfg.Seed + int64(shard),
+		Adaptive:        r.cfg.Adaptive,
+		AdaptiveMin:     r.cfg.AdaptiveMin,
+		AdaptiveMax:     r.cfg.AdaptiveMax,
+		LimitWindow:     r.cfg.LimitWindow,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("shard %d engine: %w", shard, err)
 	}
 	o.eng = eng
+	if tr != nil {
+		tr.FoldLimiter(eng.Limiter().Stats())
+	}
 	return o, nil
 }
 
@@ -380,6 +399,20 @@ func (r *Router) ShardSnapshot(shard int) (obs.CostSnapshot, bool) {
 // the router is open; per-shard state is in ShardHealth.
 func (r *Router) Health() *metrics.Health { return &r.health }
 
+// RetryAfterHint implements the wire server's Adviser capability for a
+// sharded backend: the hint a shed client should wait is the worst of
+// the live shards' hints — a retry routed anywhere must clear the most
+// congested shard it might land on.
+func (r *Router) RetryAfterHint() time.Duration {
+	var worst time.Duration
+	for _, o := range r.tab.Load().owners {
+		if d := o.eng.RetryAfterHint(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
 // awaitInstall blocks until the map epoch passes the one the caller
 // routed under, the cutover wait elapses, or ctx ends.
 func (r *Router) awaitInstall(ctx context.Context, epoch uint64) error {
@@ -405,26 +438,10 @@ func (r *Router) awaitInstall(ctx context.Context, epoch uint64) error {
 }
 
 // movedBackoff sleeps the jittered exponential interval before a moved
-// operation re-dispatches: d = min(base<<(attempt-1), max), drawn
-// uniformly from [d/2, d] — the shape the engine's breaker probes and
-// the wire client already use.
+// operation re-dispatches — the shared backoff shape the engine's
+// breaker probes and the wire client also draw from.
 func (r *Router) movedBackoff(ctx context.Context, attempt int) error {
-	d := r.cfg.MovedRetryBase << (attempt - 1)
-	if d <= 0 || d > r.cfg.MovedRetryMax {
-		d = r.cfg.MovedRetryMax
-	}
-	half := d / 2
-	r.rngMu.Lock()
-	jittered := half + time.Duration(r.rng.Int63n(int64(half)+1))
-	r.rngMu.Unlock()
-	timer := time.NewTimer(jittered)
-	defer timer.Stop()
-	select {
-	case <-timer.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return r.moved.Sleep(ctx, attempt)
 }
 
 // do routes one operation to the key's shard and absorbs the races a

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"costperf/internal/engine"
+	"costperf/internal/overload"
 )
 
 // ShardError names one shard a scatter-gather scan could not read.
@@ -65,6 +68,20 @@ func (r *Router) Scan(ctx context.Context, start []byte, limit int, fn func(k, v
 	// it, or reports the range in the *PartialScanError.
 	t := r.tab.Load()
 	n := len(t.m.Entries)
+
+	// Respect per-shard limiter state before scattering: a fail-fast
+	// scan against a fleet with any shard already past its scan bound is
+	// doomed, so refuse it here — before n goroutines fan out and n-1
+	// healthy shards do work the merge will throw away.
+	if r.cfg.FailFastScans {
+		cls := overload.ClassFrom(ctx, overload.ClassScan)
+		for i := 0; i < n; i++ {
+			if o := t.owners[t.m.Entries[i].Slot]; o.eng.Limiter().WouldShed(cls) {
+				return fmt.Errorf("shard %d scan: %w", o.shard, engine.ErrOverload)
+			}
+		}
+	}
+
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -173,8 +190,16 @@ func (r *Router) Scan(ctx context.Context, start []byte, limit int, fn func(k, v
 func (r *Router) scanEntry(ctx context.Context, t *table, idx int, start []byte, limit int, out chan<- scanItem) error {
 	lo, hi := t.m.Range(idx)
 	o := t.owners[t.m.Entries[idx].Slot]
+	cls := overload.ClassFrom(ctx, overload.ClassScan)
 	exact := true // owner's range is exactly [lo, hi)
 	for attempt := 0; ; attempt++ {
+		// A shard whose limiter would shed this arrival fails the range
+		// here, before the scan goroutine starts copying pairs it will
+		// never deliver; partial-mode callers see the hole as this
+		// range's overload ShardError.
+		if o.eng.Limiter().WouldShed(cls) {
+			return fmt.Errorf("limiter at class %v bound: %w", cls, engine.ErrOverload)
+		}
 		sent := 0
 		eff := limit
 		if !exact {

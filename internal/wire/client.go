@@ -4,14 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"costperf/internal/backoff"
 	"costperf/internal/engine"
 	"costperf/internal/metrics"
+	"costperf/internal/overload"
 	"costperf/internal/shard"
 	"costperf/internal/wire/frame"
 )
@@ -52,7 +53,25 @@ type ClientConfig struct {
 	// ConsecTimeouts is the run of attempt timeouts on one connection
 	// that makes the client presume it dead and reconnect (default 3).
 	ConsecTimeouts int
+	// Class is the priority class sent with every request ("scan", "low",
+	// "normal", "high"; empty = normal). The server's admission limiter
+	// sheds lower classes first under pressure. A per-operation override
+	// travels in the context via overload.WithClass.
+	Class string
+	// RetryBudget, when >0, bounds retry amplification with a token
+	// bucket: each logical operation earns RetryBudget tokens (so e.g.
+	// 0.1 sustains one retry per ten ops) and every retry spends one;
+	// when the bucket is dry the operation fails with ErrUnavailable
+	// instead of retrying. This is the client-side half of metastable-
+	// failure protection — a storm of retries against a struggling
+	// server is exactly the load that keeps it struggling. 0 disables
+	// the budget (retries bounded only by MaxRetries).
+	RetryBudget float64
 }
+
+// retryBucketCap bounds the retry token bucket: enough burst for a
+// transient blip, not enough to fuel a storm.
+const retryBucketCap = 10
 
 func (c *ClientConfig) setDefaults() error {
 	if c.Dial == nil {
@@ -95,7 +114,21 @@ func (c *ClientConfig) setDefaults() error {
 	if c.ConsecTimeouts <= 0 {
 		c.ConsecTimeouts = 3
 	}
+	if c.Class != "" {
+		if _, ok := overload.ParseClass(c.Class); !ok {
+			return fmt.Errorf("wire: unknown priority class %q", c.Class)
+		}
+	}
 	return nil
+}
+
+// defaultClass resolves the configured class name (empty = normal).
+func (c *ClientConfig) defaultClass() overload.Class {
+	if c.Class == "" {
+		return overload.ClassNormal
+	}
+	cl, _ := overload.ParseClass(c.Class)
+	return cl
 }
 
 // ClientStats meters the client; Sent/Ops is the retry amplification the
@@ -114,6 +147,11 @@ type ClientStats struct {
 	// StatusOverload responses (each retried with backoff).
 	AttemptTimeouts metrics.Counter
 	Overloads       metrics.Counter
+	// BudgetDenied counts retries suppressed by a dry retry budget —
+	// each one is load NOT sent at a struggling server.
+	BudgetDenied metrics.Counter
+	// HintedMicros gauges the last server-provided retry-after hint.
+	HintedMicros metrics.Gauge
 	// Moves counts StatusMoved responses: shard cutovers observed on the
 	// wire, each teaching the client the server's new shard map.
 	Moves metrics.Counter
@@ -121,9 +159,10 @@ type ClientStats struct {
 
 // String renders the counters for experiment logs.
 func (s *ClientStats) String() string {
-	return fmt.Sprintf("ops=%d sent=%d retries=%d hedges=%d reconnects=%d timeouts=%d overloads=%d moves=%d",
+	return fmt.Sprintf("ops=%d sent=%d retries=%d hedges=%d reconnects=%d timeouts=%d overloads=%d moves=%d denied=%d",
 		s.Ops.Value(), s.Sent.Value(), s.Retries.Value(), s.Hedges.Value(),
-		s.Reconnects.Value(), s.AttemptTimeouts.Value(), s.Overloads.Value(), s.Moves.Value())
+		s.Reconnects.Value(), s.AttemptTimeouts.Value(), s.Overloads.Value(), s.Moves.Value(),
+		s.BudgetDenied.Value())
 }
 
 // Client is a resilient connection to a wire server: pipelined requests,
@@ -142,10 +181,17 @@ type Client struct {
 	// MOVED body never regresses the learned map.
 	shardMap atomic.Pointer[shard.Map]
 
-	mu     sync.Mutex // guards cc, rng, dialed
+	mu     sync.Mutex // guards cc, dialed
 	cc     *clientConn
-	rng    *rand.Rand
 	dialed bool
+
+	// src draws the jittered exponential retry schedule (shared with the
+	// engine's breaker probes and the shard router via internal/backoff).
+	src *backoff.Source
+
+	// Retry token bucket (see ClientConfig.RetryBudget).
+	budMu  sync.Mutex
+	tokens float64
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -161,7 +207,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	return &Client{
 		cfg:    cfg,
 		window: make(chan struct{}, cfg.MaxInFlight),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		src:    backoff.New(backoff.Policy{Base: cfg.RetryBase, Max: cfg.RetryMax}, cfg.Seed),
+		tokens: retryBucketCap, // start full: a transient blip can retry at once
 		closed: make(chan struct{}),
 	}, nil
 }
@@ -276,23 +323,34 @@ func (c *Client) do(ctx context.Context, req request, isRead bool) ([]byte, erro
 
 	req.ClientID = c.cfg.ClientID
 	req.Seq = c.seq.Add(1)
+	req.Class = overload.ClassFrom(ctx, c.cfg.defaultClass())
+	c.earnRetryTokens()
 	lastErr := error(nil)
+	var hint time.Duration // server's retry-after, from the last overload
 
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			if !c.spendRetryToken() {
+				// The budget is dry: sending this retry would add load to a
+				// server already shedding it. Failing here is the choice
+				// that lets the server drain.
+				c.stats.BudgetDenied.Inc()
+				return nil, fmt.Errorf("%w (retry budget exhausted): %w", ErrUnavailable, lastErr)
+			}
 			c.stats.Retries.Inc()
-			if err := c.backoff(ctx, attempt); err != nil {
+			if err := c.backoff(ctx, attempt, hint); err != nil {
 				return nil, err
 			}
+			hint = 0
 		}
-		body, retry, err := c.attempt(ctx, req, isRead)
+		body, retry, h, err := c.attempt(ctx, req, isRead)
 		if err == nil {
 			return body, nil
 		}
 		if !retry {
 			return nil, err
 		}
-		lastErr = err
+		lastErr, hint = err, h
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -300,13 +358,42 @@ func (c *Client) do(ctx context.Context, req request, isRead bool) ([]byte, erro
 	return nil, fmt.Errorf("%w after %d attempts: %w", ErrUnavailable, c.cfg.MaxRetries+1, lastErr)
 }
 
+// earnRetryTokens credits the retry bucket for one logical operation.
+func (c *Client) earnRetryTokens() {
+	if c.cfg.RetryBudget <= 0 {
+		return
+	}
+	c.budMu.Lock()
+	c.tokens += c.cfg.RetryBudget
+	if c.tokens > retryBucketCap {
+		c.tokens = retryBucketCap
+	}
+	c.budMu.Unlock()
+}
+
+// spendRetryToken takes one token; false means the budget is dry and
+// the retry must not be sent.
+func (c *Client) spendRetryToken() bool {
+	if c.cfg.RetryBudget <= 0 {
+		return true
+	}
+	c.budMu.Lock()
+	defer c.budMu.Unlock()
+	if c.tokens < 1 {
+		return false
+	}
+	c.tokens--
+	return true
+}
+
 // attempt sends the request once (plus at most one hedge) and waits for
 // its response, the attempt timeout, or a dead connection. retry=true
-// means the failure is transient and the caller's budget decides.
-func (c *Client) attempt(ctx context.Context, req request, isRead bool) (body []byte, retry bool, err error) {
+// means the failure is transient and the caller's budget decides; hint
+// is the server's retry-after advice when it shed the request.
+func (c *Client) attempt(ctx context.Context, req request, isRead bool) (body []byte, retry bool, hint time.Duration, err error) {
 	cc, err := c.conn()
 	if err != nil {
-		return nil, true, err
+		return nil, true, 0, err
 	}
 
 	// The attempt deadline is the response-loss detector; the request
@@ -318,7 +405,7 @@ func (c *Client) attempt(ctx context.Context, req request, isRead bool) (body []
 	}
 	req.Deadline = time.Until(attemptDl)
 	if req.Deadline <= 0 {
-		return nil, false, ctx.Err()
+		return nil, false, 0, ctx.Err()
 	}
 
 	call := cc.register(req.Seq)
@@ -326,7 +413,7 @@ func (c *Client) attempt(ctx context.Context, req request, isRead bool) (body []
 	payload := encodeRequest(nil, req)
 	if err := cc.send(payload, attemptDl); err != nil {
 		cc.fail(err)
-		return nil, true, err
+		return nil, true, 0, err
 	}
 	c.stats.Sent.Inc()
 
@@ -360,31 +447,37 @@ func (c *Client) attempt(ctx context.Context, req request, isRead bool) (body []
 				// presume it half-dead and rebuild it.
 				cc.fail(fmt.Errorf("wire: %d consecutive attempt timeouts", c.cfg.ConsecTimeouts))
 			}
-			return nil, true, fmt.Errorf("wire: attempt timed out after %v", c.cfg.AttemptTimeout)
+			return nil, true, 0, fmt.Errorf("wire: attempt timed out after %v", c.cfg.AttemptTimeout)
 		case <-cc.broken:
-			return nil, true, cc.brokenErr()
+			return nil, true, 0, cc.brokenErr()
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return nil, false, 0, ctx.Err()
 		case <-c.closed:
-			return nil, false, ErrClientClosed
+			return nil, false, 0, ErrClientClosed
 		}
 	}
 }
 
 // settleStatus turns a completed call into the operation's result.
-func (c *Client) settleStatus(call *call) ([]byte, bool, error) {
+func (c *Client) settleStatus(call *call) ([]byte, bool, time.Duration, error) {
 	switch call.status {
 	case StatusOK:
-		return call.body, false, nil
+		return call.body, false, 0, nil
 	case StatusOverload:
-		// The server shed us: retry after backoff, within budget.
+		// The server shed us: retry after backoff, within budget,
+		// honoring the server's own estimate of how long its backlog
+		// needs to drain.
 		c.stats.Overloads.Inc()
-		return nil, true, errFromStatus(call.status, "")
+		hint := decodeOverloadBody(call.body)
+		if hint > 0 {
+			c.stats.HintedMicros.Set(hint.Microseconds())
+		}
+		return nil, true, hint, errFromStatus(call.status, "")
 	case StatusDraining:
 		// The server is going away: drop the connection so the next
 		// attempt re-dials (after failover/restart), and retry.
 		c.dropConn()
-		return nil, true, ErrDraining
+		return nil, true, 0, ErrDraining
 	case StatusMoved:
 		// The key's shard cut over to a new owner mid-request. Learn the
 		// map the server attached, then retry: by the next attempt the
@@ -401,24 +494,23 @@ func (c *Client) settleStatus(call *call) ([]byte, bool, error) {
 				}
 			}
 		}
-		return nil, true, errFromStatus(call.status, "")
+		return nil, true, 0, errFromStatus(call.status, "")
 	default:
-		return nil, false, errFromStatus(call.status, string(call.body))
+		return nil, false, 0, errFromStatus(call.status, string(call.body))
 	}
 }
 
 // backoff sleeps the jittered exponential interval for the given attempt
-// number: d = min(base<<(attempt-1), max), drawn uniformly from [d/2, d].
-func (c *Client) backoff(ctx context.Context, attempt int) error {
-	d := c.cfg.RetryBase << (attempt - 1)
-	if d > c.cfg.RetryMax || d <= 0 {
-		d = c.cfg.RetryMax
+// number — d = min(base<<(attempt-1), max), drawn uniformly from [d/2, d]
+// by the shared internal/backoff source — or the server's retry-after
+// hint when that is longer: the server knows its backlog, the client
+// only knows its schedule.
+func (c *Client) backoff(ctx context.Context, attempt int, minWait time.Duration) error {
+	d := c.src.Next(attempt)
+	if minWait > d {
+		d = minWait
 	}
-	half := d / 2
-	c.mu.Lock()
-	jittered := half + time.Duration(c.rng.Int63n(int64(half)+1))
-	c.mu.Unlock()
-	t := time.NewTimer(jittered)
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:

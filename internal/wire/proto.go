@@ -33,19 +33,57 @@ import (
 
 	"costperf/internal/engine"
 	"costperf/internal/fault"
+	"costperf/internal/overload"
 	"costperf/internal/repl"
 	"costperf/internal/shard"
 	"costperf/internal/ssd"
 )
 
-// Operation codes.
+// Operation codes. The low 5 bits of the op byte carry the code; the
+// top 3 bits carry the request's priority class (see classToWire), so
+// adding priority to the protocol cost zero header bytes and a legacy
+// op byte (top bits zero) still decodes as a normal-class request.
 const (
 	opGet byte = iota + 1
 	opPut
 	opDelete
 	opScan
 	opPing
+
+	opMask = 0x1f // low 5 bits: op code; high 3: priority class
 )
+
+// classToWire encodes a priority class into the op byte's top 3 bits:
+// 0 means "unspecified" (decodes as ClassNormal, and is what normal
+// requests encode so legacy byte streams and fixtures stay identical),
+// otherwise the wire value is class+1. ClassProbe is deliberately not
+// encodable: probes originate inside the process that owns the breaker,
+// never from a remote client.
+func classToWire(c overload.Class) byte {
+	if c == overload.ClassNormal || c > overload.ClassHigh {
+		return 0
+	}
+	return byte(c) + 1
+}
+
+// classFromWire decodes the op byte's top 3 bits. ok is false for wire
+// values past the encodable range (6, 7): a damaged or hostile byte,
+// not a future class. A remote attempt to claim probe class (5 — only
+// producible by a hand-rolled byte, never by classToWire) is clamped to
+// ClassHigh rather than rejected: the request is well-formed, it just
+// may not starve the breaker's own probes.
+func classFromWire(v byte) (overload.Class, bool) {
+	switch {
+	case v == 0:
+		return overload.ClassNormal, true
+	case v <= byte(overload.ClassHigh)+1:
+		return overload.Class(v - 1), true
+	case v == byte(overload.ClassProbe)+1:
+		return overload.ClassHigh, true
+	default:
+		return overload.ClassNormal, false
+	}
+}
 
 // Status is the wire-level outcome of one request. Every engine-side
 // typed error maps onto exactly one status, and the client maps each
@@ -210,6 +248,7 @@ func errFromStatus(s Status, msg string) error {
 //	  Scan: limit(4)
 type request struct {
 	Op       byte
+	Class    overload.Class // priority class, carried in the op byte's top bits
 	ClientID uint64
 	Seq      uint64
 	Deadline time.Duration // 0 = none
@@ -233,7 +272,7 @@ func encodeRequest(dst []byte, r request) []byte {
 		micros = maxDeadlineMicros
 	}
 	var hdr [reqHeader]byte
-	hdr[0] = r.Op
+	hdr[0] = r.Op | classToWire(r.Class)<<5
 	binary.BigEndian.PutUint64(hdr[1:9], r.ClientID)
 	binary.BigEndian.PutUint64(hdr[9:17], r.Seq)
 	binary.BigEndian.PutUint32(hdr[17:21], uint32(micros))
@@ -259,9 +298,19 @@ func decodeRequest(b []byte) (request, error) {
 	if len(b) < reqHeader {
 		return r, ErrBadMessage
 	}
-	r.Op = b[0]
+	r.Op = b[0] & opMask
 	if r.Op < opGet || r.Op > opPing {
 		return r, ErrBadMessage
+	}
+	var ok bool
+	if r.Class, ok = classFromWire(b[0] >> 5); !ok {
+		return r, ErrBadMessage
+	}
+	if b[0]>>5 == 0 && r.Op == opScan {
+		// An unspecified class takes the op's natural default: scans are
+		// the first rung of the brownout ladder unless the client says
+		// otherwise, matching the engine's own untagged-scan behavior.
+		r.Class = overload.ClassScan
 	}
 	r.ClientID = binary.BigEndian.Uint64(b[1:9])
 	r.Seq = binary.BigEndian.Uint64(b[9:17])
@@ -323,6 +372,34 @@ func decodeResponse(b []byte) (seq uint64, s Status, body []byte, err error) {
 	}
 	seq = binary.BigEndian.Uint64(b[1:9])
 	return seq, s, b[respHeader:], nil
+}
+
+// An OVERLOAD body is the server's advisory retry-after hint:
+// micros(4), big-endian. The server computes it from its limiter's view
+// of the backlog (overload.Limiter.RetryAfter), so a shed client backs
+// off for as long as the backlog actually needs to drain instead of a
+// hardcoded guess — the difference between a thundering-herd retry and
+// a paced one. An empty body is legal (backend without an Adviser) and
+// means "no hint"; a malformed body is ignored the same way, since a
+// hint can never be load-bearing for correctness.
+func encodeOverloadBody(d time.Duration) []byte {
+	micros := d.Microseconds()
+	if micros <= 0 {
+		return nil
+	}
+	if micros > maxDeadlineMicros {
+		micros = maxDeadlineMicros
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(micros))
+	return b[:]
+}
+
+func decodeOverloadBody(b []byte) time.Duration {
+	if len(b) != 4 {
+		return 0
+	}
+	return time.Duration(binary.BigEndian.Uint32(b)) * time.Microsecond
 }
 
 // A MOVED body is the server's full epoch-numbered shard map

@@ -12,6 +12,7 @@ import (
 
 	"costperf/internal/fault"
 	"costperf/internal/metrics"
+	"costperf/internal/overload"
 	"costperf/internal/shard"
 	"costperf/internal/wire/frame"
 )
@@ -33,6 +34,16 @@ type Backend interface {
 // — epoch, shard count, and range boundaries — even mid-resize.
 type ShardMapper interface {
 	ShardMap() *shard.Map
+}
+
+// Adviser is the optional Backend capability an overload-aware backend
+// (engine.Engine, shard.Router) exposes: the advisory backoff a shed
+// request should wait before retrying, derived from the admission
+// limiter's live backlog. A server whose backend has it attaches the
+// hint to every StatusOverload response, closing the control loop that
+// turns a thundering-herd retry into a paced one.
+type Adviser interface {
+	RetryAfterHint() time.Duration
 }
 
 // ServerConfig configures a Server.
@@ -107,6 +118,10 @@ type ServerStats struct {
 	// Moves counts StatusMoved responses (shard cutovers that escaped the
 	// router's transparent retry and crossed the wire).
 	Moves metrics.Counter
+	// Sheds counts StatusOverload responses — load the admission limiter
+	// refused that crossed the wire (each carries a retry-after hint when
+	// the backend advises one).
+	Sheds metrics.Counter
 	// InFlight gauges currently executing requests; InFlightPeak is its
 	// high-water mark.
 	InFlight     metrics.Gauge
@@ -138,8 +153,9 @@ type Server struct {
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 
-	dedup  *dedupTable
-	mapper ShardMapper // non-nil when the backend is sharded
+	dedup   *dedupTable
+	mapper  ShardMapper // non-nil when the backend is sharded
+	adviser Adviser     // non-nil when the backend advises retry-after
 }
 
 // NewServer creates a server over the given backend.
@@ -149,6 +165,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	mapper, _ := cfg.Backend.(ShardMapper)
+	adviser, _ := cfg.Backend.(Adviser)
 	return &Server{
 		cfg:       cfg,
 		ctx:       ctx,
@@ -157,6 +174,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		listeners: make(map[net.Listener]struct{}),
 		dedup:     newDedupTable(cfg.DedupWindow, cfg.MaxDedupClients),
 		mapper:    mapper,
+		adviser:   adviser,
 	}, nil
 }
 
@@ -471,7 +489,10 @@ func (sc *srvConn) handle(req request) {
 		sc.endRequest()
 	}()
 
-	ctx := sc.s.ctx
+	// The request's priority class rides the context into the engine's
+	// admission limiter: the wire is how remote tenants reach the
+	// brownout ladder.
+	ctx := overload.WithClass(sc.s.ctx, req.Class)
 	if req.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
@@ -508,6 +529,12 @@ func (sc *srvConn) handle(req request) {
 		sc.s.stats.Moves.Inc()
 		if sc.s.mapper != nil {
 			body = encodeMovedBody(sc.s.mapper.ShardMap())
+		}
+	}
+	if st == StatusOverload {
+		sc.s.stats.Sheds.Inc()
+		if sc.s.adviser != nil {
+			body = encodeOverloadBody(sc.s.adviser.RetryAfterHint())
 		}
 	}
 	sc.respond(req.Seq, st, body)

@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"strings"
+
+	"costperf/internal/overload"
 )
 
 // Scenarios are the named, composable workload shapes behind kvbench's
@@ -129,6 +131,12 @@ type Tenant struct {
 	Weight float64  `json:"weight"`
 	Mix    Mix      `json:"mix"`
 	Dist   DistSpec `json:"dist"`
+	// Class is the tenant's admission priority class, one of
+	// internal/overload.ParseClass's names ("scan", "low", "normal",
+	// "high"). Empty means untagged: each op takes the engine's per-op
+	// default (scans shed first, everything else is normal). Drivers
+	// read it back per op through ScenarioGen.NextTagged.
+	Class string `json:"class,omitempty"`
 }
 
 // Phase is a contiguous fraction of a scenario's operations.
@@ -174,6 +182,11 @@ func (s Scenario) Validate() error {
 			}
 			if err := tn.Dist.Validate(); err != nil {
 				return fmt.Errorf("scenario %q tenant %q: %w", s.Name, tn.Name, err)
+			}
+			if tn.Class != "" {
+				if _, ok := overload.ParseClass(tn.Class); !ok {
+					return fmt.Errorf("workload: scenario %q tenant %q: unknown priority class %q", s.Name, tn.Name, tn.Class)
+				}
 			}
 		}
 	}
@@ -224,11 +237,12 @@ type ScenarioGen struct {
 }
 
 type genPhase struct {
-	ops  int // ops allotted to this phase
-	done int
-	rng  *rand.Rand // tenant selection
-	cum  []float64  // cumulative normalized tenant weights
-	gens []*Generator
+	ops     int // ops allotted to this phase
+	done    int
+	rng     *rand.Rand // tenant selection
+	cum     []float64  // cumulative normalized tenant weights
+	gens    []*Generator
+	classes []string // per-tenant priority class ("" = untagged)
 }
 
 // deriveSeed mixes the run seed with a stable hash of the location parts,
@@ -290,6 +304,7 @@ func NewScenarioGen(s Scenario, cfg ScenarioConfig) (*ScenarioGen, error) {
 			acc += tn.Weight / wTotal
 			gp.cum = append(gp.cum, acc)
 			gp.gens = append(gp.gens, gen)
+			gp.classes = append(gp.classes, tn.Class)
 		}
 		gp.cum[len(gp.cum)-1] = 1 // guard against FP drift
 		g.phases = append(g.phases, gp)
@@ -300,8 +315,18 @@ func NewScenarioGen(s Scenario, cfg ScenarioConfig) (*ScenarioGen, error) {
 // Next returns the next operation, or ok=false when the scenario's Ops
 // have all been emitted.
 func (g *ScenarioGen) Next() (op Op, ok bool) {
+	op, _, ok = g.NextTagged()
+	return op, ok
+}
+
+// NextTagged returns the next operation plus the generating tenant's
+// priority class name ("" when the tenant declared none). The Op stream
+// is byte-identical to Next's — the class rides alongside, never inside,
+// the trace-codec-stable Op — so a recorded trace of a classed scenario
+// replays unchanged.
+func (g *ScenarioGen) NextTagged() (op Op, class string, ok bool) {
 	if g.emitted >= g.total {
-		return Op{}, false
+		return Op{}, "", false
 	}
 	for g.cur < len(g.phases)-1 && g.phases[g.cur].done >= g.phases[g.cur].ops {
 		g.cur++
@@ -317,7 +342,7 @@ func (g *ScenarioGen) Next() (op Op, ok bool) {
 	}
 	p.done++
 	g.emitted++
-	return p.gens[idx].Next(), true
+	return p.gens[idx].Next(), p.classes[idx], true
 }
 
 // Remaining returns how many operations the generator will still emit.

@@ -268,3 +268,70 @@ func opsEqual(a, b []Op) bool {
 	}
 	return true
 }
+
+// TestTenantClassTagging pins the priority-class ride-along: classed
+// tenants validate against the overload class names, NextTagged reports
+// each op's tenant class without perturbing the Op stream (the trace
+// codec's Op is untouched), and unknown classes are rejected.
+func TestTenantClassTagging(t *testing.T) {
+	classed := Scenario{
+		Name: "classed",
+		Phases: []Phase{{
+			Name: "p", Frac: 1,
+			Tenants: []Tenant{
+				{Name: "oltp", Weight: 0.5, Mix: ReadMostly, Dist: DistSpec{Kind: "uniform"}, Class: "high"},
+				{Name: "batch", Weight: 0.3, Mix: BlindWriteHeavy, Dist: DistSpec{Kind: "uniform"}, Class: "low"},
+				{Name: "untagged", Weight: 0.2, Mix: ReadMostly, Dist: DistSpec{Kind: "uniform"}},
+			},
+		}},
+	}
+	if err := classed.Validate(); err != nil {
+		t.Fatalf("classed scenario invalid: %v", err)
+	}
+
+	bad := classed
+	bad.Phases = []Phase{{Name: "p", Frac: 1, Tenants: []Tenant{
+		{Name: "x", Weight: 1, Mix: ReadMostly, Dist: DistSpec{Kind: "uniform"}, Class: "urgent"},
+	}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "urgent") {
+		t.Fatalf("unknown class validated: %v", err)
+	}
+	probe := bad
+	probe.Phases[0].Tenants[0].Class = "probe"
+	if err := probe.Validate(); err == nil {
+		t.Fatal("probe class must not be claimable by a tenant")
+	}
+
+	cfg := ScenarioConfig{Keys: 1000, ValueSize: 16, Ops: 3000, Seed: 7}
+	g1, err := NewScenarioGen(classed, cfg)
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	g2, err := NewScenarioGen(classed, cfg)
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	seen := map[string]int{}
+	for {
+		op1, class, ok := g1.NextTagged()
+		op2, ok2 := g2.Next()
+		if ok != ok2 {
+			t.Fatal("NextTagged and Next disagree on stream length")
+		}
+		if !ok {
+			break
+		}
+		if op1.Kind != op2.Kind || string(op1.Key) != string(op2.Key) {
+			t.Fatal("NextTagged perturbed the op stream")
+		}
+		switch class {
+		case "high", "low", "":
+			seen[class]++
+		default:
+			t.Fatalf("op tagged with undeclared class %q", class)
+		}
+	}
+	if seen["high"] == 0 || seen["low"] == 0 || seen[""] == 0 {
+		t.Fatalf("class mixture missing tenants: %v", seen)
+	}
+}

@@ -48,6 +48,18 @@
 # zero lost acked writes, bounded retry amplification, graceful drain, and
 # no leaked goroutines — again with a hard watchdog.
 #
+# Set CHECK_OVERLOAD=1 for the full 50-seed metastable-failure chaos
+# sweep under the race detector: a capacity-limited store behind the
+# engine's adaptive concurrency limiter and the wire server, hit with a
+# flash-crowd storm (6x the steady client fleet plus a request-path
+# partition blip). Each seed asserts the adaptive stack re-converges to
+# >=90% of pre-storm goodput the moment the storm stops, keeps the
+# high-priority class served through the storm (brownout ladder sheds
+# scans and low first), loses zero acked writes, and actually delivered
+# retry-after hints to clients — then reruns the identical harness with
+# the limiter disabled and requires it to demonstrably fail to
+# re-converge in the same window, proving the mechanism and not the test.
+#
 # Set CHECK_MATRIX=1 for the perf-trajectory gate: run the full scenario
 # matrix (kvbench -matrix all) at a CI-sized workload, then hold benchdiff
 # to its exit-code contract — the identity diff must pass, an injected
@@ -75,6 +87,8 @@ else
         ./internal/fault \
         ./internal/lsm \
         ./internal/metrics \
+        ./internal/backoff \
+        ./internal/overload \
         ./internal/engine \
         ./internal/repl \
         ./internal/shard \
@@ -101,6 +115,10 @@ fi
 if [ -n "${CHECK_WIRE:-}" ]; then
     go test -race -run 'TestWireChaosSweep' -count=1 -timeout 15m \
         ./internal/integration -wire.full=true
+fi
+if [ -n "${CHECK_OVERLOAD:-}" ]; then
+    go test -race -run 'TestOverloadChaosSweep' -count=1 -timeout 20m \
+        ./internal/integration -overload.full=true
 fi
 if [ -n "${CHECK_MATRIX:-}" ]; then
     go build -o /tmp/kvbench ./cmd/kvbench
